@@ -1,0 +1,111 @@
+// E10 — The practicality trade-off the paper argues for.
+//
+// Four deciders for the same question ("can this task set be partitioned?"),
+// measured for acceptance and wall-clock cost on identical instances:
+//   ff-edf      the paper's O(nm) greedy test (certificates, cheapest)
+//   local       first-fit + move/swap repair (more acceptance, no theory)
+//   dp(1+eps)   dual-approximation DP, eps = 0.25 — the [11]-style
+//               "(1+eps) but exponential state" alternative; its
+//               kFeasibleRelaxed verdicts are counted as accepts
+//   exact       branch-and-bound ground truth
+// Expected shape: acceptance ff <= local <= exact, with the DP between ff
+// and exact (its accepts carry (1+eps) slack), while median decision cost
+// spans several orders of magnitude — the paper's reason to prefer the
+// greedy test.
+#include <chrono>
+
+#include "baselines/local_search.h"
+#include "bench_common.h"
+#include "exact/exact_partition.h"
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "partition/first_fit.h"
+#include "ptas/dual_approx.h"
+#include "util/stats.h"
+
+namespace hetsched {
+namespace {
+
+struct Decider {
+  const char* name;
+  // Returns accept/reject; duration accumulated by the caller.
+  bool (*decide)(const TaskSet&, const Platform&);
+};
+
+bool decide_ff(const TaskSet& t, const Platform& p) {
+  return first_fit_accepts(t, p, AdmissionKind::kEdf, 1.0);
+}
+bool decide_local(const TaskSet& t, const Platform& p) {
+  return local_search_partition(t, p, AdmissionKind::kEdf, 1.0).feasible;
+}
+bool decide_dp(const TaskSet& t, const Platform& p) {
+  DualApproxOptions opts;
+  opts.eps = 0.25;
+  return dual_approx_partition(t, p, 1.0, opts).verdict ==
+         DualApproxVerdict::kFeasibleRelaxed;
+}
+bool decide_exact(const TaskSet& t, const Platform& p) {
+  return exact_partition(t, p, AdmissionKind::kEdf).verdict ==
+         ExactVerdict::kFeasible;
+}
+
+void run_load(Table& table, double norm_util, std::size_t trials) {
+  const Platform platform = geometric_platform(3, 1.6);
+  const Decider deciders[] = {
+      {"ff-edf", &decide_ff},
+      {"local-search", &decide_local},
+      {"dp(1+0.25)", &decide_dp},
+      {"exact-bb", &decide_exact},
+  };
+
+  std::vector<std::size_t> accepts(4, 0);
+  std::vector<std::vector<double>> micros(4);
+  Rng rng(0x10E);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    TasksetSpec spec;
+    spec.n = 10;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        std::min(norm_util * platform.total_speed(),
+                 0.35 * 10 * spec.max_task_utilization);
+    spec.periods = PeriodSpec::log_uniform(10, 1000);
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    for (std::size_t d = 0; d < 4; ++d) {
+      const auto start = std::chrono::steady_clock::now();
+      const bool ok = deciders[d].decide(tasks, platform);
+      const auto stop = std::chrono::steady_clock::now();
+      accepts[d] += ok;
+      micros[d].push_back(
+          std::chrono::duration<double, std::micro>(stop - start).count());
+    }
+  }
+
+  for (std::size_t d = 0; d < 4; ++d) {
+    const Summary s = summarize(micros[d]);
+    table.add_row({Table::fmt(norm_util, 2), deciders[d].name,
+                   Table::fmt(static_cast<double>(accepts[d]) /
+                                  static_cast<double>(trials),
+                              4),
+                   Table::fmt(s.p50, 1), Table::fmt(s.p95, 1),
+                   Table::fmt(s.max, 1)});
+  }
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main() {
+  using namespace hetsched;
+  bench::print_header("E10",
+                      "acceptance vs decision cost: greedy, repair, DP, exact");
+  bench::WallTimer timer;
+  Table table({"U/S", "decider", "accept", "p50-us", "p95-us", "max-us"});
+  run_load(table, 0.80, 300);
+  run_load(table, 0.90, 300);
+  run_load(table, 0.97, 300);
+  bench::print_section("n=10 tasks, m=3 geometric ratio 1.6");
+  bench::emit(table, "e10_practicality");
+  std::printf("\n[E10 done in %.1fs]\n", timer.seconds());
+  return 0;
+}

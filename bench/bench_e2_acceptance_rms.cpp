@@ -1,0 +1,77 @@
+// E2 — Acceptance ratio vs. normalized utilization, first-fit RMS.
+//
+// Same setup as E1 with the Liu–Layland admission test and the RMS alphas:
+//   alpha = 1.000       raw test
+//   alpha = 2.414       Theorem I.2 certificate vs. a partitioned adversary
+//   alpha = 3.340       Theorem I.4 certificate vs. the LP adversary
+//   alpha = 3.410       Andersson–Tovar [3] certificate
+// plus the LP reference.  Expected shape: the whole RMS family sits below
+// its EDF counterpart (the ln 2 utilization loss), with the same ordering
+// in alpha.
+#include <cstddef>
+
+#include "bench_common.h"
+#include "experiments/acceptance.h"
+#include "gen/platform_gen.h"
+#include "lp/feasibility_lp.h"
+#include "partition/analysis_constants.h"
+#include "partition/first_fit.h"
+
+namespace hetsched {
+namespace {
+
+void run_for_n(std::size_t n) {
+  AcceptanceSweepSpec spec;
+  spec.platform = geometric_platform(8, 1.5, 12.0);
+  spec.tasks_per_set = n;
+  spec.max_task_utilization = spec.platform.max_speed();
+  spec.periods = PeriodSpec::log_uniform(10, 1000);
+  for (double x = 0.40; x <= 1.001; x += 0.05) {
+    spec.normalized_utilizations.push_back(x);
+  }
+  spec.trials_per_point = 400;
+  spec.seed = 0xE2;
+
+  auto ff_at = [](double alpha) {
+    return [alpha](const TaskSet& t, const Platform& p) {
+      return first_fit_accepts(t, p, AdmissionKind::kRmsLiuLayland, alpha);
+    };
+  };
+  const std::vector<Tester> testers{
+      {"ff-rms@1.000", ff_at(1.0)},
+      {"ff-rms@2.414", ff_at(RmsConstants::kAlphaPartitioned)},
+      {"ff-rms@3.340", ff_at(RmsConstants::kAlphaLp)},
+      {"ff-rms@3.410", ff_at(3.41)},
+      {"lp-feasible", [](const TaskSet& t, const Platform& p) {
+         return lp_feasible_oracle(t, p);
+       }},
+  };
+
+  bench::print_section("n = " + std::to_string(n) +
+                       " tasks, m = 8 machines (geometric ratio 1.5), " +
+                       std::to_string(spec.trials_per_point) +
+                       " task sets per point");
+  const AcceptanceCurve curve = run_acceptance_sweep(spec, testers);
+  bench::emit(curve.to_table(), "e2_acceptance_rms",
+              "_n" + std::to_string(n));
+  const std::vector<double> ws = curve.weighted_schedulability();
+  std::printf("weighted schedulability:");
+  for (std::size_t k = 0; k < ws.size(); ++k) {
+    std::printf(" %s=%.4f", curve.tester_names[k].c_str(), ws[k]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main() {
+  hetsched::bench::print_header(
+      "E2", "acceptance ratio vs normalized utilization, first-fit RMS");
+  hetsched::bench::WallTimer timer;
+  for (const std::size_t n : {12u, 24u, 48u}) {
+    hetsched::run_for_n(n);
+  }
+  std::printf("\n[E2 done in %.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E3 — Empirical augmentation requirement vs. the PARTITIONED adversary.
+//
+// On instances small enough for the exact branch-and-bound to decide
+// (n = 10 tasks, m = 3 machines), filter for partitioned-EDF-feasible task
+// sets and measure alpha* = the smallest augmentation at which the
+// first-fit test accepts.  Theorems I.1 / I.2 guarantee
+//   alpha*(FF-EDF) <= 2       and      alpha*(FF-RMS) <= 2.414.
+// The table reports the alpha* distribution; the headline cells are `max`
+// (must stay below the bound) and p99 (how much of the bound random
+// instances actually use).
+#include "bench_common.h"
+#include "experiments/augmentation.h"
+#include "gen/platform_gen.h"
+#include "partition/analysis_constants.h"
+#include "util/stats.h"
+
+namespace hetsched {
+namespace {
+
+void run_kind(Table& table, AdmissionKind kind, double bound,
+              const Platform& platform, const char* platform_name,
+              Histogram* histogram = nullptr) {
+  AugmentationStudySpec spec;
+  spec.platform = platform;
+  spec.taskset.n = 10;
+  spec.taskset.max_task_utilization = platform.max_speed();
+  spec.taskset.periods = PeriodSpec::uniform(20, 2000);
+  spec.norm_lo = 0.6;
+  spec.norm_hi = 1.0;
+  spec.trials = 1000;
+  spec.seed = 0xE3;
+  spec.kind = kind;
+
+  const AugmentationStudyResult res = augmentation_vs_partitioned(spec);
+  if (histogram != nullptr) {
+    for (const double a : res.alphas) histogram->add(a);
+  }
+  const Summary& s = res.summary;
+  table.add_row({to_string(kind), platform_name, Table::fmt(bound, 3),
+                 Table::fmt_int(static_cast<std::int64_t>(res.trials_run)),
+                 Table::fmt_int(
+                     static_cast<std::int64_t>(res.adversary_feasible)),
+                 Table::fmt(s.mean, 3), Table::fmt(s.p50, 3),
+                 Table::fmt(s.p95, 3), Table::fmt(s.p99, 3),
+                 Table::fmt(s.max, 3),
+                 s.max <= bound + 1e-6 ? "yes" : "NO"});
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main() {
+  using namespace hetsched;
+  bench::print_header(
+      "E3", "empirical augmentation alpha* vs exact partitioned adversary");
+  bench::WallTimer timer;
+
+  Table table({"test", "platform", "bound", "trials", "opt-feas", "mean",
+               "p50", "p95", "p99", "max", "within-bound"});
+  const Platform identical = Platform::identical(3);
+  const Platform geometric = geometric_platform(3, 2.0);
+  const Platform biglittle = big_little_platform(2, 1, 1.0, 3.0);
+
+  Histogram edf_hist(1.0, EdfConstants::kAlphaPartitioned, 14);
+  Histogram rms_hist(1.0, RmsConstants::kAlphaPartitioned, 14);
+  run_kind(table, AdmissionKind::kEdf, EdfConstants::kAlphaPartitioned,
+           identical, "identical-3", &edf_hist);
+  run_kind(table, AdmissionKind::kEdf, EdfConstants::kAlphaPartitioned,
+           geometric, "geometric-3x2", &edf_hist);
+  run_kind(table, AdmissionKind::kEdf, EdfConstants::kAlphaPartitioned,
+           biglittle, "bigLITTLE-2+1", &edf_hist);
+  run_kind(table, AdmissionKind::kRmsLiuLayland,
+           RmsConstants::kAlphaPartitioned, identical, "identical-3",
+           &rms_hist);
+  run_kind(table, AdmissionKind::kRmsLiuLayland,
+           RmsConstants::kAlphaPartitioned, geometric, "geometric-3x2",
+           &rms_hist);
+  run_kind(table, AdmissionKind::kRmsLiuLayland,
+           RmsConstants::kAlphaPartitioned, biglittle, "bigLITTLE-2+1",
+           &rms_hist);
+
+  bench::print_section(
+      "alpha* over partitioned-EDF-feasible instances (n=10, m=3)");
+  bench::emit(table, "e3_augmentation_partitioned");
+
+  bench::print_section(
+      "alpha* histogram, FF-EDF, pooled across platforms (bound 2.0)");
+  std::printf("%s", edf_hist.to_string().c_str());
+  bench::print_section(
+      "alpha* histogram, FF-RMS, pooled across platforms (bound 2.414)");
+  std::printf("%s", rms_hist.to_string().c_str());
+  std::printf("\n[E3 done in %.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E4 — Empirical augmentation requirement vs. the LP (migrating) adversary.
+//
+// Filter random instances for LP feasibility (decided exactly by the
+// combinatorial oracle) and measure alpha* of the first-fit test.
+// Theorems I.3 / I.4 guarantee alpha*(EDF) <= 2.98 and alpha*(RMS) <= 3.34.
+// Because the LP adversary may migrate, the gap between observed alpha* and
+// the partitioned-adversary numbers of E3 is the empirical "price" the LP
+// relaxation charges the analysis.
+#include "bench_common.h"
+#include "experiments/augmentation.h"
+#include "gen/platform_gen.h"
+#include "partition/analysis_constants.h"
+#include "util/stats.h"
+
+namespace hetsched {
+namespace {
+
+void run_case(Table& table, AdmissionKind kind, double bound, std::size_t n,
+              std::size_t m, double ratio) {
+  AugmentationStudySpec spec;
+  spec.platform = geometric_platform(m, ratio);
+  spec.taskset.n = n;
+  spec.taskset.max_task_utilization = spec.platform.max_speed();
+  spec.taskset.periods = PeriodSpec::log_uniform(10, 1000);
+  spec.norm_lo = 0.6;
+  spec.norm_hi = 1.0;
+  spec.trials = 400;
+  spec.seed = 0xE4;
+  spec.kind = kind;
+
+  const AugmentationStudyResult res = augmentation_vs_lp(spec);
+  const Summary& s = res.summary;
+  table.add_row(
+      {to_string(kind), Table::fmt_int(static_cast<std::int64_t>(n)),
+       Table::fmt_int(static_cast<std::int64_t>(m)), Table::fmt(ratio, 1),
+       Table::fmt(bound, 2),
+       Table::fmt_int(static_cast<std::int64_t>(res.adversary_feasible)),
+       Table::fmt(s.mean, 3), Table::fmt(s.p50, 3), Table::fmt(s.p95, 3),
+       Table::fmt(s.p99, 3), Table::fmt(s.max, 3),
+       s.max <= bound + 1e-6 ? "yes" : "NO"});
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main() {
+  using namespace hetsched;
+  bench::print_header(
+      "E4", "empirical augmentation alpha* vs the LP (migrating) adversary");
+  bench::WallTimer timer;
+
+  Table table({"test", "n", "m", "speed-ratio", "bound", "lp-feas", "mean",
+               "p50", "p95", "p99", "max", "within-bound"});
+  for (const AdmissionKind kind :
+       {AdmissionKind::kEdf, AdmissionKind::kRmsLiuLayland}) {
+    const double bound = kind == AdmissionKind::kEdf
+                             ? EdfConstants::kAlphaLp
+                             : RmsConstants::kAlphaLp;
+    run_case(table, kind, bound, 16, 4, 1.5);
+    run_case(table, kind, bound, 16, 4, 2.0);
+    run_case(table, kind, bound, 48, 12, 1.3);
+    run_case(table, kind, bound, 64, 16, 1.2);
+  }
+
+  bench::print_section("alpha* over LP-feasible instances");
+  bench::emit(table, "e4_augmentation_lp");
+  std::printf("\n[E4 done in %.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E6 — Effect of platform heterogeneity at fixed aggregate speed.
+//
+// Eight machines, total speed held at 16, speed spread s_max/s_min swept
+// from 1 (identical) to ~64 (one dominant core) for two shapes:
+//   * geometric ladders, and
+//   * big.LITTLE (4 little + 4 big cores).
+// At each point we measure first-fit acceptance at a fixed normalized load,
+// plus the LP-feasible fraction.  Expected shape: moderate heterogeneity is
+// *good* for the raw test (fast cores absorb dense tasks), while extreme
+// spread hurts — utilization locked in slow cores is hard to use — and the
+// LP reference degrades much more slowly (migration hides fragmentation).
+#include <cmath>
+
+#include "bench_common.h"
+#include "experiments/acceptance.h"
+#include "gen/platform_gen.h"
+#include "lp/feasibility_lp.h"
+#include "partition/first_fit.h"
+
+namespace hetsched {
+namespace {
+
+constexpr std::size_t kMachines = 8;
+constexpr double kTotalSpeed = 16.0;
+
+Platform geometric_with_spread(double spread) {
+  // ratio^(m-1) == spread.
+  const double ratio =
+      std::pow(spread, 1.0 / static_cast<double>(kMachines - 1));
+  return geometric_platform(kMachines, ratio, kTotalSpeed);
+}
+
+Platform biglittle_with_spread(double spread) {
+  // 4 little at s, 4 big at s * spread, total = kTotalSpeed.
+  const double little = kTotalSpeed / (4.0 + 4.0 * spread);
+  return big_little_platform(4, 4, little, little * spread);
+}
+
+void run_shape(const char* shape, Platform (*make)(double), double norm_util,
+               std::uint64_t seed) {
+  Table table({"s_max/s_min", "ff-edf@1", "ff-rms@1", "ff-edf@2", "lp"});
+  for (const double spread : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    AcceptanceSweepSpec spec;
+    spec.platform = make(spread);
+    spec.tasks_per_set = 12;
+    spec.max_task_utilization = spec.platform.max_speed();
+    spec.periods = PeriodSpec::log_uniform(10, 1000);
+    spec.normalized_utilizations = {norm_util};
+    spec.trials_per_point = 400;
+    spec.seed = seed;
+
+    const std::vector<Tester> testers{
+        {"ff-edf@1",
+         [](const TaskSet& t, const Platform& p) {
+           return first_fit_accepts(t, p, AdmissionKind::kEdf, 1.0);
+         }},
+        {"ff-rms@1",
+         [](const TaskSet& t, const Platform& p) {
+           return first_fit_accepts(t, p, AdmissionKind::kRmsLiuLayland, 1.0);
+         }},
+        {"ff-edf@2",
+         [](const TaskSet& t, const Platform& p) {
+           return first_fit_accepts(t, p, AdmissionKind::kEdf, 2.0);
+         }},
+        {"lp", [](const TaskSet& t, const Platform& p) {
+           return lp_feasible_oracle(t, p);
+         }},
+    };
+    const AcceptanceCurve curve = run_acceptance_sweep(spec, testers);
+    const AcceptancePoint& pt = curve.points[0];
+    table.add_row({Table::fmt(spread, 0), Table::fmt(pt.acceptance[0], 4),
+                   Table::fmt(pt.acceptance[1], 4),
+                   Table::fmt(pt.acceptance[2], 4),
+                   Table::fmt(pt.acceptance[3], 4)});
+  }
+  bench::print_section(std::string(shape) + " platforms, m=8, total speed " +
+                       Table::fmt(kTotalSpeed, 0) + ", U/S = " +
+                       Table::fmt(norm_util, 2) + ", n=12");
+  bench::emit(table, "e6_heterogeneity",
+              std::string("_") + shape + "_u" + Table::fmt(norm_util, 2));
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main() {
+  using namespace hetsched;
+  bench::print_header("E6",
+                      "acceptance vs speed spread at fixed aggregate speed");
+  bench::WallTimer timer;
+  run_shape("geometric", &geometric_with_spread, 0.75, 0xE6);
+  run_shape("geometric", &geometric_with_spread, 0.90, 0xE6 + 1);
+  run_shape("biglittle", &biglittle_with_spread, 0.75, 0xE6 + 2);
+  run_shape("biglittle", &biglittle_with_spread, 0.90, 0xE6 + 3);
+  std::printf("\n[E6 done in %.1fs]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Static partitioning with fixed priorities for an avionics-style system.
+//
+// Scenario: certification requires static task-to-core binding and static
+// priorities (rate-monotonic) — the ARINC-653 flavored setting the paper's
+// RMS variant models.  The integrator compares three admission policies for
+// the same first-fit partitioner:
+//   * Liu–Layland (the paper's certifiable test — what the 2.414 / 3.34
+//     guarantees apply to),
+//   * the hyperbolic bound (tighter, still analytic),
+//   * exact response-time analysis (maximum acceptance, no closed-form
+//     guarantee).
+// The example partitions a flight-control workload under each policy,
+// reports who fits where, and replays every accepted partition on the
+// exact simulator under rate-monotonic scheduling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hetsched/hetsched.h"
+
+int main() {
+  using namespace hetsched;
+
+  // Two flight-control processors plus one high-performance mission core.
+  const Platform platform = Platform::from_speeds({1.0, 1.0, 2.5});
+
+  // Workload: (name, execution ms, period ms).
+  struct NamedTask {
+    const char* name;
+    Task task;
+  };
+  const std::vector<NamedTask> workload{
+      {"inner-loop-control", {2, 5}},     // w = 0.40
+      {"outer-loop-control", {5, 25}},    // w = 0.20
+      {"air-data", {3, 20}},              // w = 0.15
+      {"actuator-monitor", {2, 10}},      // w = 0.20
+      {"nav-filter", {18, 40}},           // w = 0.45
+      {"radio-stack", {8, 50}},           // w = 0.16
+      {"terrain-warning", {30, 100}},     // w = 0.30
+      {"mission-planner", {120, 200}},    // w = 0.60
+      {"datalink-crypto", {20, 80}},      // w = 0.25
+      {"health-logging", {10, 200}},      // w = 0.05
+  };
+  TaskSet tasks;
+  for (const NamedTask& nt : workload) tasks.push_back(nt.task);
+  std::printf("workload: %zu tasks, total utilization %.2f on %s\n\n",
+              tasks.size(), tasks.total_utilization(),
+              platform.to_string().c_str());
+
+  for (const AdmissionKind kind :
+       {AdmissionKind::kRmsLiuLayland, AdmissionKind::kRmsHyperbolic,
+        AdmissionKind::kRmsResponseTime}) {
+    const PartitionResult res =
+        first_fit_partition(tasks, platform, kind, 1.0);
+    std::printf("admission %-8s: %s\n", to_string(kind).c_str(),
+                res.feasible ? "FEASIBLE" : "INFEASIBLE");
+    if (!res.feasible) {
+      std::printf("  failed on task '%s' (w=%.2f)\n",
+                  workload[*res.failed_task].name, res.failed_utilization);
+      continue;
+    }
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      std::printf("  core %zu (speed %.1f, load %.2f):", j, platform.speed(j),
+                  res.machine_utilization[j]);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (res.assignment[i] == j) std::printf(" %s", workload[i].name);
+      }
+      std::printf("\n");
+    }
+    std::vector<Rational> speeds;
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      speeds.push_back(platform.speed_exact(j));
+    }
+    const PartitionSimOutcome sim = simulate_partition(
+        res.tasks_per_machine, speeds, SchedPolicy::kFixedPriorityRm);
+    std::printf("  exact RM replay: %s\n\n",
+                sim.schedulable ? "all deadlines met" : "DEADLINE MISS");
+  }
+
+  std::printf(
+      "reading: exact RTA admits the most, but only the Liu-Layland\n"
+      "variant carries the paper's certificate — if IT rejects at\n"
+      "alpha = 2.414, no partitioned scheduler of any kind could have\n"
+      "placed the workload (Theorem I.2).\n");
+  return 0;
+}

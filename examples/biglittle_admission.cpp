@@ -1,0 +1,107 @@
+// Online admission control on a big.LITTLE SoC.
+//
+// Scenario: a phone SoC with 4 little cores (speed 1) and 4 big cores
+// (speed 3) runs a mixed real-time workload.  Apps arrive one at a time,
+// each bringing a small task set; the admission controller accepts an app
+// only if the *whole* system still passes the partitioned feasibility test.
+// Rejected apps are reported with the certificate the test provides: at
+// alpha = 2 a rejection means no partitioned scheduler could have fit the
+// combined workload (Theorem I.1), so the controller is provably not
+// leaving more than a 2x speed margin on the table.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hetsched/hetsched.h"
+
+namespace {
+
+struct App {
+  std::string name;
+  std::vector<hetsched::Task> tasks;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hetsched;
+
+  const Platform soc = big_little_platform(4, 4, 1.0, 3.0);
+  std::printf("SoC: %s (total speed %.1f)\n\n", soc.to_string().c_str(),
+              soc.total_speed());
+
+  // A plausible phone workload: periods in milliseconds.
+  const std::vector<App> arrivals{
+      {"audio-pipeline", {{2, 10}, {2, 10}}},               // 2 x w=0.2
+      {"display-compositor", {{8, 16}, {4, 16}}},           // w=0.5, 0.25
+      {"camera-hdr", {{24, 33}, {20, 33}, {8, 33}}},        // dense: ~1.58
+      {"game-engine", {{12, 16}, {28, 16}}},                // w=0.75, 1.75
+      {"ml-inference", {{45, 50}, {30, 50}}},               // w=0.9, 0.6
+      {"video-encoder", {{52, 33}, {30, 33}}},              // w=1.58, 0.9
+      {"background-sync", {{5, 100}, {5, 100}, {5, 100}}},  // 3 x 0.05
+      {"navigation", {{40, 50}, {35, 50}}},                 // w=0.8, 0.7
+      {"ar-renderer", {{25, 10}, {15, 10}}},                // w=2.5, 1.5
+      {"8k-transcode", {{29, 10}}},                         // w=2.9
+      {"voice-assistant", {{6, 20}, {4, 20}}},              // w=0.3, 0.2
+  };
+
+  TaskSet admitted;
+  std::vector<std::string> admitted_names;
+  std::printf("%-20s %-9s %-10s %s\n", "app", "verdict", "sys-util",
+              "note");
+  std::printf("%s\n", std::string(64, '-').c_str());
+
+  for (const App& app : arrivals) {
+    TaskSet candidate = admitted;
+    for (const Task& t : app.tasks) candidate.push_back(t);
+
+    const PartitionResult res =
+        first_fit_partition(candidate, soc, AdmissionKind::kEdf, 1.0);
+    if (res.feasible) {
+      admitted = candidate;
+      admitted_names.push_back(app.name);
+      std::printf("%-20s %-9s %-10.2f placed on %zu machines\n",
+                  app.name.c_str(), "ADMIT", admitted.total_utilization(),
+                  soc.size());
+    } else {
+      // Distinguish three rejection strengths: over aggregate capacity
+      // (impossible for ANY scheduler), failing the Theorem I.1 certificate
+      // (impossible for any PARTITIONED scheduler), or plain greedy
+      // conservatism within the proven 2x margin.
+      const char* note;
+      if (!global_necessary_condition(candidate, soc)) {
+        note = "exceeds aggregate capacity: impossible for any scheduler";
+      } else if (!first_fit_accepts(candidate, soc, AdmissionKind::kEdf,
+                                    EdfConstants::kAlphaPartitioned)) {
+        note = "no partitioned scheduler could fit this (Thm I.1)";
+      } else {
+        note = "greedy conservatism (within the 2x margin)";
+      }
+      std::printf("%-20s %-9s %-10.2f %s\n", app.name.c_str(), "REJECT",
+                  candidate.total_utilization(), note);
+    }
+  }
+
+  // Final placement report with an exact replay.
+  const PartitionResult final_res =
+      first_fit_partition(admitted, soc, AdmissionKind::kEdf, 1.0);
+  std::printf("\nadmitted apps:");
+  for (const auto& name : admitted_names) std::printf(" %s", name.c_str());
+  std::printf("\nfinal system utilization: %.2f of %.1f total speed\n",
+              admitted.total_utilization(), soc.total_speed());
+  for (std::size_t j = 0; j < soc.size(); ++j) {
+    std::printf("  machine %zu (speed %.1f): load %.2f, %zu tasks\n", j,
+                soc.speed(j), final_res.machine_utilization[j],
+                final_res.tasks_per_machine[j].size());
+  }
+
+  std::vector<Rational> speeds;
+  for (std::size_t j = 0; j < soc.size(); ++j) {
+    speeds.push_back(soc.speed_exact(j));
+  }
+  const PartitionSimOutcome sim = simulate_partition(
+      final_res.tasks_per_machine, speeds, SchedPolicy::kEdf);
+  std::printf("exact replay over hyperperiods: %s\n",
+              sim.schedulable ? "all deadlines met" : "DEADLINE MISS");
+  return sim.schedulable ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Constrained deadlines: the paper's model, extended (src/dbf).
+//
+// Scenario: a control system where output jitter matters, so several tasks
+// carry deadlines shorter than their periods.  Utilization alone no longer
+// decides feasibility — the demand bound function does.  This example
+// partitions the same workload at three deadline-tightness levels and shows
+// where the exact QPA admission and the linear-approximation admission
+// start disagreeing.
+#include <cstdio>
+#include <vector>
+
+#include "hetsched/hetsched.h"
+
+namespace {
+
+std::vector<hetsched::ConstrainedTask> workload_with_tightness(double frac) {
+  using hetsched::ConstrainedTask;
+  // (exec, period) pairs; deadline = max(exec, frac * period).
+  const std::vector<std::pair<std::int64_t, std::int64_t>> base{
+      {2, 10}, {3, 15}, {4, 20}, {5, 40}, {6, 30}, {8, 60}, {2, 12}, {9, 90}};
+  std::vector<ConstrainedTask> tasks;
+  for (const auto& [c, p] : base) {
+    const auto d = std::max<std::int64_t>(
+        c, static_cast<std::int64_t>(frac * static_cast<double>(p)));
+    tasks.push_back(ConstrainedTask{c, std::min(d, p), p});
+  }
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hetsched;
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  std::printf("platform: %s\n\n", platform.to_string().c_str());
+
+  for (const double frac : {1.0, 0.6, 0.5, 0.42, 0.35}) {
+    const auto tasks = workload_with_tightness(frac);
+    double util = 0, density = 0;
+    for (const ConstrainedTask& t : tasks) {
+      util += t.utilization();
+      density += t.density();
+    }
+    std::printf("deadline fraction %.2f: U = %.2f, density = %.2f\n", frac,
+                util, density);
+
+    const auto qpa = first_fit_partition_constrained(
+        tasks, platform, DbfAdmission::kExactQpa, 1.0);
+    const auto approx = first_fit_partition_constrained(
+        tasks, platform, DbfAdmission::kApproxLinear, 1.0);
+    std::printf("  exact-QPA admission:   %s\n",
+                qpa.feasible ? "FEASIBLE" : "infeasible");
+    std::printf("  approx-DBF admission:  %s\n",
+                approx.feasible ? "FEASIBLE" : "infeasible");
+
+    if (qpa.feasible) {
+      // Replay each machine exactly under EDF.
+      bool all_met = true;
+      for (std::size_t j = 0; j < platform.size(); ++j) {
+        const SimOutcome out = simulate_uniproc_constrained(
+            qpa.tasks_per_machine[j], platform.speed_exact(j),
+            SchedPolicy::kEdf);
+        all_met = all_met && out.schedulable;
+      }
+      std::printf("  exact replay: %s\n",
+                  all_met ? "all deadlines met" : "DEADLINE MISS");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: at d = p this is the paper's implicit-deadline model and\n"
+      "utilization decides; tightening deadlines raises the demand bound\n"
+      "at small t until first the approximate and then the exact test\n"
+      "reject — density, not utilization, is what the platform must cover.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Visualizing exact schedules: Gantt traces, jittered arrivals, and the
+// EDF-vs-RM difference on the same workload.
+//
+//   $ ./trace_explorer
+//
+// Uses a small harmonic workload whose hyperperiod fits in a terminal, so
+// the recorded traces render as character Gantt charts: one row per task,
+// one column per time unit, '.' = not running.
+#include <cstdio>
+
+#include "hetsched/hetsched.h"
+
+namespace {
+
+void show(const char* title, const std::vector<hetsched::Task>& tasks,
+          hetsched::SchedPolicy policy, const hetsched::ArrivalModel& model) {
+  using namespace hetsched;
+  SimLimits limits;
+  limits.record_trace = true;
+  limits.horizon_override = 24;
+  const SimOutcome out =
+      simulate_uniproc(tasks, Rational(1), policy, limits, model);
+  std::printf("--- %s (%s) ---\n", title, to_string(policy).c_str());
+  std::printf("%s", render_trace(out, tasks.size()).c_str());
+  std::printf("verdict: %s, %lld jobs, %lld preemptions\n\n",
+              out.schedulable ? "all deadlines met" : "DEADLINE MISS",
+              static_cast<long long>(out.jobs_released),
+              static_cast<long long>(out.preemptions));
+}
+
+}  // namespace
+
+int main() {
+  using namespace hetsched;
+
+  // w = 1/3 + 1/4 + 1/4 = 0.833: EDF and RM both schedule it, but with
+  // visibly different interleavings.
+  const std::vector<Task> tasks{{2, 6}, {2, 8}, {3, 12}};
+
+  std::printf("workload: (2,6) (2,8) (3,12) on a unit machine\n\n");
+  show("synchronous arrivals", tasks, SchedPolicy::kEdf,
+       ArrivalModel::synchronous());
+  show("synchronous arrivals", tasks, SchedPolicy::kFixedPriorityRm,
+       ArrivalModel::synchronous());
+  show("sporadic arrivals (jitter up to 25% of the period, seed 42)", tasks,
+       SchedPolicy::kEdf, ArrivalModel::jittered(42));
+
+  // A set where the policies differ in outcome: EDF meets all deadlines at
+  // U ~ 0.97, RM misses (see the trace cut short at the miss).
+  const std::vector<Task> hard{{2, 5}, {4, 7}};
+  std::printf("workload: (2,5) (4,7) — U ~ 0.97\n\n");
+  show("synchronous arrivals", hard, SchedPolicy::kEdf,
+       ArrivalModel::synchronous());
+  show("synchronous arrivals", hard, SchedPolicy::kFixedPriorityRm,
+       ArrivalModel::synchronous());
+  return 0;
+}

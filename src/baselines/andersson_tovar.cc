@@ -1,0 +1,48 @@
+#include "baselines/andersson_tovar.h"
+
+#include "partition/analysis_constants.h"
+
+namespace hetsched {
+
+namespace {
+TestVerdict run_at(const TaskSet& tasks, const Platform& platform,
+                   AdmissionKind kind, double alpha) {
+  return first_fit_accepts(tasks, platform, kind, alpha)
+             ? TestVerdict::kFeasibleAugmented
+             : TestVerdict::kProvablyInfeasible;
+}
+}  // namespace
+
+TestVerdict andersson_tovar_edf(const TaskSet& tasks,
+                                const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kEdf, kAnderssonTovarEdfAlpha);
+}
+
+TestVerdict andersson_tovar_rms(const TaskSet& tasks,
+                                const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kRmsLiuLayland,
+                kAnderssonTovarRmsAlpha);
+}
+
+TestVerdict moseley_edf_vs_lp(const TaskSet& tasks, const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kEdf, EdfConstants::kAlphaLp);
+}
+
+TestVerdict moseley_rms_vs_lp(const TaskSet& tasks, const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kRmsLiuLayland,
+                RmsConstants::kAlphaLp);
+}
+
+TestVerdict moseley_edf_vs_partitioned(const TaskSet& tasks,
+                                       const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kEdf,
+                EdfConstants::kAlphaPartitioned);
+}
+
+TestVerdict moseley_rms_vs_partitioned(const TaskSet& tasks,
+                                       const Platform& platform) {
+  return run_at(tasks, platform, AdmissionKind::kRmsLiuLayland,
+                RmsConstants::kAlphaPartitioned);
+}
+
+}  // namespace hetsched

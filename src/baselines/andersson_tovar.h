@@ -1,0 +1,49 @@
+// The prior-art feasibility certificates this paper improves on.
+//
+// Andersson & Tovar (IPDPS 2007 / RTCSA 2007) analyzed the *same* first-fit
+// algorithm and proved it 3-approximate with EDF admission [2] and
+// 3.41-approximate with RMS admission [3], in both cases against an
+// adversary that may migrate jobs.  The algorithm is identical to
+// first_fit_partition; what differs is the speed-augmentation factor at
+// which failure becomes an infeasibility certificate.  These wrappers
+// package the prior-art guarantees so benches can put old and new
+// certificates side by side.
+#pragma once
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/first_fit.h"
+
+namespace hetsched {
+
+// Guarantee constants from [2] and [3].
+inline constexpr double kAnderssonTovarEdfAlpha = 3.0;
+inline constexpr double kAnderssonTovarRmsAlpha = 3.41;
+
+// Verdict of an approximate feasibility test run at its certificate alpha.
+enum class TestVerdict {
+  // The partitioner placed every task at augmented speeds: the system is
+  // schedulable on alpha-times-faster processors.
+  kFeasibleAugmented,
+  // The partitioner failed: provably, no scheduler (of the adversary class
+  // the guarantee is stated against) can schedule at the original speeds.
+  kProvablyInfeasible,
+};
+
+// First-fit EDF at alpha = 3 (Andersson–Tovar [2], migrating adversary).
+TestVerdict andersson_tovar_edf(const TaskSet& tasks, const Platform& platform);
+
+// First-fit RMS at alpha = 3.41 (Andersson–Tovar [3], migrating adversary).
+TestVerdict andersson_tovar_rms(const TaskSet& tasks, const Platform& platform);
+
+// This paper's certificates, packaged the same way:
+//   EDF alpha=2.98 / RMS alpha=3.34 against the migrating (LP) adversary,
+//   EDF alpha=2    / RMS alpha=2.414 against a partitioned adversary.
+TestVerdict moseley_edf_vs_lp(const TaskSet& tasks, const Platform& platform);
+TestVerdict moseley_rms_vs_lp(const TaskSet& tasks, const Platform& platform);
+TestVerdict moseley_edf_vs_partitioned(const TaskSet& tasks,
+                                       const Platform& platform);
+TestVerdict moseley_rms_vs_partitioned(const TaskSet& tasks,
+                                       const Platform& platform);
+
+}  // namespace hetsched

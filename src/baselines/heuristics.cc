@@ -1,0 +1,154 @@
+#include "baselines/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string to_string(TaskOrder o) {
+  switch (o) {
+    case TaskOrder::kDecreasingUtilization:
+      return "dec-util";
+    case TaskOrder::kIncreasingUtilization:
+      return "inc-util";
+    case TaskOrder::kInputOrder:
+      return "input";
+    case TaskOrder::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string to_string(MachineOrder o) {
+  switch (o) {
+    case MachineOrder::kIncreasingSpeed:
+      return "inc-speed";
+    case MachineOrder::kDecreasingSpeed:
+      return "dec-speed";
+  }
+  return "?";
+}
+
+std::string to_string(FitRule r) {
+  switch (r) {
+    case FitRule::kFirstFit:
+      return "first-fit";
+    case FitRule::kBestFit:
+      return "best-fit";
+    case FitRule::kWorstFit:
+      return "worst-fit";
+  }
+  return "?";
+}
+
+std::string HeuristicSpec::to_string() const {
+  return hetsched::to_string(task_order) + "/" +
+         hetsched::to_string(machine_order) + "/" + hetsched::to_string(fit);
+}
+
+PartitionResult heuristic_partition(const TaskSet& tasks,
+                                    const Platform& platform,
+                                    const HeuristicSpec& spec,
+                                    AdmissionKind kind, double alpha,
+                                    Rng* rng) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+
+  PartitionResult out;
+  out.kind = kind;
+  out.alpha = alpha;
+  out.assignment.assign(tasks.size(), platform.size());
+
+  // Task visit order.
+  std::vector<std::size_t> torder;
+  switch (spec.task_order) {
+    case TaskOrder::kDecreasingUtilization:
+      torder = tasks.order_by_utilization_desc();
+      break;
+    case TaskOrder::kIncreasingUtilization:
+      torder = tasks.order_by_utilization_desc();
+      std::reverse(torder.begin(), torder.end());
+      break;
+    case TaskOrder::kInputOrder:
+      torder.resize(tasks.size());
+      std::iota(torder.begin(), torder.end(), std::size_t{0});
+      break;
+    case TaskOrder::kRandom:
+      HETSCHED_CHECK_MSG(rng != nullptr, "random task order needs an Rng");
+      torder.resize(tasks.size());
+      std::iota(torder.begin(), torder.end(), std::size_t{0});
+      rng->shuffle(torder);
+      break;
+  }
+
+  // Machine visit order (indices into the platform's sorted-by-speed order).
+  std::vector<std::size_t> morder(platform.size());
+  std::iota(morder.begin(), morder.end(), std::size_t{0});
+  if (spec.machine_order == MachineOrder::kDecreasingSpeed) {
+    std::reverse(morder.begin(), morder.end());
+  }
+
+  std::vector<MachineLoad> loads;
+  loads.reserve(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    loads.emplace_back(kind, platform.speed_exact(j), alpha);
+  }
+
+  for (const std::size_t i : torder) {
+    const Task& t = tasks[i];
+    std::size_t chosen = platform.size();
+    double chosen_residual = 0;
+    for (const std::size_t j : morder) {
+      if (!loads[j].can_admit(t)) continue;
+      const double residual =
+          loads[j].capacity() - loads[j].utilization() - t.utilization();
+      if (spec.fit == FitRule::kFirstFit) {
+        chosen = j;
+        break;
+      }
+      const bool better =
+          chosen == platform.size() ||
+          (spec.fit == FitRule::kBestFit ? residual < chosen_residual
+                                         : residual > chosen_residual);
+      if (better) {
+        chosen = j;
+        chosen_residual = residual;
+      }
+    }
+    if (chosen == platform.size()) {
+      out.feasible = false;
+      out.failed_task = i;
+      out.failed_utilization = t.utilization();
+      out.tasks_per_machine.resize(platform.size());
+      out.machine_utilization.resize(platform.size());
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        out.tasks_per_machine[j] = loads[j].tasks();
+        out.machine_utilization[j] = loads[j].utilization();
+      }
+      return out;
+    }
+    loads[chosen].admit(t);
+    out.assignment[i] = chosen;
+  }
+
+  out.feasible = true;
+  out.tasks_per_machine.resize(platform.size());
+  out.machine_utilization.resize(platform.size());
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    out.tasks_per_machine[j] = loads[j].tasks();
+    out.machine_utilization[j] = loads[j].utilization();
+  }
+  return out;
+}
+
+bool global_necessary_condition(const TaskSet& tasks,
+                                const Platform& platform) {
+  if (tasks.empty()) return true;
+  HETSCHED_CHECK(platform.size() >= 1);
+  return tasks.total_utilization() <= platform.total_speed() + 1e-12 &&
+         tasks.max_utilization() <= platform.max_speed() + 1e-12;
+}
+
+}  // namespace hetsched

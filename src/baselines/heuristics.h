@@ -1,0 +1,66 @@
+// Alternative partitioning heuristics — the ablation space around the
+// paper's algorithm.
+//
+// The paper's proofs lean on two specific choices: tasks in non-increasing
+// utilization order, machines in non-decreasing speed order (so big tasks
+// claim slow-but-sufficient machines first and fast machines stay available
+// for the tasks that need them).  Bench E7 measures how much each choice
+// matters by sweeping this module's full (task order x machine order x fit
+// rule) grid.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+
+namespace hetsched {
+
+enum class TaskOrder {
+  kDecreasingUtilization,  // the paper's order
+  kIncreasingUtilization,
+  kInputOrder,
+  kRandom,
+};
+
+enum class MachineOrder {
+  kIncreasingSpeed,  // the paper's order
+  kDecreasingSpeed,
+};
+
+enum class FitRule {
+  kFirstFit,  // the paper's rule
+  kBestFit,   // feasible machine with the least residual capacity afterwards
+  kWorstFit,  // feasible machine with the most residual capacity afterwards
+};
+
+std::string to_string(TaskOrder o);
+std::string to_string(MachineOrder o);
+std::string to_string(FitRule r);
+
+struct HeuristicSpec {
+  TaskOrder task_order = TaskOrder::kDecreasingUtilization;
+  MachineOrder machine_order = MachineOrder::kIncreasingSpeed;
+  FitRule fit = FitRule::kFirstFit;
+
+  std::string to_string() const;
+};
+
+// Runs the heuristic.  `rng` is only consumed when task_order == kRandom
+// (pass nullptr otherwise).  With the default spec this computes exactly the
+// same partition as first_fit_partition.
+PartitionResult heuristic_partition(const TaskSet& tasks,
+                                    const Platform& platform,
+                                    const HeuristicSpec& spec,
+                                    AdmissionKind kind, double alpha,
+                                    Rng* rng = nullptr);
+
+// Cheap necessary condition for *any* scheduler (even migrating ones):
+// total utilization at most total speed and the largest task no larger than
+// the fastest machine.  Used as a sanity screen by examples and benches.
+bool global_necessary_condition(const TaskSet& tasks, const Platform& platform);
+
+}  // namespace hetsched

@@ -1,0 +1,199 @@
+#include "baselines/local_search.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+namespace {
+
+// Mutable partition state with whole-set admissibility checks.
+class State {
+ public:
+  State(const TaskSet& tasks, const Platform& platform, AdmissionKind kind,
+        double alpha)
+      : tasks_(tasks),
+        platform_(platform),
+        kind_(kind),
+        alpha_(alpha),
+        on_machine_(platform.size()),
+        location_(tasks.size(), platform.size()) {}
+
+  // True iff the given task set fits machine j under the admission test.
+  // Incremental prefix admission equals whole-set admission for every
+  // AdmissionKind (the bounds are monotone in prefix size; RTA is
+  // sustainable under task removal), so checking in sequence is exact.
+  bool fits(std::size_t j, const std::vector<std::size_t>& members) const {
+    MachineLoad load(kind_, platform_.speed_exact(j), alpha_);
+    for (const std::size_t i : members) {
+      if (!load.can_admit(tasks_[i])) return false;
+      load.admit(tasks_[i]);
+    }
+    return true;
+  }
+
+  bool fits_with(std::size_t j, std::size_t extra) const {
+    std::vector<std::size_t> members = on_machine_[j];
+    members.push_back(extra);
+    return fits(j, members);
+  }
+
+  // Members of machine j with task `without` removed and `with` appended
+  // (either may be kNone).
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> members_modified(std::size_t j, std::size_t without,
+                                            std::size_t with) const {
+    std::vector<std::size_t> members;
+    for (const std::size_t i : on_machine_[j]) {
+      if (i != without) members.push_back(i);
+    }
+    if (with != kNone) members.push_back(with);
+    return members;
+  }
+
+  void place(std::size_t task, std::size_t j) {
+    HETSCHED_DCHECK(location_[task] == platform_.size());
+    on_machine_[j].push_back(task);
+    location_[task] = j;
+  }
+
+  void remove(std::size_t task) {
+    const std::size_t j = location_[task];
+    HETSCHED_DCHECK(j < platform_.size());
+    auto& members = on_machine_[j];
+    members.erase(std::find(members.begin(), members.end(), task));
+    location_[task] = platform_.size();
+  }
+
+  std::size_t location(std::size_t task) const { return location_[task]; }
+  const std::vector<std::size_t>& machine(std::size_t j) const {
+    return on_machine_[j];
+  }
+  std::size_t machines() const { return platform_.size(); }
+
+  std::vector<std::size_t> assignment() const { return location_; }
+
+ private:
+  const TaskSet& tasks_;
+  const Platform& platform_;
+  AdmissionKind kind_;
+  double alpha_;
+  std::vector<std::vector<std::size_t>> on_machine_;
+  std::vector<std::size_t> location_;  // task -> machine, m == unplaced
+};
+
+}  // namespace
+
+LocalSearchResult local_search_partition(const TaskSet& tasks,
+                                         const Platform& platform,
+                                         AdmissionKind kind, double alpha,
+                                         const LocalSearchOptions& opts) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+  LocalSearchResult res;
+  State state(tasks, platform, kind, alpha);
+
+  // Greedy seed: the paper's first-fit; collect stranded tasks.
+  std::vector<std::size_t> stranded;
+  for (const std::size_t i : tasks.order_by_utilization_desc()) {
+    bool placed = false;
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      if (state.fits_with(j, i)) {
+        state.place(i, j);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) stranded.push_back(i);
+  }
+
+  auto try_direct = [&](std::size_t t) {
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      if (state.fits_with(j, t)) {
+        state.place(t, j);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // One repair step: relocate some placed task x off machine j so that the
+  // stranded task t fits on j.  Returns true if a move was applied.
+  auto try_move = [&](std::size_t t) {
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      const std::vector<std::size_t> members = state.machine(j);
+      for (const std::size_t x : members) {
+        // j must accept t once x leaves.
+        if (!state.fits(j, state.members_modified(j, x, t))) continue;
+        for (std::size_t j2 = 0; j2 < platform.size(); ++j2) {
+          if (j2 == j) continue;
+          if (state.fits_with(j2, x)) {
+            state.remove(x);
+            state.place(x, j2);
+            ++res.moves;
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  // One swap step: exchange x (on j) with y (on j2) when both directions
+  // stay admissible and the exchange lets t join one of the two machines.
+  auto try_swap = [&](std::size_t t) {
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      for (const std::size_t x : state.machine(j)) {
+        for (std::size_t j2 = 0; j2 < platform.size(); ++j2) {
+          if (j2 == j) continue;
+          for (const std::size_t y : state.machine(j2)) {
+            // After the exchange, does t fit on j or j2?
+            auto j_members = state.members_modified(j, x, y);
+            auto j2_members = state.members_modified(j2, y, x);
+            const bool base_ok =
+                state.fits(j, j_members) && state.fits(j2, j2_members);
+            if (!base_ok) continue;
+            auto j_with_t = j_members;
+            j_with_t.push_back(t);
+            auto j2_with_t = j2_members;
+            j2_with_t.push_back(t);
+            if (!state.fits(j, j_with_t) && !state.fits(j2, j2_with_t)) {
+              continue;
+            }
+            state.remove(x);
+            state.remove(y);
+            state.place(x, j2);
+            state.place(y, j);
+            ++res.swaps;
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  bool all_placed = true;
+  for (const std::size_t t : stranded) {
+    bool placed = false;
+    for (std::size_t round = 0; round < opts.max_rounds && !placed; ++round) {
+      if (try_direct(t)) {
+        placed = true;
+        break;
+      }
+      if (!try_move(t) && !try_swap(t)) break;  // no repair available
+    }
+    if (!placed) placed = try_direct(t);
+    if (!placed) {
+      all_placed = false;
+      break;
+    }
+  }
+
+  res.feasible = all_placed;
+  res.assignment = state.assignment();
+  return res;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,47 @@
+// Constrained-deadline sporadic task model (extension beyond the paper).
+//
+// The paper treats implicit deadlines (deadline == period).  The natural
+// next step — and the setting of its reference [7] (Chen & Chakraborty,
+// approximate demand bound functions) — is the *constrained* model where a
+// job must finish within deadline <= period of its release.  The DBF module
+// (src/dbf) builds the EDF tests for this model; the simulator accepts it
+// directly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+#include "util/rational.h"
+
+namespace hetsched {
+
+struct ConstrainedTask {
+  std::int64_t exec = 1;      // c_i: worst-case execution at unit speed
+  std::int64_t deadline = 1;  // d_i: relative deadline, 0 < d_i <= p_i
+  std::int64_t period = 1;    // p_i: minimum inter-arrival time
+
+  bool valid() const {
+    return exec > 0 && deadline > 0 && period > 0 && deadline <= period;
+  }
+
+  double utilization() const {
+    return static_cast<double>(exec) / static_cast<double>(period);
+  }
+  Rational utilization_exact() const { return Rational(exec, period); }
+
+  // "Density": c_i / d_i — the utilization analogue that a deadline
+  // constrains; sum of densities <= speed is a (coarse) sufficient test.
+  double density() const {
+    return static_cast<double>(exec) / static_cast<double>(deadline);
+  }
+
+  // Implicit-deadline embedding.
+  static ConstrainedTask from_task(const Task& t) {
+    return ConstrainedTask{t.exec, t.period, t.period};
+  }
+
+  friend bool operator==(const ConstrainedTask&,
+                         const ConstrainedTask&) = default;
+};
+
+}  // namespace hetsched

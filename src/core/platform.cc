@@ -1,0 +1,92 @@
+#include "core/platform.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+Platform::Platform(std::vector<Machine> machines)
+    : machines_(std::move(machines)) {
+  for (const Machine& m : machines_) {
+    HETSCHED_CHECK_MSG(m.speed > Rational(0), "machine with non-positive speed");
+  }
+  std::stable_sort(machines_.begin(), machines_.end(),
+                   [](const Machine& a, const Machine& b) {
+                     return a.speed < b.speed;
+                   });
+}
+
+Platform Platform::from_speeds(std::span<const double> speeds) {
+  std::vector<Machine> ms;
+  ms.reserve(speeds.size());
+  for (std::size_t j = 0; j < speeds.size(); ++j) {
+    ms.push_back(Machine{rational_from_double(speeds[j]), j});
+  }
+  return Platform(std::move(ms));
+}
+
+Platform Platform::from_speeds(std::initializer_list<double> speeds) {
+  return from_speeds(std::span<const double>(speeds.begin(), speeds.size()));
+}
+
+Platform Platform::from_speeds_exact(std::span<const Rational> speeds) {
+  std::vector<Machine> ms;
+  ms.reserve(speeds.size());
+  for (std::size_t j = 0; j < speeds.size(); ++j) {
+    ms.push_back(Machine{speeds[j], j});
+  }
+  return Platform(std::move(ms));
+}
+
+Platform Platform::identical(std::size_t m, const Rational& speed) {
+  std::vector<Machine> ms;
+  ms.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) ms.push_back(Machine{speed, j});
+  return Platform(std::move(ms));
+}
+
+double Platform::total_speed() const {
+  double s = 0;
+  for (const Machine& m : machines_) s += m.speed_value();
+  return s;
+}
+
+Rational Platform::total_speed_exact() const {
+  Rational s;
+  for (const Machine& m : machines_) s += m.speed;
+  return s;
+}
+
+double Platform::max_speed() const {
+  HETSCHED_CHECK(!machines_.empty());
+  return machines_.back().speed_value();
+}
+
+double Platform::min_speed() const {
+  HETSCHED_CHECK(!machines_.empty());
+  return machines_.front().speed_value();
+}
+
+double Platform::sum_fastest(std::size_t k) const {
+  HETSCHED_CHECK(k <= machines_.size());
+  double s = 0;
+  for (std::size_t j = machines_.size() - k; j < machines_.size(); ++j) {
+    s += machines_[j].speed_value();
+  }
+  return s;
+}
+
+std::string Platform::to_string() const {
+  std::ostringstream os;
+  os << "m=" << machines_.size() << " speeds=[";
+  for (std::size_t j = 0; j < machines_.size(); ++j) {
+    if (j > 0) os << ",";
+    os << machines_[j].speed.to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hetsched

@@ -1,0 +1,65 @@
+// Heterogeneous (related / uniform) machine model.
+//
+// Machine j has speed s_j: it completes s_j work units per time unit.  The
+// paper's algorithm requires machines sorted by non-decreasing speed;
+// Platform maintains that order internally and remembers the caller's
+// original machine ids so assignments can be reported in the caller's
+// numbering.  Speeds are exact rationals (generators quantize onto a small
+// grid) so the simulator can scale time without rounding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace hetsched {
+
+struct Machine {
+  Rational speed = Rational(1);  // s_j > 0, work units per time unit
+  std::size_t id = 0;            // caller-facing identifier
+
+  double speed_value() const { return speed.to_double(); }
+};
+
+// A validated set of machines, sorted by non-decreasing speed.
+class Platform {
+ public:
+  Platform() = default;
+  // Sorts by speed (stable w.r.t. the given order); aborts on speed <= 0.
+  explicit Platform(std::vector<Machine> machines);
+
+  // Convenience: machines of the given speeds with ids 0..m-1.
+  static Platform from_speeds(std::span<const double> speeds);
+  static Platform from_speeds(std::initializer_list<double> speeds);
+  static Platform from_speeds_exact(std::span<const Rational> speeds);
+  // m identical unit-speed machines.
+  static Platform identical(std::size_t m, const Rational& speed = Rational(1));
+
+  std::size_t size() const { return machines_.size(); }
+  bool empty() const { return machines_.empty(); }
+  // Machines indexed in sorted order: speed(0) <= speed(1) <= ...
+  const Machine& operator[](std::size_t j) const { return machines_[j]; }
+  std::span<const Machine> machines() const { return machines_; }
+
+  double speed(std::size_t j) const { return machines_[j].speed_value(); }
+  const Rational& speed_exact(std::size_t j) const { return machines_[j].speed; }
+
+  double total_speed() const;
+  Rational total_speed_exact() const;
+  double max_speed() const;
+  double min_speed() const;
+
+  // Sum of the k largest speeds (k <= m).  The combinatorial LP-feasibility
+  // oracle compares these prefix sums against the k largest utilizations.
+  double sum_fastest(std::size_t k) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Machine> machines_;  // sorted by non-decreasing speed
+};
+
+}  // namespace hetsched

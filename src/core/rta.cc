@@ -1,0 +1,65 @@
+#include "core/rta.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::vector<std::size_t> rm_priority_order(std::span<const Task> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&tasks](std::size_t a, std::size_t b) {
+                     return tasks[a].period < tasks[b].period;
+                   });
+  return order;
+}
+
+std::optional<Rational> rm_response_time(std::span<const Task> tasks,
+                                         std::size_t target,
+                                         const Rational& speed) {
+  HETSCHED_CHECK(target < tasks.size());
+  HETSCHED_CHECK(speed > Rational(0));
+  const Task& ti = tasks[target];
+
+  // Higher-priority set: strictly shorter period, or equal period with lower
+  // index (matching rm_priority_order's tie-break).
+  std::vector<std::size_t> hp;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (j == target) continue;
+    if (tasks[j].period < ti.period ||
+        (tasks[j].period == ti.period && j < target)) {
+      hp.push_back(j);
+    }
+  }
+
+  const Rational deadline(ti.period);
+  Rational r = Rational(ti.exec) / speed;
+  if (r > deadline) return std::nullopt;
+
+  // The iterates increase monotonically and take at most
+  // sum_j (p_i / p_j) distinct values, so this terminates.
+  for (;;) {
+    Rational demand(ti.exec);
+    for (const std::size_t j : hp) {
+      const Rational releases((r / Rational(tasks[j].period)).ceil());
+      demand += releases * Rational(tasks[j].exec);
+    }
+    const Rational next = demand / speed;
+    if (next == r) return r;      // fixed point: worst-case response time
+    if (next > deadline) return std::nullopt;
+    HETSCHED_DCHECK(next > r);    // monotone increase
+    r = next;
+  }
+}
+
+bool rta_schedulable(std::span<const Task> tasks, const Rational& speed) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!rm_response_time(tasks, i, speed)) return false;
+  }
+  return true;
+}
+
+}  // namespace hetsched

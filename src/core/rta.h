@@ -1,0 +1,46 @@
+// Exact response-time analysis (RTA) for fixed-priority preemptive
+// scheduling of implicit-deadline sporadic tasks on one related machine.
+//
+// Under rate-monotonic priorities (shorter period = higher priority) the
+// worst-case response time of task i on a machine of speed s satisfies the
+// recurrence (Joseph & Pandya 1986, Audsley et al. 1993), adapted to speed s:
+//
+//     R = ( c_i + sum_{j in hp(i)} ceil(R / p_j) * c_j ) / s
+//
+// iterated from R = c_i / s until a fixed point or R > p_i.  The set is
+// schedulable iff every task's fixed point satisfies R <= p_i.  All
+// arithmetic is exact (64-bit rationals), so this is a ground-truth oracle
+// for the sufficient RMS bounds in core/uniproc.h — this exactness is why
+// speeds are rationals throughout the library.
+//
+// This test is an *extension* relative to the paper (the paper's algorithm
+// admits via the Liu–Layland bound, which its proofs need); bench E8 measures
+// how much acceptance the analytical bound gives up against exact RTA.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+#include "util/rational.h"
+
+namespace hetsched {
+
+// Indices of `tasks` sorted into rate-monotonic priority order: increasing
+// period, ties by lower index first (a fixed, documented tie-break).
+std::vector<std::size_t> rm_priority_order(std::span<const Task> tasks);
+
+// Worst-case response time of the task at `target` (an index into `tasks`)
+// when `tasks` runs under RM priorities on a machine of speed `speed`.
+// Returns nullopt if the response time exceeds the task's deadline (period),
+// i.e. the task is unschedulable.
+std::optional<Rational> rm_response_time(std::span<const Task> tasks,
+                                         std::size_t target,
+                                         const Rational& speed);
+
+// True iff every task meets its deadline under RM on a speed-`speed` machine.
+bool rta_schedulable(std::span<const Task> tasks, const Rational& speed);
+
+}  // namespace hetsched

@@ -1,0 +1,65 @@
+#include "core/task.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace hetsched {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  for (const Task& t : tasks_) {
+    HETSCHED_CHECK_MSG(t.valid(), "task with non-positive exec or period");
+  }
+}
+
+double TaskSet::total_utilization() const {
+  double u = 0;
+  for (const Task& t : tasks_) u += t.utilization();
+  return u;
+}
+
+Rational TaskSet::total_utilization_exact() const {
+  Rational u;
+  for (const Task& t : tasks_) u += t.utilization_exact();
+  return u;
+}
+
+double TaskSet::max_utilization() const {
+  double u = 0;
+  for (const Task& t : tasks_) u = std::max(u, t.utilization());
+  return u;
+}
+
+std::vector<std::size_t> TaskSet::order_by_utilization_desc() const {
+  std::vector<std::size_t> order(tasks_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     // Exact comparison avoids platform-dependent ties from
+                     // double rounding: c_a/p_a > c_b/p_b.
+                     const int128 lhs =
+                         static_cast<int128>(tasks_[a].exec) * tasks_[b].period;
+                     const int128 rhs =
+                         static_cast<int128>(tasks_[b].exec) * tasks_[a].period;
+                     return lhs > rhs;
+                   });
+  return order;
+}
+
+void TaskSet::push_back(const Task& t) {
+  HETSCHED_CHECK_MSG(t.valid(), "task with non-positive exec or period");
+  tasks_.push_back(t);
+}
+
+std::string TaskSet::to_string() const {
+  std::ostringstream os;
+  os << "n=" << tasks_.size() << " U=" << total_utilization() << " {";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "(" << tasks_[i].exec << "," << tasks_[i].period << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace hetsched

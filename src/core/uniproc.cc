@@ -1,0 +1,41 @@
+#include "core/uniproc.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+double rms_liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double inv = 1.0 / static_cast<double>(n);
+  return static_cast<double>(n) * (std::exp2(inv) - 1.0);
+}
+
+double rms_utilization_limit() { return std::log(2.0); }
+
+bool edf_feasible(double total_utilization, double speed) {
+  HETSCHED_CHECK(speed > 0);
+  HETSCHED_CHECK(total_utilization >= 0);
+  return total_utilization <= speed;
+}
+
+bool rms_ll_feasible(double total_utilization, std::size_t n, double speed) {
+  HETSCHED_CHECK(speed > 0);
+  HETSCHED_CHECK(total_utilization >= 0);
+  return total_utilization <= rms_liu_layland_bound(n) * speed;
+}
+
+bool rms_hyperbolic_feasible(std::span<const double> utilizations,
+                             double speed) {
+  HETSCHED_CHECK(speed > 0);
+  double prod = 1.0;
+  for (const double u : utilizations) {
+    HETSCHED_CHECK(u >= 0);
+    prod *= u / speed + 1.0;
+    if (prod > 2.0) return false;  // early exit; factors are >= 1
+  }
+  return prod <= 2.0;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,61 @@
+// Exact partitioned feasibility — the paper's "partitioned adversary".
+//
+// Theorems I.1 / I.2 compare the first-fit test against the best possible
+// *partitioned* schedule.  Deciding whether such a schedule exists is
+// strongly NP-hard (variable-size bin packing), but ground truth on small
+// instances is exactly what the empirical ratio experiments (bench E3) need,
+// so this module implements a depth-first branch-and-bound:
+//
+//   * tasks are branched in non-increasing utilization order (large items
+//     first fail fast),
+//   * machines that are empty and speed-equal to an already-tried empty
+//     machine are skipped (symmetry),
+//   * for EDF admission, a prefix-sum bound prunes nodes where the k largest
+//     remaining tasks cannot fit into the k largest residual capacities
+//     (each task occupies one machine, so this is a valid relaxation),
+//   * a node budget turns pathological instances into an explicit
+//     kNodeLimit verdict instead of an open-ended search.
+//
+// Semantics: "feasible" means a partition exists in which every machine
+// passes the given AdmissionKind test at augmentation alpha.  With kEdf the
+// per-machine test is exact, so this is true partitioned-EDF feasibility
+// (the strongest partitioned adversary — per machine, EDF is optimal).
+// With kRmsResponseTime it is true partitioned-RMS feasibility.  With the
+// analytic RMS bounds it is "certifiable by that bound".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/admission.h"
+
+namespace hetsched {
+
+enum class ExactVerdict { kFeasible, kInfeasible, kNodeLimit };
+
+struct ExactOptions {
+  std::int64_t max_nodes = 20'000'000;
+};
+
+struct ExactResult {
+  ExactVerdict verdict = ExactVerdict::kNodeLimit;
+  // task index -> machine index (platform sorted order); set iff kFeasible.
+  std::vector<std::size_t> assignment;
+  std::int64_t nodes_visited = 0;
+};
+
+// Branch-and-bound search.  alpha >= 1 scales every machine's speed.
+ExactResult exact_partition(const TaskSet& tasks, const Platform& platform,
+                            AdmissionKind kind, double alpha = 1.0,
+                            const ExactOptions& opts = {});
+
+// Exhaustive m^n enumeration (no pruning) — cross-check oracle for tests.
+// Requires m^n to stay small; aborts if n > 10.
+ExactResult brute_force_partition(const TaskSet& tasks,
+                                  const Platform& platform, AdmissionKind kind,
+                                  double alpha = 1.0);
+
+}  // namespace hetsched

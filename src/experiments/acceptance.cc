@@ -1,0 +1,98 @@
+#include "experiments/acceptance.h"
+
+#include <atomic>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace hetsched {
+
+Table AcceptanceCurve::to_table() const {
+  std::vector<std::string> header{"U/S"};
+  for (const auto& name : tester_names) {
+    header.push_back(name);
+    header.push_back("ci95");
+  }
+  Table t(std::move(header));
+  for (const AcceptancePoint& pt : points) {
+    std::vector<std::string> row{Table::fmt(pt.normalized_utilization, 3)};
+    for (std::size_t k = 0; k < pt.acceptance.size(); ++k) {
+      row.push_back(Table::fmt(pt.acceptance[k], 4));
+      row.push_back(Table::fmt(pt.ci95[k], 4));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::vector<double> AcceptanceCurve::weighted_schedulability() const {
+  std::vector<double> weighted(tester_names.size(), 0.0);
+  double total_weight = 0;
+  for (const AcceptancePoint& pt : points) {
+    total_weight += pt.normalized_utilization;
+    for (std::size_t k = 0; k < pt.acceptance.size(); ++k) {
+      weighted[k] += pt.normalized_utilization * pt.acceptance[k];
+    }
+  }
+  if (total_weight > 0) {
+    for (double& w : weighted) w /= total_weight;
+  }
+  return weighted;
+}
+
+AcceptanceCurve run_acceptance_sweep(const AcceptanceSweepSpec& spec,
+                                     const std::vector<Tester>& testers) {
+  HETSCHED_CHECK(!testers.empty());
+  HETSCHED_CHECK(!spec.normalized_utilizations.empty());
+  HETSCHED_CHECK(spec.trials_per_point > 0);
+  HETSCHED_CHECK(spec.platform.size() >= 1);
+
+  AcceptanceCurve curve;
+  for (const Tester& t : testers) curve.tester_names.push_back(t.name);
+
+  const double total_speed = spec.platform.total_speed();
+  ThreadPool& pool = default_thread_pool();
+
+  for (std::size_t pi = 0; pi < spec.normalized_utilizations.size(); ++pi) {
+    const double norm_u = spec.normalized_utilizations[pi];
+    HETSCHED_CHECK(norm_u > 0);
+
+    std::vector<std::atomic<std::size_t>> accepted(testers.size());
+    for (auto& a : accepted) a.store(0, std::memory_order_relaxed);
+
+    pool.parallel_for_index(
+        spec.trials_per_point, [&](std::size_t trial) {
+          // Deterministic per-trial stream: independent of sharding.
+          SplitMix64 mix(spec.seed ^ (0x9E3779B97F4A7C15ULL * (pi + 1)));
+          Rng rng(mix.next() + trial * 0xD1B54A32D192ED03ULL);
+
+          TasksetSpec ts;
+          ts.n = spec.tasks_per_set;
+          ts.total_utilization = norm_u * total_speed;
+          ts.max_task_utilization = spec.max_task_utilization;
+          ts.periods = spec.periods;
+          const TaskSet tasks = generate_taskset(rng, ts);
+
+          for (std::size_t k = 0; k < testers.size(); ++k) {
+            if (testers[k].accepts(tasks, spec.platform)) {
+              accepted[k].fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+
+    AcceptancePoint pt;
+    pt.normalized_utilization = norm_u;
+    for (std::size_t k = 0; k < testers.size(); ++k) {
+      const std::size_t acc = accepted[k].load(std::memory_order_relaxed);
+      pt.acceptance.push_back(static_cast<double>(acc) /
+                              static_cast<double>(spec.trials_per_point));
+      pt.ci95.push_back(proportion_ci95(acc, spec.trials_per_point));
+    }
+    curve.points.push_back(std::move(pt));
+  }
+  return curve;
+}
+
+}  // namespace hetsched

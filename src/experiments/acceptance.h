@@ -1,0 +1,64 @@
+// Acceptance-ratio sweeps — the workhorse of the designed evaluation.
+//
+// For each point on a normalized-utilization grid, generate many random task
+// sets with total utilization U = x * S_total and record, for each
+// configured tester, the fraction it accepts.  Trials are deterministic (the
+// per-trial RNG is derived from the experiment seed and the trial index) and
+// sharded across the default thread pool, so results are independent of the
+// worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "gen/taskset_gen.h"
+#include "util/table.h"
+
+namespace hetsched {
+
+// A named boolean feasibility tester.
+struct Tester {
+  std::string name;
+  std::function<bool(const TaskSet&, const Platform&)> accepts;
+};
+
+struct AcceptanceSweepSpec {
+  Platform platform;
+  std::size_t tasks_per_set = 32;
+  double max_task_utilization = 1.0;  // relative to a unit-speed machine
+  PeriodSpec periods = PeriodSpec::log_uniform(10, 1000);
+  std::vector<double> normalized_utilizations;  // grid of U / S_total
+  std::size_t trials_per_point = 500;
+  std::uint64_t seed = 42;
+};
+
+struct AcceptancePoint {
+  double normalized_utilization = 0;
+  // acceptance fraction per tester, in spec order.
+  std::vector<double> acceptance;
+  // 95% CI half-width per tester.
+  std::vector<double> ci95;
+};
+
+struct AcceptanceCurve {
+  std::vector<std::string> tester_names;
+  std::vector<AcceptancePoint> points;
+
+  // Renders "U/S | tester1 ci | tester2 ci | ..." as a Table.
+  Table to_table() const;
+
+  // Weighted schedulability (Bastoni et al.): per tester,
+  //   sum_points (U/S) * acceptance / sum_points (U/S)
+  // — a single scalar favouring acceptance at high load, the standard way
+  // the empirical literature condenses an acceptance curve.
+  std::vector<double> weighted_schedulability() const;
+};
+
+AcceptanceCurve run_acceptance_sweep(const AcceptanceSweepSpec& spec,
+                                     const std::vector<Tester>& testers);
+
+}  // namespace hetsched

@@ -1,0 +1,147 @@
+#include "experiments/adversarial.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "exact/exact_partition.h"
+#include "lp/feasibility_lp.h"
+#include "partition/first_fit.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hetsched {
+
+namespace {
+
+// Lexicographic fitness: primarily alpha*, secondarily how saturated the
+// instance is.  The secondary key matters because the alpha* landscape is a
+// wide plateau at exactly 1.0 (first-fit succeeds on most feasible
+// instances); pushing utilization toward the adversary's boundary is what
+// eventually tips first-fit into needing augmentation.
+struct Score {
+  double alpha;
+  double saturation;
+
+  bool operator>=(const Score& o) const {
+    if (alpha != o.alpha) return alpha > o.alpha;
+    return saturation >= o.saturation;
+  }
+  bool operator>(const Score& o) const {
+    if (alpha != o.alpha) return alpha > o.alpha;
+    return saturation > o.saturation;
+  }
+};
+
+// Score when adversary-feasible; nullopt otherwise.
+std::optional<Score> score(const TaskSet& tasks,
+                           const AdversarialSearchSpec& spec) {
+  if (spec.adversary == AdversaryClass::kLp) {
+    if (!lp_feasible_oracle(tasks, spec.platform)) return std::nullopt;
+  } else {
+    const ExactResult ex =
+        exact_partition(tasks, spec.platform, AdmissionKind::kEdf, 1.0,
+                        ExactOptions{spec.exact_max_nodes});
+    if (ex.verdict != ExactVerdict::kFeasible) return std::nullopt;
+  }
+  const auto alpha = min_feasible_alpha(tasks, spec.platform, spec.kind,
+                                        spec.alpha_search_hi);
+  // An instance the bracket cannot place would falsify the theorems; score
+  // it at the bracket top so the caller notices.
+  return Score{alpha.value_or(spec.alpha_search_hi),
+               tasks.total_utilization() / spec.platform.total_speed()};
+}
+
+TaskSet random_start(Rng& rng, const AdversarialSearchSpec& spec) {
+  TasksetSpec ts;
+  ts.n = spec.n;
+  ts.max_task_utilization = spec.platform.max_speed();
+  ts.total_utilization = std::min(
+      rng.uniform(0.6, 1.0) * spec.platform.total_speed(),
+      0.35 * static_cast<double>(spec.n) * ts.max_task_utilization);
+  ts.periods = spec.periods;
+  return generate_taskset(rng, ts);
+}
+
+TaskSet mutate(Rng& rng, const TaskSet& tasks,
+               const AdversarialSearchSpec& spec) {
+  TaskSet out;
+  const auto victim = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(tasks.size()) - 1));
+  const double pick = rng.next_double();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Task t = tasks[i];
+    if (i == victim) {
+      if (pick < 0.45) {
+        // Scale the execution time by up to +/-30%.
+        const double factor = rng.uniform(0.7, 1.3);
+        t.exec = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(factor * static_cast<double>(t.exec)));
+      } else if (pick < 0.7) {
+        // Re-draw the period, preserving utilization roughly.
+        const double w = t.utilization();
+        t.period = spec.periods.draw(rng);
+        t.exec = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(w * static_cast<double>(t.period)));
+      } else {
+        // Replace the task wholesale.
+        t.period = spec.periods.draw(rng);
+        const double w =
+            rng.uniform(0.05, spec.platform.max_speed());
+        t.exec = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(w * static_cast<double>(t.period)));
+      }
+      // Keep per-task utilization within what any machine can serve.
+      const double cap = spec.platform.max_speed();
+      if (t.utilization() > cap) {
+        t.exec = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(cap * static_cast<double>(t.period)));
+      }
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+AdversarialSearchResult adversarial_search(const AdversarialSearchSpec& spec) {
+  HETSCHED_CHECK(spec.n >= 1);
+  HETSCHED_CHECK(spec.platform.size() >= 1);
+  AdversarialSearchResult res;
+  Rng rng(spec.seed);
+
+  for (std::size_t restart = 0; restart < spec.restarts; ++restart) {
+    TaskSet current = random_start(rng, spec);
+    auto current_score = score(current, spec);
+    // Draw starts until one is adversary-feasible (bounded attempts).
+    for (int attempt = 0; attempt < 50 && !current_score; ++attempt) {
+      current = random_start(rng, spec);
+      current_score = score(current, spec);
+    }
+    if (!current_score) continue;
+    ++res.evaluations;
+    if (current_score->alpha > res.best_alpha) {
+      res.best_alpha = current_score->alpha;
+      res.best_tasks = current;
+    }
+
+    for (std::size_t step = 0; step < spec.steps_per_restart; ++step) {
+      const TaskSet candidate = mutate(rng, current, spec);
+      const auto candidate_score = score(candidate, spec);
+      if (!candidate_score) continue;
+      ++res.evaluations;
+      if (*candidate_score >= *current_score) {  // plateau moves allowed
+        if (*candidate_score > *current_score) ++res.improvements;
+        current = candidate;
+        current_score = candidate_score;
+        if (current_score->alpha > res.best_alpha) {
+          res.best_alpha = current_score->alpha;
+          res.best_tasks = current;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,49 @@
+// Adversarial instance search: push the first-fit test toward its bound.
+//
+// Random sampling (bench E9a/E9c) rarely strays near the worst case, so
+// this harness climbs toward it: starting from a random adversary-feasible
+// instance, it mutates task parameters (grow/shrink an execution time,
+// re-draw a period, replace a task) and keeps any mutation that stays
+// adversary-feasible while increasing alpha* — the minimum augmentation at
+// which first-fit accepts.  Restarts escape local maxima.  The search is
+// deterministic given the seed, and the best instance found is returned so
+// it can be archived or minimized by hand.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "gen/taskset_gen.h"
+#include "partition/admission.h"
+
+namespace hetsched {
+
+enum class AdversaryClass {
+  kPartitioned,  // exact branch-and-bound partitioned-EDF feasibility
+  kLp,           // combinatorial LP-feasibility oracle (migrating)
+};
+
+struct AdversarialSearchSpec {
+  Platform platform;
+  AdmissionKind kind = AdmissionKind::kEdf;
+  AdversaryClass adversary = AdversaryClass::kPartitioned;
+  std::size_t n = 8;
+  PeriodSpec periods = PeriodSpec::uniform(20, 1000);
+  std::size_t restarts = 8;
+  std::size_t steps_per_restart = 120;
+  std::uint64_t seed = 1;
+  double alpha_search_hi = 8.0;
+  std::int64_t exact_max_nodes = 2'000'000;  // kPartitioned filter budget
+};
+
+struct AdversarialSearchResult {
+  double best_alpha = 0;  // largest alpha* over adversary-feasible instances
+  TaskSet best_tasks;
+  std::size_t evaluations = 0;  // adversary-feasible instances scored
+  std::size_t improvements = 0;  // accepted hill-climbing steps
+};
+
+AdversarialSearchResult adversarial_search(const AdversarialSearchSpec& spec);
+
+}  // namespace hetsched

@@ -1,0 +1,77 @@
+#include "experiments/augmentation.h"
+
+#include <mutex>
+
+#include "exact/exact_partition.h"
+#include "lp/feasibility_lp.h"
+#include "partition/first_fit.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace hetsched {
+
+namespace {
+
+enum class AdversaryKind { kLp, kPartitioned };
+
+AugmentationStudyResult run_study(const AugmentationStudySpec& spec,
+                                  AdversaryKind adversary) {
+  HETSCHED_CHECK(spec.trials > 0);
+  HETSCHED_CHECK(spec.norm_lo > 0 && spec.norm_lo <= spec.norm_hi);
+  AugmentationStudyResult res;
+  res.trials_run = spec.trials;
+
+  const double total_speed = spec.platform.total_speed();
+  std::mutex mu;  // guards the result accumulators
+
+  default_thread_pool().parallel_for_index(spec.trials, [&](std::size_t trial) {
+    SplitMix64 mix(spec.seed);
+    Rng rng(mix.next() + trial * 0xD1B54A32D192ED03ULL);
+
+    TasksetSpec ts = spec.taskset;
+    ts.total_utilization =
+        rng.uniform(spec.norm_lo, spec.norm_hi) * total_speed;
+    const TaskSet tasks = generate_taskset(rng, ts);
+
+    // Filter: only adversary-feasible instances enter the ratio study.
+    if (adversary == AdversaryKind::kLp) {
+      if (!lp_feasible_oracle(tasks, spec.platform)) return;
+    } else {
+      const ExactResult ex =
+          exact_partition(tasks, spec.platform, spec.partitioned_adversary,
+                          1.0, ExactOptions{spec.exact_max_nodes});
+      if (ex.verdict == ExactVerdict::kNodeLimit) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++res.filter_timeouts;
+        return;
+      }
+      if (ex.verdict != ExactVerdict::kFeasible) return;
+    }
+
+    const auto alpha = min_feasible_alpha(tasks, spec.platform, spec.kind,
+                                          spec.alpha_search_hi);
+    std::lock_guard<std::mutex> lock(mu);
+    ++res.adversary_feasible;
+    if (alpha) {
+      res.alphas.push_back(*alpha);
+    } else {
+      ++res.search_failures;
+    }
+  });
+
+  res.summary = summarize(res.alphas);
+  return res;
+}
+
+}  // namespace
+
+AugmentationStudyResult augmentation_vs_lp(const AugmentationStudySpec& spec) {
+  return run_study(spec, AdversaryKind::kLp);
+}
+
+AugmentationStudyResult augmentation_vs_partitioned(
+    const AugmentationStudySpec& spec) {
+  return run_study(spec, AdversaryKind::kPartitioned);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,62 @@
+// Empirical augmentation-requirement studies (benches E3 and E4).
+//
+// The theorems bound the speedup alpha* at which the first-fit test is
+// guaranteed to accept any instance the adversary can schedule.  These
+// harnesses measure the alpha* distribution on adversary-feasible instances:
+//   * vs. the LP adversary: an instance is admitted to the study iff the
+//     LP (1)-(4) is feasible at the original speeds (decided exactly by the
+//     combinatorial oracle), and alpha* is found by bisection;
+//   * vs. the partitioned adversary: instances are filtered by the exact
+//     branch-and-bound, so sizes must stay small.
+// The headline check: max observed alpha* must not exceed the theorem bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.h"
+#include "gen/taskset_gen.h"
+#include "partition/admission.h"
+#include "util/stats.h"
+
+namespace hetsched {
+
+struct AugmentationStudySpec {
+  Platform platform;
+  TasksetSpec taskset;             // total_utilization is *scaled* per trial:
+                                   // drawn normalized utilization in
+                                   // [norm_lo, norm_hi] times total speed
+  double norm_lo = 0.3;
+  double norm_hi = 1.0;
+  std::size_t trials = 200;
+  std::uint64_t seed = 7;
+  AdmissionKind kind = AdmissionKind::kEdf;
+  double alpha_search_hi = 8.0;    // bisection bracket upper end
+  std::int64_t exact_max_nodes = 5'000'000;  // partitioned-adversary filter
+  // Admission test defining the partitioned adversary's machines.  kEdf
+  // (exact per machine, hence the strongest partitioned scheduler — the
+  // adversary of Theorems I.1/I.2); kRmsResponseTime models an adversary
+  // restricted to fixed-priority machines.
+  AdmissionKind partitioned_adversary = AdmissionKind::kEdf;
+};
+
+struct AugmentationStudyResult {
+  std::size_t trials_run = 0;          // total instances generated
+  std::size_t adversary_feasible = 0;  // instances admitted to the study
+  std::size_t search_failures = 0;     // alpha* not found within bracket
+  std::size_t filter_timeouts = 0;     // exact adversary hit its node limit
+  std::vector<double> alphas;          // alpha* for each admitted instance
+  Summary summary;                     // over `alphas`
+};
+
+// alpha* distribution against the LP (migrating) adversary.
+AugmentationStudyResult augmentation_vs_lp(const AugmentationStudySpec& spec);
+
+// alpha* distribution against the exact partitioned adversary.  The
+// adversary is partitioned-EDF (per machine, EDF is the optimal
+// uniprocessor policy, so this is the strongest partitioned scheduler) —
+// matching how Theorems I.1 and I.2 argue.
+AugmentationStudyResult augmentation_vs_partitioned(
+    const AugmentationStudySpec& spec);
+
+}  // namespace hetsched

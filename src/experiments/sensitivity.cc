@@ -1,0 +1,67 @@
+#include "experiments/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/first_fit.h"
+#include "util/check.h"
+
+namespace hetsched {
+
+namespace {
+
+TaskSet with_scaled_exec(const TaskSet& tasks, std::size_t index,
+                         double factor) {
+  TaskSet scaled;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Task t = tasks[i];
+    if (i == index) {
+      const double c = factor * static_cast<double>(t.exec);
+      t.exec = std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                             std::llround(c)));
+    }
+    scaled.push_back(t);
+  }
+  return scaled;
+}
+
+}  // namespace
+
+std::vector<TaskSlack> exec_sensitivity(const TaskSet& tasks,
+                                        const Platform& platform,
+                                        AdmissionKind kind, double alpha,
+                                        const SensitivityOptions& opts) {
+  HETSCHED_CHECK(opts.factor_cap >= 1.0);
+  HETSCHED_CHECK(opts.tol > 0);
+  HETSCHED_CHECK_MSG(first_fit_accepts(tasks, platform, kind, alpha),
+                     "sensitivity requires an accepted base system");
+
+  std::vector<TaskSlack> slack;
+  slack.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto accepts_at = [&](double factor) {
+      return first_fit_accepts(with_scaled_exec(tasks, i, factor), platform,
+                               kind, alpha);
+    };
+    TaskSlack s;
+    s.task_index = i;
+    if (accepts_at(opts.factor_cap)) {
+      s.max_exec_scale = opts.factor_cap;
+    } else {
+      double lo = 1.0, hi = opts.factor_cap;  // accept at lo, reject at hi
+      while (hi - lo > opts.tol) {
+        const double mid = 0.5 * (lo + hi);
+        if (accepts_at(mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      s.max_exec_scale = lo;
+    }
+    slack.push_back(s);
+  }
+  return slack;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,40 @@
+// Sensitivity analysis: how much can each task grow before the partition
+// breaks?
+//
+// For an accepted system, integrators routinely ask "task i's WCET estimate
+// is uncertain — what execution-time budget does the feasibility test leave
+// it?"  For each task this module binary-searches the largest scaling
+// factor of c_i at which the first-fit test still accepts (all other tasks
+// fixed), reporting a per-task slack table.  The same machinery answers the
+// platform question via min_feasible_alpha (partition/first_fit.h).
+#pragma once
+
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/admission.h"
+
+namespace hetsched {
+
+struct TaskSlack {
+  std::size_t task_index = 0;
+  // Largest factor f such that scaling c_i to round(f * c_i) keeps the
+  // first-fit test accepting; >= 1 for accepted systems.  Capped at
+  // `factor_cap` (reported as the cap when even that passes).
+  double max_exec_scale = 0;
+};
+
+struct SensitivityOptions {
+  double factor_cap = 16.0;
+  double tol = 1e-3;
+};
+
+// Requires the unmodified task set to be accepted at (kind, alpha); aborts
+// otherwise (slack of an infeasible system is meaningless).
+std::vector<TaskSlack> exec_sensitivity(const TaskSet& tasks,
+                                        const Platform& platform,
+                                        AdmissionKind kind, double alpha,
+                                        const SensitivityOptions& opts = {});
+
+}  // namespace hetsched

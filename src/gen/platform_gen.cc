@@ -1,0 +1,72 @@
+#include "gen/platform_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+Rational quantize_speed(double v) {
+  HETSCHED_CHECK(v > 0);
+  const auto ticks = static_cast<std::int64_t>(
+      std::llround(v * static_cast<double>(kSpeedGrid)));
+  return Rational(ticks < 1 ? 1 : ticks, kSpeedGrid);
+}
+
+Platform uniform_platform(Rng& rng, std::size_t m, double lo, double hi) {
+  HETSCHED_CHECK(m >= 1);
+  HETSCHED_CHECK(0 < lo && lo <= hi);
+  std::vector<Machine> ms;
+  ms.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ms.push_back(Machine{quantize_speed(rng.uniform(lo, hi + 1e-12)), j});
+  }
+  return Platform(std::move(ms));
+}
+
+Platform geometric_platform(std::size_t m, double ratio, double total) {
+  HETSCHED_CHECK(m >= 1);
+  HETSCHED_CHECK(ratio >= 1.0);
+  std::vector<double> speeds(m);
+  double sum = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    speeds[j] = std::pow(ratio, static_cast<double>(j));
+    sum += speeds[j];
+  }
+  const double scale = total > 0 ? total / sum : 1.0;
+  std::vector<Machine> ms;
+  ms.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ms.push_back(Machine{quantize_speed(speeds[j] * scale), j});
+  }
+  return Platform(std::move(ms));
+}
+
+Platform big_little_platform(std::size_t n_little, std::size_t n_big,
+                             double little_speed, double big_speed) {
+  HETSCHED_CHECK(n_little + n_big >= 1);
+  HETSCHED_CHECK(little_speed > 0 && big_speed > 0);
+  std::vector<Machine> ms;
+  ms.reserve(n_little + n_big);
+  std::size_t id = 0;
+  for (std::size_t j = 0; j < n_little; ++j) {
+    ms.push_back(Machine{quantize_speed(little_speed), id++});
+  }
+  for (std::size_t j = 0; j < n_big; ++j) {
+    ms.push_back(Machine{quantize_speed(big_speed), id++});
+  }
+  return Platform(std::move(ms));
+}
+
+Platform scale_platform(const Platform& p, double factor) {
+  HETSCHED_CHECK(factor > 0);
+  std::vector<Machine> ms;
+  ms.reserve(p.size());
+  for (const Machine& m : p.machines()) {
+    ms.push_back(Machine{quantize_speed(m.speed_value() * factor), m.id});
+  }
+  return Platform(std::move(ms));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,40 @@
+// Synthetic heterogeneous platform generation.
+//
+// Speeds are quantized onto a 1/kSpeedGrid grid so they are exact rationals
+// with small denominators; the simulator and the exact admission paths then
+// never accumulate rounding.  Families model the architectures the paper's
+// introduction motivates: a few fast cores plus many slow ones.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "core/platform.h"
+#include "util/rng.h"
+
+namespace hetsched {
+
+// Speed quantum denominator used by all generators.
+inline constexpr std::int64_t kSpeedGrid = 64;
+
+// Quantizes v (> 0) onto the grid, never below 1/kSpeedGrid.
+Rational quantize_speed(double v);
+
+// m machines with speeds drawn uniformly from [lo, hi] (grid-quantized).
+Platform uniform_platform(Rng& rng, std::size_t m, double lo, double hi);
+
+// Geometric speed ladder: speeds ratio^0, ratio^1, ..., ratio^{m-1},
+// optionally normalized so the total speed equals total (0 = no scaling).
+// ratio > 1 gives a long tail of slow machines plus a few fast ones.
+Platform geometric_platform(std::size_t m, double ratio, double total = 0);
+
+// big.LITTLE: n_little cores of speed little_speed and n_big cores of speed
+// big_speed (the asymmetric-multicore layout of mobile SoCs).
+Platform big_little_platform(std::size_t n_little, std::size_t n_big,
+                             double little_speed, double big_speed);
+
+// Rescales every speed by `factor` (> 0) — used to normalize platforms to a
+// common total speed in the heterogeneity sweep (bench E6).
+Platform scale_platform(const Platform& p, double factor);
+
+}  // namespace hetsched

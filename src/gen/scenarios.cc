@@ -1,0 +1,94 @@
+#include "gen/scenarios.h"
+
+namespace hetsched {
+
+namespace {
+
+Scenario make(std::string name, std::string description,
+              std::vector<std::pair<std::string, Task>> named_tasks,
+              Platform platform) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.platform = std::move(platform);
+  for (auto& [task_name, task] : named_tasks) {
+    s.task_names.push_back(std::move(task_name));
+    s.tasks.push_back(task);
+  }
+  return s;
+}
+
+}  // namespace
+
+Scenario automotive_ecu_scenario() {
+  // Periods follow the AUTOSAR benchmark classes (1/2/5/10/20/50/100/1000
+  // ms); executions sized for a consolidated engine/chassis ECU.  Unit:
+  // 0.1 ms.
+  return make(
+      "automotive-ecu",
+      "engine + chassis consolidation, AUTOSAR period classes, lockstep "
+      "pair plus two performance cores",
+      {
+          {"crank-sync", {4, 10}},          // 0.4 ms / 1 ms
+          {"injection-control", {6, 20}},   // 0.6 / 2
+          {"knock-detection", {10, 50}},    // 1.0 / 5
+          {"lambda-control", {18, 100}},    // 1.8 / 10
+          {"abs-loop", {22, 100}},          // 2.2 / 10
+          {"esp-loop", {40, 200}},          // 4.0 / 20
+          {"transmission", {55, 200}},      // 5.5 / 20
+          {"battery-mgmt", {90, 500}},      // 9 / 50
+          {"thermal-model", {120, 1000}},   // 12 / 100
+          {"diagnostics", {350, 10000}},    // 35 / 1000
+          {"logging", {200, 10000}},        // 20 / 1000
+      },
+      Platform::from_speeds({0.5, 0.5, 1.0, 1.0}));
+}
+
+Scenario mobile_soc_scenario() {
+  return make(
+      "mobile-soc",
+      "phone SoC: media pipeline + ML + UI on 4 little (1x) and 4 big (3x) "
+      "cores",
+      {
+          {"audio-dsp", {20, 100}},          // 2 ms / 10 ms
+          {"display-vsync", {55, 166}},      // 5.5 / 16.6 (60 Hz)
+          {"touch-input", {8, 80}},          // 0.8 / 8
+          {"camera-isp", {210, 330}},        // 21 / 33 (30 fps), w ~ 0.64
+          {"video-decode", {260, 330}},      // 26 / 33, w ~ 0.79
+          {"ml-vision", {480, 330}},         // 48 / 33, w ~ 1.45: big core
+          {"game-render", {390, 166}},       // 39 / 16.6, w ~ 2.35: big core
+          {"sensor-fusion", {30, 200}},      // 3 / 20
+          {"network-stack", {45, 500}},      // 4.5 / 50
+          {"background-gc", {150, 5000}},    // 15 / 500
+      },
+      Platform::from_speeds(
+          {1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0}));
+}
+
+Scenario avionics_ima_scenario() {
+  return make(
+      "avionics-ima",
+      "IMA consolidation: high-rate control loops plus many low-rate "
+      "partitions on three dissimilar processors",
+      {
+          {"inner-loop", {8, 50}},            // 0.8 ms / 5 ms
+          {"outer-loop", {30, 250}},          // 3 / 25
+          {"air-data", {25, 200}},            // 2.5 / 20
+          {"nav-kalman", {180, 400}},         // 18 / 40, w = 0.45
+          {"autothrottle", {35, 500}},        // 3.5 / 50
+          {"terrain-db", {420, 2000}},        // 42 / 200
+          {"tcas", {150, 1000}},              // 15 / 100
+          {"datalink", {90, 1000}},           // 9 / 100
+          {"display-gen", {380, 500}},        // 38 / 50, w = 0.76
+          {"maintenance", {400, 20000}},      // 40 / 2000
+          {"cabin-systems", {160, 5000}},     // 16 / 500
+      },
+      Platform::from_speeds({0.75, 1.0, 1.5}));
+}
+
+std::vector<Scenario> all_scenarios() {
+  return {automotive_ecu_scenario(), mobile_soc_scenario(),
+          avionics_ima_scenario()};
+}
+
+}  // namespace hetsched

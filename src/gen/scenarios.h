@@ -1,0 +1,39 @@
+// Named workload scenarios — curated task systems and platforms modelled on
+// the application domains the paper's introduction motivates (asymmetric
+// mobile SoCs, mixed real-time workloads).  Used by examples and benches so
+// "realistic" inputs are shared, documented, and reproducible rather than
+// re-invented per binary.  Time unit: 0.1 ms (so a 1 ms period is 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+
+namespace hetsched {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  TaskSet tasks;
+  Platform platform;
+  // Task names parallel to `tasks` (empty string when unnamed).
+  std::vector<std::string> task_names;
+};
+
+// An automotive ECU consolidation: engine-control style periods
+// (AUTOSAR classes) on a 2-fast + 2-slow lockstep platform.
+Scenario automotive_ecu_scenario();
+
+// A phone SoC running media + ML + UI tasks on 4 little + 4 big cores.
+Scenario mobile_soc_scenario();
+
+// An avionics-style federated-to-IMA consolidation: many low-rate partitions
+// plus a few high-rate control loops on three dissimilar processors.
+Scenario avionics_ima_scenario();
+
+// All scenarios, for sweep-style consumers.
+std::vector<Scenario> all_scenarios();
+
+}  // namespace hetsched

@@ -1,0 +1,136 @@
+#include "gen/taskset_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total_util) {
+  HETSCHED_CHECK(n >= 1);
+  HETSCHED_CHECK(total_util > 0);
+  std::vector<double> utils(n);
+  double sum = total_util;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.next_double(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    utils[i] = sum - next;
+    sum = next;
+  }
+  utils[n - 1] = sum;
+  return utils;
+}
+
+std::vector<double> uunifast_discard(Rng& rng, std::size_t n,
+                                     double total_util, double max_util,
+                                     std::size_t max_attempts) {
+  HETSCHED_CHECK(max_util > 0);
+  HETSCHED_CHECK_MSG(total_util <= static_cast<double>(n) * max_util + 1e-12,
+                     "total utilization unreachable under max_util cap");
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<double> utils = uunifast(rng, n, total_util);
+    if (std::all_of(utils.begin(), utils.end(),
+                    [max_util](double u) { return u <= max_util; })) {
+      return utils;
+    }
+  }
+  HETSCHED_CHECK_MSG(false, "uunifast_discard exceeded max_attempts");
+  return {};
+}
+
+PeriodSpec PeriodSpec::log_uniform(std::int64_t lo, std::int64_t hi) {
+  PeriodSpec s;
+  s.kind = Kind::kLogUniform;
+  s.lo = lo;
+  s.hi = hi;
+  return s;
+}
+
+PeriodSpec PeriodSpec::uniform(std::int64_t lo, std::int64_t hi) {
+  PeriodSpec s;
+  s.kind = Kind::kUniform;
+  s.lo = lo;
+  s.hi = hi;
+  return s;
+}
+
+PeriodSpec PeriodSpec::harmonic(std::int64_t base, std::int64_t octaves) {
+  PeriodSpec s;
+  s.kind = Kind::kHarmonic;
+  s.base = base;
+  s.octaves = octaves;
+  return s;
+}
+
+PeriodSpec PeriodSpec::choice(std::vector<std::int64_t> choices) {
+  HETSCHED_CHECK(!choices.empty());
+  PeriodSpec s;
+  s.kind = Kind::kChoice;
+  s.choices = std::move(choices);
+  return s;
+}
+
+PeriodSpec PeriodSpec::sim_friendly() {
+  return choice({10, 12, 14, 15, 18, 20, 21, 24, 28, 30, 35, 36, 40, 42, 45,
+                 56, 60, 63, 70, 72, 84, 90, 105, 120, 126, 140, 168, 180,
+                 210, 252, 280, 315, 360, 420, 504, 630, 840, 1260, 2520});
+}
+
+PeriodSpec PeriodSpec::automotive() {
+  return choice({1, 2, 5, 10, 20, 50, 100, 200, 1000});
+}
+
+std::int64_t PeriodSpec::draw(Rng& rng) const {
+  switch (kind) {
+    case Kind::kLogUniform: {
+      HETSCHED_CHECK(0 < lo && lo <= hi);
+      const double v = rng.log_uniform(static_cast<double>(lo),
+                                       static_cast<double>(hi) + 1.0);
+      return std::clamp(static_cast<std::int64_t>(v), lo, hi);
+    }
+    case Kind::kUniform:
+      HETSCHED_CHECK(0 < lo && lo <= hi);
+      return rng.uniform_int(lo, hi);
+    case Kind::kHarmonic: {
+      HETSCHED_CHECK(base > 0 && octaves >= 0);
+      const std::int64_t k = rng.uniform_int(0, octaves);
+      return base << k;
+    }
+    case Kind::kChoice: {
+      HETSCHED_CHECK(!choices.empty());
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(choices.size()) - 1));
+      return choices[idx];
+    }
+  }
+  HETSCHED_CHECK_MSG(false, "unreachable period kind");
+  return 1;
+}
+
+TaskSet realize_taskset(std::span<const double> utilizations,
+                        std::span<const std::int64_t> periods) {
+  HETSCHED_CHECK(utilizations.size() == periods.size());
+  TaskSet ts;
+  for (std::size_t i = 0; i < utilizations.size(); ++i) {
+    HETSCHED_CHECK(periods[i] > 0);
+    HETSCHED_CHECK(utilizations[i] >= 0);
+    const double target = utilizations[i] * static_cast<double>(periods[i]);
+    const auto c = static_cast<std::int64_t>(std::llround(target));
+    ts.push_back(Task{std::clamp<std::int64_t>(c, 1, periods[i] * 4),
+                      periods[i]});
+  }
+  return ts;
+}
+
+TaskSet generate_taskset(Rng& rng, const TasksetSpec& spec) {
+  const std::vector<double> utils =
+      uunifast_discard(rng, spec.n, spec.total_utilization,
+                       spec.max_task_utilization);
+  std::vector<std::int64_t> periods(spec.n);
+  for (auto& p : periods) p = spec.periods.draw(rng);
+  return realize_taskset(utils, periods);
+}
+
+}  // namespace hetsched

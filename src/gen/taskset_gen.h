@@ -1,0 +1,79 @@
+// Synthetic task-set generation.
+//
+// The paper is theory-only, so the evaluation runs on synthetic workloads,
+// generated the way the empirical real-time literature does:
+//   * utilizations via UUniFast (Bini & Buttazzo 2005), which samples the
+//     simplex {sum u_i = U} uniformly, or UUniFast-Discard to additionally
+//     cap the largest task;
+//   * periods log-uniform (orders of magnitude spread), uniform, harmonic,
+//     from a divisor-friendly choice set (keeps simulator hyperperiods
+//     small), or from the automotive benchmark period classes.
+// Execution times are the quantization c_i = round(u_i * p_i) clamped to
+// >= 1, so realized utilizations differ slightly from the drawn ones; the
+// realized values are what every downstream component sees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+#include "util/rng.h"
+
+namespace hetsched {
+
+// UUniFast: n utilizations summing exactly (in real arithmetic) to
+// total_util, uniform over the simplex.  Requires n >= 1, total_util > 0.
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total_util);
+
+// UUniFast-Discard: redraws whole vectors until every utilization is
+// <= max_util.  Requires total_util <= n * max_util (otherwise impossible);
+// aborts after max_attempts unsuccessful draws.
+std::vector<double> uunifast_discard(Rng& rng, std::size_t n,
+                                     double total_util, double max_util,
+                                     std::size_t max_attempts = 10'000);
+
+// How periods are drawn.
+struct PeriodSpec {
+  enum class Kind {
+    kLogUniform,  // log-uniform integer in [lo, hi]
+    kUniform,     // uniform integer in [lo, hi]
+    kHarmonic,    // base * 2^k, k uniform in [0, octaves]
+    kChoice,      // uniform over `choices`
+  };
+  Kind kind = Kind::kLogUniform;
+  std::int64_t lo = 10;
+  std::int64_t hi = 1000;
+  std::int64_t base = 10;    // kHarmonic
+  std::int64_t octaves = 6;  // kHarmonic: k in [0, octaves]
+  std::vector<std::int64_t> choices;  // kChoice
+
+  static PeriodSpec log_uniform(std::int64_t lo, std::int64_t hi);
+  static PeriodSpec uniform(std::int64_t lo, std::int64_t hi);
+  static PeriodSpec harmonic(std::int64_t base, std::int64_t octaves);
+  static PeriodSpec choice(std::vector<std::int64_t> choices);
+  // Divisors of 2520 >= 10: hyperperiod of any subset divides 2520, which
+  // keeps exact simulation cheap.  Used by the simulator-backed tests.
+  static PeriodSpec sim_friendly();
+  // AUTOSAR-style period classes (ms): 1,2,5,10,20,50,100,200,1000.
+  static PeriodSpec automotive();
+
+  std::int64_t draw(Rng& rng) const;
+};
+
+// Builds integer tasks from drawn utilizations and periods:
+// c_i = clamp(round(u_i * p_i), 1, p_i).
+TaskSet realize_taskset(std::span<const double> utilizations,
+                        std::span<const std::int64_t> periods);
+
+// One-call generator: UUniFast-Discard utilizations + PeriodSpec periods.
+struct TasksetSpec {
+  std::size_t n = 16;
+  double total_utilization = 4.0;
+  double max_task_utilization = 1.0;
+  PeriodSpec periods = PeriodSpec::log_uniform(10, 1000);
+};
+
+TaskSet generate_taskset(Rng& rng, const TasksetSpec& spec);
+
+}  // namespace hetsched

@@ -1,0 +1,155 @@
+#include "io/text_format.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hetsched {
+
+std::string ParseError::to_string() const {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+namespace {
+
+// Splits on whitespace.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& tok) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+// Accepts "3", "3/2", or a decimal like "2.5".
+std::optional<Rational> parse_speed(const std::string& tok) {
+  const auto slash = tok.find('/');
+  if (slash != std::string::npos) {
+    const auto num = parse_int(tok.substr(0, slash));
+    const auto den = parse_int(tok.substr(slash + 1));
+    if (!num || !den || *den == 0) return std::nullopt;
+    return Rational(*num, *den);
+  }
+  if (tok.find('.') != std::string::npos) {
+    // Decimal: parse digits around the point to keep the value exact.
+    const auto point = tok.find('.');
+    const std::string whole_s = tok.substr(0, point);
+    const std::string frac_s = tok.substr(point + 1);
+    if (frac_s.empty() || frac_s.size() > 12) return std::nullopt;
+    const auto whole = parse_int(whole_s.empty() ? "0" : whole_s);
+    const auto frac = parse_int(frac_s);
+    if (!whole || !frac || *whole < 0 || *frac < 0) return std::nullopt;
+    std::int64_t scale = 1;
+    for (std::size_t i = 0; i < frac_s.size(); ++i) scale *= 10;
+    return Rational(*whole) + Rational(*frac, scale);
+  }
+  const auto v = parse_int(tok);
+  if (!v) return std::nullopt;
+  return Rational(*v);
+}
+
+}  // namespace
+
+ParseResult<Instance> parse_instance(std::istream& in) {
+  ParseResult<Instance> result;
+  std::vector<Task> tasks;
+  std::optional<Platform> platform;
+
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&](std::string msg) {
+    result.error = ParseError{lineno, std::move(msg)};
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "platform") {
+      if (platform.has_value()) return fail("duplicate platform directive");
+      if (tokens.size() < 2) return fail("platform needs at least one speed");
+      std::vector<Rational> speeds;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        const auto s = parse_speed(tokens[t]);
+        if (!s) return fail("bad speed '" + tokens[t] + "'");
+        if (!(*s > Rational(0))) {
+          return fail("speed must be positive: '" + tokens[t] + "'");
+        }
+        speeds.push_back(*s);
+      }
+      platform = Platform::from_speeds_exact(speeds);
+    } else if (tokens[0] == "task") {
+      if (tokens.size() != 3) return fail("task needs <exec> <period>");
+      const auto exec = parse_int(tokens[1]);
+      const auto period = parse_int(tokens[2]);
+      if (!exec || !period) return fail("task parameters must be integers");
+      const Task t{*exec, *period};
+      if (!t.valid()) return fail("task parameters must be positive");
+      tasks.push_back(t);
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+
+  if (!platform.has_value()) {
+    result.error = ParseError{lineno, "missing platform directive"};
+    return result;
+  }
+  result.value = Instance{TaskSet(std::move(tasks)), *std::move(platform)};
+  return result;
+}
+
+ParseResult<Instance> parse_instance_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_instance(is);
+}
+
+ParseResult<Instance> load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult<Instance> result;
+    result.error = ParseError{0, "cannot open '" + path + "'"};
+    return result;
+  }
+  auto result = parse_instance(in);
+  if (result.error) {
+    result.error->message = path + ": " + result.error->message;
+  }
+  return result;
+}
+
+std::string format_instance(const Instance& instance) {
+  std::ostringstream os;
+  os << "platform";
+  for (std::size_t j = 0; j < instance.platform.size(); ++j) {
+    os << ' ' << instance.platform.speed_exact(j).to_string();
+  }
+  os << '\n';
+  for (const Task& t : instance.tasks) {
+    os << "task " << t.exec << ' ' << t.period << '\n';
+  }
+  return os.str();
+}
+
+bool save_instance(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << format_instance(instance);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,64 @@
+// Plain-text interchange format for task systems and platforms.
+//
+// The CLI tool and downstream users exchange instances as line-oriented
+// text.  Grammar (one directive per line, '#' starts a comment):
+//
+//   platform  <speed> [<speed> ...]        # decimals or rationals "3/2"
+//   task      <exec> <period>              # positive integers
+//
+// Example:
+//   # big.LITTLE with one fast core
+//   platform 1 1 2.5
+//   task 2 10
+//   task 9 10
+//
+// Parsing is strict: any malformed line yields an error with its line
+// number rather than a silently skewed experiment.  Serialization emits the
+// same format and round-trips exactly (speeds are written as rationals).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/platform.h"
+#include "core/task.h"
+
+namespace hetsched {
+
+struct Instance {
+  TaskSet tasks;
+  Platform platform;
+};
+
+struct ParseError {
+  std::size_t line = 0;       // 1-based line number
+  std::string message;
+
+  std::string to_string() const;
+};
+
+// Result carrying either a value or a parse error.
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  std::optional<ParseError> error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+// Parses an instance from text.  Requires at least one `platform` line; a
+// second `platform` line is an error.  Zero tasks is allowed.
+ParseResult<Instance> parse_instance(std::istream& in);
+ParseResult<Instance> parse_instance_string(const std::string& text);
+
+// Loads an instance from a file; the error message names the path.
+ParseResult<Instance> load_instance(const std::string& path);
+
+// Serializes in the same format (speeds as exact rationals).
+std::string format_instance(const Instance& instance);
+
+// Writes format_instance() to `path`; false on I/O failure.
+bool save_instance(const Instance& instance, const std::string& path);
+
+}  // namespace hetsched

@@ -1,0 +1,116 @@
+#include "lp/feasibility_lp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+LinearProgram build_feasibility_lp(const TaskSet& tasks,
+                                   const Platform& platform) {
+  const std::size_t n = tasks.size();
+  const std::size_t m = platform.size();
+  HETSCHED_CHECK(m >= 1);
+  LinearProgram lp(n * m);
+
+  // (1) every task fully scheduled.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    terms.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) terms.emplace_back(i * m + j, 1.0);
+    lp.add_constraint(terms, Relation::kEq, tasks[i].utilization());
+  }
+  // (2) a task's jobs never run in parallel with themselves.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    terms.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      terms.emplace_back(i * m + j, 1.0 / platform.speed(j));
+    }
+    lp.add_constraint(terms, Relation::kLe, 1.0);
+  }
+  // (3) no machine overloaded.
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    terms.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      terms.emplace_back(i * m + j, 1.0 / platform.speed(j));
+    }
+    lp.add_constraint(terms, Relation::kLe, 1.0);
+  }
+  return lp;
+}
+
+bool lp_feasible_simplex(const TaskSet& tasks, const Platform& platform) {
+  if (tasks.empty()) return true;
+  const LinearProgram lp = build_feasibility_lp(tasks, platform);
+  return lp_is_feasible(lp);
+}
+
+std::optional<std::vector<double>> lp_solution(const TaskSet& tasks,
+                                               const Platform& platform) {
+  if (tasks.empty()) return std::vector<double>{};
+  const LinearProgram lp = build_feasibility_lp(tasks, platform);
+  LpSolution sol = solve_lp(lp);
+  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+  return std::move(sol.x);
+}
+
+namespace {
+
+// Sorted (non-increasing) utilizations and speeds for the prefix condition.
+struct SortedInstance {
+  std::vector<double> w;  // utilizations, descending
+  std::vector<double> s;  // speeds, descending
+};
+
+SortedInstance sort_instance(const TaskSet& tasks, const Platform& platform) {
+  SortedInstance si;
+  si.w.reserve(tasks.size());
+  for (const Task& t : tasks) si.w.push_back(t.utilization());
+  std::sort(si.w.begin(), si.w.end(), std::greater<>());
+  si.s.reserve(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    si.s.push_back(platform.speed(j));
+  }
+  std::sort(si.s.begin(), si.s.end(), std::greater<>());
+  return si;
+}
+
+}  // namespace
+
+bool lp_feasible_oracle(const TaskSet& tasks, const Platform& platform) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  const SortedInstance si = sort_instance(tasks, platform);
+  const std::size_t kmax = std::min(si.w.size(), si.s.size());
+  double wsum = 0, ssum = 0;
+  for (std::size_t k = 0; k < kmax; ++k) {
+    wsum += si.w[k];
+    ssum += si.s[k];
+    if (wsum > ssum * (1 + 1e-12)) return false;
+  }
+  // Total utilization vs. total speed (tasks beyond the m-th add demand but
+  // no new parallelism constraint).
+  for (std::size_t k = kmax; k < si.w.size(); ++k) wsum += si.w[k];
+  for (std::size_t k = kmax; k < si.s.size(); ++k) ssum += si.s[k];
+  return wsum <= ssum * (1 + 1e-12);
+}
+
+double min_lp_augmentation(const TaskSet& tasks, const Platform& platform) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  if (tasks.empty()) return 0;
+  const SortedInstance si = sort_instance(tasks, platform);
+  const std::size_t kmax = std::min(si.w.size(), si.s.size());
+  double alpha = 0;
+  double wsum = 0, ssum = 0;
+  for (std::size_t k = 0; k < kmax; ++k) {
+    wsum += si.w[k];
+    ssum += si.s[k];
+    alpha = std::max(alpha, wsum / ssum);
+  }
+  for (std::size_t k = kmax; k < si.w.size(); ++k) wsum += si.w[k];
+  for (std::size_t k = kmax; k < si.s.size(); ++k) ssum += si.s[k];
+  return std::max(alpha, wsum / ssum);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+// The paper's LP adversary (Section II, constraints (1)-(4)).
+//
+// Variables u_{i,j} >= 0 give the utilization of task i placed on machine j:
+//   (1)  sum_j u_{i,j}        = w_i          (all of task i is scheduled)
+//   (2)  sum_j u_{i,j} / s_j <= 1            (task i never runs in parallel)
+//   (3)  sum_i u_{i,j} / s_j <= 1            (machine j is not overloaded)
+//   (4)  u_{i,j} >= 0
+// A migrating (non-partitioned) scheduler exists only if this LP is
+// feasible, so "LP infeasible" is the certificate Theorems I.3/I.4 produce.
+//
+// Two independent deciders are provided and cross-checked in tests:
+//   * the general simplex on the explicit LP, and
+//   * the classic combinatorial condition for uniform machines
+//     (Horvath–Lam–Sethi 1977 / Liu: level-algorithm feasibility): with
+//     utilizations and speeds sorted non-increasingly,
+//        for all k <= min(n,m):  sum_{i<=k} w_i <= sum_{j<=k} s_j
+//        and                     sum_i w_i      <= sum_j s_j.
+// The combinatorial form also yields the *exact* minimum speed scaling
+// alpha* that makes the LP feasible, used by bench E4.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "lp/simplex.h"
+
+namespace hetsched {
+
+// Builds the explicit LP (1)-(4); variable u_{i,j} has index i * m + j.
+LinearProgram build_feasibility_lp(const TaskSet& tasks,
+                                   const Platform& platform);
+
+// Decides feasibility with the simplex solver.  Aborts only on internal
+// solver failure (iteration limit), which the instance sizes here never hit.
+bool lp_feasible_simplex(const TaskSet& tasks, const Platform& platform);
+
+// Returns a feasible u (row-major n x m) if one exists.
+std::optional<std::vector<double>> lp_solution(const TaskSet& tasks,
+                                               const Platform& platform);
+
+// Decides feasibility with the combinatorial condition (exact, O(n log n)).
+bool lp_feasible_oracle(const TaskSet& tasks, const Platform& platform);
+
+// Minimum alpha such that the LP becomes feasible when every machine speed
+// is scaled by alpha:
+//   alpha* = max( max_k  (sum of k largest w) / (sum of k fastest s),
+//                 (sum of all w) / (sum of all s) ).
+// Returns 0 for an empty task set.
+double min_lp_augmentation(const TaskSet& tasks, const Platform& platform);
+
+}  // namespace hetsched

@@ -1,0 +1,293 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+LinearProgram::LinearProgram(std::size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars, 0.0) {}
+
+void LinearProgram::set_objective(std::size_t v, double coeff) {
+  HETSCHED_CHECK(v < num_vars_);
+  objective_[v] = coeff;
+}
+
+void LinearProgram::add_constraint(
+    const std::vector<std::pair<std::size_t, double>>& terms, Relation rel,
+    double rhs) {
+  for (const auto& [v, coeff] : terms) {
+    HETSCHED_CHECK(v < num_vars_);
+    (void)coeff;
+  }
+  rows_.push_back(Row{terms, rel, rhs});
+}
+
+namespace {
+
+// Dense tableau state for the two-phase method.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& opts)
+      : eps_(opts.eps), n_struct_(lp.num_vars()), m_(lp.num_constraints()) {
+    // Column layout: [structural | slack/surplus | artificial].
+    std::size_t n_slack = 0;
+    for (const auto& row : lp.rows()) {
+      if (row.rel != Relation::kEq) ++n_slack;
+    }
+    // Worst case every row needs an artificial.
+    first_slack_ = n_struct_;
+    first_art_ = n_struct_ + n_slack;
+    cols_ = first_art_ + m_;
+
+    a_.assign(m_, std::vector<double>(cols_, 0.0));
+    b_.assign(m_, 0.0);
+    basis_.assign(m_, 0);
+    is_artificial_.assign(cols_, false);
+    for (std::size_t j = first_art_; j < cols_; ++j) is_artificial_[j] = true;
+
+    std::size_t slack_cursor = first_slack_;
+    std::size_t art_cursor = first_art_;
+    n_art_used_ = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto& row = lp.rows()[i];
+      double sign = 1.0;
+      Relation rel = row.rel;
+      if (row.rhs < 0) {  // normalize to b >= 0
+        sign = -1.0;
+        if (rel == Relation::kLe) rel = Relation::kGe;
+        else if (rel == Relation::kGe) rel = Relation::kLe;
+      }
+      for (const auto& [v, coeff] : row.terms) a_[i][v] += sign * coeff;
+      b_[i] = sign * row.rhs;
+
+      if (rel == Relation::kLe) {
+        a_[i][slack_cursor] = 1.0;
+        basis_[i] = slack_cursor;
+        ++slack_cursor;
+      } else if (rel == Relation::kGe) {
+        a_[i][slack_cursor] = -1.0;
+        ++slack_cursor;
+        a_[i][art_cursor] = 1.0;
+        basis_[i] = art_cursor;
+        ++art_cursor;
+        ++n_art_used_;
+      } else {  // kEq
+        a_[i][art_cursor] = 1.0;
+        basis_[i] = art_cursor;
+        ++art_cursor;
+        ++n_art_used_;
+      }
+    }
+  }
+
+  // Minimizes cost over the current tableau with Bland's rule.
+  // `allow_artificial_entering` is false in phase 2.
+  // Returns kOptimal / kUnbounded / kIterLimit.
+  LpStatus run(const std::vector<double>& cost, bool allow_artificial_entering,
+               std::size_t max_iters, std::size_t* iters_used) {
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      // Reduced costs: rc_j = c_j - sum_i c_{basis(i)} * a_{i,j}.
+      // Computed fresh each iteration for numerical robustness.
+      std::size_t entering = cols_;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (!allow_artificial_entering && is_artificial_[j]) continue;
+        if (is_basic_col(j)) continue;
+        double rc = cost[j];
+        for (std::size_t i = 0; i < m_; ++i) {
+          const double cb = cost[basis_[i]];
+          if (cb != 0.0) rc -= cb * a_[i][j];
+        }
+        if (rc < -eps_) {  // Bland: first improving index
+          entering = j;
+          break;
+        }
+      }
+      if (entering == cols_) {
+        *iters_used += iter;
+        return LpStatus::kOptimal;
+      }
+
+      // Ratio test; Bland tie-break on smallest basis column index.
+      std::size_t leaving = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (a_[i][entering] > eps_) {
+          const double ratio = b_[i] / a_[i][entering];
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ &&
+               (leaving == m_ || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == m_) {
+        *iters_used += iter;
+        return LpStatus::kUnbounded;
+      }
+      pivot(leaving, entering);
+    }
+    *iters_used += max_iters;
+    return LpStatus::kIterLimit;
+  }
+
+  // Value of the given cost vector at the current basic solution.
+  double objective_value(const std::vector<double>& cost) const {
+    double v = 0;
+    for (std::size_t i = 0; i < m_; ++i) v += cost[basis_[i]] * b_[i];
+    return v;
+  }
+
+  // After a successful phase 1, pivots basic artificials out where possible
+  // and deactivates redundant rows.
+  void eliminate_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (!is_artificial_[basis_[i]]) continue;
+      // The artificial is basic at value ~0; any non-artificial column with
+      // a nonzero coefficient in this row can replace it.
+      std::size_t replacement = cols_;
+      for (std::size_t j = 0; j < first_art_; ++j) {
+        if (std::abs(a_[i][j]) > eps_ && !is_basic_col(j)) {
+          replacement = j;
+          break;
+        }
+      }
+      if (replacement != cols_) {
+        pivot(i, replacement);
+      } else {
+        // Redundant row: zero it so it can never constrain a pivot.
+        std::fill(a_[i].begin(), a_[i].end(), 0.0);
+        a_[i][basis_[i]] = 1.0;
+        b_[i] = 0.0;
+      }
+    }
+  }
+
+  std::vector<double> extract_solution() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) x[basis_[i]] = b_[i];
+    }
+    return x;
+  }
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return m_; }
+  std::size_t first_art() const { return first_art_; }
+  std::size_t n_art_used() const { return n_art_used_; }
+
+ private:
+  bool is_basic_col(std::size_t j) const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] == j) return true;
+    }
+    return false;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    HETSCHED_DCHECK(std::abs(p) > 0);
+    const double inv = 1.0 / p;
+    for (double& v : a_[row]) v *= inv;
+    b_[row] *= inv;
+    a_[row][col] = 1.0;  // kill residual rounding
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = a_[i][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) a_[i][j] -= f * a_[row][j];
+      a_[i][col] = 0.0;
+      b_[i] -= f * b_[row];
+      if (b_[i] < 0 && b_[i] > -eps_) b_[i] = 0;  // clamp rounding
+    }
+    basis_[row] = col;
+  }
+
+  double eps_;
+  std::size_t n_struct_;
+  std::size_t m_;
+  std::size_t cols_ = 0;
+  std::size_t first_slack_ = 0;
+  std::size_t first_art_ = 0;
+  std::size_t n_art_used_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> is_artificial_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& opts) {
+  LpSolution sol;
+  Tableau t(lp, opts);
+  const std::size_t max_iters =
+      opts.max_iters > 0 ? opts.max_iters
+                         : 200 * (t.rows() + t.cols()) + 2000;
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1_cost(t.cols(), 0.0);
+  for (std::size_t j = t.first_art(); j < t.cols(); ++j) phase1_cost[j] = 1.0;
+  LpStatus st = LpStatus::kOptimal;
+  if (t.n_art_used() > 0) {
+    st = t.run(phase1_cost, /*allow_artificial_entering=*/true, max_iters,
+               &sol.iterations);
+    if (st == LpStatus::kIterLimit) {
+      sol.status = st;
+      return sol;
+    }
+    HETSCHED_CHECK_MSG(st != LpStatus::kUnbounded,
+                       "phase-1 objective is bounded below by construction");
+    if (t.objective_value(phase1_cost) > opts.eps * 10) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    t.eliminate_artificials();
+  }
+
+  // Phase 2: the caller's objective (internally always minimized).
+  std::vector<double> phase2_cost(t.cols(), 0.0);
+  const double sign = lp.maximize() ? -1.0 : 1.0;
+  for (std::size_t v = 0; v < lp.num_vars(); ++v) {
+    phase2_cost[v] = sign * lp.objective()[v];
+  }
+  st = t.run(phase2_cost, /*allow_artificial_entering=*/false, max_iters,
+             &sol.iterations);
+  sol.status = st;
+  if (st == LpStatus::kOptimal) {
+    sol.x = t.extract_solution();
+    double obj = 0;
+    for (std::size_t v = 0; v < lp.num_vars(); ++v) {
+      obj += lp.objective()[v] * sol.x[v];
+    }
+    sol.objective = obj;
+  }
+  return sol;
+}
+
+bool lp_is_feasible(const LinearProgram& lp, const SimplexOptions& opts) {
+  // A zero objective makes phase 2 a no-op after the phase-1 verdict.
+  LinearProgram probe = lp;
+  for (std::size_t v = 0; v < probe.num_vars(); ++v) probe.set_objective(v, 0);
+  return solve_lp(probe, opts).status == LpStatus::kOptimal;
+}
+
+}  // namespace hetsched

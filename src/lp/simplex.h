@@ -1,0 +1,82 @@
+// Dense two-phase primal simplex, written from scratch.
+//
+// The paper analyzes its algorithm against the natural LP (1)-(4) ("the
+// non-partitioned adversary").  To *test* Theorems I.3/I.4 empirically we
+// must decide LP feasibility exactly on concrete instances, so this module
+// provides a general-purpose solver:
+//   * phase 1 minimizes the sum of artificial variables (feasibility),
+//   * phase 2 optimizes the caller's objective,
+//   * Bland's anti-cycling rule guarantees termination.
+// Problems are small (a few hundred rows, a few thousand columns), so a
+// dense tableau is the right engineering choice; the related-machines
+// combinatorial oracle (related_oracle.h) cross-validates every verdict.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+enum class Relation { kLe, kGe, kEq };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+std::string to_string(LpStatus s);
+
+// An LP over x >= 0:  optimize c^T x subject to row-wise A x (<=,>=,=) b.
+class LinearProgram {
+ public:
+  // Creates a program with `num_vars` non-negative variables.
+  explicit LinearProgram(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_constraints() const { return rows_.size(); }
+
+  // Sets the objective coefficient of variable v (default 0).
+  void set_objective(std::size_t v, double coeff);
+
+  // Adds a constraint given as sparse (variable, coefficient) terms.
+  void add_constraint(const std::vector<std::pair<std::size_t, double>>& terms,
+                      Relation rel, double rhs);
+
+  // Minimize (default) or maximize the objective.
+  void set_maximize(bool maximize) { maximize_ = maximize; }
+
+  struct Row {
+    std::vector<std::pair<std::size_t, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<double>& objective() const { return objective_; }
+  bool maximize() const { return maximize_; }
+
+ private:
+  std::size_t num_vars_;
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+  bool maximize_ = false;
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;          // pivot / feasibility tolerance
+  std::size_t max_iters = 0;  // 0 = automatic (generous polynomial cap)
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0;    // valid when status == kOptimal
+  std::vector<double> x;   // primal values, valid when kOptimal
+  std::size_t iterations = 0;
+};
+
+// Solves the program; never throws.  Status kIterLimit indicates the
+// iteration cap was hit (should not happen with Bland's rule on the sizes
+// this library generates, but the caller must handle it).
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& opts = {});
+
+// Convenience: phase-1 only.  True iff the constraint system is feasible.
+bool lp_is_feasible(const LinearProgram& lp, const SimplexOptions& opts = {});
+
+}  // namespace hetsched

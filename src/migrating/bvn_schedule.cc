@@ -1,0 +1,207 @@
+#include "migrating/bvn_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/feasibility_lp.h"
+#include "util/check.h"
+
+namespace hetsched {
+
+double MigratingSchedule::total_length() const {
+  double sum = 0;
+  for (const MigratingSlice& s : slices) sum += s.length;
+  return sum;
+}
+
+double MigratingSchedule::work_per_frame(std::size_t task,
+                                         const Platform& platform) const {
+  double work = 0;
+  for (const MigratingSlice& s : slices) {
+    for (std::size_t j = 0; j < s.assignment.size(); ++j) {
+      if (s.assignment[j] == task) work += s.length * platform.speed(j);
+    }
+  }
+  return work;
+}
+
+std::size_t MigratingSchedule::migrations_per_frame() const {
+  std::size_t migrations = 0;
+  // Tasks appearing in the slices.
+  std::vector<std::size_t> tasks;
+  for (const MigratingSlice& s : slices) {
+    for (const std::size_t t : s.assignment) {
+      if (t != MigratingSlice::kIdle) tasks.push_back(t);
+    }
+  }
+  std::sort(tasks.begin(), tasks.end());
+  tasks.erase(std::unique(tasks.begin(), tasks.end()), tasks.end());
+
+  for (const std::size_t task : tasks) {
+    // Machine sequence across slices (frame is cyclic: the schedule repeats
+    // every time unit, so the last appearance wraps to the first).
+    std::vector<std::size_t> machines;
+    for (const MigratingSlice& s : slices) {
+      for (std::size_t j = 0; j < s.assignment.size(); ++j) {
+        if (s.assignment[j] == task) machines.push_back(j);
+      }
+    }
+    if (machines.size() < 2) continue;
+    for (std::size_t k = 0; k < machines.size(); ++k) {
+      if (machines[k] != machines[(k + 1) % machines.size()]) ++migrations;
+    }
+  }
+  return migrations;
+}
+
+namespace {
+
+constexpr double kZero = 1e-12;
+
+// Kuhn's augmenting-path bipartite matching on entries > kZero.
+class Matcher {
+ public:
+  explicit Matcher(const std::vector<std::vector<double>>& m)
+      : m_(m), n_(m.size()), match_col_(n_, kUnmatched) {}
+
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+
+  // Returns column -> row matching, or empty if no perfect matching.
+  std::vector<std::size_t> perfect_matching() {
+    std::fill(match_col_.begin(), match_col_.end(), kUnmatched);
+    for (std::size_t row = 0; row < n_; ++row) {
+      visited_.assign(n_, false);
+      if (!augment(row)) return {};
+    }
+    return match_col_;
+  }
+
+ private:
+  bool augment(std::size_t row) {
+    for (std::size_t col = 0; col < n_; ++col) {
+      if (m_[row][col] <= kZero || visited_[col]) continue;
+      visited_[col] = true;
+      if (match_col_[col] == kUnmatched || augment(match_col_[col])) {
+        match_col_[col] = row;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<std::vector<double>>& m_;
+  std::size_t n_;
+  std::vector<std::size_t> match_col_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace
+
+std::optional<MigratingSchedule> schedule_from_lp_solution(
+    const std::vector<double>& u, const TaskSet& tasks,
+    const Platform& platform) {
+  const std::size_t n = tasks.size();
+  const std::size_t m = platform.size();
+  if (u.size() != n * m) return std::nullopt;
+  constexpr double kTol = 1e-6;
+
+  // Time-fraction matrix and its margins.
+  std::vector<std::vector<double>> r(n, std::vector<double>(m, 0.0));
+  std::vector<double> row_sum(n, 0.0), col_sum(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double uij = u[i * m + j];
+      if (uij < -kTol) return std::nullopt;
+      r[i][j] = std::max(0.0, uij) / platform.speed(j);
+      row_sum[i] += r[i][j];
+      col_sum[j] += r[i][j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row_sum[i] > 1 + kTol) return std::nullopt;
+    row_sum[i] = std::min(row_sum[i], 1.0);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    if (col_sum[j] > 1 + kTol) return std::nullopt;
+    col_sum[j] = std::min(col_sum[j], 1.0);
+  }
+
+  // Pad to an (n+m) x (n+m) doubly stochastic matrix:
+  //   [ r                diag(1 - row_sum) ]
+  //   [ diag(1 - col)    B                 ]
+  // where the transportation block B gives slack row j mass col_sum[j] and
+  // slack column i mass row_sum[i] (both total the same), filled greedily.
+  const std::size_t big = n + m;
+  std::vector<std::vector<double>> mat(big, std::vector<double>(big, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) mat[i][j] = r[i][j];
+    mat[i][m + i] = 1.0 - row_sum[i];
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    mat[n + j][j] = 1.0 - col_sum[j];
+  }
+  {
+    // Northwest-corner fill of the bottom-right block.
+    std::size_t jj = 0, ii = 0;
+    std::vector<double> need_row = col_sum;   // slack row n+j needs this
+    std::vector<double> need_col = row_sum;   // slack col m+i needs this
+    while (jj < m && ii < n) {
+      if (need_row[jj] < kZero) {
+        ++jj;
+        continue;
+      }
+      if (need_col[ii] < kZero) {
+        ++ii;
+        continue;
+      }
+      const double amount = std::min(need_row[jj], need_col[ii]);
+      mat[n + jj][m + ii] += amount;
+      need_row[jj] -= amount;
+      need_col[ii] -= amount;
+    }
+  }
+
+  // Birkhoff–von Neumann peeling.
+  MigratingSchedule sched;
+  double peeled = 0;
+  for (std::size_t iter = 0; iter < big * big + big && peeled < 1 - kTol;
+       ++iter) {
+    Matcher matcher(mat);
+    const std::vector<std::size_t> match_col = matcher.perfect_matching();
+    if (match_col.empty()) break;  // residual mass below resolution
+    // Slice length = smallest matched entry.
+    double delta = 2.0;
+    for (std::size_t col = 0; col < big; ++col) {
+      delta = std::min(delta, mat[match_col[col]][col]);
+    }
+    if (delta <= kZero) break;
+    // Record the real task->machine pairs of this permutation.
+    MigratingSlice slice;
+    slice.length = delta;
+    slice.assignment.assign(m, MigratingSlice::kIdle);
+    bool any_real = false;
+    for (std::size_t col = 0; col < m; ++col) {
+      const std::size_t row = match_col[col];
+      if (row < n && mat[row][col] > kZero) {
+        slice.assignment[col] = row;
+        any_real = true;
+      }
+    }
+    if (any_real) sched.slices.push_back(std::move(slice));
+    for (std::size_t col = 0; col < big; ++col) {
+      mat[match_col[col]][col] -= delta;
+      if (mat[match_col[col]][col] < kZero) mat[match_col[col]][col] = 0;
+    }
+    peeled += delta;
+  }
+  return sched;
+}
+
+std::optional<MigratingSchedule> build_migrating_schedule(
+    const TaskSet& tasks, const Platform& platform) {
+  const auto u = lp_solution(tasks, platform);
+  if (!u) return std::nullopt;
+  return schedule_from_lp_solution(*u, tasks, platform);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,68 @@
+// Realizing the LP adversary: a migrating schedule from an LP solution.
+//
+// The paper's non-partitioned adversary is "any schedule permitted by the
+// LP (1)-(4)".  This module makes that adversary concrete: given a feasible
+// u_{i,j}, it constructs an actual migrating schedule, proving the LP bound
+// is attainable and letting benches compare what migration buys (bench E12).
+//
+// Construction.  The time-fraction matrix r_{i,j} = u_{i,j} / s_j has row
+// sums <= 1 (LP (2): a task never runs in parallel with itself) and column
+// sums <= 1 (LP (3): no machine overloaded) — it is doubly substochastic.
+// By the Birkhoff–von Neumann theorem (via repeated bipartite matchings on
+// the padded square matrix) it decomposes into at most (n + m)^2 slices
+//     r = sum_k  len_k * P_k,     sum_k len_k <= 1,
+// where each P_k assigns every machine at most one task and every task at
+// most one machine.  Replaying the slices in every unit time frame gives
+// each task exactly w_i work per time unit — the fluid rate — so every
+// implicit-deadline job finishes exactly at its deadline.  Within each
+// frame, tasks may migrate between machines at slice boundaries: that
+// migration is precisely the capability the partitioned algorithm gives up.
+//
+// Numerics: u comes from the double-precision simplex, so slice lengths are
+// doubles and validation uses a 1e-6 tolerance (documented, asserted in
+// tests); the slice *structure* (no conflicts) is exact by construction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+
+namespace hetsched {
+
+// One slice of the frame: machine j runs task assignment[j] (or idles when
+// assignment[j] == kIdle) for `length` time units of every unit frame.
+struct MigratingSlice {
+  static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  double length = 0;
+  std::vector<std::size_t> assignment;  // machine -> task or kIdle
+};
+
+struct MigratingSchedule {
+  std::vector<MigratingSlice> slices;
+
+  // Total slice length (<= 1 + tolerance).
+  double total_length() const;
+  // Work task i receives per unit frame (= sum over slices of len * s_j).
+  double work_per_frame(std::size_t task, const Platform& platform) const;
+  // Number of migrations per frame: slice-boundary machine changes of the
+  // same task (a task that pauses and resumes on the same machine does not
+  // count).
+  std::size_t migrations_per_frame() const;
+};
+
+// Builds the schedule from an explicit LP solution u (row-major n x m, as
+// returned by lp_solution()).  Returns nullopt if u is malformed
+// (dimensions, negativity, or row/column fraction sums above 1 + 1e-6).
+std::optional<MigratingSchedule> schedule_from_lp_solution(
+    const std::vector<double>& u, const TaskSet& tasks,
+    const Platform& platform);
+
+// Convenience: solve the LP and decompose.  Returns nullopt when the LP is
+// infeasible (no migrating scheduler exists at all).
+std::optional<MigratingSchedule> build_migrating_schedule(
+    const TaskSet& tasks, const Platform& platform);
+
+}  // namespace hetsched

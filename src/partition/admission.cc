@@ -1,0 +1,60 @@
+#include "partition/admission.h"
+
+#include "core/rta.h"
+#include "core/uniproc.h"
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string to_string(AdmissionKind k) {
+  switch (k) {
+    case AdmissionKind::kEdf:
+      return "EDF";
+    case AdmissionKind::kRmsLiuLayland:
+      return "RMS-LL";
+    case AdmissionKind::kRmsHyperbolic:
+      return "RMS-HB";
+    case AdmissionKind::kRmsResponseTime:
+      return "RMS-RTA";
+  }
+  return "?";
+}
+
+bool is_rms(AdmissionKind k) { return k != AdmissionKind::kEdf; }
+
+MachineLoad::MachineLoad(AdmissionKind kind, const Rational& speed,
+                         double alpha)
+    : kind_(kind),
+      speed_exact_(speed * rational_from_double(alpha, 1'000'000)),
+      capacity_(speed.to_double() * alpha) {
+  HETSCHED_CHECK(speed > Rational(0));
+  HETSCHED_CHECK(alpha >= 1.0);
+}
+
+bool MachineLoad::can_admit(const Task& t) const {
+  const double w = t.utilization();
+  switch (kind_) {
+    case AdmissionKind::kEdf:
+      return edf_feasible(util_sum_ + w, capacity_);
+    case AdmissionKind::kRmsLiuLayland:
+      return rms_ll_feasible(util_sum_ + w, tasks_.size() + 1, capacity_);
+    case AdmissionKind::kRmsHyperbolic:
+      return hyper_product_ * (w / capacity_ + 1.0) <= 2.0;
+    case AdmissionKind::kRmsResponseTime: {
+      std::vector<Task> with = tasks_;
+      with.push_back(t);
+      return rta_schedulable(with, speed_exact_);
+    }
+  }
+  HETSCHED_CHECK_MSG(false, "unreachable admission kind");
+  return false;
+}
+
+void MachineLoad::admit(const Task& t) {
+  const double w = t.utilization();
+  util_sum_ += w;
+  hyper_product_ *= w / capacity_ + 1.0;
+  tasks_.push_back(t);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,61 @@
+// Per-machine admission tests used by the first-fit partitioner.
+//
+// The paper's algorithm admits a task onto a machine of (augmented) speed
+// alpha * s if the machine's single-processor schedulability test still
+// passes with the task added.  Admission state is incremental so the whole
+// partitioning pass is O(nm) for the analytical bounds; the exact RTA
+// admission (an extension) re-runs response-time analysis and is
+// correspondingly more expensive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "util/rational.h"
+
+namespace hetsched {
+
+enum class AdmissionKind {
+  kEdf,              // sum w <= alpha s                  (paper, Thm II.2)
+  kRmsLiuLayland,    // sum w <= (k)(2^{1/k}-1) alpha s   (paper, Thm II.3)
+  kRmsHyperbolic,    // prod(w/(alpha s)+1) <= 2          (extension)
+  kRmsResponseTime,  // exact RTA at speed alpha s        (extension)
+};
+
+std::string to_string(AdmissionKind k);
+
+// True for the admission kinds whose accepted partitions run under
+// rate-monotonic priorities (vs. EDF).
+bool is_rms(AdmissionKind k);
+
+// Incremental admission state for one machine.
+class MachineLoad {
+ public:
+  // `speed` is the machine's un-augmented speed s_j; `alpha` the augmentation.
+  MachineLoad(AdmissionKind kind, const Rational& speed, double alpha);
+
+  // Would the machine still pass its schedulability test with `t` added?
+  bool can_admit(const Task& t) const;
+
+  // Adds the task (caller must have checked can_admit, or explicitly wants
+  // an overloaded machine for analysis purposes).
+  void admit(const Task& t);
+
+  double utilization() const { return util_sum_; }
+  std::size_t task_count() const { return tasks_.size(); }
+  double capacity() const { return capacity_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  AdmissionKind kind_;
+  Rational speed_exact_;       // alpha-augmented speed, exact (for RTA)
+  double capacity_ = 0;        // alpha * s_j
+  double util_sum_ = 0;        // sum of admitted utilizations
+  double hyper_product_ = 1;   // prod (w_i / capacity + 1)
+  std::vector<Task> tasks_;    // admitted tasks (needed by RTA; kept for all
+                               // kinds so results can report assignments)
+};
+
+}  // namespace hetsched

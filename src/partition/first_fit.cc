@@ -1,0 +1,106 @@
+#include "partition/first_fit.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string PartitionResult::to_string() const {
+  std::ostringstream os;
+  os << hetsched::to_string(kind) << " alpha=" << alpha << " ";
+  if (feasible) {
+    os << "FEASIBLE loads=[";
+    for (std::size_t j = 0; j < machine_utilization.size(); ++j) {
+      if (j > 0) os << ",";
+      os << machine_utilization[j];
+    }
+    os << "]";
+  } else {
+    os << "INFEASIBLE failed_task=" << (failed_task ? *failed_task : 0)
+       << " w=" << failed_utilization;
+  }
+  return os.str();
+}
+
+PartitionResult first_fit_partition(const TaskSet& tasks,
+                                    const Platform& platform,
+                                    AdmissionKind kind, double alpha) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+
+  PartitionResult out;
+  out.kind = kind;
+  out.alpha = alpha;
+  out.assignment.assign(tasks.size(), platform.size());
+
+  std::vector<MachineLoad> loads;
+  loads.reserve(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    loads.emplace_back(kind, platform.speed_exact(j), alpha);
+  }
+
+  // Tasks in non-increasing utilization order (paper's order), machines are
+  // already sorted by non-decreasing speed inside Platform.
+  for (const std::size_t i : tasks.order_by_utilization_desc()) {
+    const Task& t = tasks[i];
+    bool placed = false;
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+      if (loads[j].can_admit(t)) {
+        loads[j].admit(t);
+        out.assignment[i] = j;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      out.feasible = false;
+      out.failed_task = i;
+      out.failed_utilization = t.utilization();
+      // Expose the partial loads: the proofs reason about exactly this state.
+      out.tasks_per_machine.resize(platform.size());
+      out.machine_utilization.resize(platform.size());
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        out.tasks_per_machine[j] = loads[j].tasks();
+        out.machine_utilization[j] = loads[j].utilization();
+      }
+      return out;
+    }
+  }
+
+  out.feasible = true;
+  out.tasks_per_machine.resize(platform.size());
+  out.machine_utilization.resize(platform.size());
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    out.tasks_per_machine[j] = loads[j].tasks();
+    out.machine_utilization[j] = loads[j].utilization();
+  }
+  return out;
+}
+
+bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
+                       AdmissionKind kind, double alpha) {
+  return first_fit_partition(tasks, platform, kind, alpha).feasible;
+}
+
+std::optional<double> min_feasible_alpha(const TaskSet& tasks,
+                                         const Platform& platform,
+                                         AdmissionKind kind, double alpha_hi,
+                                         double tol) {
+  HETSCHED_CHECK(alpha_hi >= 1.0);
+  HETSCHED_CHECK(tol > 0);
+  if (first_fit_accepts(tasks, platform, kind, 1.0)) return 1.0;
+  if (!first_fit_accepts(tasks, platform, kind, alpha_hi)) return std::nullopt;
+  double lo = 1.0, hi = alpha_hi;  // reject at lo, accept at hi
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (first_fit_accepts(tasks, platform, kind, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace hetsched

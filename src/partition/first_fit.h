@@ -1,0 +1,74 @@
+// The paper's partitioned feasibility test (Section III).
+//
+// Algorithm: sort tasks by non-increasing utilization; sort machines by
+// non-decreasing speed; assign each task to the first (slowest) machine
+// whose per-machine schedulability test still passes at speed alpha * s_j.
+// If some task fits nowhere the test declares failure, and the paper's
+// theorems turn that failure into an infeasibility certificate:
+//   * alpha = 2      + EDF admission:  no *partitioned* EDF schedule exists
+//                      at the original speeds (Theorem I.1);
+//   * alpha = 2.414  + RMS admission:  no partitioned RMS schedule (Thm I.2);
+//   * alpha = 2.98   + EDF admission:  the migrating-adversary LP (1)-(4)
+//                      is infeasible (Theorem I.3);
+//   * alpha = 3.34   + RMS admission:  same under RMS (Theorem I.4).
+// Running time O(n log n + n m) for the bound-based admission kinds.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/admission.h"
+
+namespace hetsched {
+
+struct PartitionResult {
+  bool feasible = false;
+  AdmissionKind kind = AdmissionKind::kEdf;
+  double alpha = 1.0;
+
+  // task index (caller's numbering) -> machine index in the platform's
+  // sorted order; only meaningful when feasible.
+  std::vector<std::size_t> assignment;
+
+  // Tasks grouped per machine (sorted order), in assignment order.
+  std::vector<std::vector<Task>> tasks_per_machine;
+
+  // Utilization admitted per machine (at unaugmented task utilizations).
+  std::vector<double> machine_utilization;
+
+  // When infeasible: the task (caller's index) the algorithm failed on, and
+  // its utilization w_n — the quantity the paper's case analysis pivots on.
+  std::optional<std::size_t> failed_task;
+  double failed_utilization = 0;
+
+  std::string to_string() const;
+};
+
+// Runs the first-fit partitioner.  alpha >= 1.
+PartitionResult first_fit_partition(const TaskSet& tasks,
+                                    const Platform& platform,
+                                    AdmissionKind kind, double alpha);
+
+// Convenience predicate.
+bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
+                       AdmissionKind kind, double alpha);
+
+// Smallest alpha in [1, alpha_hi] at which first-fit accepts, located by
+// bisection to within `tol`.  Returns nullopt if even alpha_hi is rejected.
+//
+// Caveat (documented behaviour, probed by bench E9): first-fit acceptance is
+// not provably monotone in alpha — raising alpha can reroute early tasks and
+// in principle flip an accept to a reject.  The bisection result is exact
+// whenever acceptance is monotone on the bracket, which holds for every
+// instance our monotonicity property test has sampled; treat the result as
+// "an alpha within tol of a boundary of the acceptance region".
+std::optional<double> min_feasible_alpha(const TaskSet& tasks,
+                                         const Platform& platform,
+                                         AdmissionKind kind, double alpha_hi,
+                                         double tol = 1e-6);
+
+}  // namespace hetsched

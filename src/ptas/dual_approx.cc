@@ -1,0 +1,111 @@
+#include "ptas/dual_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+DualApproxResult dual_approx_partition(const TaskSet& tasks,
+                                       const Platform& platform,
+                                       double alpha,
+                                       const DualApproxOptions& opts) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+  HETSCHED_CHECK(opts.eps > 0);
+  DualApproxResult res;
+  if (tasks.empty()) {
+    res.verdict = DualApproxVerdict::kFeasibleRelaxed;
+    res.peak_states = 1;
+    return res;
+  }
+
+  const std::size_t n = tasks.size();
+  const std::size_t m = platform.size();
+
+  // Per-machine quantum q_j = eps * cap_j / n and level cap
+  // L_j = floor(cap_j / q_j) ~= n / eps (identical across machines).
+  std::vector<double> quantum(m);
+  std::vector<std::uint32_t> max_level(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double cap = alpha * platform.speed(j);
+    quantum[j] = opts.eps * cap / static_cast<double>(n);
+    const double levels = std::floor(cap / quantum[j] + 1e-9);
+    HETSCHED_CHECK_MSG(levels < 65535.0,
+                       "n/eps too large for the packed DP state");
+    max_level[j] = static_cast<std::uint32_t>(levels);
+  }
+
+  // Quantized (rounded-down) contribution of each task on each machine.
+  // Rounding down keeps every true partition alive in the DP; the
+  // accumulated underestimate is < n * q_j = eps * cap_j.
+  std::vector<std::vector<std::uint32_t>> steps(n,
+                                                std::vector<std::uint32_t>(m));
+  const std::vector<std::size_t> order = tasks.order_by_utilization_desc();
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const double w = tasks[order[rank]].utilization();
+    for (std::size_t j = 0; j < m; ++j) {
+      const double s = std::floor(w / quantum[j] + 1e-9);
+      steps[rank][j] = s > 4e9 ? std::numeric_limits<std::uint32_t>::max()
+                               : static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Layered reachability over packed load vectors (2 bytes per machine).
+  auto pack = [m](const std::vector<std::uint16_t>& levels) {
+    std::string key(2 * m, '\0');
+    for (std::size_t j = 0; j < m; ++j) {
+      key[2 * j] = static_cast<char>(levels[j] & 0xff);
+      key[2 * j + 1] = static_cast<char>(levels[j] >> 8);
+    }
+    return key;
+  };
+  auto unpack = [m](const std::string& key) {
+    std::vector<std::uint16_t> levels(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      levels[j] = static_cast<std::uint16_t>(
+          static_cast<unsigned char>(key[2 * j]) |
+          (static_cast<unsigned char>(key[2 * j + 1]) << 8));
+    }
+    return levels;
+  };
+
+  std::unordered_set<std::string> layer;
+  layer.insert(pack(std::vector<std::uint16_t>(m, 0)));
+  res.peak_states = 1;
+
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::unordered_set<std::string> next;
+    for (const std::string& key : layer) {
+      const std::vector<std::uint16_t> levels = unpack(key);
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t lifted =
+            static_cast<std::uint64_t>(levels[j]) + steps[rank][j];
+        if (lifted > max_level[j]) continue;
+        std::vector<std::uint16_t> succ = levels;
+        succ[j] = static_cast<std::uint16_t>(lifted);
+        next.insert(pack(succ));
+        if (next.size() > opts.max_states) {
+          res.verdict = DualApproxVerdict::kStateLimit;
+          res.peak_states = std::max(res.peak_states, next.size());
+          return res;
+        }
+      }
+    }
+    res.peak_states = std::max(res.peak_states, next.size());
+    if (next.empty()) {
+      res.verdict = DualApproxVerdict::kInfeasible;
+      return res;
+    }
+    layer = std::move(next);
+  }
+  res.verdict = DualApproxVerdict::kFeasibleRelaxed;
+  return res;
+}
+
+}  // namespace hetsched

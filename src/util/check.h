@@ -1,0 +1,44 @@
+// Contract-checking macros used across the hetsched libraries.
+//
+// Library-level *expected* failures (an infeasible task set, an LP that has
+// no solution) are reported through return values, never through these
+// macros.  HETSCHED_CHECK is for programming errors and violated invariants:
+// it prints the failing condition with source location and aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetsched {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "hetsched: CHECK failed: %s at %s:%d%s%s\n", cond, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hetsched
+
+// Always-on invariant check.  `msg` is optional free text.
+#define HETSCHED_CHECK(cond)                                        \
+  do {                                                              \
+    if (!(cond)) [[unlikely]]                                       \
+      ::hetsched::check_failed(#cond, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define HETSCHED_CHECK_MSG(cond, msg)                               \
+  do {                                                              \
+    if (!(cond)) [[unlikely]]                                       \
+      ::hetsched::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+// Debug-only check: compiled out in NDEBUG builds for hot paths.
+#ifdef NDEBUG
+#define HETSCHED_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define HETSCHED_DCHECK(cond) HETSCHED_CHECK(cond)
+#endif

@@ -1,0 +1,14 @@
+// 128-bit integer alias.
+//
+// __int128 is a compiler extension (GCC/Clang on 64-bit targets); per the
+// project's "localize necessary extensions" rule it is wrapped here once,
+// with __extension__ silencing the pedantic diagnostic, and the rest of the
+// code uses hetsched::int128.
+#pragma once
+
+namespace hetsched {
+
+__extension__ typedef __int128 int128;
+__extension__ typedef unsigned __int128 uint128;
+
+}  // namespace hetsched

@@ -1,0 +1,78 @@
+// Overflow-checked 64-bit integer helpers shared by the rational-arithmetic
+// layer and the simulator's hyperperiod computation.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+// Checked addition: returns nullopt on signed overflow.
+inline std::optional<std::int64_t> checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+// Checked subtraction: returns nullopt on signed overflow.
+inline std::optional<std::int64_t> checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+// Checked multiplication: returns nullopt on signed overflow.
+inline std::optional<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  return std::gcd(a, b);
+}
+
+// Checked least common multiple of two non-negative values.
+inline std::optional<std::int64_t> checked_lcm(std::int64_t a, std::int64_t b) {
+  HETSCHED_CHECK(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  return checked_mul(a / g, b);
+}
+
+// Hyperperiod (lcm) of a span of positive periods; nullopt if it would
+// overflow int64.  The simulator uses this to bound exact simulation.
+inline std::optional<std::int64_t> hyperperiod(
+    std::span<const std::int64_t> periods) {
+  std::int64_t h = 1;
+  for (const std::int64_t p : periods) {
+    HETSCHED_CHECK(p > 0);
+    const auto next = checked_lcm(h, p);
+    if (!next) return std::nullopt;
+    h = *next;
+  }
+  return h;
+}
+
+// Floor division with mathematically correct behaviour for negatives.
+inline std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  HETSCHED_CHECK(b != 0);
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+// Ceiling division with mathematically correct behaviour for negatives.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  HETSCHED_CHECK(b != 0);
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,136 @@
+#include "util/rational.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace hetsched {
+
+namespace {
+
+// gcd on 128-bit magnitudes (both operands non-negative).
+int128 gcd128(int128 a, int128 b) {
+  while (b != 0) {
+    const int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int128 abs128(int128 v) { return v < 0 ? -v : v; }
+
+}  // namespace
+
+Rational::Rational(std::int64_t n, std::int64_t d) {
+  HETSCHED_CHECK_MSG(d != 0, "rational with zero denominator");
+  *this = reduce128(static_cast<int128>(n), static_cast<int128>(d));
+}
+
+Rational Rational::reduce128(int128 n, int128 d) {
+  HETSCHED_DCHECK(d != 0);
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  if (n == 0) {
+    Rational r;
+    return r;
+  }
+  const int128 g = gcd128(abs128(n), d);
+  n /= g;
+  d /= g;
+  constexpr int128 kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr int128 kMax = std::numeric_limits<std::int64_t>::max();
+  HETSCHED_CHECK_MSG(n >= kMin && n <= kMax && d <= kMax,
+                     "rational overflow after reduction");
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(n);
+  r.den_ = static_cast<std::int64_t>(d);
+  return r;
+}
+
+Rational Rational::operator-() const {
+  HETSCHED_CHECK(num_ != std::numeric_limits<std::int64_t>::min());
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  const int128 n = static_cast<int128>(a.num_) * b.den_ +
+                     static_cast<int128>(b.num_) * a.den_;
+  const int128 d = static_cast<int128>(a.den_) * b.den_;
+  return Rational::reduce128(n, d);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  const int128 n = static_cast<int128>(a.num_) * b.den_ -
+                     static_cast<int128>(b.num_) * a.den_;
+  const int128 d = static_cast<int128>(a.den_) * b.den_;
+  return Rational::reduce128(n, d);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  const int128 n = static_cast<int128>(a.num_) * b.num_;
+  const int128 d = static_cast<int128>(a.den_) * b.den_;
+  return Rational::reduce128(n, d);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  HETSCHED_CHECK_MSG(!b.is_zero(), "rational division by zero");
+  const int128 n = static_cast<int128>(a.num_) * b.den_;
+  const int128 d = static_cast<int128>(a.den_) * b.num_;
+  return Rational::reduce128(n, d);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+  const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+Rational rational_from_double(double x, std::int64_t max_den) {
+  HETSCHED_CHECK(max_den >= 1);
+  HETSCHED_CHECK(std::abs(x) < 4.6e18);
+  const bool neg = x < 0;
+  double v = neg ? -x : x;
+  // Continued-fraction convergents p/q of v until q would exceed max_den.
+  std::int64_t p0 = 0, q0 = 1;  // previous convergent
+  std::int64_t p1 = 1, q1 = 0;  // current convergent
+  double frac = v;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_real = std::floor(frac);
+    if (a_real > 9.2e18) break;
+    const auto a = static_cast<std::int64_t>(a_real);
+    const auto pn = checked_add(checked_mul(a, p1).value_or(INT64_MAX / 2),
+                                p0);
+    const auto qn = checked_add(checked_mul(a, q1).value_or(INT64_MAX / 2),
+                                q0);
+    if (!pn || !qn || *qn > max_den) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = *pn;
+    q1 = *qn;
+    const double rem = frac - a_real;
+    if (rem < 1e-15) break;  // exact (to double precision)
+    frac = 1.0 / rem;
+  }
+  if (q1 == 0) return Rational(neg ? -p0 : p0, q0 == 0 ? 1 : q0);
+  return Rational(neg ? -p1 : p1, q1);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,91 @@
+// Exact rational arithmetic on 64-bit integers.
+//
+// The discrete-event simulator measures time in exact rationals so that speed
+// scaling (a job of c work units on a machine of speed alpha*s finishes in
+// c/(alpha*s) time) introduces no rounding: a deadline is met or missed
+// exactly.  Intermediate products are computed in 128-bit arithmetic and the
+// reduced result must fit in int64; violating that is a programming error
+// (the workload generators quantize inputs so realistic instances stay tiny).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/check.h"
+#include "util/int128.h"
+#include "util/int_math.h"
+
+namespace hetsched {
+
+class Rational {
+ public:
+  // Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  // Integer value n/1.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  // n/d reduced to lowest terms with positive denominator.  d must be != 0.
+  Rational(std::int64_t n, std::int64_t d);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  // Largest integer <= value.
+  std::int64_t floor() const { return floor_div(num_, den_); }
+  // Smallest integer >= value.
+  std::int64_t ceil() const { return ceil_div(num_, den_); }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  // "n" for integers, "n/d" otherwise.
+  std::string to_string() const;
+
+ private:
+  // Reduces a 128-bit fraction and checks the result fits in 64 bits.
+  static Rational reduce128(int128 n, int128 d);
+
+  std::int64_t num_;  // reduced numerator, sign carrier
+  std::int64_t den_;  // reduced denominator, always > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+// Best rational approximation of `x` with denominator <= max_den, via
+// continued fractions.  For grid-quantized inputs (speeds in 1/1024ths,
+// alphas in 1/1000ths) the result is exact.  |x| must be < 2^62.
+Rational rational_from_double(double x, std::int64_t max_den = 1'000'000);
+
+// min/max convenience for exact time comparisons.
+inline const Rational& rational_min(const Rational& a, const Rational& b) {
+  return b < a ? b : a;
+}
+inline const Rational& rational_max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double ss = 0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  HETSCHED_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  HETSCHED_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HETSCHED_CHECK(!xs.empty());
+  HETSCHED_CHECK(p >= 0 && p <= 100);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = sample_stddev(xs);
+  s.min = min_of(xs);
+  s.p50 = percentile(xs, 50);
+  s.p95 = percentile(xs, 95);
+  s.p99 = percentile(xs, 99);
+  s.max = max_of(xs);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p95=" << p95 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+double proportion_ci95(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return 0;
+  const double p =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  return 1.959963985 * std::sqrt(p * (1 - p) / static_cast<double>(trials));
+}
+
+Interval bootstrap_mean_ci95(std::span<const double> xs, Rng& rng,
+                             std::size_t resamples) {
+  HETSCHED_CHECK(!xs.empty());
+  std::vector<double> means;
+  means.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double s = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      s += xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(s / static_cast<double>(n));
+  }
+  return Interval{percentile(means, 2.5), percentile(means, 97.5)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HETSCHED_CHECK(lo < hi);
+  HETSCHED_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetsched

@@ -1,0 +1,80 @@
+// Summary statistics for experiment results (acceptance ratios, measured
+// augmentation factors, runtimes).  All functions are deterministic given
+// their inputs; the bootstrap takes an explicit Rng.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetsched {
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Unbiased sample standard deviation; 0 for fewer than two samples.
+double sample_stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// p-th percentile (p in [0, 100]) with linear interpolation between order
+// statistics.  Requires a non-empty span; does not modify the input.
+double percentile(std::span<const double> xs, double p);
+
+// Aggregate summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+
+  std::string to_string() const;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Normal-approximation 95% confidence half-width for a Bernoulli proportion
+// estimated from `successes` out of `trials`.
+double proportion_ci95(std::size_t successes, std::size_t trials);
+
+// Percentile-bootstrap 95% CI for the mean (resamples with replacement).
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+};
+Interval bootstrap_mean_ci95(std::span<const double> xs, Rng& rng,
+                             std::size_t resamples = 1000);
+
+// Equal-width histogram over [lo, hi]; values outside are clamped into the
+// first/last bin.  Used by the augmentation-distribution benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  // Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  // Multi-line "[lo, hi) count" rendering for bench output.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hetsched

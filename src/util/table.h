@@ -1,0 +1,49 @@
+// Fixed-width console tables and CSV output for the bench harness.
+//
+// Every experiment binary prints a human-readable table (the artifact a paper
+// would typeset) and can mirror the same rows into a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+// Column-aligned text table.  Usage:
+//   Table t({"alpha", "accept%", "ci95"});
+//   t.add_row({"2.00", "93.1", "0.8"});
+//   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(std::int64_t v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  // Comma-separated rendering (header + rows); cells containing commas or
+  // quotes are quoted per RFC 4180.
+  std::string render_csv() const;
+
+  // Writes render_csv() to `path`; returns false (and leaves no partial file
+  // guarantees) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace hetsched

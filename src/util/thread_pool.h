@@ -1,0 +1,57 @@
+// Minimal work-stealing-free thread pool with a blocking parallel_for.
+//
+// The experiment harness sweeps thousands of independent (taskset, alpha)
+// trials; parallel_for_index shards them across hardware threads.  On a
+// single-core host the pool degrades gracefully to sequential execution.
+// Determinism: callers pass a per-index RNG derived from the trial index, so
+// results do not depend on the number of workers or interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hetsched {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  // Runs fn(i) for i in [0, n), sharded into contiguous chunks, and blocks
+  // until all are done.  fn must be safe to call concurrently for distinct i.
+  void parallel_for_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signals workers: work or shutdown
+  std::condition_variable cv_idle_;   // signals waiters: all work drained
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Process-wide default pool (lazily constructed).
+ThreadPool& default_thread_pool();
+
+}  // namespace hetsched

@@ -1,0 +1,88 @@
+// Unit tests for the acceptance-ratio sweep harness
+// (experiments/acceptance.h).
+#include "experiments/acceptance.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/first_fit.h"
+
+namespace hetsched {
+namespace {
+
+AcceptanceSweepSpec small_spec() {
+  AcceptanceSweepSpec spec;
+  spec.platform = Platform::from_speeds({1.0, 1.0, 2.0});
+  spec.tasks_per_set = 8;
+  spec.normalized_utilizations = {0.3, 0.9};
+  spec.trials_per_point = 50;
+  spec.seed = 1234;
+  return spec;
+}
+
+std::vector<Tester> ff_edf_testers() {
+  return {
+      {"ff-edf@1", [](const TaskSet& t, const Platform& p) {
+         return first_fit_accepts(t, p, AdmissionKind::kEdf, 1.0);
+       }},
+      {"ff-edf@3", [](const TaskSet& t, const Platform& p) {
+         return first_fit_accepts(t, p, AdmissionKind::kEdf, 3.0);
+       }},
+  };
+}
+
+TEST(AcceptanceSweep, ShapeMatchesSpec) {
+  const AcceptanceCurve curve =
+      run_acceptance_sweep(small_spec(), ff_edf_testers());
+  ASSERT_EQ(curve.points.size(), 2u);
+  ASSERT_EQ(curve.tester_names.size(), 2u);
+  for (const AcceptancePoint& pt : curve.points) {
+    ASSERT_EQ(pt.acceptance.size(), 2u);
+    ASSERT_EQ(pt.ci95.size(), 2u);
+    for (const double a : pt.acceptance) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(AcceptanceSweep, HigherAlphaNeverLowersAcceptanceMuch) {
+  // ff-edf@3 dominates ff-edf@1 statistically (monotone in alpha on random
+  // instances); allow a tiny slack for the (never observed) anomaly case.
+  const AcceptanceCurve curve =
+      run_acceptance_sweep(small_spec(), ff_edf_testers());
+  for (const AcceptancePoint& pt : curve.points) {
+    EXPECT_GE(pt.acceptance[1] + 1e-9, pt.acceptance[0]);
+  }
+}
+
+TEST(AcceptanceSweep, LowUtilizationEasyHighUtilizationHard) {
+  const AcceptanceCurve curve =
+      run_acceptance_sweep(small_spec(), ff_edf_testers());
+  // At 30% load with alpha=3 everything is accepted.
+  EXPECT_DOUBLE_EQ(curve.points[0].acceptance[1], 1.0);
+  // At 90% load with alpha=1 acceptance is below 1.
+  EXPECT_LT(curve.points[1].acceptance[0], 1.0);
+}
+
+TEST(AcceptanceSweep, DeterministicAcrossRuns) {
+  const AcceptanceCurve a = run_acceptance_sweep(small_spec(), ff_edf_testers());
+  const AcceptanceCurve b = run_acceptance_sweep(small_spec(), ff_edf_testers());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    for (std::size_t k = 0; k < a.points[p].acceptance.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.points[p].acceptance[k], b.points[p].acceptance[k]);
+    }
+  }
+}
+
+TEST(AcceptanceSweep, TableRendering) {
+  const AcceptanceCurve curve =
+      run_acceptance_sweep(small_spec(), ff_edf_testers());
+  const Table t = curve.to_table();
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("ff-edf@1"), std::string::npos);
+  EXPECT_NE(s.find("U/S"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

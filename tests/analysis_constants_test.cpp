@@ -1,0 +1,112 @@
+// Verifies every arithmetic inequality the paper's proofs rest on
+// (partition/analysis_constants.h).  If any of these fail, the constants in
+// Sections IV/V do not close the case analysis.
+#include "partition/analysis_constants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+// ------------------------------------------------------------------- EDF
+
+TEST(EdfConstants, FastCaseMarginExceedsOne) {
+  // Paper: (alpha-1)(1/2 + 1/(2 c_f) - 1/(c_s c_f)) ~= 1.005 > 1.
+  EXPECT_GT(edf_fast_case_margin(), 1.0);
+  EXPECT_NEAR(edf_fast_case_margin(), 1.005, 0.01);
+}
+
+TEST(EdfConstants, SlowShareMarginExceedsOne) {
+  // Lemma IV.5: alpha c_f f_f (1 - f_w) / 2 > 1.
+  EXPECT_GT(edf_slow_share_margin(), 1.0);
+}
+
+TEST(EdfConstants, MediumFractionBoundIsAValidFraction) {
+  const double f = edf_medium_fraction_bound();
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(EdfConstants, SlowCaseMarginExceedsOne) {
+  // Lemma IV.4: f_{i,m} f_w alpha / 2 > 1.
+  EXPECT_GT(edf_slow_case_margin(), 1.0);
+}
+
+TEST(EdfConstants, MarginsFailBelowTheClaimedAlpha) {
+  // The constants are tight: dropping alpha by ~2% breaks the fast case,
+  // showing 2.98 is essentially the best this constant set proves.
+  EXPECT_LT(edf_fast_case_margin(2.90), 1.0);
+}
+
+TEST(EdfConstants, PartitionedAlphaIsTwo) {
+  EXPECT_DOUBLE_EQ(EdfConstants::kAlphaPartitioned, 2.0);
+}
+
+TEST(EdfConstants, CsAboveTwoMakesCorollaryIv3Valid) {
+  // Corollary IV.3 needs 1 - 1/c_s >= 1/2, i.e. c_s >= 2.
+  EXPECT_GT(EdfConstants::kCs, 2.0);
+}
+
+// ------------------------------------------------------------------- RMS
+
+TEST(RmsConstants, LoadFloorIsSqrt2Minus1) {
+  EXPECT_NEAR(rms_load_floor(), std::sqrt(2.0) - 1.0, 1e-15);
+}
+
+TEST(RmsConstants, PartitionedAlphaIsInverseLoadFloor) {
+  EXPECT_NEAR(RmsConstants::kAlphaPartitioned, 2.414213562, 1e-8);
+  EXPECT_NEAR(RmsConstants::kAlphaPartitioned * rms_load_floor(), 1.0, 1e-12);
+}
+
+TEST(RmsConstants, FastCaseMarginExceedsOne) {
+  // Paper: (alpha-1)(sqrt2-1 + (ln2 - 1/c_s)/c_f) ~= 1.004 > 1.
+  EXPECT_GT(rms_fast_case_margin(), 1.0);
+  EXPECT_NEAR(rms_fast_case_margin(), 1.004, 0.01);
+}
+
+TEST(RmsConstants, SlowShareMarginExceedsOne) {
+  // Lemma V.5: (sqrt2-1) alpha c_f f_f (1-f_w) ~= 1.003 > 1.
+  EXPECT_GT(rms_slow_share_margin(), 1.0);
+  EXPECT_NEAR(rms_slow_share_margin(), 1.004, 0.01);
+}
+
+TEST(RmsConstants, SlowCaseMarginExceedsOne) {
+  // Lemma V.4: (sqrt2-1) f_{i,m} f_w alpha > 1.
+  EXPECT_GT(rms_slow_case_margin(), 1.0);
+}
+
+TEST(RmsConstants, FastLoadFloorPositive) {
+  // Lemma V.2 coefficient ln2 - 1/c_s must be positive for the fast-machine
+  // load bound to say anything.
+  EXPECT_GT(rms_fast_load_floor(), 0.0);
+  EXPECT_NEAR(rms_fast_load_floor(), std::log(2.0) - 0.5, 1e-12);
+}
+
+TEST(RmsConstants, MarginsFailBelowClaimedAlpha) {
+  EXPECT_LT(rms_fast_case_margin(3.25), 1.0);
+}
+
+TEST(RmsConstants, LiuLaylandInequalityOfLemmaV3) {
+  // Lemma V.3's key step: (k+1)/k (sqrt2 - 1) <= (k+1)(2^{1/(k+1)} - 1)
+  // for all k >= 1.
+  for (int k = 1; k <= 100; ++k) {
+    const double lhs = (k + 1.0) / k * (std::sqrt(2.0) - 1.0);
+    const double rhs = (k + 1.0) * (std::exp2(1.0 / (k + 1.0)) - 1.0);
+    EXPECT_LE(lhs, rhs + 1e-12) << "k=" << k;
+  }
+}
+
+TEST(Constants, OrderingBetweenAdversaries) {
+  // Against the weaker (partitioned) adversary the guarantee must be
+  // stronger: alpha_partitioned < alpha_lp, and both improve prior art
+  // (3.0 EDF / 3.41 RMS).
+  EXPECT_LT(EdfConstants::kAlphaPartitioned, EdfConstants::kAlphaLp);
+  EXPECT_LT(RmsConstants::kAlphaPartitioned, RmsConstants::kAlphaLp);
+  EXPECT_LT(EdfConstants::kAlphaLp, 3.0);
+  EXPECT_LT(RmsConstants::kAlphaLp, 3.41);
+}
+
+}  // namespace
+}  // namespace hetsched

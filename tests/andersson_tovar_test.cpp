@@ -1,0 +1,67 @@
+// Unit tests for the prior-art certificate wrappers
+// (baselines/andersson_tovar.h).
+#include "baselines/andersson_tovar.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/feasibility_lp.h"
+
+namespace hetsched {
+namespace {
+
+TEST(AnderssonTovar, Constants) {
+  EXPECT_DOUBLE_EQ(kAnderssonTovarEdfAlpha, 3.0);
+  EXPECT_DOUBLE_EQ(kAnderssonTovarRmsAlpha, 3.41);
+}
+
+TEST(AnderssonTovar, EasyInstanceIsFeasibleAugmented) {
+  const TaskSet tasks({{1, 4}, {1, 4}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(andersson_tovar_edf(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+  EXPECT_EQ(andersson_tovar_rms(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+}
+
+TEST(AnderssonTovar, GrossOverloadProvablyInfeasible) {
+  // Ten w = 1 tasks on a platform with total speed 2 fail even at alpha=3.41.
+  TaskSet tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back({1, 1});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(andersson_tovar_edf(tasks, platform),
+            TestVerdict::kProvablyInfeasible);
+  EXPECT_EQ(andersson_tovar_rms(tasks, platform),
+            TestVerdict::kProvablyInfeasible);
+  // Sanity: the LP agrees there is no schedule.
+  EXPECT_FALSE(lp_feasible_oracle(tasks, platform));
+}
+
+TEST(Moseley, VerdictsAtTheNewAlphas) {
+  const TaskSet tasks({{1, 4}, {1, 4}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(moseley_edf_vs_lp(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+  EXPECT_EQ(moseley_rms_vs_lp(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+  EXPECT_EQ(moseley_edf_vs_partitioned(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+  EXPECT_EQ(moseley_rms_vs_partitioned(tasks, platform),
+            TestVerdict::kFeasibleAugmented);
+}
+
+TEST(Moseley, NewCertificatesFireMoreOftenThanOld) {
+  // The new tests use smaller alphas, so whenever the new test accepts at
+  // alpha = 2.98 the old one must accept at alpha = 3 as well (acceptance
+  // monotone for this instance family), and failures at 3 imply failures at
+  // 2.98 — i.e. the new certificate is never weaker on these instances.
+  TaskSet tasks;
+  for (int i = 0; i < 7; ++i) tasks.push_back({1, 1});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  if (moseley_edf_vs_lp(tasks, platform) == TestVerdict::kFeasibleAugmented) {
+    EXPECT_EQ(andersson_tovar_edf(tasks, platform),
+              TestVerdict::kFeasibleAugmented);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,71 @@
+// Unit tests for the augmentation-requirement studies
+// (experiments/augmentation.h).
+#include "experiments/augmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/analysis_constants.h"
+
+namespace hetsched {
+namespace {
+
+AugmentationStudySpec small_spec() {
+  AugmentationStudySpec spec;
+  spec.platform = Platform::from_speeds({1.0, 2.0});
+  spec.taskset.n = 6;
+  spec.taskset.total_utilization = 1.0;  // overwritten per trial
+  spec.taskset.periods = PeriodSpec::uniform(50, 500);
+  spec.norm_lo = 0.4;
+  spec.norm_hi = 0.95;
+  spec.trials = 60;
+  spec.seed = 77;
+  spec.kind = AdmissionKind::kEdf;
+  return spec;
+}
+
+TEST(AugmentationVsLp, ProducesAlphasWithinTheoremBound) {
+  const AugmentationStudyResult res = augmentation_vs_lp(small_spec());
+  EXPECT_GT(res.adversary_feasible, 0u);
+  EXPECT_EQ(res.search_failures, 0u);
+  ASSERT_FALSE(res.alphas.empty());
+  // Theorem I.3: every LP-feasible instance is accepted by alpha = 2.98.
+  EXPECT_LE(res.summary.max, EdfConstants::kAlphaLp + 1e-6);
+  EXPECT_GE(res.summary.min, 1.0 - 1e-12);
+}
+
+TEST(AugmentationVsLp, SummaryConsistentWithSamples) {
+  const AugmentationStudyResult res = augmentation_vs_lp(small_spec());
+  EXPECT_EQ(res.summary.count, res.alphas.size());
+  EXPECT_EQ(res.alphas.size() + res.search_failures, res.adversary_feasible);
+}
+
+TEST(AugmentationVsPartitioned, WithinTheoremI1Bound) {
+  AugmentationStudySpec spec = small_spec();
+  spec.trials = 40;
+  const AugmentationStudyResult res = augmentation_vs_partitioned(spec);
+  EXPECT_GT(res.adversary_feasible, 0u);
+  ASSERT_FALSE(res.alphas.empty());
+  // Theorem I.1: alpha* <= 2 against the exact partitioned adversary.
+  EXPECT_LE(res.summary.max, EdfConstants::kAlphaPartitioned + 1e-6);
+}
+
+TEST(AugmentationVsPartitioned, RmsWithinTheoremI2Bound) {
+  AugmentationStudySpec spec = small_spec();
+  spec.trials = 40;
+  spec.kind = AdmissionKind::kRmsLiuLayland;
+  const AugmentationStudyResult res = augmentation_vs_partitioned(spec);
+  ASSERT_FALSE(res.alphas.empty());
+  // Theorem I.2: alpha* <= 1/(sqrt2 - 1) ~= 2.414.
+  EXPECT_LE(res.summary.max, RmsConstants::kAlphaPartitioned + 1e-6);
+}
+
+TEST(Augmentation, DeterministicAcrossRuns) {
+  const AugmentationStudyResult a = augmentation_vs_lp(small_spec());
+  const AugmentationStudyResult b = augmentation_vs_lp(small_spec());
+  EXPECT_EQ(a.adversary_feasible, b.adversary_feasible);
+  EXPECT_EQ(a.summary.count, b.summary.count);
+  EXPECT_DOUBLE_EQ(a.summary.max, b.summary.max);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,135 @@
+// Tests for the migrating-schedule construction (migrating/bvn_schedule.h).
+#include "migrating/bvn_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "lp/feasibility_lp.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+// Structural validity: no machine runs two tasks, no task runs on two
+// machines within a slice (by construction the assignment vector enforces
+// the first; this checks the second).
+void expect_valid_structure(const MigratingSchedule& sched, std::size_t n) {
+  for (const MigratingSlice& s : sched.slices) {
+    EXPECT_GT(s.length, 0.0);
+    std::vector<int> seen(n, 0);
+    for (const std::size_t t : s.assignment) {
+      if (t == MigratingSlice::kIdle) continue;
+      ASSERT_LT(t, n);
+      ++seen[t];
+    }
+    for (const int count : seen) EXPECT_LE(count, 1);
+  }
+  EXPECT_LE(sched.total_length(), 1.0 + 1e-6);
+}
+
+// Fluid-rate correctness: every task receives exactly w_i per unit frame.
+void expect_fluid_rates(const MigratingSchedule& sched, const TaskSet& tasks,
+                        const Platform& platform) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_NEAR(sched.work_per_frame(i, platform), tasks[i].utilization(),
+                1e-5)
+        << "task " << i;
+  }
+}
+
+TEST(Bvn, SingleTaskSingleMachine) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  expect_valid_structure(*sched, 1);
+  expect_fluid_rates(*sched, tasks, platform);
+  EXPECT_EQ(sched->migrations_per_frame(), 0u);
+}
+
+TEST(Bvn, SplitTaskMigrates) {
+  // Three tasks of w = 0.6 on two unit machines: any valid schedule must
+  // migrate at least one task (no partition exists).
+  const TaskSet tasks({{3, 5}, {3, 5}, {3, 5}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  ASSERT_TRUE(lp_feasible_oracle(tasks, platform));
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  expect_valid_structure(*sched, tasks.size());
+  expect_fluid_rates(*sched, tasks, platform);
+  EXPECT_GT(sched->migrations_per_frame(), 0u);
+}
+
+TEST(Bvn, InfeasibleLpGivesNullopt) {
+  const TaskSet tasks({{3, 2}});  // w = 1.5 on a unit machine
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_FALSE(build_migrating_schedule(tasks, platform).has_value());
+}
+
+TEST(Bvn, DenseTaskUsesFastMachine) {
+  const TaskSet tasks({{3, 2}});  // w = 1.5 needs the speed-2 machine
+  const Platform platform = Platform::from_speeds({1.0, 2.0});
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  expect_fluid_rates(*sched, tasks, platform);
+}
+
+TEST(Bvn, RejectsMalformedSolutions) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  // Wrong size.
+  EXPECT_FALSE(
+      schedule_from_lp_solution({0.5, 0.5}, tasks, platform).has_value());
+  // Negative entry.
+  EXPECT_FALSE(schedule_from_lp_solution({-0.5}, tasks, platform).has_value());
+  // Machine fraction above 1.
+  EXPECT_FALSE(schedule_from_lp_solution({1.5}, tasks, platform).has_value());
+}
+
+TEST(Bvn, HandcraftedSplitSolution) {
+  // One task w = 0.8 split 50/50 across two unit machines: r rows sum to
+  // 0.8; the schedule must deliver 0.8 work with a migration.
+  const TaskSet tasks({{4, 5}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const std::vector<double> u{0.4, 0.4};
+  const auto sched = schedule_from_lp_solution(u, tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  expect_valid_structure(*sched, 1);
+  EXPECT_NEAR(sched->work_per_frame(0, platform), 0.8, 1e-9);
+}
+
+class BvnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BvnPropertyTest, RandomFeasibleInstancesDecompose) {
+  Rng rng(GetParam());
+  int built = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Platform platform = uniform_platform(rng, 3, 0.5, 2.0);
+    TasksetSpec spec;
+    spec.n = 8;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        std::min(rng.uniform(0.5, 1.0) * platform.total_speed(),
+                 0.35 * 8 * spec.max_task_utilization);
+    spec.periods = PeriodSpec::uniform(50, 1000);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    if (!lp_feasible_oracle(tasks, platform)) continue;
+    const auto sched = build_migrating_schedule(tasks, platform);
+    ASSERT_TRUE(sched.has_value()) << tasks.to_string();
+    ++built;
+    expect_valid_structure(*sched, tasks.size());
+    expect_fluid_rates(*sched, tasks, platform);
+    // The BvN theorem caps the slice count at (n+m)^2; ours should be far
+    // below even that.
+    EXPECT_LE(sched->slices.size(),
+              (tasks.size() + platform.size()) * (tasks.size() + platform.size()));
+  }
+  EXPECT_GT(built, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvnPropertyTest,
+                         ::testing::Values(71u, 72u, 73u, 74u, 75u));
+
+}  // namespace
+}  // namespace hetsched

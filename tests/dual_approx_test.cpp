@@ -1,0 +1,126 @@
+// Tests for the dual-approximation DP partitioner (ptas/dual_approx.h).
+#include "ptas/dual_approx.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_partition.h"
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(DualApprox, EmptyTasksFeasible) {
+  const TaskSet tasks;
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_EQ(dual_approx_partition(tasks, platform).verdict,
+            DualApproxVerdict::kFeasibleRelaxed);
+}
+
+TEST(DualApprox, TrivialFeasible) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_EQ(dual_approx_partition(tasks, platform).verdict,
+            DualApproxVerdict::kFeasibleRelaxed);
+}
+
+TEST(DualApprox, GrossOverloadInfeasible) {
+  // Three unit tasks, two unit machines, even (1+eps) slack cannot help
+  // for small eps: every machine would need load >= 1.5.
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  DualApproxOptions opts;
+  opts.eps = 0.2;
+  EXPECT_EQ(dual_approx_partition(tasks, platform, 1.0, opts).verdict,
+            DualApproxVerdict::kInfeasible);
+}
+
+TEST(DualApprox, AcceptsWhatFirstFitMisses) {
+  // The separating instance from the exact tests: a partition exists but
+  // first-fit fails; the DP must accept (possibly with relaxed loads).
+  const TaskSet tasks({{44, 100}, {42, 100}, {40, 100},
+                       {38, 100}, {20, 100}, {16, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(dual_approx_partition(tasks, platform).verdict,
+            DualApproxVerdict::kFeasibleRelaxed);
+}
+
+TEST(DualApprox, AlphaScalesCapacity) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  DualApproxOptions opts;
+  opts.eps = 0.1;
+  EXPECT_EQ(dual_approx_partition(tasks, platform, 1.0, opts).verdict,
+            DualApproxVerdict::kInfeasible);
+  EXPECT_EQ(dual_approx_partition(tasks, platform, 2.0, opts).verdict,
+            DualApproxVerdict::kFeasibleRelaxed);
+}
+
+TEST(DualApprox, StateLimitReported) {
+  Rng rng(5);
+  TasksetSpec spec;
+  spec.n = 24;
+  spec.total_utilization = 5.0;
+  const TaskSet tasks = generate_taskset(rng, spec);
+  const Platform platform = Platform::identical(6);
+  DualApproxOptions opts;
+  opts.eps = 0.05;
+  opts.max_states = 100;  // absurdly small budget
+  EXPECT_EQ(dual_approx_partition(tasks, platform, 1.0, opts).verdict,
+            DualApproxVerdict::kStateLimit);
+}
+
+TEST(DualApprox, PeakStatesReported) {
+  const TaskSet tasks({{1, 2}, {1, 4}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const DualApproxResult res = dual_approx_partition(tasks, platform);
+  EXPECT_GE(res.peak_states, 1u);
+}
+
+// Dual-approximation contract against the exact search:
+//   exact feasible at alpha          => DP never says kInfeasible at alpha
+//   DP kFeasibleRelaxed at alpha     => exact feasible at alpha * (1+eps)
+class DualApproxPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualApproxPropertyTest, DualGuaranteeHolds) {
+  Rng rng(GetParam());
+  DualApproxOptions opts;
+  opts.eps = 0.25;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Platform platform = geometric_platform(3, rng.uniform(1.0, 2.0));
+    TasksetSpec spec;
+    spec.n = 8;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        std::min(rng.uniform(0.5, 1.05) * platform.total_speed(),
+                 0.35 * 8 * spec.max_task_utilization);
+    spec.periods = PeriodSpec::uniform(50, 1000);
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    const DualApproxResult dp = dual_approx_partition(tasks, platform, 1.0, opts);
+    ASSERT_NE(dp.verdict, DualApproxVerdict::kStateLimit);
+    const ExactVerdict exact =
+        exact_partition(tasks, platform, AdmissionKind::kEdf, 1.0).verdict;
+    ASSERT_NE(exact, ExactVerdict::kNodeLimit);
+
+    if (exact == ExactVerdict::kFeasible) {
+      EXPECT_EQ(dp.verdict, DualApproxVerdict::kFeasibleRelaxed)
+          << tasks.to_string() << " on " << platform.to_string();
+    }
+    if (dp.verdict == DualApproxVerdict::kFeasibleRelaxed) {
+      EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf,
+                                1.0 + opts.eps)
+                    .verdict,
+                ExactVerdict::kFeasible)
+          << tasks.to_string() << " on " << platform.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualApproxPropertyTest,
+                         ::testing::Values(21u, 42u, 63u, 84u, 105u));
+
+}  // namespace
+}  // namespace hetsched

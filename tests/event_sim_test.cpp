@@ -1,0 +1,161 @@
+// Unit tests for the exact discrete-event simulator (sim/event_sim.h).
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(Sim, EmptyTaskSetSchedulable) {
+  const std::vector<Task> tasks;
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.jobs_released, 0);
+}
+
+TEST(Sim, SingleTaskMeetsDeadline) {
+  const std::vector<Task> tasks{{2, 5}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.horizon, 5);
+  EXPECT_EQ(out.jobs_released, 1);
+  EXPECT_EQ(out.jobs_completed, 1);
+  EXPECT_EQ(out.busy_time, Rational(2));
+}
+
+TEST(Sim, OverloadedSingleTaskMisses) {
+  const std::vector<Task> tasks{{6, 5}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_FALSE(out.schedulable);
+  ASSERT_TRUE(out.miss.has_value());
+  EXPECT_EQ(out.miss->task_index, 0u);
+  EXPECT_EQ(out.miss->deadline, 5);
+  EXPECT_EQ(out.miss->remaining, Rational(1));
+}
+
+TEST(Sim, SpeedScalingRescuesOverload) {
+  const std::vector<Task> tasks{{6, 5}};
+  const SimOutcome out =
+      simulate_uniproc(tasks, Rational(6, 5), SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+}
+
+TEST(Sim, EdfFullUtilizationExactlySchedulable) {
+  // U = 1/2 + 1/3 + 1/6 = 1: EDF schedules exactly at unit speed.
+  const std::vector<Task> tasks{{1, 2}, {1, 3}, {1, 6}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.horizon, 6);
+  // Full utilization: busy the whole hyperperiod.
+  EXPECT_EQ(out.busy_time, Rational(6));
+}
+
+TEST(Sim, EdfJustOverUtilizationMisses) {
+  // U = 1/2 + 1/3 + 1/4 = 13/12 > 1.
+  const std::vector<Task> tasks{{1, 2}, {1, 3}, {1, 4}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_FALSE(out.schedulable);
+}
+
+TEST(Sim, RmSchedulesHarmonicFullUtilization) {
+  const std::vector<Task> tasks{{1, 2}, {1, 4}, {2, 8}};  // U = 1, harmonic
+  const SimOutcome out =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kFixedPriorityRm);
+  EXPECT_TRUE(out.schedulable);
+}
+
+TEST(Sim, RmMissesWhereEdfSucceeds) {
+  // (2,5),(4,7): U = 2/5 + 4/7 ~= 0.971 <= 1, so EDF schedules it.  Under
+  // RM, tau2's response iterates 4 -> 6 -> 8 > 7: deadline miss.
+  const std::vector<Task> tasks{{2, 5}, {4, 7}};
+  EXPECT_TRUE(
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf).schedulable);
+  EXPECT_FALSE(
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kFixedPriorityRm)
+          .schedulable);
+}
+
+TEST(Sim, FractionalSpeedExactBoundary) {
+  // Task (1, 3) on speed exactly 1/3 finishes exactly at its deadline.
+  const std::vector<Task> tasks{{1, 3}};
+  EXPECT_TRUE(
+      simulate_uniproc(tasks, Rational(1, 3), SchedPolicy::kEdf).schedulable);
+  EXPECT_FALSE(simulate_uniproc(tasks, Rational(33, 100), SchedPolicy::kEdf)
+                   .schedulable);
+}
+
+TEST(Sim, PreemptionCounted) {
+  // tau1=(1,4), tau2=(9,12), U = 1: tau2 runs [1,4], is preempted by tau1's
+  // release at t=4 (earlier deadline 8), resumes [5,8], is preempted again
+  // at t=8 (equal deadlines 12, index tie-break), finishes [9,12].
+  const std::vector<Task> tasks{{1, 4}, {9, 12}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.preemptions, 2);
+}
+
+TEST(Sim, JobsReleasedMatchesHyperperiodArithmetic) {
+  const std::vector<Task> tasks{{1, 4}, {1, 6}};
+  const SimOutcome out = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_EQ(out.horizon, 12);
+  EXPECT_EQ(out.jobs_released, 12 / 4 + 12 / 6);
+  EXPECT_EQ(out.jobs_completed, out.jobs_released);
+}
+
+TEST(Sim, HorizonOverrideRespected) {
+  const std::vector<Task> tasks{{1, 4}};
+  SimLimits limits;
+  limits.horizon_override = 8;
+  const SimOutcome out =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf, limits);
+  EXPECT_EQ(out.horizon, 8);
+  EXPECT_EQ(out.jobs_released, 2);
+}
+
+TEST(Sim, MaxJobsCapFlagsExhaustion) {
+  // Coprime large periods make the hyperperiod overflow; the job cap stops
+  // the run and flags it.
+  const std::vector<Task> tasks{{1, 1000000007}, {1, 998244353}};
+  SimLimits limits;
+  limits.max_jobs = 10;
+  const SimOutcome out =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf, limits);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_TRUE(out.horizon_exhausted);
+}
+
+TEST(Sim, PartitionWrapperAllMachinesPass) {
+  const std::vector<std::vector<Task>> per_machine{
+      {{1, 2}},          // U = 0.5 on speed 1
+      {{3, 4}, {1, 8}},  // U = 0.875 on speed 1: EDF fine
+  };
+  const std::vector<Rational> speeds{Rational(1), Rational(1)};
+  const PartitionSimOutcome out =
+      simulate_partition(per_machine, speeds, SchedPolicy::kEdf);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_FALSE(out.failing_machine.has_value());
+  EXPECT_EQ(out.per_machine.size(), 2u);
+}
+
+TEST(Sim, PartitionWrapperReportsFirstFailingMachine) {
+  const std::vector<std::vector<Task>> per_machine{
+      {{1, 2}},
+      {{3, 4}, {1, 2}},  // U = 1.25 > 1: misses
+  };
+  const std::vector<Rational> speeds{Rational(1), Rational(1)};
+  const PartitionSimOutcome out =
+      simulate_partition(per_machine, speeds, SchedPolicy::kEdf);
+  EXPECT_FALSE(out.schedulable);
+  ASSERT_TRUE(out.failing_machine.has_value());
+  EXPECT_EQ(*out.failing_machine, 1u);
+}
+
+TEST(Sim, PolicyToString) {
+  EXPECT_EQ(to_string(SchedPolicy::kEdf), "EDF");
+  EXPECT_EQ(to_string(SchedPolicy::kFixedPriorityRm), "RM");
+}
+
+}  // namespace
+}  // namespace hetsched

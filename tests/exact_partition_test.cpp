@@ -1,0 +1,148 @@
+// Unit tests for exact partitioned feasibility (exact/exact_partition.h).
+#include "exact/exact_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/taskset_gen.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Exact, TrivialFeasible) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const ExactResult res =
+      exact_partition(tasks, platform, AdmissionKind::kEdf);
+  EXPECT_EQ(res.verdict, ExactVerdict::kFeasible);
+  ASSERT_EQ(res.assignment.size(), 1u);
+  EXPECT_EQ(res.assignment[0], 0u);
+}
+
+TEST(Exact, EmptyTaskSetFeasible) {
+  const TaskSet tasks;
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf).verdict,
+            ExactVerdict::kFeasible);
+}
+
+TEST(Exact, InfeasibleByTotalUtilization) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf).verdict,
+            ExactVerdict::kInfeasible);
+}
+
+TEST(Exact, FindsPartitionFirstFitMisses) {
+  // A separating instance (first-fit-decreasing fails, a partition exists):
+  // speeds {1, 1}, w = {0.44, 0.42, 0.40, 0.38, 0.20, 0.16}: total 2.00.
+  // Exact packing: {0.44, 0.40, 0.16} = 1.00 and {0.42, 0.38, 0.20} = 1.00.
+  // FFD: .44->m0, .42->m0 (.86), .40->m1, .38->m1 (.78), .20->m1 (.98),
+  // .16 fits neither (.86+.16 and .98+.16 both exceed 1): FF fails.
+  const TaskSet tasks({{44, 100}, {42, 100}, {40, 100},
+                       {38, 100}, {20, 100}, {16, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_FALSE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0));
+  const ExactResult ex = exact_partition(tasks, platform, AdmissionKind::kEdf);
+  EXPECT_EQ(ex.verdict, ExactVerdict::kFeasible);
+  const ExactResult bf =
+      brute_force_partition(tasks, platform, AdmissionKind::kEdf);
+  EXPECT_EQ(bf.verdict, ExactVerdict::kFeasible);
+}
+
+TEST(Exact, AssignmentIsAdmissible) {
+  const TaskSet tasks({{44, 100}, {42, 100}, {40, 100},
+                       {38, 100}, {20, 100}, {16, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const ExactResult ex = exact_partition(tasks, platform, AdmissionKind::kEdf);
+  ASSERT_EQ(ex.verdict, ExactVerdict::kFeasible);
+  std::vector<double> load(platform.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ASSERT_LT(ex.assignment[i], platform.size());
+    load[ex.assignment[i]] += tasks[i].utilization();
+  }
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    EXPECT_LE(load[j], platform.speed(j) + 1e-9);
+  }
+}
+
+TEST(Exact, AlphaScalesCapacity) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf, 1.0).verdict,
+            ExactVerdict::kInfeasible);
+  EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf, 2.0).verdict,
+            ExactVerdict::kFeasible);
+}
+
+TEST(Exact, RmsAdmissionKindsDiffer) {
+  // Harmonic full-utilization set: RTA-exact partition exists on one
+  // machine; no LL-certifiable partition does.
+  const TaskSet tasks({{1, 2}, {1, 4}, {2, 8}});
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_EQ(exact_partition(tasks, platform, AdmissionKind::kRmsResponseTime)
+                .verdict,
+            ExactVerdict::kFeasible);
+  EXPECT_EQ(
+      exact_partition(tasks, platform, AdmissionKind::kRmsLiuLayland).verdict,
+      ExactVerdict::kInfeasible);
+}
+
+TEST(Exact, NodeLimitReported) {
+  // A big infeasible instance with a 1-node budget must hit the limit.
+  Rng rng(3);
+  TasksetSpec spec;
+  spec.n = 16;
+  spec.total_utilization = 7.9;
+  const TaskSet tasks = generate_taskset(rng, spec);
+  const Platform platform = Platform::identical(8);
+  ExactOptions opts;
+  opts.max_nodes = 1;
+  const ExactResult res =
+      exact_partition(tasks, platform, AdmissionKind::kEdf, 1.0, opts);
+  EXPECT_EQ(res.verdict, ExactVerdict::kNodeLimit);
+}
+
+TEST(Exact, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(17);
+  for (int iter = 0; iter < 40; ++iter) {
+    TasksetSpec spec;
+    spec.n = 6;
+    spec.total_utilization = rng.uniform(1.0, 3.0);
+    spec.periods = PeriodSpec::uniform(50, 500);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    const Platform platform = Platform::from_speeds({0.5, 1.0, 1.5});
+    for (const AdmissionKind kind :
+         {AdmissionKind::kEdf, AdmissionKind::kRmsLiuLayland}) {
+      const ExactResult ex = exact_partition(tasks, platform, kind);
+      const ExactResult bf = brute_force_partition(tasks, platform, kind);
+      ASSERT_NE(ex.verdict, ExactVerdict::kNodeLimit);
+      EXPECT_EQ(ex.verdict, bf.verdict)
+          << to_string(kind) << " " << tasks.to_string();
+    }
+  }
+}
+
+TEST(Exact, SymmetryPruningVisitsFewerNodes) {
+  // 8 identical machines, infeasible instance: symmetry pruning should keep
+  // the node count well below the 8^6 assignment space.
+  const TaskSet tasks(
+      {{9, 10}, {9, 10}, {9, 10}, {9, 10}, {9, 10}, {9, 10}, {9, 10},
+       {9, 10}, {9, 10}});  // nine w=.9 tasks
+  const Platform platform = Platform::identical(8);
+  const ExactResult res = exact_partition(tasks, platform, AdmissionKind::kEdf);
+  EXPECT_EQ(res.verdict, ExactVerdict::kInfeasible);
+  EXPECT_LT(res.nodes_visited, 100000);
+}
+
+TEST(ExactDeathTest, BruteForceRefusesLargeN) {
+  TaskSet tasks;
+  for (int i = 0; i < 11; ++i) tasks.push_back({1, 10});
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_DEATH(brute_force_partition(tasks, platform, AdmissionKind::kEdf),
+               "n <= 10");
+}
+
+}  // namespace
+}  // namespace hetsched

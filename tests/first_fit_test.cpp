@@ -1,0 +1,158 @@
+// Unit tests for the paper's first-fit partitioner (partition/first_fit.h).
+#include "partition/first_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/analysis_constants.h"
+
+namespace hetsched {
+namespace {
+
+TEST(FirstFit, PlacesSingleTaskOnSlowestSufficientMachine) {
+  const TaskSet tasks({{1, 2}});  // w = 0.5
+  const Platform platform = Platform::from_speeds({0.25, 1.0, 4.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(res.feasible);
+  // Machine 0 (speed .25) cannot take w = .5; machine 1 can.
+  EXPECT_EQ(res.assignment[0], 1u);
+}
+
+TEST(FirstFit, ProcessesTasksInDecreasingUtilization) {
+  // Big task (w=0.9) goes first and lands on the unit machine; the small
+  // one (w=0.3) then also fits there under EDF (0.9+0.3 > 1 -> no), so it
+  // spills to the fast machine? No: first fit tries machine 0 first:
+  // 0.3 <= 1 - 0.9 fails, machine 1 (speed 2) takes it.
+  const TaskSet tasks({{3, 10}, {9, 10}});
+  const Platform platform = Platform::from_speeds({1.0, 2.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.assignment[1], 0u);  // w = .9 placed first, on machine 0
+  EXPECT_EQ(res.assignment[0], 1u);  // w = .3 overflows to machine 1
+}
+
+TEST(FirstFit, FailureReportsFailedTaskAndLoads) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});  // three w = 1 tasks
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_FALSE(res.feasible);
+  ASSERT_TRUE(res.failed_task.has_value());
+  EXPECT_DOUBLE_EQ(res.failed_utilization, 1.0);
+  // Two machines each already hold one unit task.
+  EXPECT_DOUBLE_EQ(res.machine_utilization[0], 1.0);
+  EXPECT_DOUBLE_EQ(res.machine_utilization[1], 1.0);
+}
+
+TEST(FirstFit, AlphaAugmentationEnablesPacking) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_FALSE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0));
+  EXPECT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 2.0));
+}
+
+TEST(FirstFit, AssignmentRespectsAdmission) {
+  const TaskSet tasks({{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}});
+  const Platform platform = Platform::from_speeds({0.5, 1.0, 1.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(res.feasible);
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    EXPECT_LE(res.machine_utilization[j], platform.speed(j) + 1e-12);
+  }
+  // Every task assigned exactly once.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_LT(res.assignment[i], platform.size());
+  }
+}
+
+TEST(FirstFit, RmsAdmissionIsStricterThanEdf) {
+  // Two w = 0.45 tasks on one unit machine: EDF packs (0.9 <= 1), RMS-LL
+  // does not (0.9 > 0.828) and needs the second machine.
+  const TaskSet tasks({{9, 20}, {9, 20}});
+  const Platform one = Platform::from_speeds({1.0});
+  EXPECT_TRUE(first_fit_accepts(tasks, one, AdmissionKind::kEdf, 1.0));
+  EXPECT_FALSE(
+      first_fit_accepts(tasks, one, AdmissionKind::kRmsLiuLayland, 1.0));
+  const Platform two = Platform::from_speeds({1.0, 1.0});
+  EXPECT_TRUE(
+      first_fit_accepts(tasks, two, AdmissionKind::kRmsLiuLayland, 1.0));
+}
+
+TEST(FirstFit, RtaAdmissionAcceptsHarmonicOverload) {
+  // Harmonic set with U = 1.0 on one machine: RTA packs it, LL cannot.
+  const TaskSet tasks({{1, 2}, {1, 4}, {2, 8}});
+  const Platform one = Platform::from_speeds({1.0});
+  EXPECT_TRUE(
+      first_fit_accepts(tasks, one, AdmissionKind::kRmsResponseTime, 1.0));
+  EXPECT_FALSE(
+      first_fit_accepts(tasks, one, AdmissionKind::kRmsLiuLayland, 1.0));
+}
+
+TEST(FirstFit, EmptyTaskSetIsFeasible) {
+  const TaskSet tasks;
+  const Platform platform = Platform::from_speeds({1.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(FirstFit, TaskLargerThanEveryMachineFails) {
+  const TaskSet tasks({{3, 1}});  // w = 3
+  const Platform platform = Platform::from_speeds({1.0, 2.0});
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.failed_task, 0u);
+}
+
+TEST(FirstFit, ToStringBothBranches) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto ok = first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_NE(ok.to_string().find("FEASIBLE"), std::string::npos);
+  const TaskSet big({{2, 1}});
+  const auto bad =
+      first_fit_partition(big, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_NE(bad.to_string().find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(MinFeasibleAlpha, ReturnsOneWhenAlreadyFeasible) {
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto alpha =
+      min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 4.0);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_DOUBLE_EQ(*alpha, 1.0);
+}
+
+TEST(MinFeasibleAlpha, FindsExactBoundary) {
+  // Three unit tasks on two unit machines: first-fit EDF accepts iff two
+  // tasks share one machine, i.e. alpha >= 2.
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const auto alpha =
+      min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 4.0, 1e-9);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_NEAR(*alpha, 2.0, 1e-7);
+}
+
+TEST(MinFeasibleAlpha, NulloptWhenBracketTooSmall) {
+  const TaskSet tasks({{10, 1}});  // w = 10 on a unit machine
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_FALSE(
+      min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 4.0).has_value());
+}
+
+TEST(FirstFit, PaperAlphasAcceptFeasibleWorkloads) {
+  // A workload a partitioned scheduler can place exactly must be accepted
+  // at the Theorem I.1 augmentation.
+  const TaskSet tasks({{1, 1}, {1, 2}, {1, 2}});  // w = 1, .5, .5
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf,
+                                EdfConstants::kAlphaPartitioned));
+}
+
+}  // namespace
+}  // namespace hetsched

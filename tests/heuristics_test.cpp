@@ -1,0 +1,163 @@
+// Unit tests for the partitioning heuristic grid (baselines/heuristics.h).
+#include "baselines/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/taskset_gen.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Heuristics, DefaultSpecMatchesFirstFit) {
+  Rng rng(1);
+  for (int iter = 0; iter < 20; ++iter) {
+    TasksetSpec spec;
+    spec.n = 12;
+    spec.total_utilization = rng.uniform(1.0, 4.0);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    const Platform platform = Platform::from_speeds({0.5, 1.0, 2.0, 2.0});
+    const PartitionResult a =
+        first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.5);
+    const PartitionResult b = heuristic_partition(
+        tasks, platform, HeuristicSpec{}, AdmissionKind::kEdf, 1.5);
+    ASSERT_EQ(a.feasible, b.feasible);
+    if (a.feasible) {
+      EXPECT_EQ(a.assignment, b.assignment);
+    }
+  }
+}
+
+TEST(Heuristics, BestFitPrefersTightMachine) {
+  // One task w = 0.5; machines 1.0 and 0.6 (sorted: 0.6 first).  First fit
+  // and best fit both choose 0.6; worst fit chooses 1.0.
+  const TaskSet tasks({{1, 2}});
+  const Platform platform = Platform::from_speeds({1.0, 0.6});
+  HeuristicSpec wf;
+  wf.fit = FitRule::kWorstFit;
+  const PartitionResult w =
+      heuristic_partition(tasks, platform, wf, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(w.feasible);
+  EXPECT_EQ(w.assignment[0], 1u);  // sorted index 1 == speed 1.0
+
+  HeuristicSpec bf;
+  bf.fit = FitRule::kBestFit;
+  const PartitionResult b =
+      heuristic_partition(tasks, platform, bf, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(b.assignment[0], 0u);  // sorted index 0 == speed 0.6
+}
+
+TEST(Heuristics, BestFitConsidersExistingLoad) {
+  // Machines {1, 1}; tasks w = .6, .3, .35.  Dec-util order: .6, .35, .3.
+  // Best fit: .6->m0; .35->m0? residual would be .05 vs m1 residual .65:
+  // chooses m0.  .3->m1.  All feasible.
+  const TaskSet tasks({{6, 10}, {3, 10}, {35, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  HeuristicSpec bf;
+  bf.fit = FitRule::kBestFit;
+  const PartitionResult b =
+      heuristic_partition(tasks, platform, bf, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(b.assignment[0], 0u);   // .6
+  EXPECT_EQ(b.assignment[2], 0u);   // .35 packs tightly beside .6
+  EXPECT_EQ(b.assignment[1], 1u);   // .3
+}
+
+TEST(Heuristics, DecreasingSpeedOrderBurnsFastMachinesFirst) {
+  const TaskSet tasks({{1, 10}});  // tiny task
+  const Platform platform = Platform::from_speeds({1.0, 4.0});
+  HeuristicSpec spec;
+  spec.machine_order = MachineOrder::kDecreasingSpeed;
+  const PartitionResult r =
+      heuristic_partition(tasks, platform, spec, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment[0], 1u);  // fast machine grabbed first
+}
+
+TEST(Heuristics, IncreasingUtilizationOrderCanFail) {
+  // Small tasks first clog the machines the big task needs.  Speeds
+  // {0.7, 1.2}, tasks w = {1.1, 0.7, 0.05}:
+  //   inc-util: 0.05->m0, then 0.7 overflows m0 (0.75 > 0.7) -> m1, then
+  //             1.1 fits nowhere (1.8 > 1.2, 1.1 > 0.7): FAIL.
+  //   dec-util (paper): 1.1->m1, 0.7->m0, 0.05->m1 (1.15 <= 1.2): feasible.
+  // (The small task is 0.05, not 0.1, so no double-precision sum lands
+  // exactly on a capacity boundary.)
+  const TaskSet tasks({{11, 10}, {7, 10}, {1, 20}});
+  const Platform platform = Platform::from_speeds({0.7, 1.2});
+  HeuristicSpec dec;  // default = paper's ordering
+  EXPECT_TRUE(
+      heuristic_partition(tasks, platform, dec, AdmissionKind::kEdf, 1.0)
+          .feasible);
+  HeuristicSpec inc;
+  inc.task_order = TaskOrder::kIncreasingUtilization;
+  EXPECT_FALSE(
+      heuristic_partition(tasks, platform, inc, AdmissionKind::kEdf, 1.0)
+          .feasible);
+}
+
+TEST(Heuristics, RandomOrderIsDeterministicGivenSeed) {
+  Rng gen(5);
+  TasksetSpec tspec;
+  tspec.n = 10;
+  tspec.total_utilization = 2.0;
+  const TaskSet tasks = generate_taskset(gen, tspec);
+  const Platform platform = Platform::from_speeds({1.0, 1.0, 1.0});
+  HeuristicSpec spec;
+  spec.task_order = TaskOrder::kRandom;
+  Rng r1(99), r2(99);
+  const PartitionResult a =
+      heuristic_partition(tasks, platform, spec, AdmissionKind::kEdf, 2.0, &r1);
+  const PartitionResult b =
+      heuristic_partition(tasks, platform, spec, AdmissionKind::kEdf, 2.0, &r2);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Heuristics, InputOrderRespected) {
+  // Input order lets the small task claim the slow machine first.
+  const TaskSet tasks({{1, 10}, {9, 10}});  // w = .1 then .9
+  const Platform platform = Platform::from_speeds({0.2, 1.0});
+  HeuristicSpec spec;
+  spec.task_order = TaskOrder::kInputOrder;
+  const PartitionResult r =
+      heuristic_partition(tasks, platform, spec, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_EQ(r.assignment[1], 1u);
+}
+
+TEST(Heuristics, SpecToStringRoundTrip) {
+  HeuristicSpec spec;
+  spec.task_order = TaskOrder::kRandom;
+  spec.machine_order = MachineOrder::kDecreasingSpeed;
+  spec.fit = FitRule::kWorstFit;
+  EXPECT_EQ(spec.to_string(), "random/dec-speed/worst-fit");
+  EXPECT_EQ(HeuristicSpec{}.to_string(), "dec-util/inc-speed/first-fit");
+}
+
+TEST(GlobalNecessary, AcceptsWithinTotals) {
+  const TaskSet tasks({{1, 2}, {1, 2}});
+  EXPECT_TRUE(global_necessary_condition(tasks, Platform::from_speeds({1.0})));
+}
+
+TEST(GlobalNecessary, RejectsOverTotalSpeed) {
+  const TaskSet tasks({{3, 2}});
+  EXPECT_FALSE(
+      global_necessary_condition(tasks, Platform::from_speeds({1.0})));
+}
+
+TEST(GlobalNecessary, RejectsTaskDenserThanFastestMachine) {
+  const TaskSet tasks({{3, 2}});  // w = 1.5
+  EXPECT_FALSE(global_necessary_condition(
+      tasks, Platform::from_speeds({1.0, 1.0, 1.0})));
+  EXPECT_TRUE(
+      global_necessary_condition(tasks, Platform::from_speeds({1.0, 2.0})));
+}
+
+TEST(GlobalNecessary, EmptyTasksAccepted) {
+  EXPECT_TRUE(
+      global_necessary_condition(TaskSet{}, Platform::from_speeds({1.0})));
+}
+
+}  // namespace
+}  // namespace hetsched

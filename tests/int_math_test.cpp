@@ -1,0 +1,102 @@
+// Unit tests for overflow-checked integer helpers (util/int_math.h).
+#include "util/int_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(IntMath, CheckedAddNormal) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+}
+
+TEST(IntMath, CheckedAddOverflow) {
+  EXPECT_FALSE(checked_add(kMax, 1).has_value());
+  EXPECT_FALSE(checked_add(kMin, -1).has_value());
+  EXPECT_TRUE(checked_add(kMax, 0).has_value());
+}
+
+TEST(IntMath, CheckedSubOverflow) {
+  EXPECT_EQ(checked_sub(5, 7), -2);
+  EXPECT_FALSE(checked_sub(kMin, 1).has_value());
+}
+
+TEST(IntMath, CheckedMulNormalAndOverflow) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_FALSE(checked_mul(kMax, 2).has_value());
+  EXPECT_EQ(checked_mul(kMax, 1), kMax);
+}
+
+TEST(IntMath, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+}
+
+TEST(IntMath, CheckedLcm) {
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(0, 6), 0);
+  EXPECT_FALSE(checked_lcm(kMax, kMax - 1).has_value());
+}
+
+TEST(IntMath, Hyperperiod) {
+  const std::vector<std::int64_t> ps{4, 6, 10};
+  EXPECT_EQ(hyperperiod(ps), 60);
+}
+
+TEST(IntMath, HyperperiodOverflowDetected) {
+  // Pairwise-coprime large primes overflow the lcm.
+  const std::vector<std::int64_t> ps{1000000007, 1000000009, 998244353};
+  EXPECT_FALSE(hyperperiod(ps).has_value());
+}
+
+TEST(IntMath, HyperperiodSingleton) {
+  const std::vector<std::int64_t> ps{7};
+  EXPECT_EQ(hyperperiod(ps), 7);
+}
+
+TEST(IntMath, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 2), 3);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+}
+
+TEST(IntMath, FloorCeilConsistency) {
+  for (std::int64_t a = -20; a <= 20; ++a) {
+    for (std::int64_t b = -5; b <= 5; ++b) {
+      if (b == 0) continue;
+      const std::int64_t f = floor_div(a, b);
+      const std::int64_t c = ceil_div(a, b);
+      const double q = static_cast<double>(a) / static_cast<double>(b);
+      EXPECT_EQ(f, static_cast<std::int64_t>(std::floor(q)))
+          << a << "/" << b;
+      EXPECT_EQ(c, static_cast<std::int64_t>(std::ceil(q))) << a << "/" << b;
+      EXPECT_TRUE(c == f || c == f + 1);
+      if (a % b == 0) {
+        EXPECT_EQ(f, c);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

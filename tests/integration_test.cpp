@@ -1,0 +1,150 @@
+// Cross-module integration tests: partitioner <-> simulator <-> LP <-> exact
+// search on curated end-to-end scenarios.
+#include <gtest/gtest.h>
+
+#include "hetsched/hetsched.h"
+
+namespace hetsched {
+namespace {
+
+// A small big.LITTLE platform and a mixed workload, walked through the whole
+// pipeline: generation -> feasibility test -> assignment -> exact replay.
+TEST(Integration, BigLittleEndToEndEdf) {
+  const Platform platform = big_little_platform(4, 2, 1.0, 3.0);
+  const TaskSet tasks({
+      {5, 10},    // 0.5
+      {9, 10},    // 0.9
+      {12, 10},   // 1.2: needs a big core
+      {3, 10},    // 0.3
+      {20, 10},   // 2.0: needs a big core
+      {2, 10},    // 0.2
+  });
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  ASSERT_TRUE(res.feasible);
+
+  // Dense tasks must sit on big cores (speed 3).
+  EXPECT_GE(platform.speed(res.assignment[2]), 1.2);
+  EXPECT_GE(platform.speed(res.assignment[4]), 2.0);
+
+  // Replay the exact schedule on every machine: zero misses.
+  std::vector<Rational> speeds;
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    speeds.push_back(platform.speed_exact(j));
+  }
+  const PartitionSimOutcome sim =
+      simulate_partition(res.tasks_per_machine, speeds, SchedPolicy::kEdf);
+  EXPECT_TRUE(sim.schedulable);
+}
+
+TEST(Integration, RmsPipelineWithAugmentation) {
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const TaskSet tasks({{4, 10}, {4, 10}, {4, 10}, {4, 10}});  // U = 1.6
+  // At alpha = 1, RMS-LL cannot place four 0.4 tasks on two unit machines
+  // (two per machine: 0.8 > 0.828? 0.8 <= 0.828 fits!).  So it is feasible.
+  const PartitionResult res =
+      first_fit_partition(tasks, platform, AdmissionKind::kRmsLiuLayland, 1.0);
+  ASSERT_TRUE(res.feasible);
+  std::vector<Rational> speeds{platform.speed_exact(0),
+                               platform.speed_exact(1)};
+  const PartitionSimOutcome sim = simulate_partition(
+      res.tasks_per_machine, speeds, SchedPolicy::kFixedPriorityRm);
+  EXPECT_TRUE(sim.schedulable);
+}
+
+TEST(Integration, FailureCertificateAgreesWithLp) {
+  // An LP-infeasible instance must be rejected by first-fit at alpha = 2.98
+  // ... contrapositive of Theorem I.3: if FF accepts at 2.98 the LP might
+  // still be infeasible (the theorem only runs one way), but if the LP is
+  // feasible FF must accept.  Here: LP feasible => FF accepts.
+  const TaskSet tasks({{3, 5}, {3, 5}, {3, 5}});  // three w = 0.6
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  ASSERT_TRUE(lp_feasible_oracle(tasks, platform));
+  ASSERT_TRUE(lp_feasible_simplex(tasks, platform));
+  EXPECT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf,
+                                EdfConstants::kAlphaLp));
+}
+
+TEST(Integration, PartitionedAdversaryCertificate) {
+  // Exact partition exists => FF-EDF accepts at alpha = 2 (Theorem I.1).
+  const TaskSet tasks({{44, 100}, {42, 100}, {40, 100},
+                       {38, 100}, {20, 100}, {16, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  ASSERT_EQ(exact_partition(tasks, platform, AdmissionKind::kEdf).verdict,
+            ExactVerdict::kFeasible);
+  EXPECT_FALSE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0));
+  EXPECT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf,
+                                EdfConstants::kAlphaPartitioned));
+}
+
+TEST(Integration, GeneratorFeedsWholePipeline) {
+  Rng rng(2024);
+  TasksetSpec tspec;
+  tspec.n = 12;
+  tspec.total_utilization = 3.0;
+  tspec.periods = PeriodSpec::sim_friendly();
+  const TaskSet tasks = generate_taskset(rng, tspec);
+  const Platform platform = geometric_platform(6, 1.5);
+
+  const bool lp_ok = lp_feasible_oracle(tasks, platform);
+  EXPECT_EQ(lp_ok, lp_feasible_simplex(tasks, platform));
+
+  const PartitionResult ff =
+      first_fit_partition(tasks, platform, AdmissionKind::kEdf, 2.98);
+  if (lp_ok) {
+    ASSERT_TRUE(ff.feasible);  // Theorem I.3 contrapositive
+    std::vector<Rational> speeds;
+    const Rational alpha = rational_from_double(2.98);
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      speeds.push_back(platform.speed_exact(j) * alpha);
+    }
+    EXPECT_TRUE(simulate_partition(ff.tasks_per_machine, speeds,
+                                   SchedPolicy::kEdf)
+                    .schedulable);
+  }
+}
+
+TEST(Integration, AugmentationSearchBracketsOracleValue) {
+  // For a single machine and EDF, first-fit's minimal alpha equals total
+  // utilization / speed, which is also the LP bound.
+  const TaskSet tasks({{3, 2}, {1, 2}});  // U = 2.0
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto alpha =
+      min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 8.0, 1e-9);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_NEAR(*alpha, 2.0, 1e-7);
+  EXPECT_NEAR(min_lp_augmentation(tasks, platform), 2.0, 1e-12);
+}
+
+TEST(Integration, HeuristicGridAllRunnable) {
+  Rng rng(5);
+  TasksetSpec tspec;
+  tspec.n = 10;
+  tspec.total_utilization = 2.5;
+  const TaskSet tasks = generate_taskset(rng, tspec);
+  const Platform platform = Platform::from_speeds({0.5, 1.0, 1.5, 2.0});
+  for (const TaskOrder to :
+       {TaskOrder::kDecreasingUtilization, TaskOrder::kIncreasingUtilization,
+        TaskOrder::kInputOrder, TaskOrder::kRandom}) {
+    for (const MachineOrder mo :
+         {MachineOrder::kIncreasingSpeed, MachineOrder::kDecreasingSpeed}) {
+      for (const FitRule fr :
+           {FitRule::kFirstFit, FitRule::kBestFit, FitRule::kWorstFit}) {
+        HeuristicSpec spec{to, mo, fr};
+        Rng order_rng(1);
+        const PartitionResult res = heuristic_partition(
+            tasks, platform, spec, AdmissionKind::kEdf, 2.0, &order_rng);
+        if (res.feasible) {
+          for (std::size_t j = 0; j < platform.size(); ++j) {
+            EXPECT_LE(res.machine_utilization[j],
+                      2.0 * platform.speed(j) + 1e-9)
+                << spec.to_string();
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

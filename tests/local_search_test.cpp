@@ -1,0 +1,130 @@
+// Tests for the local-search repair partitioner (baselines/local_search.h).
+#include "baselines/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/uniproc.h"
+#include "exact/exact_partition.h"
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(LocalSearch, AcceptsWhateverFirstFitAccepts) {
+  Rng rng(1);
+  for (int iter = 0; iter < 30; ++iter) {
+    TasksetSpec spec;
+    spec.n = 12;
+    spec.total_utilization = rng.uniform(1.0, 3.5);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    const Platform platform = Platform::from_speeds({0.5, 1.0, 1.5, 2.0});
+    if (first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0)) {
+      EXPECT_TRUE(local_search_partition(tasks, platform, AdmissionKind::kEdf,
+                                         1.0)
+                      .feasible);
+    }
+  }
+}
+
+TEST(LocalSearch, RepairsTheSeparatingInstance) {
+  // First-fit strands the 0.16 task; moving 0.20 from machine 1 to machine
+  // 0 will not fit (0.86 + 0.20 > 1) but a swap does.
+  const TaskSet tasks({{44, 100}, {42, 100}, {40, 100},
+                       {38, 100}, {20, 100}, {16, 100}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  ASSERT_FALSE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0));
+  const LocalSearchResult res =
+      local_search_partition(tasks, platform, AdmissionKind::kEdf, 1.0);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_GT(res.moves + res.swaps, 0u);
+  // Validate the assignment.
+  std::vector<double> load(platform.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ASSERT_LT(res.assignment[i], platform.size());
+    load[res.assignment[i]] += tasks[i].utilization();
+  }
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    EXPECT_LE(load[j], platform.speed(j) + 1e-9);
+  }
+}
+
+TEST(LocalSearch, StillRejectsTrulyInfeasible) {
+  const TaskSet tasks({{1, 1}, {1, 1}, {1, 1}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  EXPECT_FALSE(
+      local_search_partition(tasks, platform, AdmissionKind::kEdf, 1.0)
+          .feasible);
+}
+
+TEST(LocalSearch, WorksWithRmsAdmission) {
+  Rng rng(3);
+  TasksetSpec spec;
+  spec.n = 10;
+  spec.total_utilization = 2.0;
+  const TaskSet tasks = generate_taskset(rng, spec);
+  const Platform platform = Platform::from_speeds({1.0, 1.0, 2.0});
+  const LocalSearchResult res = local_search_partition(
+      tasks, platform, AdmissionKind::kRmsLiuLayland, 1.5);
+  // Whatever the verdict, an accepted assignment must be LL-admissible.
+  if (res.feasible) {
+    std::vector<std::vector<Task>> per(platform.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      per[res.assignment[i]].push_back(tasks[i]);
+    }
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      double sum = 0;
+      for (const Task& t : per[j]) sum += t.utilization();
+      EXPECT_TRUE(
+          rms_ll_feasible(sum, per[j].size(), 1.5 * platform.speed(j)));
+    }
+  }
+}
+
+// Local search is sandwiched: at least first-fit, at most the exact search.
+class LocalSearchPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchPropertyTest, SandwichedBetweenFirstFitAndExact) {
+  Rng rng(GetParam());
+  int ff_acc = 0, ls_acc = 0, exact_acc = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Platform platform = geometric_platform(3, rng.uniform(1.0, 2.0));
+    TasksetSpec spec;
+    spec.n = 9;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        std::min(rng.uniform(0.6, 1.0) * platform.total_speed(),
+                 0.35 * 9 * spec.max_task_utilization);
+    spec.periods = PeriodSpec::uniform(50, 1000);
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    const bool ff = first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0);
+    const bool ls =
+        local_search_partition(tasks, platform, AdmissionKind::kEdf, 1.0)
+            .feasible;
+    const ExactResult ex =
+        exact_partition(tasks, platform, AdmissionKind::kEdf);
+    ASSERT_NE(ex.verdict, ExactVerdict::kNodeLimit);
+    const bool exact = ex.verdict == ExactVerdict::kFeasible;
+
+    if (ff) {
+      EXPECT_TRUE(ls);
+    }
+    if (ls) {
+      EXPECT_TRUE(exact);
+    }
+    ff_acc += ff;
+    ls_acc += ls;
+    exact_acc += exact;
+  }
+  EXPECT_LE(ff_acc, ls_acc);
+  EXPECT_LE(ls_acc, exact_acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchPropertyTest,
+                         ::testing::Values(31u, 62u, 93u, 124u, 155u));
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,79 @@
+// Tests for the non-preemptive EDF simulation policy (sim/event_sim.h).
+#include <gtest/gtest.h>
+
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(EdfNp, SingleTaskIdenticalToPreemptive) {
+  const std::vector<Task> tasks{{2, 5}};
+  const SimOutcome p = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  const SimOutcome np =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdfNonPreemptive);
+  EXPECT_EQ(p.schedulable, np.schedulable);
+  EXPECT_EQ(p.busy_time, np.busy_time);
+}
+
+TEST(EdfNp, NeverPreempts) {
+  // A workload with heavy preemption under EDF must show zero under EDF-NP.
+  const std::vector<Task> tasks{{1, 4}, {9, 12}};
+  const SimOutcome p = simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf);
+  EXPECT_GT(p.preemptions, 0);
+  const SimOutcome np =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdfNonPreemptive);
+  EXPECT_EQ(np.preemptions, 0);
+}
+
+TEST(EdfNp, BlockingAnomalyMissesWherePreemptiveSucceeds) {
+  // Long job (8, 20) starts at 0 and blocks the (1, 3)-task's first job
+  // past its deadline.  Preemptive EDF schedules the set (U ~ 0.73).
+  const std::vector<Task> tasks{{1, 3}, {8, 20}};
+  EXPECT_TRUE(
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf).schedulable);
+  const SimOutcome np =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdfNonPreemptive);
+  EXPECT_FALSE(np.schedulable);
+  ASSERT_TRUE(np.miss.has_value());
+  EXPECT_EQ(np.miss->task_index, 0u);
+}
+
+TEST(EdfNp, ShortJobsScheduleFine) {
+  // All executions well below every deadline: non-preemptive blocking is
+  // bounded by one short job; the set stays schedulable.
+  const std::vector<Task> tasks{{1, 6}, {1, 8}, {1, 12}};
+  const SimOutcome np =
+      simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdfNonPreemptive);
+  EXPECT_TRUE(np.schedulable);
+}
+
+TEST(EdfNp, PreemptiveDominatesOnRandomInstances) {
+  // Whenever EDF-NP schedules a set, preemptive EDF must too (preemptive
+  // EDF is optimal on one machine).
+  Rng rng(5);
+  int np_ok = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Task> tasks;
+    for (int i = 0; i < 3; ++i) {
+      const std::int64_t p = rng.uniform_int(4, 12);
+      tasks.push_back(Task{rng.uniform_int(1, p / 2), p});
+    }
+    const bool np = simulate_uniproc(tasks, Rational(1),
+                                     SchedPolicy::kEdfNonPreemptive)
+                        .schedulable;
+    if (np) {
+      ++np_ok;
+      EXPECT_TRUE(simulate_uniproc(tasks, Rational(1), SchedPolicy::kEdf)
+                      .schedulable);
+    }
+  }
+  EXPECT_GT(np_ok, 10);
+}
+
+TEST(EdfNp, PolicyName) {
+  EXPECT_EQ(to_string(SchedPolicy::kEdfNonPreemptive), "EDF-NP");
+}
+
+}  // namespace
+}  // namespace hetsched

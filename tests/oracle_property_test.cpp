@@ -1,0 +1,137 @@
+// Property tests cross-validating the two independent LP deciders and the
+// closed-form augmentation bound (lp/feasibility_lp.h).
+#include <gtest/gtest.h>
+
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "lp/feasibility_lp.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+// Caps a drawn total utilization to what UUniFast-Discard can sample under
+// the per-task cap (its acceptance collapses above ~40% of n * max_util).
+double clamp_reachable(double u, std::size_t n, double max_util) {
+  return std::min(u, 0.35 * static_cast<double>(n) * max_util);
+}
+
+class OracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The simplex on the explicit LP and the combinatorial prefix condition
+// must return identical verdicts on every instance.
+TEST_P(OracleTest, SimplexAgreesWithCombinatorialOracle) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 80; ++iter) {
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const Platform platform = uniform_platform(rng, m, 0.25, 4.0);
+    TasksetSpec spec;
+    spec.n = n;
+    // Straddle the boundary: half the draws are over capacity.
+    spec.max_task_utilization = std::min(4.0, platform.max_speed() * 1.2);
+    spec.total_utilization =
+        clamp_reachable(rng.uniform(0.5, 1.5) * platform.total_speed(), n,
+                        spec.max_task_utilization);
+    spec.periods = PeriodSpec::uniform(20, 500);
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    const bool oracle = lp_feasible_oracle(tasks, platform);
+    const bool simplex = lp_feasible_simplex(tasks, platform);
+    EXPECT_EQ(oracle, simplex)
+        << tasks.to_string() << " on " << platform.to_string();
+  }
+}
+
+// min_lp_augmentation is the exact boundary: the oracle rejects just below
+// it and accepts just above it.
+TEST_P(OracleTest, AugmentationIsTheFeasibilityBoundary) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Platform platform = uniform_platform(rng, 4, 0.5, 3.0);
+    TasksetSpec spec;
+    spec.n = 10;
+    spec.max_task_utilization = platform.max_speed() * 1.5;
+    spec.total_utilization =
+        clamp_reachable(rng.uniform(0.6, 1.4) * platform.total_speed(),
+                        spec.n, spec.max_task_utilization);
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    const double alpha = min_lp_augmentation(tasks, platform);
+    ASSERT_GT(alpha, 0);
+    auto scaled = [&](double factor) {
+      std::vector<Rational> speeds;
+      for (std::size_t j = 0; j < platform.size(); ++j) {
+        speeds.push_back(platform.speed_exact(j) *
+                         rational_from_double(factor, 1 << 20));
+      }
+      return Platform::from_speeds_exact(speeds);
+    };
+    EXPECT_TRUE(lp_feasible_oracle(tasks, scaled(alpha * (1 + 1e-6))));
+    if (alpha > 1e-6) {
+      EXPECT_FALSE(lp_feasible_oracle(tasks, scaled(alpha * (1 - 1e-6))));
+    }
+  }
+}
+
+// Any u returned by the simplex satisfies the LP constraints.
+TEST_P(OracleTest, SolutionsAreAlwaysValid) {
+  Rng rng(GetParam() ^ 0x99);
+  int solved = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Platform platform = uniform_platform(rng, 3, 0.5, 2.0);
+    TasksetSpec spec;
+    spec.n = 8;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        clamp_reachable(rng.uniform(0.4, 1.1) * platform.total_speed(),
+                        spec.n, spec.max_task_utilization);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    const auto u = lp_solution(tasks, platform);
+    if (!u) continue;
+    ++solved;
+    const std::size_t n = tasks.size(), m = platform.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      double row = 0, time = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        EXPECT_GE((*u)[i * m + j], -1e-7);
+        row += (*u)[i * m + j];
+        time += (*u)[i * m + j] / platform.speed(j);
+      }
+      EXPECT_NEAR(row, tasks[i].utilization(), 1e-6);
+      EXPECT_LE(time, 1.0 + 1e-6);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      double load = 0;
+      for (std::size_t i = 0; i < n; ++i) load += (*u)[i * m + j];
+      EXPECT_LE(load, platform.speed(j) * (1.0 + 1e-6));
+    }
+  }
+  EXPECT_GT(solved, 5);
+}
+
+// Feasibility is monotone in machine speed (adding speed never hurts).
+TEST_P(OracleTest, FeasibilityMonotoneInSpeed) {
+  Rng rng(GetParam() ^ 0xBB);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Platform platform = uniform_platform(rng, 4, 0.5, 2.0);
+    TasksetSpec spec;
+    spec.n = 8;
+    spec.max_task_utilization = platform.max_speed() * 1.2;
+    spec.total_utilization =
+        clamp_reachable(rng.uniform(0.5, 1.2) * platform.total_speed(),
+                        spec.n, spec.max_task_utilization);
+    const TaskSet tasks = generate_taskset(rng, spec);
+    if (lp_feasible_oracle(tasks, platform)) {
+      EXPECT_TRUE(lp_feasible_oracle(tasks, scale_platform(platform, 1.5)));
+    } else {
+      EXPECT_FALSE(lp_feasible_oracle(tasks, scale_platform(platform, 0.75)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,88 @@
+// Unit tests for platform generation (gen/platform_gen.h).
+#include "gen/platform_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(QuantizeSpeed, ExactOnGrid) {
+  EXPECT_EQ(quantize_speed(1.0), Rational(1));
+  EXPECT_EQ(quantize_speed(0.5), Rational(1, 2));
+  EXPECT_EQ(quantize_speed(1.015625), Rational(65, 64));  // 1 + 1/64
+}
+
+TEST(QuantizeSpeed, NeverBelowOneTick) {
+  EXPECT_EQ(quantize_speed(1e-9), Rational(1, kSpeedGrid));
+}
+
+TEST(QuantizeSpeed, RoundsToNearest) {
+  // 0.7 * 64 = 44.8 -> 45/64.
+  EXPECT_EQ(quantize_speed(0.7), Rational(45, 64));
+}
+
+TEST(UniformPlatform, SizesAndBounds) {
+  Rng rng(1);
+  const Platform p = uniform_platform(rng, 16, 0.5, 4.0);
+  EXPECT_EQ(p.size(), 16u);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    EXPECT_GE(p.speed(j), 0.5 - 1.0 / kSpeedGrid);
+    EXPECT_LE(p.speed(j), 4.0 + 1.0 / kSpeedGrid);
+  }
+}
+
+TEST(UniformPlatform, SortedAscending) {
+  Rng rng(2);
+  const Platform p = uniform_platform(rng, 10, 1.0, 8.0);
+  for (std::size_t j = 1; j < p.size(); ++j) {
+    EXPECT_LE(p.speed(j - 1), p.speed(j));
+  }
+}
+
+TEST(GeometricPlatform, RatioLadder) {
+  const Platform p = geometric_platform(4, 2.0);
+  EXPECT_DOUBLE_EQ(p.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.speed(1), 2.0);
+  EXPECT_DOUBLE_EQ(p.speed(2), 4.0);
+  EXPECT_DOUBLE_EQ(p.speed(3), 8.0);
+}
+
+TEST(GeometricPlatform, NormalizedTotal) {
+  const Platform p = geometric_platform(4, 2.0, 30.0);
+  EXPECT_NEAR(p.total_speed(), 30.0, 4.0 / kSpeedGrid);
+}
+
+TEST(GeometricPlatform, RatioOneIsIdentical) {
+  const Platform p = geometric_platform(5, 1.0);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(p.speed(j), 1.0);
+}
+
+TEST(BigLittlePlatform, TwoClusters) {
+  const Platform p = big_little_platform(4, 2, 1.0, 3.0);
+  ASSERT_EQ(p.size(), 6u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(p.speed(j), 1.0);
+  for (std::size_t j = 4; j < 6; ++j) EXPECT_DOUBLE_EQ(p.speed(j), 3.0);
+}
+
+TEST(BigLittlePlatform, OnlyBigCluster) {
+  const Platform p = big_little_platform(0, 3, 1.0, 2.5);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.min_speed(), 2.5);
+}
+
+TEST(ScalePlatform, MultipliesSpeeds) {
+  const Platform p = Platform::from_speeds({1.0, 2.0});
+  const Platform q = scale_platform(p, 0.5);
+  EXPECT_DOUBLE_EQ(q.speed(0), 0.5);
+  EXPECT_DOUBLE_EQ(q.speed(1), 1.0);
+}
+
+TEST(ScalePlatform, PreservesIds) {
+  const Platform p = Platform::from_speeds({2.0, 1.0});
+  const Platform q = scale_platform(p, 2.0);
+  EXPECT_EQ(q[0].id, p[0].id);
+  EXPECT_EQ(q[1].id, p[1].id);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,93 @@
+// Unit tests for the platform model (core/platform.h).
+#include "core/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(Platform, SortsBySpeedAscending) {
+  const Platform p = Platform::from_speeds({2.0, 0.5, 1.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.speed(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.speed(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.speed(2), 2.0);
+}
+
+TEST(Platform, PreservesCallerIds) {
+  const Platform p = Platform::from_speeds({2.0, 0.5, 1.0});
+  EXPECT_EQ(p[0].id, 1u);  // 0.5 was the caller's machine 1
+  EXPECT_EQ(p[1].id, 2u);
+  EXPECT_EQ(p[2].id, 0u);
+}
+
+TEST(Platform, StableSortKeepsEqualSpeedOrder) {
+  const Platform p = Platform::from_speeds({1.0, 1.0, 0.5});
+  EXPECT_EQ(p[0].id, 2u);
+  EXPECT_EQ(p[1].id, 0u);
+  EXPECT_EQ(p[2].id, 1u);
+}
+
+TEST(Platform, TotalSpeed) {
+  const Platform p = Platform::from_speeds({0.5, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(p.total_speed(), 4.0);
+  EXPECT_EQ(p.total_speed_exact(), Rational(4));
+}
+
+TEST(Platform, MinMaxSpeed) {
+  const Platform p = Platform::from_speeds({0.5, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(p.min_speed(), 0.5);
+  EXPECT_DOUBLE_EQ(p.max_speed(), 2.0);
+}
+
+TEST(Platform, SumFastestPrefix) {
+  const Platform p = Platform::from_speeds({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.sum_fastest(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.sum_fastest(1), 4.0);
+  EXPECT_DOUBLE_EQ(p.sum_fastest(2), 6.0);
+  EXPECT_DOUBLE_EQ(p.sum_fastest(3), 7.0);
+}
+
+TEST(Platform, IdenticalFactory) {
+  const Platform p = Platform::identical(4, Rational(3, 2));
+  EXPECT_EQ(p.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(p.speed_exact(j), Rational(3, 2));
+  }
+}
+
+TEST(Platform, FromSpeedsExact) {
+  const std::vector<Rational> speeds{Rational(1, 3), Rational(2)};
+  const Platform p = Platform::from_speeds_exact(speeds);
+  EXPECT_EQ(p.speed_exact(0), Rational(1, 3));
+  EXPECT_EQ(p.speed_exact(1), Rational(2));
+}
+
+TEST(Platform, FractionalSpeedsExactThroughDouble) {
+  const Platform p = Platform::from_speeds({0.25, 1.75});
+  EXPECT_EQ(p.speed_exact(0), Rational(1, 4));
+  EXPECT_EQ(p.speed_exact(1), Rational(7, 4));
+}
+
+TEST(Platform, EmptyPlatform) {
+  const Platform p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.total_speed(), 0.0);
+}
+
+TEST(Platform, ToStringListsSpeeds) {
+  const Platform p = Platform::from_speeds({1.0, 2.0});
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(PlatformDeathTest, NonPositiveSpeedAborts) {
+  std::vector<Machine> ms{Machine{Rational(0), 0}};
+  EXPECT_DEATH(Platform{std::move(ms)}, "non-positive");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,154 @@
+// Unit tests for exact rational arithmetic (util/rational.h).
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSignToNumerator) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroNumeratorCanonical) {
+  Rational r(0, -17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, IntegerConversion) {
+  Rational r = 7;
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_DOUBLE_EQ(r.to_double(), 7.0);
+}
+
+TEST(Rational, AdditionExact) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+}
+
+TEST(Rational, SubtractionExact) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, MultiplicationExact) {
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+}
+
+TEST(Rational, DivisionExact) {
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 9), Rational(3, 2));
+}
+
+TEST(Rational, UnaryMinus) {
+  EXPECT_EQ(-Rational(2, 5), Rational(-2, 5));
+  EXPECT_EQ(-Rational(-2, 5), Rational(2, 5));
+}
+
+TEST(Rational, ComparisonOrdering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(Rational, ToStringFormats) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-3, 7).to_string(), "-3/7");
+  std::ostringstream os;
+  os << Rational(1, 2);
+  EXPECT_EQ(os.str(), "1/2");
+}
+
+TEST(Rational, LargeIntermediateProductsReduce) {
+  // (2^40 / 3) * (3 / 2^40) == 1: the 128-bit intermediate avoids overflow.
+  const std::int64_t big = std::int64_t{1} << 40;
+  EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+TEST(Rational, MinMaxHelpers) {
+  EXPECT_EQ(rational_min(Rational(1, 3), Rational(1, 4)), Rational(1, 4));
+  EXPECT_EQ(rational_max(Rational(1, 3), Rational(1, 4)), Rational(1, 3));
+}
+
+TEST(Rational, FromDoubleExactOnGrid) {
+  EXPECT_EQ(rational_from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(rational_from_double(2.75), Rational(11, 4));
+  EXPECT_EQ(rational_from_double(3.0), Rational(3));
+  EXPECT_EQ(rational_from_double(-1.25), Rational(-5, 4));
+}
+
+TEST(Rational, FromDoubleRecoverSmallFractions) {
+  for (std::int64_t den = 1; den <= 50; ++den) {
+    for (std::int64_t num = 0; num <= 2 * den; ++num) {
+      const double x =
+          static_cast<double>(num) / static_cast<double>(den);
+      EXPECT_EQ(rational_from_double(x), Rational(num, den))
+          << num << "/" << den;
+    }
+  }
+}
+
+TEST(Rational, FromDoubleApproximatesIrrational) {
+  const Rational r = rational_from_double(3.14159265358979, 1'000'000);
+  EXPECT_NEAR(r.to_double(), 3.14159265358979, 1e-10);
+  EXPECT_LE(r.den(), 1'000'000);
+}
+
+// Property: field axioms hold on random small rationals.
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, AlgebraicLaws) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    auto draw = [&rng] {
+      return Rational(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 1000));
+    };
+    const Rational a = draw(), b = draw(), c = draw();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    // Round trip through double stays close (doubles have ~1e-16 rel. err).
+    EXPECT_NEAR((a + b).to_double(), a.to_double() + b.to_double(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,77 @@
+// Tests for the curated scenario library (gen/scenarios.h).
+#include "gen/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/heuristics.h"
+#include "lp/feasibility_lp.h"
+#include "partition/first_fit.h"
+#include "sim/event_sim.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Scenarios, AllWellFormed) {
+  for (const Scenario& s : all_scenarios()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_GE(s.tasks.size(), 8u);
+    EXPECT_GE(s.platform.size(), 3u);
+    EXPECT_EQ(s.task_names.size(), s.tasks.size());
+    for (const std::string& name : s.task_names) EXPECT_FALSE(name.empty());
+    for (const Task& t : s.tasks) EXPECT_TRUE(t.valid());
+  }
+}
+
+TEST(Scenarios, NamesAreUnique) {
+  const auto scenarios = all_scenarios();
+  for (std::size_t a = 0; a < scenarios.size(); ++a) {
+    for (std::size_t b = a + 1; b < scenarios.size(); ++b) {
+      EXPECT_NE(scenarios[a].name, scenarios[b].name);
+    }
+  }
+}
+
+TEST(Scenarios, AllPassTheGlobalNecessaryCondition) {
+  for (const Scenario& s : all_scenarios()) {
+    EXPECT_TRUE(global_necessary_condition(s.tasks, s.platform)) << s.name;
+  }
+}
+
+TEST(Scenarios, AllAreSchedulableAsShipped) {
+  // The scenarios are meant to demo positive placements: the raw EDF test
+  // must accept each, and the LP must agree.
+  for (const Scenario& s : all_scenarios()) {
+    EXPECT_TRUE(
+        first_fit_accepts(s.tasks, s.platform, AdmissionKind::kEdf, 1.0))
+        << s.name;
+    EXPECT_TRUE(lp_feasible_oracle(s.tasks, s.platform)) << s.name;
+  }
+}
+
+TEST(Scenarios, AcceptedPlacementsReplayExactly) {
+  for (const Scenario& s : all_scenarios()) {
+    const PartitionResult res =
+        first_fit_partition(s.tasks, s.platform, AdmissionKind::kEdf, 1.0);
+    ASSERT_TRUE(res.feasible) << s.name;
+    std::vector<Rational> speeds;
+    for (std::size_t j = 0; j < s.platform.size(); ++j) {
+      speeds.push_back(s.platform.speed_exact(j));
+    }
+    SimLimits limits;
+    limits.max_jobs = 300'000;
+    const PartitionSimOutcome sim =
+        simulate_partition(res.tasks_per_machine, speeds, SchedPolicy::kEdf,
+                           limits);
+    EXPECT_TRUE(sim.schedulable) << s.name;
+  }
+}
+
+TEST(Scenarios, MobileSocHasTasksNeedingBigCores) {
+  const Scenario s = mobile_soc_scenario();
+  // At least one task is denser than a little core: heterogeneity matters.
+  EXPECT_GT(s.tasks.max_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,98 @@
+// Tests for per-task execution-budget sensitivity
+// (experiments/sensitivity.h).
+#include "experiments/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/taskset_gen.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Sensitivity, SingleTaskSlackIsCapacityRatio) {
+  // One task w = 0.25 on a unit machine: c can grow 4x (to w = 1.0).
+  const TaskSet tasks({{1, 4}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto slack =
+      exec_sensitivity(tasks, platform, AdmissionKind::kEdf, 1.0);
+  ASSERT_EQ(slack.size(), 1u);
+  EXPECT_NEAR(slack[0].max_exec_scale, 4.0, 0.51);  // quantized to integers
+}
+
+TEST(Sensitivity, CapReportedWhenUnbounded) {
+  const TaskSet tasks({{1, 1000}});
+  const Platform platform = Platform::from_speeds({8.0});
+  SensitivityOptions opts;
+  opts.factor_cap = 4.0;
+  const auto slack =
+      exec_sensitivity(tasks, platform, AdmissionKind::kEdf, 1.0, opts);
+  EXPECT_DOUBLE_EQ(slack[0].max_exec_scale, 4.0);
+}
+
+TEST(Sensitivity, TightSystemHasLittleSlack) {
+  // Two w = 0.5 tasks sharing a unit machine: neither can grow much.
+  const TaskSet tasks({{50, 100}, {50, 100}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto slack =
+      exec_sensitivity(tasks, platform, AdmissionKind::kEdf, 1.0);
+  for (const TaskSlack& s : slack) {
+    EXPECT_LT(s.max_exec_scale, 1.05);
+    EXPECT_GE(s.max_exec_scale, 1.0);
+  }
+}
+
+TEST(Sensitivity, ScaledSystemStillAccepted) {
+  // The reported factor must itself keep the system accepted.
+  Rng rng(7);
+  TasksetSpec spec;
+  spec.n = 8;
+  spec.total_utilization = 2.0;
+  spec.periods = PeriodSpec::uniform(100, 1000);
+  const TaskSet tasks = generate_taskset(rng, spec);
+  const Platform platform = Platform::from_speeds({1.0, 1.0, 1.5});
+  ASSERT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, 1.0));
+  const auto slack =
+      exec_sensitivity(tasks, platform, AdmissionKind::kEdf, 1.0);
+  for (const TaskSlack& s : slack) {
+    TaskSet scaled;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      Task t = tasks[i];
+      if (i == s.task_index) {
+        // Slightly inside the reported boundary to absorb the bisection
+        // tolerance and integer rounding.
+        t.exec = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   (s.max_exec_scale - 0.01) * static_cast<double>(t.exec)));
+      }
+      scaled.push_back(t);
+    }
+    EXPECT_TRUE(first_fit_accepts(scaled, platform, AdmissionKind::kEdf, 1.0))
+        << "task " << s.task_index << " scale " << s.max_exec_scale;
+  }
+}
+
+TEST(Sensitivity, WorksWithRmsAdmission) {
+  const TaskSet tasks({{1, 10}, {1, 10}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto slack =
+      exec_sensitivity(tasks, platform, AdmissionKind::kRmsLiuLayland, 1.0);
+  ASSERT_EQ(slack.size(), 2u);
+  // Two tasks on one unit machine: combined bound 2(sqrt2-1) ~ 0.828; each
+  // 0.1 task can grow to roughly 0.728 -> factor ~7.3.
+  for (const TaskSlack& s : slack) {
+    EXPECT_GT(s.max_exec_scale, 6.0);
+    EXPECT_LT(s.max_exec_scale, 8.0);
+  }
+}
+
+TEST(SensitivityDeathTest, RejectsInfeasibleBase) {
+  const TaskSet tasks({{3, 2}});
+  const Platform platform = Platform::from_speeds({1.0});
+  EXPECT_DEATH(exec_sensitivity(tasks, platform, AdmissionKind::kEdf, 1.0),
+               "accepted base system");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,177 @@
+// Property tests pinning the analytic tests to the exact simulator.
+//
+// The simulator and the RTA are both exact (integer releases, rational
+// time), so several relationships must hold with no tolerance at all; the
+// analytic bound checks run with a one-in-a-million speed margin to absorb
+// the double-precision admission arithmetic (documented inline).
+#include <gtest/gtest.h>
+
+#include "core/rta.h"
+#include "core/uniproc.h"
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "partition/first_fit.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TaskSet random_sim_friendly_taskset(Rng& rng, std::size_t n, double util) {
+  TasksetSpec spec;
+  spec.n = n;
+  spec.total_utilization = util;
+  spec.max_task_utilization = 1.0;
+  spec.periods = PeriodSpec::sim_friendly();
+  return generate_taskset(rng, spec);
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// EDF exactness: on one machine, the utilization test and the simulator
+// agree exactly (both sides computed in exact arithmetic).
+TEST_P(SimPropertyTest, EdfUtilizationTestMatchesSimulation) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const TaskSet tasks =
+        random_sim_friendly_taskset(rng, 5, rng.uniform(0.5, 1.3));
+    const Rational speed(rng.uniform_int(3, 6), 4);  // 3/4 .. 6/4
+    const bool bound = tasks.total_utilization_exact() <= speed;
+    const SimOutcome sim =
+        simulate_uniproc(tasks.tasks(), speed, SchedPolicy::kEdf);
+    ASSERT_FALSE(sim.horizon_exhausted);
+    EXPECT_EQ(bound, sim.schedulable)
+        << tasks.to_string() << " speed=" << speed.to_string();
+  }
+}
+
+// RTA exactness: response-time analysis and the RM simulation agree exactly.
+TEST_P(SimPropertyTest, RtaMatchesRmSimulation) {
+  Rng rng(GetParam() ^ 0xA5A5);
+  for (int iter = 0; iter < 40; ++iter) {
+    const TaskSet tasks =
+        random_sim_friendly_taskset(rng, 5, rng.uniform(0.5, 1.2));
+    const Rational speed(rng.uniform_int(3, 8), 4);
+    const bool rta = rta_schedulable(tasks.tasks(), speed);
+    const SimOutcome sim = simulate_uniproc(tasks.tasks(), speed,
+                                            SchedPolicy::kFixedPriorityRm);
+    ASSERT_FALSE(sim.horizon_exhausted);
+    EXPECT_EQ(rta, sim.schedulable)
+        << tasks.to_string() << " speed=" << speed.to_string();
+  }
+}
+
+// Liu–Layland soundness: sets passing the LL bound never miss under RM.
+TEST_P(SimPropertyTest, LiuLaylandBoundIsSoundAgainstSimulation) {
+  Rng rng(GetParam() ^ 0x1234);
+  int passed_bound = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const TaskSet tasks =
+        random_sim_friendly_taskset(rng, 4, rng.uniform(0.4, 0.9));
+    if (!rms_ll_feasible(tasks.total_utilization(), tasks.size(), 1.0)) {
+      continue;
+    }
+    ++passed_bound;
+    const SimOutcome sim = simulate_uniproc(tasks.tasks(), Rational(1),
+                                            SchedPolicy::kFixedPriorityRm);
+    EXPECT_TRUE(sim.schedulable) << tasks.to_string();
+  }
+  EXPECT_GT(passed_bound, 10);
+}
+
+// Hyperbolic-bound soundness, same shape as above.
+TEST_P(SimPropertyTest, HyperbolicBoundIsSoundAgainstSimulation) {
+  Rng rng(GetParam() ^ 0x5678);
+  int passed_bound = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const TaskSet tasks =
+        random_sim_friendly_taskset(rng, 4, rng.uniform(0.5, 1.0));
+    std::vector<double> utils;
+    for (const Task& t : tasks) utils.push_back(t.utilization());
+    if (!rms_hyperbolic_feasible(utils, 1.0)) continue;
+    ++passed_bound;
+    const SimOutcome sim = simulate_uniproc(tasks.tasks(), Rational(1),
+                                            SchedPolicy::kFixedPriorityRm);
+    EXPECT_TRUE(sim.schedulable) << tasks.to_string();
+  }
+  EXPECT_GT(passed_bound, 10);
+}
+
+// End-to-end soundness of the paper's test: every accepted partition
+// replays without a miss on the alpha-augmented platform.  The simulation
+// speed carries a +2^-20 relative margin: admission sums utilizations in
+// doubles, so an instance can pass admission while being over capacity by
+// ~1e-16; the margin dwarfs that error without affecting the property.
+TEST_P(SimPropertyTest, AcceptedPartitionsReplayWithoutMisses) {
+  Rng rng(GetParam() ^ 0x9999);
+  const Rational margin(1 + (1 << 20), 1 << 20);
+  int accepted = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    const Platform platform = big_little_platform(2, 2, 1.0, 2.0);
+    TasksetSpec spec;
+    spec.n = 8;
+    spec.total_utilization =
+        rng.uniform(0.4, 0.8) * platform.total_speed();
+    spec.max_task_utilization = 1.5;
+    spec.periods = PeriodSpec::sim_friendly();
+    const TaskSet tasks = generate_taskset(rng, spec);
+
+    struct Case {
+      AdmissionKind kind;
+      double alpha;
+      SchedPolicy policy;
+    };
+    for (const Case c :
+         {Case{AdmissionKind::kEdf, 1.0, SchedPolicy::kEdf},
+          Case{AdmissionKind::kEdf, 2.0, SchedPolicy::kEdf},
+          Case{AdmissionKind::kRmsLiuLayland, 1.0,
+               SchedPolicy::kFixedPriorityRm},
+          Case{AdmissionKind::kRmsHyperbolic, 1.0,
+               SchedPolicy::kFixedPriorityRm},
+          Case{AdmissionKind::kRmsResponseTime, 1.0,
+               SchedPolicy::kFixedPriorityRm}}) {
+      const PartitionResult res =
+          first_fit_partition(tasks, platform, c.kind, c.alpha);
+      if (!res.feasible) continue;
+      ++accepted;
+      std::vector<Rational> speeds;
+      const Rational alpha = rational_from_double(c.alpha, 1 << 20) * margin;
+      for (std::size_t j = 0; j < platform.size(); ++j) {
+        speeds.push_back(platform.speed_exact(j) * alpha);
+      }
+      const PartitionSimOutcome sim =
+          simulate_partition(res.tasks_per_machine, speeds, c.policy);
+      EXPECT_TRUE(sim.schedulable)
+          << to_string(c.kind) << "@" << c.alpha << " "
+          << tasks.to_string();
+    }
+  }
+  EXPECT_GT(accepted, 30);
+}
+
+// The simulator conserves work: busy time equals total executed demand
+// divided by speed when everything completes.
+TEST_P(SimPropertyTest, WorkConservation) {
+  Rng rng(GetParam() ^ 0xCCCC);
+  for (int iter = 0; iter < 20; ++iter) {
+    const TaskSet tasks =
+        random_sim_friendly_taskset(rng, 4, rng.uniform(0.3, 0.8));
+    const Rational speed(2);
+    const SimOutcome sim =
+        simulate_uniproc(tasks.tasks(), speed, SchedPolicy::kEdf);
+    if (!sim.schedulable) continue;
+    // Released demand = sum over tasks of (horizon / p_i) * c_i.
+    Rational demand(0);
+    for (const Task& t : tasks) {
+      demand += Rational(sim.horizon / t.period) * Rational(t.exec);
+    }
+    EXPECT_EQ(sim.busy_time, demand / speed) << tasks.to_string();
+    EXPECT_EQ(sim.jobs_released, sim.jobs_completed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimPropertyTest,
+                         ::testing::Values(7u, 14u, 21u, 28u, 35u));
+
+}  // namespace
+}  // namespace hetsched

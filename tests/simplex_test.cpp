@@ -1,0 +1,158 @@
+// Unit tests for the two-phase simplex solver (lp/simplex.h).
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> opt 36 at (2, 6).
+  LinearProgram lp(2);
+  lp.set_maximize(true);
+  lp.set_objective(0, 3);
+  lp.set_objective(1, 5);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 4);
+  lp.add_constraint({{1, 2.0}}, Relation::kLe, 12);
+  lp.add_constraint({{0, 3.0}, {1, 2.0}}, Relation::kLe, 18);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SolvesMinimizationWithGe) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> opt 8 at (4, 0).
+  LinearProgram lp(2);
+  lp.set_objective(0, 2);
+  lp.set_objective(1, 3);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGe, 4);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 1);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 6, x - y = 0 -> x = y = 2, obj 4.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1);
+  lp.set_objective(1, 1);
+  lp.add_constraint({{0, 1.0}, {1, 2.0}}, Relation::kEq, 6);
+  lp.add_constraint({{0, 1.0}, {1, -1.0}}, Relation::kEq, 0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2.
+  LinearProgram lp(1);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 2);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+  EXPECT_FALSE(lp_is_feasible(lp));
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // max x s.t. x >= 1.
+  LinearProgram lp(1);
+  lp.set_maximize(true);
+  lp.set_objective(0, 1);
+  lp.add_constraint({{0, 1.0}}, Relation::kGe, 1);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x <= -3 is x >= 3; min x -> 3.
+  LinearProgram lp(1);
+  lp.set_objective(0, 1);
+  lp.add_constraint({{0, -1.0}}, Relation::kLe, -3);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Degenerate vertex: several constraints meet at the optimum.
+  LinearProgram lp(2);
+  lp.set_maximize(true);
+  lp.set_objective(0, 1);
+  lp.set_objective(1, 1);
+  lp.add_constraint({{0, 1.0}}, Relation::kLe, 1);
+  lp.add_constraint({{1, 1.0}}, Relation::kLe, 1);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 2);
+  lp.add_constraint({{0, 1.0}, {1, 2.0}}, Relation::kLe, 3);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 stated twice: phase 1 must cope with the redundant artificial.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 2);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 2);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);  // x = 0, y = 2
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityProbe) {
+  LinearProgram lp(2);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEq, 1);
+  EXPECT_TRUE(lp_is_feasible(lp));
+}
+
+TEST(Simplex, EmptyFeasibleRegionViaEqualities) {
+  // x = 1 and x = 2.
+  LinearProgram lp(1);
+  lp.add_constraint({{0, 1.0}}, Relation::kEq, 1);
+  lp.add_constraint({{0, 1.0}}, Relation::kEq, 2);
+  EXPECT_FALSE(lp_is_feasible(lp));
+}
+
+TEST(Simplex, TransportationStyleProblem) {
+  // 2 suppliers (cap 10, 20), 2 consumers (demand 15, 10); min cost.
+  // costs: s0->c0:1, s0->c1:4, s1->c0:2, s1->c1:1.
+  // Optimal: s0 sends 10 to c0; s1 sends 5 to c0 and 10 to c1 -> 10+10+10=30.
+  LinearProgram lp(4);  // x00 x01 x10 x11
+  lp.set_objective(0, 1);
+  lp.set_objective(1, 4);
+  lp.set_objective(2, 2);
+  lp.set_objective(3, 1);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 10);
+  lp.add_constraint({{2, 1.0}, {3, 1.0}}, Relation::kLe, 20);
+  lp.add_constraint({{0, 1.0}, {2, 1.0}}, Relation::kEq, 15);
+  lp.add_constraint({{1, 1.0}, {3, 1.0}}, Relation::kEq, 10);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 30.0, 1e-9);
+}
+
+TEST(Simplex, ReportsIterations) {
+  LinearProgram lp(2);
+  lp.set_maximize(true);
+  lp.set_objective(0, 1);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLe, 5);
+  const LpSolution sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_GE(sol.iterations, 1u);
+}
+
+TEST(Simplex, StatusToString) {
+  EXPECT_EQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(LpStatus::kIterLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,131 @@
+// Independent validation of the simplex by brute-force vertex enumeration.
+//
+// For two-variable LPs every basic feasible solution lies at the
+// intersection of two constraint boundaries (including the axes x = 0 and
+// y = 0).  Enumerating all pairwise intersections, filtering the feasible
+// ones, and taking the best objective value gives a solver-free optimum to
+// compare against — on random instances, across all three relation types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+struct Line {
+  // a x + b y = c
+  double a, b, c;
+};
+
+std::optional<std::pair<double, double>> intersect(const Line& p,
+                                                   const Line& q) {
+  const double det = p.a * q.b - q.a * p.b;
+  if (std::abs(det) < 1e-9) return std::nullopt;
+  return std::make_pair((p.c * q.b - q.c * p.b) / det,
+                        (p.a * q.c - q.a * p.c) / det);
+}
+
+struct RandomLp {
+  LinearProgram lp;
+  std::vector<Line> boundaries;              // constraint boundary lines
+  std::vector<std::pair<Line, Relation>> rows;
+  double cx, cy;
+
+  explicit RandomLp(Rng& rng) : lp(2) {
+    cx = rng.uniform(-3, 3);
+    cy = rng.uniform(-3, 3);
+    lp.set_maximize(true);
+    lp.set_objective(0, cx);
+    lp.set_objective(1, cy);
+    // Bounding box keeps everything bounded; then random extra rows.
+    add_row({1, 0, rng.uniform(2, 10)}, Relation::kLe);
+    add_row({0, 1, rng.uniform(2, 10)}, Relation::kLe);
+    const int extra = static_cast<int>(rng.uniform_int(1, 4));
+    for (int k = 0; k < extra; ++k) {
+      const Line line{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-4, 6)};
+      const double pick = rng.next_double();
+      add_row(line, pick < 0.45 ? Relation::kLe
+                                : (pick < 0.9 ? Relation::kGe : Relation::kEq));
+    }
+    // Axes are boundaries too (x, y >= 0 are implicit in the solver).
+    boundaries.push_back({1, 0, 0});
+    boundaries.push_back({0, 1, 0});
+  }
+
+  void add_row(const Line& line, Relation rel) {
+    lp.add_constraint({{0, line.a}, {1, line.b}}, rel, line.c);
+    rows.emplace_back(line, rel);
+    boundaries.push_back(line);
+  }
+
+  bool feasible_point(double x, double y) const {
+    if (x < -1e-7 || y < -1e-7) return false;
+    for (const auto& [line, rel] : rows) {
+      const double lhs = line.a * x + line.b * y;
+      switch (rel) {
+        case Relation::kLe:
+          if (lhs > line.c + 1e-7) return false;
+          break;
+        case Relation::kGe:
+          if (lhs < line.c - 1e-7) return false;
+          break;
+        case Relation::kEq:
+          if (std::abs(lhs - line.c) > 1e-7) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  // Best objective over all vertices; nullopt if no feasible vertex.
+  std::optional<double> brute_force_optimum() const {
+    std::optional<double> best;
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      for (std::size_t j = i + 1; j < boundaries.size(); ++j) {
+        const auto pt = intersect(boundaries[i], boundaries[j]);
+        if (!pt) continue;
+        if (!feasible_point(pt->first, pt->second)) continue;
+        const double val = cx * pt->first + cy * pt->second;
+        if (!best || val > *best) best = val;
+      }
+    }
+    return best;
+  }
+};
+
+class SimplexVertexTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexVertexTest, MatchesVertexEnumeration) {
+  Rng rng(GetParam());
+  int optimal_seen = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    const RandomLp instance(rng);
+    const LpSolution sol = solve_lp(instance.lp);
+    const auto brute = instance.brute_force_optimum();
+    if (sol.status == LpStatus::kInfeasible) {
+      // Bounded polytopes have a vertex whenever feasible, so the brute
+      // force must also find nothing.
+      EXPECT_FALSE(brute.has_value());
+      continue;
+    }
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);  // box-bounded: never unbounded
+    ++optimal_seen;
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_NEAR(sol.objective, *brute, 1e-6);
+    // The solver's point must itself be feasible.
+    EXPECT_TRUE(instance.feasible_point(sol.x[0], sol.x[1]));
+  }
+  EXPECT_GT(optimal_seen, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVertexTest,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u));
+
+}  // namespace
+}  // namespace hetsched

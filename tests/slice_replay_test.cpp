@@ -1,0 +1,103 @@
+// Tests for the job-level migrating-schedule replay
+// (migrating/slice_replay.h).
+#include "migrating/slice_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "lp/feasibility_lp.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(Replay, EmptyTaskSetSchedulable) {
+  const TaskSet tasks;
+  const Platform platform = Platform::from_speeds({1.0});
+  const MigratingSchedule sched;
+  EXPECT_TRUE(replay_schedule(sched, tasks, platform).schedulable);
+}
+
+TEST(Replay, SingleTaskOverHyperperiod) {
+  const TaskSet tasks({{1, 4}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  const ReplayOutcome out = replay_schedule(*sched, tasks, platform);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.frames_replayed, 4);
+  EXPECT_EQ(out.jobs_completed, 1);
+}
+
+TEST(Replay, MigrationHeavyInstanceMeetsDeadlines) {
+  // Three w = 0.6 tasks on two unit machines: partitioning is impossible,
+  // the migrating schedule must still meet every job deadline.
+  const TaskSet tasks({{3, 5}, {3, 5}, {3, 5}});
+  const Platform platform = Platform::from_speeds({1.0, 1.0});
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  const ReplayOutcome out = replay_schedule(*sched, tasks, platform);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.frames_replayed, 5);
+  EXPECT_EQ(out.jobs_completed, 3);
+}
+
+TEST(Replay, StarvedScheduleMisses) {
+  // An empty schedule gives the task no work: its first deadline must be
+  // reported missed.
+  const TaskSet tasks({{1, 3}});
+  const Platform platform = Platform::from_speeds({1.0});
+  const MigratingSchedule empty;
+  const ReplayOutcome out = replay_schedule(empty, tasks, platform);
+  EXPECT_FALSE(out.schedulable);
+  EXPECT_EQ(out.missed_task, 0u);
+  EXPECT_EQ(out.missed_deadline, 3);
+}
+
+TEST(Replay, MaxFramesCapsHorizon) {
+  const TaskSet tasks({{1, 499}, {1, 997}});  // hyperperiod ~5e5
+  const Platform platform = Platform::from_speeds({1.0});
+  const auto sched = build_migrating_schedule(tasks, platform);
+  ASSERT_TRUE(sched.has_value());
+  ReplayOptions opts;
+  opts.max_frames = 1000;
+  const ReplayOutcome out = replay_schedule(*sched, tasks, platform, opts);
+  EXPECT_TRUE(out.schedulable);
+  EXPECT_EQ(out.frames_replayed, 1000);
+}
+
+class ReplayPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// End-to-end: LP feasible => BvN schedule => zero job-level misses over the
+// hyperperiod.  This is the executable form of "the LP is the migrating
+// adversary".
+TEST_P(ReplayPropertyTest, LpFeasibleInstancesReplayCleanly) {
+  Rng rng(GetParam());
+  int replayed = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    const Platform platform = uniform_platform(rng, 3, 0.5, 2.0);
+    TasksetSpec spec;
+    spec.n = 6;
+    spec.max_task_utilization = platform.max_speed();
+    spec.total_utilization =
+        std::min(rng.uniform(0.5, 1.0) * platform.total_speed(),
+                 0.35 * 6 * spec.max_task_utilization);
+    spec.periods = PeriodSpec::sim_friendly();
+    const TaskSet tasks = generate_taskset(rng, spec);
+    if (!lp_feasible_oracle(tasks, platform)) continue;
+    const auto sched = build_migrating_schedule(tasks, platform);
+    ASSERT_TRUE(sched.has_value());
+    const ReplayOutcome out = replay_schedule(*sched, tasks, platform);
+    EXPECT_TRUE(out.schedulable)
+        << tasks.to_string() << " on " << platform.to_string();
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayPropertyTest,
+                         ::testing::Values(81u, 82u, 83u, 84u, 85u));
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,124 @@
+// Unit tests for summary statistics (util/stats.h).
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample variance = 32/7.
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+}
+
+TEST(Stats, SummarizeCountsAndOrder) {
+  const std::vector<double> xs{1, 5, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, ProportionCiShrinksWithTrials) {
+  const double wide = proportion_ci95(50, 100);
+  const double narrow = proportion_ci95(5000, 10000);
+  EXPECT_GT(wide, narrow);
+  EXPECT_NEAR(wide, 1.96 * std::sqrt(0.25 / 100), 1e-3);
+}
+
+TEST(Stats, ProportionCiDegenerate) {
+  EXPECT_DOUBLE_EQ(proportion_ci95(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_ci95(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_ci95(100, 100), 0.0);
+}
+
+TEST(Stats, BootstrapCiCoversMean) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(static_cast<double>(i % 10));
+  Rng rng(55);
+  const Interval ci = bootstrap_mean_ci95(xs, rng);
+  EXPECT_LE(ci.lo, mean(xs));
+  EXPECT_GE(ci.hi, mean(xs));
+  EXPECT_LT(ci.hi - ci.lo, 1.5);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2 (boundary goes right)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, ToStringHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  const std::string s = h.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace hetsched

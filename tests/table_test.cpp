@@ -1,0 +1,83 @@
+// Unit tests for table / CSV rendering (util/table.h).
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "2.98"});
+  t.add_row({"x", "1"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name   value"), std::string::npos);
+  EXPECT_NE(s.find("alpha  2.98"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowsCounted) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 3), "2.000");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a"});
+  t.add_row({"hello, world"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/hetsched_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), t.render_csv());
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/zzz/file.csv"));
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(TableDeathTest, MismatchedRowWidthAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace hetsched

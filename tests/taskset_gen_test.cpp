@@ -1,0 +1,169 @@
+// Unit tests for task-set generation (gen/taskset_gen.h).
+#include "gen/taskset_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace hetsched {
+namespace {
+
+TEST(UUniFast, SumsToTarget) {
+  Rng rng(1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto utils = uunifast(rng, 8, 3.5);
+    const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    EXPECT_NEAR(sum, 3.5, 1e-9);
+  }
+}
+
+TEST(UUniFast, AllNonNegative) {
+  Rng rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    for (const double u : uunifast(rng, 16, 2.0)) EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(3);
+  const auto utils = uunifast(rng, 1, 0.7);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils[0], 0.7);
+}
+
+TEST(UUniFast, MarginalDistributionMeanIsUniform) {
+  // Each u_i has expectation U/n over the simplex.
+  Rng rng(4);
+  constexpr int kTrials = 5000;
+  constexpr std::size_t kN = 4;
+  std::vector<double> means(kN, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto utils = uunifast(rng, kN, 1.0);
+    for (std::size_t i = 0; i < kN; ++i) means[i] += utils[i];
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(means[i] / kTrials, 0.25, 0.02) << "component " << i;
+  }
+}
+
+TEST(UUniFastDiscard, RespectsCap) {
+  Rng rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto utils = uunifast_discard(rng, 8, 4.0, 0.8);
+    for (const double u : utils) EXPECT_LE(u, 0.8);
+    EXPECT_NEAR(std::accumulate(utils.begin(), utils.end(), 0.0), 4.0, 1e-9);
+  }
+}
+
+TEST(UUniFastDiscardDeathTest, ImpossibleCapAborts) {
+  Rng rng(6);
+  EXPECT_DEATH(uunifast_discard(rng, 4, 3.0, 0.5), "unreachable");
+}
+
+TEST(PeriodSpec, LogUniformInRange) {
+  Rng rng(7);
+  const PeriodSpec spec = PeriodSpec::log_uniform(10, 1000);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t p = spec.draw(rng);
+    EXPECT_GE(p, 10);
+    EXPECT_LE(p, 1000);
+  }
+}
+
+TEST(PeriodSpec, LogUniformDecadesBalanced) {
+  Rng rng(8);
+  const PeriodSpec spec = PeriodSpec::log_uniform(10, 1000);
+  int low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) low += (spec.draw(rng) < 100);
+  EXPECT_NEAR(static_cast<double>(low) / kN, 0.5, 0.05);
+}
+
+TEST(PeriodSpec, UniformInRange) {
+  Rng rng(9);
+  const PeriodSpec spec = PeriodSpec::uniform(5, 15);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t p = spec.draw(rng);
+    EXPECT_GE(p, 5);
+    EXPECT_LE(p, 15);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values hit
+}
+
+TEST(PeriodSpec, HarmonicPowersOfTwoTimesBase) {
+  Rng rng(10);
+  const PeriodSpec spec = PeriodSpec::harmonic(10, 3);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t p = spec.draw(rng);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 40 || p == 80) << p;
+  }
+}
+
+TEST(PeriodSpec, ChoiceDrawsOnlyFromSet) {
+  Rng rng(11);
+  const PeriodSpec spec = PeriodSpec::choice({3, 7, 11});
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t p = spec.draw(rng);
+    EXPECT_TRUE(p == 3 || p == 7 || p == 11);
+  }
+}
+
+TEST(PeriodSpec, SimFriendlyPeriodsDivide2520) {
+  Rng rng(12);
+  const PeriodSpec spec = PeriodSpec::sim_friendly();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(2520 % spec.draw(rng), 0);
+  }
+}
+
+TEST(RealizeTaskset, QuantizesToValidTasks) {
+  const std::vector<double> utils{0.5, 0.333, 0.0001};
+  const std::vector<std::int64_t> periods{10, 9, 100};
+  const TaskSet ts = realize_taskset(utils, periods);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].exec, 5);
+  EXPECT_EQ(ts[1].exec, 3);
+  EXPECT_EQ(ts[2].exec, 1);  // clamped up to 1
+  for (const Task& t : ts) EXPECT_TRUE(t.valid());
+}
+
+TEST(RealizeTaskset, AllowsUtilizationAboveOne) {
+  // Tasks denser than a unit machine (they need fast machines) survive.
+  const std::vector<double> utils{2.5};
+  const std::vector<std::int64_t> periods{4};
+  const TaskSet ts = realize_taskset(utils, periods);
+  EXPECT_EQ(ts[0].exec, 10);
+}
+
+TEST(GenerateTaskset, MatchesSpecSizeAndRoughUtilization) {
+  Rng rng(13);
+  TasksetSpec spec;
+  spec.n = 20;
+  spec.total_utilization = 5.0;
+  spec.max_task_utilization = 1.0;
+  spec.periods = PeriodSpec::uniform(100, 1000);
+  const TaskSet ts = generate_taskset(rng, spec);
+  EXPECT_EQ(ts.size(), 20u);
+  // Quantization drifts the total a little; periods >= 100 keep it < 1%-ish.
+  EXPECT_NEAR(ts.total_utilization(), 5.0, 0.25);
+}
+
+TEST(GenerateTaskset, DeterministicGivenSeed) {
+  TasksetSpec spec;
+  spec.n = 8;
+  spec.total_utilization = 2.0;
+  Rng a(99), b(99);
+  const TaskSet ta = generate_taskset(a, spec);
+  const TaskSet tb = generate_taskset(b, spec);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,120 @@
+// Unit tests for the text interchange format (io/text_format.h).
+#include "io/text_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hetsched {
+namespace {
+
+TEST(TextFormat, ParsesMinimalInstance) {
+  const auto r = parse_instance_string("platform 1 2\ntask 3 10\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->platform.size(), 2u);
+  EXPECT_EQ(r.value->tasks.size(), 1u);
+  EXPECT_EQ(r.value->tasks[0], (Task{3, 10}));
+}
+
+TEST(TextFormat, ParsesRationalAndDecimalSpeeds) {
+  const auto r = parse_instance_string("platform 3/2 0.25 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->platform.speed_exact(0), Rational(1, 4));
+  EXPECT_EQ(r.value->platform.speed_exact(1), Rational(3, 2));
+  EXPECT_EQ(r.value->platform.speed_exact(2), Rational(2));
+}
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored) {
+  const auto r = parse_instance_string(
+      "# header comment\n\nplatform 1  # trailing comment\n\ntask 1 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->tasks.size(), 1u);
+}
+
+TEST(TextFormat, ZeroTasksAllowed) {
+  const auto r = parse_instance_string("platform 1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value->tasks.empty());
+}
+
+TEST(TextFormat, MissingPlatformIsError) {
+  const auto r = parse_instance_string("task 1 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("missing platform"), std::string::npos);
+}
+
+TEST(TextFormat, DuplicatePlatformIsError) {
+  const auto r = parse_instance_string("platform 1\nplatform 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_NE(r.error->message.find("duplicate"), std::string::npos);
+}
+
+TEST(TextFormat, BadSpeedReportsLine) {
+  const auto r = parse_instance_string("platform 1 fast\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 1u);
+  EXPECT_NE(r.error->message.find("fast"), std::string::npos);
+}
+
+TEST(TextFormat, NegativeOrZeroSpeedRejected) {
+  EXPECT_FALSE(parse_instance_string("platform 0\n").ok());
+  EXPECT_FALSE(parse_instance_string("platform -1\n").ok());
+  EXPECT_FALSE(parse_instance_string("platform 1/0\n").ok());
+}
+
+TEST(TextFormat, BadTaskRejected) {
+  EXPECT_FALSE(parse_instance_string("platform 1\ntask 1\n").ok());
+  EXPECT_FALSE(parse_instance_string("platform 1\ntask 0 5\n").ok());
+  EXPECT_FALSE(parse_instance_string("platform 1\ntask 1 2 3\n").ok());
+  EXPECT_FALSE(parse_instance_string("platform 1\ntask a b\n").ok());
+}
+
+TEST(TextFormat, UnknownDirectiveRejected) {
+  const auto r = parse_instance_string("platform 1\nmachine 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("machine"), std::string::npos);
+}
+
+TEST(TextFormat, RoundTripExact) {
+  const auto r = parse_instance_string("platform 3/2 1 0.25\ntask 7 11\ntask 1 2\n");
+  ASSERT_TRUE(r.ok());
+  const std::string text = format_instance(*r.value);
+  const auto r2 = parse_instance_string(text);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2.value->platform.size(), r.value->platform.size());
+  for (std::size_t j = 0; j < r.value->platform.size(); ++j) {
+    EXPECT_EQ(r2.value->platform.speed_exact(j),
+              r.value->platform.speed_exact(j));
+  }
+  ASSERT_EQ(r2.value->tasks.size(), r.value->tasks.size());
+  for (std::size_t i = 0; i < r.value->tasks.size(); ++i) {
+    EXPECT_EQ(r2.value->tasks[i], r.value->tasks[i]);
+  }
+}
+
+TEST(TextFormat, SaveAndLoadFile) {
+  const auto r = parse_instance_string("platform 1 2\ntask 3 10\n");
+  ASSERT_TRUE(r.ok());
+  const std::string path = ::testing::TempDir() + "/hetsched_io_test.txt";
+  ASSERT_TRUE(save_instance(*r.value, path));
+  const auto loaded = load_instance(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value->tasks.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TextFormat, LoadMissingFileNamesPath) {
+  const auto r = load_instance("/nonexistent/zzz.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("zzz.txt"), std::string::npos);
+}
+
+TEST(TextFormat, ParseErrorToString) {
+  const ParseError err{7, "boom"};
+  EXPECT_EQ(err.to_string(), "line 7: boom");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,110 @@
+// Unit tests for single-machine schedulability bounds (core/uniproc.h).
+#include "core/uniproc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(LiuLayland, KnownValues) {
+  EXPECT_DOUBLE_EQ(rms_liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(rms_liu_layland_bound(2), 2.0 * (std::sqrt(2.0) - 1.0), 1e-12);
+  EXPECT_NEAR(rms_liu_layland_bound(3), 3.0 * (std::cbrt(2.0) - 1.0), 1e-12);
+}
+
+TEST(LiuLayland, EmptySetAcceptsFullCapacity) {
+  EXPECT_DOUBLE_EQ(rms_liu_layland_bound(0), 1.0);
+}
+
+TEST(LiuLayland, MonotoneDecreasingToLn2) {
+  double prev = rms_liu_layland_bound(1);
+  for (std::size_t n = 2; n <= 64; ++n) {
+    const double cur = rms_liu_layland_bound(n);
+    EXPECT_LT(cur, prev) << "n=" << n;
+    EXPECT_GT(cur, rms_utilization_limit()) << "n=" << n;
+    prev = cur;
+  }
+  EXPECT_NEAR(rms_liu_layland_bound(100000), rms_utilization_limit(), 1e-5);
+}
+
+TEST(UtilizationLimit, IsLn2) {
+  EXPECT_NEAR(rms_utilization_limit(), 0.6931471805599453, 1e-15);
+}
+
+TEST(EdfBound, ExactAtBoundary) {
+  EXPECT_TRUE(edf_feasible(1.0, 1.0));
+  EXPECT_FALSE(edf_feasible(1.0000001, 1.0));
+  EXPECT_TRUE(edf_feasible(0.0, 0.5));
+}
+
+TEST(EdfBound, ScalesWithSpeed) {
+  EXPECT_TRUE(edf_feasible(2.5, 2.5));
+  EXPECT_FALSE(edf_feasible(2.5, 2.4));
+}
+
+TEST(RmsLlFeasible, UsesTaskCountBound) {
+  // 0.8 fits one task (bound 1.0) but not two (bound ~0.828 * 1... wait,
+  // 2(sqrt2 - 1) ~= 0.828 > 0.8 so two tasks totalling 0.8 pass too;
+  // three tasks (bound ~0.7798) also pass; use 0.83 to separate n=1 from 2.
+  EXPECT_TRUE(rms_ll_feasible(0.83, 1, 1.0));
+  EXPECT_FALSE(rms_ll_feasible(0.83, 2, 1.0));
+}
+
+TEST(RmsLlFeasible, SpeedScaling) {
+  EXPECT_TRUE(rms_ll_feasible(1.3, 2, 2.0));
+  EXPECT_FALSE(rms_ll_feasible(1.7, 2, 2.0));
+}
+
+TEST(RmsHyperbolic, AcceptsWhenProductWithinTwo) {
+  // (1.25)(1.25)(1.25) = 1.953 <= 2.
+  const std::vector<double> utils{0.25, 0.25, 0.25};
+  EXPECT_TRUE(rms_hyperbolic_feasible(utils, 1.0));
+}
+
+TEST(RmsHyperbolic, RejectsWhenProductExceedsTwo) {
+  // (1.5)(1.5) = 2.25 > 2.
+  const std::vector<double> utils{0.5, 0.5};
+  EXPECT_FALSE(rms_hyperbolic_feasible(utils, 1.0));
+}
+
+TEST(RmsHyperbolic, DominatesLiuLayland) {
+  // Any vector accepted by LL must be accepted by the hyperbolic bound
+  // (AM-GM: fixed sum maximizes the product when equal, and equal shares at
+  // the LL bound give product exactly 2).
+  const std::vector<std::vector<double>> cases{
+      {0.4, 0.2, 0.1}, {0.25, 0.25, 0.25}, {0.69}, {0.3, 0.3}, {0.5, 0.2}};
+  for (const auto& utils : cases) {
+    double sum = 0;
+    for (const double u : utils) sum += u;
+    if (rms_ll_feasible(sum, utils.size(), 1.0)) {
+      EXPECT_TRUE(rms_hyperbolic_feasible(utils, 1.0));
+    }
+  }
+}
+
+TEST(RmsHyperbolic, AcceptsBeyondLiuLayland) {
+  // Skewed sets the LL bound rejects but the hyperbolic bound accepts:
+  // u = {0.6, 0.1, 0.1}: sum 0.8 > LL(3)=0.7798, but product
+  // 1.6*1.1*1.1 = 1.936 <= 2.
+  const std::vector<double> utils{0.6, 0.1, 0.1};
+  EXPECT_FALSE(rms_ll_feasible(0.8, 3, 1.0));
+  EXPECT_TRUE(rms_hyperbolic_feasible(utils, 1.0));
+}
+
+TEST(RmsHyperbolic, SpeedScaling) {
+  const std::vector<double> utils{1.0, 1.0};
+  // At speed 2: (1.5)(1.5) = 2.25 > 2 rejected; at speed 3:
+  // (4/3)(4/3) = 16/9 <= 2 accepted.
+  EXPECT_FALSE(rms_hyperbolic_feasible(utils, 2.0));
+  EXPECT_TRUE(rms_hyperbolic_feasible(utils, 3.0));
+}
+
+TEST(RmsHyperbolic, EmptySetAccepted) {
+  EXPECT_TRUE(rms_hyperbolic_feasible({}, 1.0));
+}
+
+}  // namespace
+}  // namespace hetsched

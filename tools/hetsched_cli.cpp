@@ -1,0 +1,296 @@
+// hetsched_cli — command-line front end for the library.
+//
+//   hetsched_cli test <file> [--admission KIND] [--alpha X]
+//       Run the first-fit feasibility test and print the partition or the
+//       failure certificate.
+//   hetsched_cli certify <file>
+//       Run all the paper's certificates (Theorems I.1-I.4 plus the
+//       Andersson-Tovar baselines) and report each verdict.
+//   hetsched_cli augment <file> [--admission KIND]
+//       Report the minimum speed augmentation for first-fit acceptance and
+//       the exact LP lower bound.
+//   hetsched_cli simulate <file> [--policy edf|rm] [--alpha X]
+//       Partition, then replay the exact schedule and print per-machine
+//       statistics.
+//   hetsched_cli sensitivity <file> [--admission KIND] [--alpha X]
+//       For an accepted system, print each task's execution-budget slack
+//       (the largest WCET scale factor that keeps the test accepting).
+//   hetsched_cli generate --n N --m M --util U [--seed S] [--ratio R]
+//       Emit a random instance in the text format (UUniFast-Discard tasks
+//       on a geometric platform).
+//
+// Instance file format: see src/io/text_format.h.
+// Admission kinds: edf (default), rms-ll, rms-hb, rms-rta.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hetsched/hetsched.h"
+#include "io/text_format.h"
+
+namespace hetsched {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hetsched_cli <test|certify|augment|simulate|generate> "
+               "[args]\n  see the header of tools/hetsched_cli.cpp\n");
+  return 2;
+}
+
+// Minimal --flag value parser; positional args collected separately.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc) {
+          a.flags[key] = argv[++i];
+        } else {
+          a.flags[key] = "";
+        }
+      } else {
+        a.positional.push_back(arg);
+      }
+    }
+    return a;
+  }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+  double get_double(const std::string& key, double dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::atof(it->second.c_str());
+  }
+  long get_long(const std::string& key, long dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::atol(it->second.c_str());
+  }
+};
+
+std::optional<AdmissionKind> admission_from_name(const std::string& name) {
+  if (name == "edf") return AdmissionKind::kEdf;
+  if (name == "rms-ll") return AdmissionKind::kRmsLiuLayland;
+  if (name == "rms-hb") return AdmissionKind::kRmsHyperbolic;
+  if (name == "rms-rta") return AdmissionKind::kRmsResponseTime;
+  return std::nullopt;
+}
+
+std::optional<Instance> load_or_complain(const std::string& path) {
+  auto parsed = load_instance(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error->to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.value);
+}
+
+int cmd_test(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto inst = load_or_complain(args.positional[0]);
+  if (!inst) return 1;
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const double alpha = args.get_double("alpha", 1.0);
+
+  const PartitionResult res =
+      first_fit_partition(inst->tasks, inst->platform, *kind, alpha);
+  std::printf("%s\n", res.to_string().c_str());
+  if (res.feasible) {
+    for (std::size_t j = 0; j < inst->platform.size(); ++j) {
+      std::printf("machine %zu (speed %s): load %.4f, %zu tasks\n", j,
+                  inst->platform.speed_exact(j).to_string().c_str(),
+                  res.machine_utilization[j],
+                  res.tasks_per_machine[j].size());
+    }
+  }
+  return res.feasible ? 0 : 1;
+}
+
+int cmd_certify(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto inst = load_or_complain(args.positional[0]);
+  if (!inst) return 1;
+
+  struct Cert {
+    const char* name;
+    AdmissionKind kind;
+    double alpha;
+    const char* accept_means;
+    const char* reject_means;
+  };
+  const Cert certs[] = {
+      {"raw EDF (alpha=1)", AdmissionKind::kEdf, 1.0,
+       "partitioned-EDF-schedulable as-is", "greedy test needs augmentation"},
+      {"Thm I.1 EDF (alpha=2)", AdmissionKind::kEdf,
+       EdfConstants::kAlphaPartitioned, "schedulable on 2x-faster cores",
+       "no partitioned scheduler works"},
+      {"Thm I.3 EDF (alpha=2.98)", AdmissionKind::kEdf, EdfConstants::kAlphaLp,
+       "schedulable on 2.98x-faster cores",
+       "even migrating schedulers fail"},
+      {"A-T [2] EDF (alpha=3)", AdmissionKind::kEdf, 3.0,
+       "schedulable on 3x-faster cores",
+       "even migrating schedulers fail (prior art)"},
+      {"raw RMS-LL (alpha=1)", AdmissionKind::kRmsLiuLayland, 1.0,
+       "RM-partition certified as-is", "LL-certified partition needs speedup"},
+      {"Thm I.2 RMS (alpha=2.414)", AdmissionKind::kRmsLiuLayland,
+       RmsConstants::kAlphaPartitioned, "RM-schedulable on 2.414x cores",
+       "no partitioned scheduler works"},
+      {"Thm I.4 RMS (alpha=3.34)", AdmissionKind::kRmsLiuLayland,
+       RmsConstants::kAlphaLp, "RM-schedulable on 3.34x cores",
+       "even migrating schedulers fail"},
+      {"A-T [3] RMS (alpha=3.41)", AdmissionKind::kRmsLiuLayland, 3.41,
+       "RM-schedulable on 3.41x cores",
+       "even migrating schedulers fail (prior art)"},
+  };
+  for (const Cert& c : certs) {
+    const bool ok =
+        first_fit_accepts(inst->tasks, inst->platform, c.kind, c.alpha);
+    std::printf("%-28s %-7s (%s)\n", c.name, ok ? "ACCEPT" : "REJECT",
+                ok ? c.accept_means : c.reject_means);
+  }
+  std::printf("LP (migrating) feasible: %s\n",
+              lp_feasible_oracle(inst->tasks, inst->platform) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_augment(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto inst = load_or_complain(args.positional[0]);
+  if (!inst) return 1;
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+
+  const auto alpha =
+      min_feasible_alpha(inst->tasks, inst->platform, *kind, 32.0, 1e-6);
+  const double lp = min_lp_augmentation(inst->tasks, inst->platform);
+  if (alpha) {
+    std::printf("first-fit %s minimum alpha: %.6f\n",
+                to_string(*kind).c_str(), *alpha);
+  } else {
+    std::printf("first-fit %s: not feasible even at alpha = 32\n",
+                to_string(*kind).c_str());
+  }
+  std::printf("LP lower bound (no scheduler below this): %.6f\n", lp);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto inst = load_or_complain(args.positional[0]);
+  if (!inst) return 1;
+  const std::string policy_name = args.get("policy", "edf");
+  const double alpha = args.get_double("alpha", 1.0);
+  const bool rm = policy_name == "rm";
+  if (!rm && policy_name != "edf") return usage();
+
+  const AdmissionKind kind =
+      rm ? AdmissionKind::kRmsLiuLayland : AdmissionKind::kEdf;
+  const PartitionResult res =
+      first_fit_partition(inst->tasks, inst->platform, kind, alpha);
+  if (!res.feasible) {
+    std::printf("partitioning failed (task w=%.4f fits nowhere)\n",
+                res.failed_utilization);
+    return 1;
+  }
+  std::vector<Rational> speeds;
+  const Rational ar = rational_from_double(alpha, 1'000'000);
+  for (std::size_t j = 0; j < inst->platform.size(); ++j) {
+    speeds.push_back(inst->platform.speed_exact(j) * ar);
+  }
+  const PartitionSimOutcome sim = simulate_partition(
+      res.tasks_per_machine, speeds,
+      rm ? SchedPolicy::kFixedPriorityRm : SchedPolicy::kEdf);
+  std::printf("verdict: %s\n",
+              sim.schedulable ? "all deadlines met" : "DEADLINE MISS");
+  for (std::size_t j = 0; j < sim.per_machine.size(); ++j) {
+    const SimOutcome& o = sim.per_machine[j];
+    std::printf(
+        "machine %zu: horizon %lld, %lld jobs, %lld preempts, busy %s%s\n", j,
+        static_cast<long long>(o.horizon),
+        static_cast<long long>(o.jobs_released),
+        static_cast<long long>(o.preemptions), o.busy_time.to_string().c_str(),
+        o.horizon_exhausted ? " [job cap hit: no miss observed, not a proof]"
+                            : "");
+  }
+  return sim.schedulable ? 0 : 1;
+}
+
+int cmd_sensitivity(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto inst = load_or_complain(args.positional[0]);
+  if (!inst) return 1;
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const double alpha = args.get_double("alpha", 1.0);
+
+  if (!first_fit_accepts(inst->tasks, inst->platform, *kind, alpha)) {
+    std::printf("system not accepted at alpha=%.3f: no slack to report\n",
+                alpha);
+    return 1;
+  }
+  const auto slack = exec_sensitivity(inst->tasks, inst->platform, *kind,
+                                      alpha);
+  std::printf("per-task execution-budget slack (max WCET scale keeping the "
+              "%s test at alpha=%.3f green):\n",
+              to_string(*kind).c_str(), alpha);
+  for (const TaskSlack& s : slack) {
+    const Task& t = inst->tasks[s.task_index];
+    std::printf("  task %zu (c=%lld p=%lld w=%.3f): x%.3f\n", s.task_index,
+                static_cast<long long>(t.exec),
+                static_cast<long long>(t.period), t.utilization(),
+                s.max_exec_scale);
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const auto n = static_cast<std::size_t>(args.get_long("n", 16));
+  const auto m = static_cast<std::size_t>(args.get_long("m", 4));
+  const double norm_util = args.get_double("util", 0.7);
+  const double ratio = args.get_double("ratio", 1.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  if (n == 0 || m == 0 || norm_util <= 0 || ratio < 1.0) return usage();
+
+  Rng rng(seed);
+  Instance inst;
+  inst.platform = geometric_platform(m, ratio);
+  TasksetSpec spec;
+  spec.n = n;
+  spec.max_task_utilization = inst.platform.max_speed();
+  spec.total_utilization =
+      std::min(norm_util * inst.platform.total_speed(),
+               0.35 * static_cast<double>(n) * spec.max_task_utilization);
+  spec.periods = PeriodSpec::log_uniform(10, 1000);
+  inst.tasks = generate_taskset(rng, spec);
+  std::printf("%s", format_instance(inst).c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  if (cmd == "test") return cmd_test(args);
+  if (cmd == "certify") return cmd_certify(args);
+  if (cmd == "augment") return cmd_augment(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "sensitivity") return cmd_sensitivity(args);
+  if (cmd == "generate") return cmd_generate(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main(int argc, char** argv) { return hetsched::run(argc, argv); }
