@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_practicality.dir/bench_e10_practicality.cpp.o"
+  "CMakeFiles/bench_e10_practicality.dir/bench_e10_practicality.cpp.o.d"
+  "bench_e10_practicality"
+  "bench_e10_practicality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_practicality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_constrained.dir/bench_e11_constrained.cpp.o"
+  "CMakeFiles/bench_e11_constrained.dir/bench_e11_constrained.cpp.o.d"
+  "bench_e11_constrained"
+  "bench_e11_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_migration.dir/bench_e12_migration.cpp.o"
+  "CMakeFiles/bench_e12_migration.dir/bench_e12_migration.cpp.o.d"
+  "bench_e12_migration"
+  "bench_e12_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

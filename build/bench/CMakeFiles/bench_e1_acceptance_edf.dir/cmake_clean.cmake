@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_acceptance_edf.dir/bench_e1_acceptance_edf.cpp.o"
+  "CMakeFiles/bench_e1_acceptance_edf.dir/bench_e1_acceptance_edf.cpp.o.d"
+  "bench_e1_acceptance_edf"
+  "bench_e1_acceptance_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_acceptance_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_acceptance_rms.dir/bench_e2_acceptance_rms.cpp.o"
+  "CMakeFiles/bench_e2_acceptance_rms.dir/bench_e2_acceptance_rms.cpp.o.d"
+  "bench_e2_acceptance_rms"
+  "bench_e2_acceptance_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_acceptance_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_augmentation_partitioned.dir/bench_e3_augmentation_partitioned.cpp.o"
+  "CMakeFiles/bench_e3_augmentation_partitioned.dir/bench_e3_augmentation_partitioned.cpp.o.d"
+  "bench_e3_augmentation_partitioned"
+  "bench_e3_augmentation_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_augmentation_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

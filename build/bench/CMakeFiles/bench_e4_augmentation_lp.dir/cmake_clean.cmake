@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_augmentation_lp.dir/bench_e4_augmentation_lp.cpp.o"
+  "CMakeFiles/bench_e4_augmentation_lp.dir/bench_e4_augmentation_lp.cpp.o.d"
+  "bench_e4_augmentation_lp"
+  "bench_e4_augmentation_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_augmentation_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e8_admission_ablation.cpp" "bench/CMakeFiles/bench_e8_admission_ablation.dir/bench_e8_admission_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_e8_admission_ablation.dir/bench_e8_admission_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/hetsched_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/migrating/CMakeFiles/hetsched_migrating.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbf/CMakeFiles/hetsched_dbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptas/CMakeFiles/hetsched_ptas.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hetsched_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/hetsched_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hetsched_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/hetsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/hetsched_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hetsched_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

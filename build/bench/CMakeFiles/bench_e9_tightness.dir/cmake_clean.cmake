@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_tightness.dir/bench_e9_tightness.cpp.o"
+  "CMakeFiles/bench_e9_tightness.dir/bench_e9_tightness.cpp.o.d"
+  "bench_e9_tightness"
+  "bench_e9_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

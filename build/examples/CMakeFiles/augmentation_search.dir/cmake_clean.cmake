@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_search.dir/augmentation_search.cpp.o"
+  "CMakeFiles/augmentation_search.dir/augmentation_search.cpp.o.d"
+  "augmentation_search"
+  "augmentation_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_partitioning.dir/avionics_partitioning.cpp.o"
+  "CMakeFiles/avionics_partitioning.dir/avionics_partitioning.cpp.o.d"
+  "avionics_partitioning"
+  "avionics_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biglittle_admission.dir/biglittle_admission.cpp.o"
+  "CMakeFiles/biglittle_admission.dir/biglittle_admission.cpp.o.d"
+  "biglittle_admission"
+  "biglittle_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biglittle_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

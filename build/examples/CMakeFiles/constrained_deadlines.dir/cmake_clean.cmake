@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_deadlines.dir/constrained_deadlines.cpp.o"
+  "CMakeFiles/constrained_deadlines.dir/constrained_deadlines.cpp.o.d"
+  "constrained_deadlines"
+  "constrained_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_biglittle_admission "/root/repo/build/examples/biglittle_admission")
+set_tests_properties(example_biglittle_admission PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_augmentation_search "/root/repo/build/examples/augmentation_search")
+set_tests_properties(example_augmentation_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_avionics_partitioning "/root/repo/build/examples/avionics_partitioning")
+set_tests_properties(example_avionics_partitioning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_explorer "/root/repo/build/examples/trace_explorer")
+set_tests_properties(example_trace_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_tour "/root/repo/build/examples/scenario_tour")
+set_tests_properties(example_scenario_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_constrained_deadlines "/root/repo/build/examples/constrained_deadlines")
+set_tests_properties(example_constrained_deadlines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;hetsched_add_example;/root/repo/examples/CMakeLists.txt;0;")

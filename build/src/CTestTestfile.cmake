@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("io")
+subdirs("sim")
+subdirs("gen")
+subdirs("lp")
+subdirs("migrating")
+subdirs("dbf")
+subdirs("partition")
+subdirs("exact")
+subdirs("ptas")
+subdirs("baselines")
+subdirs("experiments")

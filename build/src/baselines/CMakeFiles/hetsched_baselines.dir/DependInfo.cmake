@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/andersson_tovar.cc" "src/baselines/CMakeFiles/hetsched_baselines.dir/andersson_tovar.cc.o" "gcc" "src/baselines/CMakeFiles/hetsched_baselines.dir/andersson_tovar.cc.o.d"
+  "/root/repo/src/baselines/heuristics.cc" "src/baselines/CMakeFiles/hetsched_baselines.dir/heuristics.cc.o" "gcc" "src/baselines/CMakeFiles/hetsched_baselines.dir/heuristics.cc.o.d"
+  "/root/repo/src/baselines/local_search.cc" "src/baselines/CMakeFiles/hetsched_baselines.dir/local_search.cc.o" "gcc" "src/baselines/CMakeFiles/hetsched_baselines.dir/local_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/hetsched_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

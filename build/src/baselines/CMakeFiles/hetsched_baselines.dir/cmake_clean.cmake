@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_baselines.dir/andersson_tovar.cc.o"
+  "CMakeFiles/hetsched_baselines.dir/andersson_tovar.cc.o.d"
+  "CMakeFiles/hetsched_baselines.dir/heuristics.cc.o"
+  "CMakeFiles/hetsched_baselines.dir/heuristics.cc.o.d"
+  "CMakeFiles/hetsched_baselines.dir/local_search.cc.o"
+  "CMakeFiles/hetsched_baselines.dir/local_search.cc.o.d"
+  "libhetsched_baselines.a"
+  "libhetsched_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

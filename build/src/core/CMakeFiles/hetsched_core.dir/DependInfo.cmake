@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/platform.cc" "src/core/CMakeFiles/hetsched_core.dir/platform.cc.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/platform.cc.o.d"
+  "/root/repo/src/core/rta.cc" "src/core/CMakeFiles/hetsched_core.dir/rta.cc.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/rta.cc.o.d"
+  "/root/repo/src/core/task.cc" "src/core/CMakeFiles/hetsched_core.dir/task.cc.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/task.cc.o.d"
+  "/root/repo/src/core/uniproc.cc" "src/core/CMakeFiles/hetsched_core.dir/uniproc.cc.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/uniproc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_core.dir/platform.cc.o"
+  "CMakeFiles/hetsched_core.dir/platform.cc.o.d"
+  "CMakeFiles/hetsched_core.dir/rta.cc.o"
+  "CMakeFiles/hetsched_core.dir/rta.cc.o.d"
+  "CMakeFiles/hetsched_core.dir/task.cc.o"
+  "CMakeFiles/hetsched_core.dir/task.cc.o.d"
+  "CMakeFiles/hetsched_core.dir/uniproc.cc.o"
+  "CMakeFiles/hetsched_core.dir/uniproc.cc.o.d"
+  "libhetsched_core.a"
+  "libhetsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_dbf.dir/demand_bound.cc.o"
+  "CMakeFiles/hetsched_dbf.dir/demand_bound.cc.o.d"
+  "libhetsched_dbf.a"
+  "libhetsched_dbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_dbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_exact.dir/exact_partition.cc.o"
+  "CMakeFiles/hetsched_exact.dir/exact_partition.cc.o.d"
+  "libhetsched_exact.a"
+  "libhetsched_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/acceptance.cc" "src/experiments/CMakeFiles/hetsched_experiments.dir/acceptance.cc.o" "gcc" "src/experiments/CMakeFiles/hetsched_experiments.dir/acceptance.cc.o.d"
+  "/root/repo/src/experiments/adversarial.cc" "src/experiments/CMakeFiles/hetsched_experiments.dir/adversarial.cc.o" "gcc" "src/experiments/CMakeFiles/hetsched_experiments.dir/adversarial.cc.o.d"
+  "/root/repo/src/experiments/augmentation.cc" "src/experiments/CMakeFiles/hetsched_experiments.dir/augmentation.cc.o" "gcc" "src/experiments/CMakeFiles/hetsched_experiments.dir/augmentation.cc.o.d"
+  "/root/repo/src/experiments/sensitivity.cc" "src/experiments/CMakeFiles/hetsched_experiments.dir/sensitivity.cc.o" "gcc" "src/experiments/CMakeFiles/hetsched_experiments.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/hetsched_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/hetsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/hetsched_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hetsched_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_experiments.dir/acceptance.cc.o"
+  "CMakeFiles/hetsched_experiments.dir/acceptance.cc.o.d"
+  "CMakeFiles/hetsched_experiments.dir/adversarial.cc.o"
+  "CMakeFiles/hetsched_experiments.dir/adversarial.cc.o.d"
+  "CMakeFiles/hetsched_experiments.dir/augmentation.cc.o"
+  "CMakeFiles/hetsched_experiments.dir/augmentation.cc.o.d"
+  "CMakeFiles/hetsched_experiments.dir/sensitivity.cc.o"
+  "CMakeFiles/hetsched_experiments.dir/sensitivity.cc.o.d"
+  "libhetsched_experiments.a"
+  "libhetsched_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

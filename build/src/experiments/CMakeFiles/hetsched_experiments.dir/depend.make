@@ -1,0 +1,2 @@
+# Empty dependencies file for hetsched_experiments.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_gen.dir/platform_gen.cc.o"
+  "CMakeFiles/hetsched_gen.dir/platform_gen.cc.o.d"
+  "CMakeFiles/hetsched_gen.dir/scenarios.cc.o"
+  "CMakeFiles/hetsched_gen.dir/scenarios.cc.o.d"
+  "CMakeFiles/hetsched_gen.dir/taskset_gen.cc.o"
+  "CMakeFiles/hetsched_gen.dir/taskset_gen.cc.o.d"
+  "libhetsched_gen.a"
+  "libhetsched_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_io.dir/text_format.cc.o"
+  "CMakeFiles/hetsched_io.dir/text_format.cc.o.d"
+  "libhetsched_io.a"
+  "libhetsched_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

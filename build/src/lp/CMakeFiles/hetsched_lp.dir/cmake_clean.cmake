@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_lp.dir/feasibility_lp.cc.o"
+  "CMakeFiles/hetsched_lp.dir/feasibility_lp.cc.o.d"
+  "CMakeFiles/hetsched_lp.dir/simplex.cc.o"
+  "CMakeFiles/hetsched_lp.dir/simplex.cc.o.d"
+  "libhetsched_lp.a"
+  "libhetsched_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

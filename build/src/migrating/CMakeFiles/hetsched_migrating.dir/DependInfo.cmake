@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migrating/bvn_schedule.cc" "src/migrating/CMakeFiles/hetsched_migrating.dir/bvn_schedule.cc.o" "gcc" "src/migrating/CMakeFiles/hetsched_migrating.dir/bvn_schedule.cc.o.d"
+  "/root/repo/src/migrating/slice_replay.cc" "src/migrating/CMakeFiles/hetsched_migrating.dir/slice_replay.cc.o" "gcc" "src/migrating/CMakeFiles/hetsched_migrating.dir/slice_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/hetsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_migrating.dir/bvn_schedule.cc.o"
+  "CMakeFiles/hetsched_migrating.dir/bvn_schedule.cc.o.d"
+  "CMakeFiles/hetsched_migrating.dir/slice_replay.cc.o"
+  "CMakeFiles/hetsched_migrating.dir/slice_replay.cc.o.d"
+  "libhetsched_migrating.a"
+  "libhetsched_migrating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_migrating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

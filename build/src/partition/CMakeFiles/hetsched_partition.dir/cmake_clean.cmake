@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_partition.dir/admission.cc.o"
+  "CMakeFiles/hetsched_partition.dir/admission.cc.o.d"
+  "CMakeFiles/hetsched_partition.dir/first_fit.cc.o"
+  "CMakeFiles/hetsched_partition.dir/first_fit.cc.o.d"
+  "libhetsched_partition.a"
+  "libhetsched_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

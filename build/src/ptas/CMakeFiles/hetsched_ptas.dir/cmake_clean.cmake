@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_ptas.dir/dual_approx.cc.o"
+  "CMakeFiles/hetsched_ptas.dir/dual_approx.cc.o.d"
+  "libhetsched_ptas.a"
+  "libhetsched_ptas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_ptas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_sim.dir/event_sim.cc.o"
+  "CMakeFiles/hetsched_sim.dir/event_sim.cc.o.d"
+  "libhetsched_sim.a"
+  "libhetsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_util.dir/rational.cc.o"
+  "CMakeFiles/hetsched_util.dir/rational.cc.o.d"
+  "CMakeFiles/hetsched_util.dir/rng.cc.o"
+  "CMakeFiles/hetsched_util.dir/rng.cc.o.d"
+  "CMakeFiles/hetsched_util.dir/stats.cc.o"
+  "CMakeFiles/hetsched_util.dir/stats.cc.o.d"
+  "CMakeFiles/hetsched_util.dir/table.cc.o"
+  "CMakeFiles/hetsched_util.dir/table.cc.o.d"
+  "CMakeFiles/hetsched_util.dir/thread_pool.cc.o"
+  "CMakeFiles/hetsched_util.dir/thread_pool.cc.o.d"
+  "libhetsched_util.a"
+  "libhetsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/andersson_tovar_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/andersson_tovar_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/heuristics_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/heuristics_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/local_search_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/local_search_test.cpp.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+  "baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrating_test.dir/bvn_schedule_test.cpp.o"
+  "CMakeFiles/migrating_test.dir/bvn_schedule_test.cpp.o.d"
+  "CMakeFiles/migrating_test.dir/slice_replay_test.cpp.o"
+  "CMakeFiles/migrating_test.dir/slice_replay_test.cpp.o.d"
+  "migrating_test"
+  "migrating_test.pdb"
+  "migrating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

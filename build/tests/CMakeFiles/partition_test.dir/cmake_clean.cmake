@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_test.dir/admission_test.cpp.o"
+  "CMakeFiles/partition_test.dir/admission_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/analysis_constants_test.cpp.o"
+  "CMakeFiles/partition_test.dir/analysis_constants_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/first_fit_test.cpp.o"
+  "CMakeFiles/partition_test.dir/first_fit_test.cpp.o.d"
+  "partition_test"
+  "partition_test.pdb"
+  "partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

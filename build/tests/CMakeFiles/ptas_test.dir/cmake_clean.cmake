@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_test.dir/dual_approx_test.cpp.o"
+  "CMakeFiles/ptas_test.dir/dual_approx_test.cpp.o.d"
+  "ptas_test"
+  "ptas_test.pdb"
+  "ptas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/hetsched_cli" "generate" "--n" "6" "--m" "2" "--util" "0.7")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_test "/root/repo/build/tools/hetsched_cli" "test" "/root/repo/build/tools/smoke_instance.txt")
+set_tests_properties(cli_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_certify "/root/repo/build/tools/hetsched_cli" "certify" "/root/repo/build/tools/smoke_instance.txt")
+set_tests_properties(cli_certify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_augment "/root/repo/build/tools/hetsched_cli" "augment" "/root/repo/build/tools/smoke_instance.txt")
+set_tests_properties(cli_augment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/hetsched_cli" "simulate" "/root/repo/build/tools/smoke_instance.txt")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_test_rta "/root/repo/build/tools/hetsched_cli" "test" "/root/repo/build/tools/smoke_instance.txt" "--admission" "rms-rta" "--alpha" "2.0")
+set_tests_properties(cli_test_rta PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sensitivity "/root/repo/build/tools/hetsched_cli" "sensitivity" "/root/repo/build/tools/smoke_instance.txt")
+set_tests_properties(cli_sensitivity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/hetsched_cli" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
