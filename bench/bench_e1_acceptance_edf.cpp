@@ -41,19 +41,18 @@ void run_for_n(std::size_t n) {
   spec.trials_per_point = 400;
   spec.seed = 0xE1;
 
-  auto ff_at = [](double alpha) {
-    return [alpha](const TaskSet& t, const Platform& p) {
-      return first_fit_accepts(t, p, AdmissionKind::kEdf, alpha);
-    };
-  };
+  // First-fit testers go through the sweep's segment-tree fast path; only
+  // the LP oracle runs as a plain predicate.
   const std::vector<Tester> testers{
-      {"ff-edf@1.00", ff_at(1.0)},
-      {"ff-edf@2.00", ff_at(EdfConstants::kAlphaPartitioned)},
-      {"ff-edf@2.98", ff_at(EdfConstants::kAlphaLp)},
-      {"ff-edf@3.00", ff_at(3.0)},
-      {"lp-feasible", [](const TaskSet& t, const Platform& p) {
-         return lp_feasible_oracle(t, p);
-       }},
+      Tester::make_first_fit("ff-edf@1.00", AdmissionKind::kEdf, 1.0),
+      Tester::make_first_fit("ff-edf@2.00", AdmissionKind::kEdf,
+                             EdfConstants::kAlphaPartitioned),
+      Tester::make_first_fit("ff-edf@2.98", AdmissionKind::kEdf,
+                             EdfConstants::kAlphaLp),
+      Tester::make_first_fit("ff-edf@3.00", AdmissionKind::kEdf, 3.0),
+      Tester::make("lp-feasible", [](const TaskSet& t, const Platform& p) {
+        return lp_feasible_oracle(t, p);
+      }),
   };
 
   bench::print_section("n = " + std::to_string(n) +

@@ -32,19 +32,18 @@ void run_for_n(std::size_t n) {
   spec.trials_per_point = 400;
   spec.seed = 0xE2;
 
-  auto ff_at = [](double alpha) {
-    return [alpha](const TaskSet& t, const Platform& p) {
-      return first_fit_accepts(t, p, AdmissionKind::kRmsLiuLayland, alpha);
-    };
-  };
   const std::vector<Tester> testers{
-      {"ff-rms@1.000", ff_at(1.0)},
-      {"ff-rms@2.414", ff_at(RmsConstants::kAlphaPartitioned)},
-      {"ff-rms@3.340", ff_at(RmsConstants::kAlphaLp)},
-      {"ff-rms@3.410", ff_at(3.41)},
-      {"lp-feasible", [](const TaskSet& t, const Platform& p) {
-         return lp_feasible_oracle(t, p);
-       }},
+      Tester::make_first_fit("ff-rms@1.000", AdmissionKind::kRmsLiuLayland,
+                             1.0),
+      Tester::make_first_fit("ff-rms@2.414", AdmissionKind::kRmsLiuLayland,
+                             RmsConstants::kAlphaPartitioned),
+      Tester::make_first_fit("ff-rms@3.340", AdmissionKind::kRmsLiuLayland,
+                             RmsConstants::kAlphaLp),
+      Tester::make_first_fit("ff-rms@3.410", AdmissionKind::kRmsLiuLayland,
+                             3.41),
+      Tester::make("lp-feasible", [](const TaskSet& t, const Platform& p) {
+        return lp_feasible_oracle(t, p);
+      }),
   };
 
   bench::print_section("n = " + std::to_string(n) +

@@ -30,6 +30,11 @@ void run_kind(Table& table, AdmissionKind kind, double bound,
   spec.trials = 1000;
   spec.seed = 0xE3;
   spec.kind = kind;
+  // Pin the segment-tree engine: the study is alpha*-bisection-heavy, and
+  // pinning (rather than kAuto) documents that the numbers were produced by
+  // the fast path — the equivalence test guarantees they match the naive
+  // engine bit for bit.
+  spec.engine = PartitionEngine::kSegmentTree;
 
   const AugmentationStudyResult res = augmentation_vs_partitioned(spec);
   if (histogram != nullptr) {

@@ -58,6 +58,59 @@ BENCHMARK(BM_FirstFitEdf)
     ->ArgsProduct({{64, 256, 1024, 4096, 16384}, {2, 8, 32, 128}})
     ->Unit(benchmark::kMicrosecond);
 
+// Engine head-to-head on the full partitioner: the naive scan is the paper's
+// O(n m) loop, the segment tree the O(n log m) replacement.  Same inputs,
+// bit-identical outputs (tests/engine_equivalence_test.cpp).
+void BM_FirstFitEdfNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Workload w = make_workload(n, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(first_fit_partition(
+        w.tasks, w.platform, AdmissionKind::kEdf, 2.0, PartitionEngine::kNaive));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * m));
+}
+BENCHMARK(BM_FirstFitEdfNaive)
+    ->ArgsProduct({{1024, 16384}, {32, 128}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FirstFitEdfTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Workload w = make_workload(n, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        first_fit_partition(w.tasks, w.platform, AdmissionKind::kEdf, 2.0,
+                            PartitionEngine::kSegmentTree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * m));
+}
+BENCHMARK(BM_FirstFitEdfTree)
+    ->ArgsProduct({{1024, 16384}, {32, 128}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Decision-only accept path with a warm scratch: what the sweeps actually
+// run.  No PartitionResult, no Task copies, no allocation after the first
+// call.
+void BM_FirstFitAcceptsScratch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Workload w = make_workload(n, m);
+  PartitionScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(first_fit_accepts(
+        w.tasks, w.platform, AdmissionKind::kEdf, 2.0, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * m));
+}
+BENCHMARK(BM_FirstFitAcceptsScratch)
+    ->ArgsProduct({{1024, 16384}, {32, 128}})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_FirstFitRmsLiuLayland(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto m = static_cast<std::size_t>(state.range(1));

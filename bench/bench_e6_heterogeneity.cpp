@@ -50,21 +50,12 @@ void run_shape(const char* shape, Platform (*make)(double), double norm_util,
     spec.seed = seed;
 
     const std::vector<Tester> testers{
-        {"ff-edf@1",
-         [](const TaskSet& t, const Platform& p) {
-           return first_fit_accepts(t, p, AdmissionKind::kEdf, 1.0);
-         }},
-        {"ff-rms@1",
-         [](const TaskSet& t, const Platform& p) {
-           return first_fit_accepts(t, p, AdmissionKind::kRmsLiuLayland, 1.0);
-         }},
-        {"ff-edf@2",
-         [](const TaskSet& t, const Platform& p) {
-           return first_fit_accepts(t, p, AdmissionKind::kEdf, 2.0);
-         }},
-        {"lp", [](const TaskSet& t, const Platform& p) {
-           return lp_feasible_oracle(t, p);
-         }},
+        Tester::make_first_fit("ff-edf@1", AdmissionKind::kEdf, 1.0),
+        Tester::make_first_fit("ff-rms@1", AdmissionKind::kRmsLiuLayland, 1.0),
+        Tester::make_first_fit("ff-edf@2", AdmissionKind::kEdf, 2.0),
+        Tester::make("lp", [](const TaskSet& t, const Platform& p) {
+          return lp_feasible_oracle(t, p);
+        }),
     };
     const AcceptanceCurve curve = run_acceptance_sweep(spec, testers);
     const AcceptancePoint& pt = curve.points[0];

@@ -40,13 +40,13 @@ void run_admission(AdmissionKind kind) {
     }
   }
   for (const HeuristicSpec& h : grid) {
-    testers.push_back(Tester{
+    testers.push_back(Tester::make(
         h.to_string(), [h, kind](const TaskSet& t, const Platform& p) {
           // Random task order draws from a per-instance RNG seeded by the
           // task set's content so the sweep stays deterministic.
           Rng order_rng(0x9E3779B97F4A7C15ULL ^ (t.size() * 2654435761u));
           return heuristic_partition(t, p, h, kind, 1.0, &order_rng).feasible;
-        }});
+        }));
   }
 
   // Transpose: one row per heuristic, one acceptance column per load.

@@ -33,16 +33,13 @@ void run_for_n(std::size_t n) {
   spec.trials_per_point = 250;
   spec.seed = 0xE8;
 
-  auto ff_with = [](AdmissionKind kind) {
-    return [kind](const TaskSet& t, const Platform& p) {
-      return first_fit_accepts(t, p, kind, 1.0);
-    };
-  };
   const std::vector<Tester> testers{
-      {"edf", ff_with(AdmissionKind::kEdf)},
-      {"rms-rta", ff_with(AdmissionKind::kRmsResponseTime)},
-      {"rms-hyperbolic", ff_with(AdmissionKind::kRmsHyperbolic)},
-      {"rms-liu-layland", ff_with(AdmissionKind::kRmsLiuLayland)},
+      Tester::make_first_fit("edf", AdmissionKind::kEdf, 1.0),
+      Tester::make_first_fit("rms-rta", AdmissionKind::kRmsResponseTime, 1.0),
+      Tester::make_first_fit("rms-hyperbolic", AdmissionKind::kRmsHyperbolic,
+                             1.0),
+      Tester::make_first_fit("rms-liu-layland", AdmissionKind::kRmsLiuLayland,
+                             1.0),
   };
 
   bench::print_section("n = " + std::to_string(n) +

@@ -45,6 +45,7 @@ void note_worst(std::vector<WorstCase>& worst, double alpha,
 // (a) Random search vs. the exact partitioned adversary.
 void random_search_partitioned(AdmissionKind kind, double bound) {
   Rng rng(0xE9);
+  PartitionScratch scratch;
   std::vector<WorstCase> worst;
   int feasible = 0;
   for (int iter = 0; iter < 1500; ++iter) {
@@ -64,7 +65,7 @@ void random_search_partitioned(AdmissionKind kind, double bound) {
         exact_partition(tasks, platform, AdmissionKind::kEdf);
     if (ex.verdict != ExactVerdict::kFeasible) continue;
     ++feasible;
-    const auto alpha = min_feasible_alpha(tasks, platform, kind, 8.0);
+    const auto alpha = min_feasible_alpha(tasks, platform, kind, 8.0, scratch);
     if (alpha && *alpha > 1.0) {
       note_worst(worst, *alpha,
                  tasks.to_string() + " on " + platform.to_string());
@@ -88,6 +89,7 @@ void random_search_partitioned(AdmissionKind kind, double bound) {
 // OPT: 6 bins {1/2+e, 1/4+e, 1/4-2e} and 3 bins {1/4+2e, 1/4+2e,
 // 1/4-2e, 1/4-2e}, each summing to exactly 1.
 void ffd_family() {
+  PartitionScratch scratch;
   Table table({"epsilon", "alpha*", "bound", "opt-feasible-by-construction"});
   for (const std::int64_t inv_eps : {100, 200, 400, 1000}) {
     // Utilizations as exact integers over inv_eps * 4 to dodge rounding:
@@ -104,7 +106,8 @@ void ffd_family() {
     const Platform platform = Platform::identical(9);
 
     const auto alpha =
-        min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 4.0, 1e-7);
+        min_feasible_alpha(tasks, platform, AdmissionKind::kEdf, 4.0, scratch,
+                           PartitionEngine::kAuto, 1e-7);
     table.add_row({"1/" + std::to_string(inv_eps),
                    alpha ? Table::fmt(*alpha, 4) : "none<=4",
                    Table::fmt(EdfConstants::kAlphaPartitioned, 3), "yes"});
@@ -117,6 +120,7 @@ void ffd_family() {
 // (c) Random search vs. the LP adversary at larger sizes.
 void random_search_lp(AdmissionKind kind, double bound) {
   Rng rng(0xE9E9);
+  PartitionScratch scratch;
   std::vector<WorstCase> worst;
   int feasible = 0;
   for (int iter = 0; iter < 3000; ++iter) {
@@ -134,7 +138,7 @@ void random_search_lp(AdmissionKind kind, double bound) {
 
     if (!lp_feasible_oracle(tasks, platform)) continue;
     ++feasible;
-    const auto alpha = min_feasible_alpha(tasks, platform, kind, 8.0);
+    const auto alpha = min_feasible_alpha(tasks, platform, kind, 8.0, scratch);
     if (alpha && *alpha > 1.0) {
       note_worst(worst, *alpha,
                  "n=" + std::to_string(tasks.size()) + " " +

@@ -57,6 +57,10 @@ class TaskSet {
   // index (the order the paper's first-fit algorithm consumes tasks in).
   std::vector<std::size_t> order_by_utilization_desc() const;
 
+  // Same permutation written into `out`, reusing its capacity — for callers
+  // (the partition fast path) that must stay allocation-free when warm.
+  void order_by_utilization_desc(std::vector<std::size_t>& out) const;
+
   // Appends a task (used by generators and the exact search).
   void push_back(const Task& t);
 

@@ -2,12 +2,32 @@
 
 #include <atomic>
 
+#include "partition/first_fit.h"
+#include "partition/sweep.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/stats.h"
-#include "util/thread_pool.h"
 
 namespace hetsched {
+
+Tester Tester::make_first_fit(std::string name, AdmissionKind kind,
+                              double alpha) {
+  Tester t;
+  t.name = std::move(name);
+  t.accepts = [kind, alpha](const TaskSet& tasks, const Platform& platform) {
+    return first_fit_accepts(tasks, platform, kind, alpha);
+  };
+  t.first_fit = FirstFitSpec{kind, alpha};
+  return t;
+}
+
+Tester Tester::make(std::string name,
+                    std::function<bool(const TaskSet&, const Platform&)> fn) {
+  Tester t;
+  t.name = std::move(name);
+  t.accepts = std::move(fn);
+  return t;
+}
 
 Table AcceptanceCurve::to_table() const {
   std::vector<std::string> header{"U/S"};
@@ -53,7 +73,6 @@ AcceptanceCurve run_acceptance_sweep(const AcceptanceSweepSpec& spec,
   for (const Tester& t : testers) curve.tester_names.push_back(t.name);
 
   const double total_speed = spec.platform.total_speed();
-  ThreadPool& pool = default_thread_pool();
 
   for (std::size_t pi = 0; pi < spec.normalized_utilizations.size(); ++pi) {
     const double norm_u = spec.normalized_utilizations[pi];
@@ -62,25 +81,30 @@ AcceptanceCurve run_acceptance_sweep(const AcceptanceSweepSpec& spec,
     std::vector<std::atomic<std::size_t>> accepted(testers.size());
     for (auto& a : accepted) a.store(0, std::memory_order_relaxed);
 
-    pool.parallel_for_index(
-        spec.trials_per_point, [&](std::size_t trial) {
-          // Deterministic per-trial stream: independent of sharding.
-          SplitMix64 mix(spec.seed ^ (0x9E3779B97F4A7C15ULL * (pi + 1)));
-          Rng rng(mix.next() + trial * 0xD1B54A32D192ED03ULL);
+    // One sweep per grid point; the per-point seed keeps the historical
+    // per-trial streams (sweep trial_rng == the old inline derivation).
+    SweepOptions sweep;
+    sweep.seed = spec.seed ^ (0x9E3779B97F4A7C15ULL * (pi + 1));
+    sweep.engine = spec.engine;
+    partition_sweep(spec.trials_per_point, sweep, [&](SweepContext& ctx) {
+      Rng rng = ctx.trial_rng();
 
-          TasksetSpec ts;
-          ts.n = spec.tasks_per_set;
-          ts.total_utilization = norm_u * total_speed;
-          ts.max_task_utilization = spec.max_task_utilization;
-          ts.periods = spec.periods;
-          const TaskSet tasks = generate_taskset(rng, ts);
+      TasksetSpec ts;
+      ts.n = spec.tasks_per_set;
+      ts.total_utilization = norm_u * total_speed;
+      ts.max_task_utilization = spec.max_task_utilization;
+      ts.periods = spec.periods;
+      const TaskSet tasks = generate_taskset(rng, ts);
 
-          for (std::size_t k = 0; k < testers.size(); ++k) {
-            if (testers[k].accepts(tasks, spec.platform)) {
-              accepted[k].fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-        });
+      for (std::size_t k = 0; k < testers.size(); ++k) {
+        const bool ok =
+            testers[k].first_fit
+                ? ctx.accepts(tasks, spec.platform, testers[k].first_fit->kind,
+                              testers[k].first_fit->alpha)
+                : testers[k].accepts(tasks, spec.platform);
+        if (ok) accepted[k].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
 
     AcceptancePoint pt;
     pt.normalized_utilization = norm_u;

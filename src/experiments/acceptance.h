@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/platform.h"
 #include "core/task.h"
 #include "gen/taskset_gen.h"
+#include "partition/engine.h"
 #include "util/table.h"
 
 namespace hetsched {
@@ -24,6 +26,23 @@ namespace hetsched {
 struct Tester {
   std::string name;
   std::function<bool(const TaskSet&, const Platform&)> accepts;
+
+  // When set, the sweep bypasses `accepts` and routes the trial through the
+  // partition engine fast path (per-worker scratch, no allocation).
+  struct FirstFitSpec {
+    AdmissionKind kind;
+    double alpha;
+  };
+  std::optional<FirstFitSpec> first_fit;
+
+  // A first-fit tester: identical verdicts to a lambda over
+  // first_fit_accepts, but eligible for the sweep fast path.
+  static Tester make_first_fit(std::string name, AdmissionKind kind,
+                               double alpha);
+
+  // A plain tester around an arbitrary predicate (no fast path).
+  static Tester make(std::string name,
+                     std::function<bool(const TaskSet&, const Platform&)> fn);
 };
 
 struct AcceptanceSweepSpec {
@@ -34,6 +53,8 @@ struct AcceptanceSweepSpec {
   std::vector<double> normalized_utilizations;  // grid of U / S_total
   std::size_t trials_per_point = 500;
   std::uint64_t seed = 42;
+  // Engine for first-fit testers (kAuto = segment tree where applicable).
+  PartitionEngine engine = PartitionEngine::kAuto;
 };
 
 struct AcceptancePoint {

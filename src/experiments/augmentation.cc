@@ -4,9 +4,8 @@
 
 #include "exact/exact_partition.h"
 #include "lp/feasibility_lp.h"
-#include "partition/first_fit.h"
+#include "partition/sweep.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
 
 namespace hetsched {
 
@@ -24,9 +23,11 @@ AugmentationStudyResult run_study(const AugmentationStudySpec& spec,
   const double total_speed = spec.platform.total_speed();
   std::mutex mu;  // guards the result accumulators
 
-  default_thread_pool().parallel_for_index(spec.trials, [&](std::size_t trial) {
-    SplitMix64 mix(spec.seed);
-    Rng rng(mix.next() + trial * 0xD1B54A32D192ED03ULL);
+  SweepOptions sweep;
+  sweep.seed = spec.seed;  // trial_rng reproduces the historical streams
+  sweep.engine = spec.engine;
+  partition_sweep(spec.trials, sweep, [&](SweepContext& ctx) {
+    Rng rng = ctx.trial_rng();
 
     TasksetSpec ts = spec.taskset;
     ts.total_utilization =
@@ -48,8 +49,8 @@ AugmentationStudyResult run_study(const AugmentationStudySpec& spec,
       if (ex.verdict != ExactVerdict::kFeasible) return;
     }
 
-    const auto alpha = min_feasible_alpha(tasks, spec.platform, spec.kind,
-                                          spec.alpha_search_hi);
+    const auto alpha = ctx.min_alpha(tasks, spec.platform, spec.kind,
+                                     spec.alpha_search_hi);
     std::lock_guard<std::mutex> lock(mu);
     ++res.adversary_feasible;
     if (alpha) {

@@ -17,6 +17,7 @@
 #include "core/platform.h"
 #include "gen/taskset_gen.h"
 #include "partition/admission.h"
+#include "partition/engine.h"
 #include "util/stats.h"
 
 namespace hetsched {
@@ -38,6 +39,8 @@ struct AugmentationStudySpec {
   // adversary of Theorems I.1/I.2); kRmsResponseTime models an adversary
   // restricted to fixed-priority machines.
   AdmissionKind partitioned_adversary = AdmissionKind::kEdf;
+  // Engine for the alpha* bisection probes (kAuto = segment tree).
+  PartitionEngine engine = PartitionEngine::kAuto;
 };
 
 struct AugmentationStudyResult {

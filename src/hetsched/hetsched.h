@@ -44,7 +44,9 @@
 #include "migrating/slice_replay.h"      // IWYU pragma: export
 #include "partition/admission.h"         // IWYU pragma: export
 #include "partition/analysis_constants.h"  // IWYU pragma: export
+#include "partition/engine.h"            // IWYU pragma: export
 #include "partition/first_fit.h"         // IWYU pragma: export
+#include "partition/sweep.h"             // IWYU pragma: export
 #include "ptas/dual_approx.h"            // IWYU pragma: export
 #include "sim/event_sim.h"               // IWYU pragma: export
 #include "util/rational.h"               // IWYU pragma: export

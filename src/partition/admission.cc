@@ -1,10 +1,82 @@
 #include "partition/admission.h"
 
+#include <bit>
+#include <cstdint>
+#include <limits>
+
 #include "core/rta.h"
 #include "core/uniproc.h"
 #include "util/check.h"
 
 namespace hetsched {
+
+namespace {
+
+// Largest non-negative double w for which the monotone predicate holds, or
+// a negative value when even w = 0 fails.  The search runs over the ordered
+// bit representation of non-negative doubles (monotone bijection to
+// integers), so the returned threshold characterizes the predicate EXACTLY:
+// for every double w >= 0, (w <= threshold) == pred(w).  This is what lets
+// the slack-form engines reproduce the floating-point boundary behaviour of
+// the per-machine admission comparisons bit for bit — a closed-form
+// rearranged slack (e.g. capacity - util_sum) can differ by 1 ulp at
+// exact-fit boundaries and flip verdicts on adversarially tight instances
+// (an exact bin packing like {0.44, 0.40, 0.16} on a unit machine).
+//
+// `estimate` is the closed-form rearrangement, which lies within a few ulps
+// of the true threshold; galloping from it and then bisecting the remaining
+// bracket costs ~6 predicate evaluations in the common case (vs ~63 for a
+// blind bisection over the full double range), keeping the fast-path
+// engines fast.
+template <typename Pred>
+double exact_admission_threshold(double estimate, const Pred& pred) {
+  if (!pred(0.0)) return -1.0;
+  constexpr double kMax = std::numeric_limits<double>::max();
+  if (pred(kMax)) return kMax;
+  const std::uint64_t max_bits = std::bit_cast<std::uint64_t>(kMax);
+
+  std::uint64_t lo = 0;         // invariant: pred true at lo
+  std::uint64_t hi = max_bits;  // invariant: pred false at hi
+  if (estimate > 0.0 && estimate < kMax) {
+    const std::uint64_t e = std::bit_cast<std::uint64_t>(estimate);
+    if (pred(estimate)) {
+      lo = e;
+      // Gallop up for a false point; each true probe tightens lo.
+      for (std::uint64_t step = 1; lo + step < hi; step *= 2) {
+        const std::uint64_t probe = lo + step;
+        if (pred(std::bit_cast<double>(probe))) {
+          lo = probe;
+        } else {
+          hi = probe;
+          break;
+        }
+      }
+    } else {
+      hi = e;
+      // Gallop down for a true point; each false probe tightens hi.
+      for (std::uint64_t step = 1;; step *= 2) {
+        if (step >= hi) break;  // bracket bottoms out at 0 (pred true there)
+        const std::uint64_t probe = hi - step;
+        if (pred(std::bit_cast<double>(probe))) {
+          lo = probe;
+          break;
+        }
+        hi = probe;
+      }
+    }
+  }
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (pred(std::bit_cast<double>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::bit_cast<double>(lo);
+}
+
+}  // namespace
 
 std::string to_string(AdmissionKind k) {
   switch (k) {
@@ -21,6 +93,36 @@ std::string to_string(AdmissionKind k) {
 }
 
 bool is_rms(AdmissionKind k) { return k != AdmissionKind::kEdf; }
+
+bool admission_has_slack_form(AdmissionKind k) {
+  return k != AdmissionKind::kRmsResponseTime;
+}
+
+double admission_slack(AdmissionKind kind, double capacity, double util_sum,
+                       std::size_t task_count, double hyper_product) {
+  // Each predicate below is the verbatim comparison MachineLoad::can_admit
+  // performs; the threshold search preserves its exact FP semantics.
+  switch (kind) {
+    case AdmissionKind::kEdf:
+      return exact_admission_threshold(
+          capacity - util_sum,
+          [&](double w) { return util_sum + w <= capacity; });
+    case AdmissionKind::kRmsLiuLayland: {
+      const double limit = rms_liu_layland_bound(task_count + 1) * capacity;
+      return exact_admission_threshold(
+          limit - util_sum, [&](double w) { return util_sum + w <= limit; });
+    }
+    case AdmissionKind::kRmsHyperbolic:
+      return exact_admission_threshold(
+          (2.0 / hyper_product - 1.0) * capacity, [&](double w) {
+            return hyper_product * (w / capacity + 1.0) <= 2.0;
+          });
+    case AdmissionKind::kRmsResponseTime:
+      break;
+  }
+  HETSCHED_CHECK_MSG(false, "admission_slack: kind has no closed-form slack");
+  return 0;
+}
 
 MachineLoad::MachineLoad(AdmissionKind kind, const Rational& speed,
                          double alpha)

@@ -30,6 +30,31 @@ std::string to_string(AdmissionKind k);
 // rate-monotonic priorities (vs. EDF).
 bool is_rms(AdmissionKind k);
 
+// True for the kinds whose admission test has a closed-form slack: the
+// machine admits a task iff w <= slack, with slack a function of the
+// machine's accumulated state only.  These are the kinds the segment-tree
+// engine (partition/engine.h) can index; kRmsResponseTime is not one.
+bool admission_has_slack_form(AdmissionKind k);
+
+// The largest task utilization the machine still admits — the EXACT
+// floating-point threshold of can_admit's comparison, i.e. for every double
+// w >= 0, (w <= slack) == can_admit(task of utilization w).  In real
+// arithmetic the thresholds are
+//   kEdf:            capacity - util_sum
+//   kRmsLiuLayland:  LL(task_count + 1) * capacity - util_sum
+//   kRmsHyperbolic:  (2 / hyper_product - 1) * capacity
+// but those rearranged closed forms can be 1 ulp off at exact-fit
+// boundaries, so the implementation instead bisects the original predicate
+// over the double bit-space.  This exactness is what keeps the naive scan
+// and the segment-tree engine bit-identical (the equivalence property test
+// relies on it) and keeps boundary instances — exact bin packings like
+// {0.44, 0.40, 0.16} on a unit machine — admissible, matching the predicate
+// form the repo has always used.  `task_count` and `hyper_product` describe
+// the tasks already admitted; negative return means not even w = 0 fits.
+// Aborts for kRmsResponseTime, which has no closed form.
+double admission_slack(AdmissionKind kind, double capacity, double util_sum,
+                       std::size_t task_count, double hyper_product);
+
 // Incremental admission state for one machine.
 class MachineLoad {
  public:
@@ -47,6 +72,10 @@ class MachineLoad {
   std::size_t task_count() const { return tasks_.size(); }
   double capacity() const { return capacity_; }
   const std::vector<Task>& tasks() const { return tasks_; }
+
+  // Moves the admitted tasks out (the load is dead afterwards); lets result
+  // builders avoid copying every Task vector.
+  std::vector<Task> take_tasks() { return std::move(tasks_); }
 
  private:
   AdmissionKind kind_;

@@ -1,0 +1,69 @@
+#include "partition/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string to_string(PartitionEngine e) {
+  switch (e) {
+    case PartitionEngine::kAuto:
+      return "auto";
+    case PartitionEngine::kNaive:
+      return "naive";
+    case PartitionEngine::kSegmentTree:
+      return "tree";
+  }
+  return "?";
+}
+
+std::optional<PartitionEngine> engine_from_name(std::string_view name) {
+  if (name == "auto") return PartitionEngine::kAuto;
+  if (name == "naive") return PartitionEngine::kNaive;
+  if (name == "tree" || name == "segment-tree") {
+    return PartitionEngine::kSegmentTree;
+  }
+  return std::nullopt;
+}
+
+PartitionEngine resolve_engine(PartitionEngine e, AdmissionKind kind) {
+  if (!admission_has_slack_form(kind)) return PartitionEngine::kNaive;
+  if (e == PartitionEngine::kNaive) return PartitionEngine::kNaive;
+  return PartitionEngine::kSegmentTree;
+}
+
+void SlackTree::build(std::span<const double> slack) {
+  m_ = slack.size();
+  leaves_ = 1;
+  while (leaves_ < m_) leaves_ *= 2;
+  node_.resize(2 * leaves_);
+  std::copy(slack.begin(), slack.end(), node_.begin() + static_cast<std::ptrdiff_t>(leaves_));
+  std::fill(node_.begin() + static_cast<std::ptrdiff_t>(leaves_ + m_),
+            node_.end(), -std::numeric_limits<double>::infinity());
+  for (std::size_t i = leaves_ - 1; i >= 1; --i) {
+    node_[i] = std::max(node_[2 * i], node_[2 * i + 1]);
+  }
+}
+
+std::size_t SlackTree::find_first_at_least(double w) const {
+  if (m_ == 0 || node_[1] < w) return npos;
+  std::size_t i = 1;
+  while (i < leaves_) {
+    i *= 2;
+    if (node_[i] < w) ++i;  // left subtree's max too small -> go right
+  }
+  return i - leaves_;
+}
+
+void SlackTree::update(std::size_t j, double slack) {
+  HETSCHED_CHECK(j < m_);
+  std::size_t i = leaves_ + j;
+  node_[i] = slack;
+  for (i /= 2; i >= 1; i /= 2) {
+    node_[i] = std::max(node_[2 * i], node_[2 * i + 1]);
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,86 @@
+// Fast-path partitioning engines for the paper's first-fit test.
+//
+// For the bound-based admission kinds (kEdf, kRmsLiuLayland,
+// kRmsHyperbolic) the per-machine admission test reduces to a closed-form
+// slack: machine j admits a task of utilization w iff w <= slack_j, with
+// slack_j a function of the machine's accumulated state only
+// (admission_slack() in partition/admission.h).  First fit is then
+// "leftmost machine with slack >= w" — the classic bin-packing query a max
+// segment tree over the m slacks answers in O(log m) — turning the
+// partition pass into O(n log n + n log m) instead of O(n log n + n m).
+//
+// admission_slack() returns the EXACT floating-point threshold of the
+// per-machine comparison MachineLoad::can_admit performs, so "w <= slack"
+// and the direct predicate decide every admission identically — the
+// segment-tree engine returns bit-identical assignments and verdicts to the
+// naive scan (asserted by tests/engine_equivalence_test.cpp).
+// kRmsResponseTime has no closed-form slack; every engine falls back to the
+// naive scan there.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "partition/admission.h"
+
+namespace hetsched {
+
+enum class PartitionEngine {
+  kAuto,         // segment tree when the kind has a slack form, else naive
+  kNaive,        // reference linear machine scan, O(n m)
+  kSegmentTree,  // slack segment tree, O(n log m)
+};
+
+std::string to_string(PartitionEngine e);
+
+// "auto" | "naive" | "tree" (also accepts "segment-tree"); nullopt otherwise.
+std::optional<PartitionEngine> engine_from_name(std::string_view name);
+
+// The engine actually run for `kind` once kAuto and the kRmsResponseTime
+// fallback are resolved; returns kNaive or kSegmentTree.
+PartitionEngine resolve_engine(PartitionEngine e, AdmissionKind kind);
+
+// Max segment tree over per-machine admission slack.  Storage is reused
+// across build() calls, so a warmed-up tree performs no allocation.
+class SlackTree {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Rebuilds the tree over slack[0..m); O(m).
+  void build(std::span<const double> slack);
+
+  std::size_t size() const { return m_; }
+  double slack_at(std::size_t j) const { return node_[leaves_ + j]; }
+
+  // Leftmost j with slack_j >= w, or npos; O(log m).
+  std::size_t find_first_at_least(double w) const;
+
+  // Sets machine j's slack and fixes the ancestors; O(log m).
+  void update(std::size_t j, double slack);
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t leaves_ = 0;    // leaf count, power of two (padding = -inf)
+  std::vector<double> node_;  // 1-based heap layout; node_[1] is the root
+};
+
+// Reusable state for the decision-only accept path.  After warm-up every
+// first_fit_accepts / min_feasible_alpha call through a scratch performs no
+// heap allocation and never copies Task vectors.  Treat the members as
+// opaque; a scratch must not be shared between threads.
+struct PartitionScratch {
+  std::vector<double> utils;       // per task (caller's numbering): w_i
+  std::vector<std::size_t> order;  // task indices, utilization-descending
+  std::vector<double> capacity;    // per machine: alpha * s_j
+  std::vector<double> util_sum;    // per machine: admitted utilization
+  std::vector<double> hyper;       // per machine: prod(w_i / cap + 1)
+  std::vector<std::size_t> count;  // per machine: admitted task count
+  std::vector<double> slack;       // per machine: admission_slack(...)
+  SlackTree tree;
+};
+
+}  // namespace hetsched

@@ -6,29 +6,84 @@
 
 namespace hetsched {
 
-std::string PartitionResult::to_string() const {
-  std::ostringstream os;
-  os << hetsched::to_string(kind) << " alpha=" << alpha << " ";
-  if (feasible) {
-    os << "FEASIBLE loads=[";
-    for (std::size_t j = 0; j < machine_utilization.size(); ++j) {
-      if (j > 0) os << ",";
-      os << machine_utilization[j];
-    }
-    os << "]";
-  } else {
-    os << "INFEASIBLE failed_task=" << (failed_task ? *failed_task : 0)
-       << " w=" << failed_utilization;
-  }
-  return os.str();
+namespace {
+
+// Fills scratch.utils and scratch.order.  The order is the exact
+// permutation TaskSet::order_by_utilization_desc produces, so every engine
+// consumes tasks in the same sequence.
+void prepare_order(const TaskSet& tasks, PartitionScratch& s) {
+  const std::size_t n = tasks.size();
+  s.utils.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.utils[i] = tasks[i].utilization();
+  tasks.order_by_utilization_desc(s.order);
 }
 
-PartitionResult first_fit_partition(const TaskSet& tasks,
-                                    const Platform& platform,
-                                    AdmissionKind kind, double alpha) {
-  HETSCHED_CHECK(platform.size() >= 1);
-  HETSCHED_CHECK(alpha >= 1.0);
+// Resets the per-machine state (capacity, sums, slacks) for one run.
+// Capacity is computed exactly as MachineLoad's constructor computes it.
+void reset_machines(const Platform& platform, AdmissionKind kind, double alpha,
+                    PartitionScratch& s) {
+  const std::size_t m = platform.size();
+  s.capacity.resize(m);
+  s.util_sum.resize(m);
+  s.hyper.resize(m);
+  s.count.resize(m);
+  s.slack.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    s.capacity[j] = platform.speed(j) * alpha;
+    s.util_sum[j] = 0.0;
+    s.hyper[j] = 1.0;
+    s.count[j] = 0;
+    s.slack[j] = admission_slack(kind, s.capacity[j], 0.0, 0, 1.0);
+  }
+}
 
+// Admits task i (utilization w) onto machine j, mirroring
+// MachineLoad::admit's arithmetic exactly.
+void admit_on(AdmissionKind kind, PartitionScratch& s, std::size_t j,
+              double w) {
+  s.util_sum[j] += w;
+  s.hyper[j] *= w / s.capacity[j] + 1.0;
+  ++s.count[j];
+  s.slack[j] =
+      admission_slack(kind, s.capacity[j], s.util_sum[j], s.count[j],
+                      s.hyper[j]);
+}
+
+// Runs first fit over the prepared order using the resolved engine
+// (kNaive = linear scan over the slack array, kSegmentTree = tree descent;
+// identical comparisons either way).  Records assignments in caller
+// numbering when `assignment` is non-null.  Returns the position in
+// s.order of the first task that fits nowhere, or tasks.size() if all fit.
+std::size_t run_slack_engine(const TaskSet& tasks, AdmissionKind kind,
+                             PartitionEngine resolved, PartitionScratch& s,
+                             std::vector<std::size_t>* assignment) {
+  const std::size_t m = s.slack.size();
+  const bool use_tree = resolved == PartitionEngine::kSegmentTree;
+  if (use_tree) s.tree.build(s.slack);
+  for (std::size_t pos = 0; pos < s.order.size(); ++pos) {
+    const std::size_t i = s.order[pos];
+    const double w = s.utils[i];
+    std::size_t j;
+    if (use_tree) {
+      j = s.tree.find_first_at_least(w);
+      if (j == SlackTree::npos) return pos;
+    } else {
+      j = 0;
+      while (j < m && !(w <= s.slack[j])) ++j;
+      if (j == m) return pos;
+    }
+    admit_on(kind, s, j, w);
+    if (use_tree) s.tree.update(j, s.slack[j]);
+    if (assignment != nullptr) (*assignment)[i] = j;
+  }
+  return tasks.size();
+}
+
+// The reference implementation: MachineLoad-based linear scan.  Kept
+// verbatim as the semantic baseline (and the only path for
+// kRmsResponseTime, which needs the per-machine task lists for RTA).
+PartitionResult naive_partition(const TaskSet& tasks, const Platform& platform,
+                                AdmissionKind kind, double alpha) {
   PartitionResult out;
   out.kind = kind;
   out.alpha = alpha;
@@ -57,44 +112,177 @@ PartitionResult first_fit_partition(const TaskSet& tasks,
       out.feasible = false;
       out.failed_task = i;
       out.failed_utilization = t.utilization();
-      // Expose the partial loads: the proofs reason about exactly this state.
-      out.tasks_per_machine.resize(platform.size());
-      out.machine_utilization.resize(platform.size());
-      for (std::size_t j = 0; j < loads.size(); ++j) {
-        out.tasks_per_machine[j] = loads[j].tasks();
-        out.machine_utilization[j] = loads[j].utilization();
-      }
-      return out;
+      break;
     }
   }
+  if (!out.failed_task.has_value()) out.feasible = true;
 
-  out.feasible = true;
+  // Expose the (possibly partial) loads: the proofs reason about exactly
+  // this state.  The loads are dead after this, so move the task vectors
+  // out instead of copying them.
   out.tasks_per_machine.resize(platform.size());
   out.machine_utilization.resize(platform.size());
   for (std::size_t j = 0; j < loads.size(); ++j) {
-    out.tasks_per_machine[j] = loads[j].tasks();
     out.machine_utilization[j] = loads[j].utilization();
+    out.tasks_per_machine[j] = loads[j].take_tasks();
   }
   return out;
 }
 
+PartitionResult tree_partition(const TaskSet& tasks, const Platform& platform,
+                               AdmissionKind kind, double alpha) {
+  PartitionResult out;
+  out.kind = kind;
+  out.alpha = alpha;
+  out.assignment.assign(tasks.size(), platform.size());
+
+  PartitionScratch s;
+  prepare_order(tasks, s);
+  reset_machines(platform, kind, alpha, s);
+  const std::size_t failed_pos =
+      run_slack_engine(tasks, kind, PartitionEngine::kSegmentTree, s,
+                       &out.assignment);
+
+  out.feasible = failed_pos == tasks.size();
+  if (!out.feasible) {
+    const std::size_t i = s.order[failed_pos];
+    out.failed_task = i;
+    out.failed_utilization = s.utils[i];
+  }
+  out.machine_utilization.assign(s.util_sum.begin(), s.util_sum.end());
+  // Group the placed prefix per machine in admission order — the same
+  // sequence the naive engine's MachineLoads accumulate.
+  out.tasks_per_machine.resize(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    out.tasks_per_machine[j].reserve(s.count[j]);
+  }
+  const std::size_t placed =
+      out.feasible ? tasks.size() : failed_pos;
+  for (std::size_t pos = 0; pos < placed; ++pos) {
+    const std::size_t i = s.order[pos];
+    out.tasks_per_machine[out.assignment[i]].push_back(tasks[i]);
+  }
+  return out;
+}
+
+// Decision-only scan for kinds without a slack form (kRmsResponseTime):
+// MachineLoad-based, allocates, but skips all result construction.
+bool naive_accepts_only(const TaskSet& tasks, const Platform& platform,
+                        AdmissionKind kind, double alpha) {
+  std::vector<MachineLoad> loads;
+  loads.reserve(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    loads.emplace_back(kind, platform.speed_exact(j), alpha);
+  }
+  for (const std::size_t i : tasks.order_by_utilization_desc()) {
+    const Task& t = tasks[i];
+    bool placed = false;
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+      if (loads[j].can_admit(t)) {
+        loads[j].admit(t);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+// Accept probe assuming scratch.order / scratch.utils are already prepared
+// for `tasks` (the bisection hoists the sort out of the loop).
+bool accepts_prepared(const TaskSet& tasks, const Platform& platform,
+                      AdmissionKind kind, double alpha, PartitionScratch& s,
+                      PartitionEngine engine) {
+  if (!admission_has_slack_form(kind)) {
+    return naive_accepts_only(tasks, platform, kind, alpha);
+  }
+  reset_machines(platform, kind, alpha, s);
+  const PartitionEngine resolved = resolve_engine(engine, kind);
+  return run_slack_engine(tasks, kind, resolved, s, nullptr) == tasks.size();
+}
+
+}  // namespace
+
+std::string PartitionResult::to_string() const {
+  std::ostringstream os;
+  os << hetsched::to_string(kind) << " alpha=" << alpha << " ";
+  if (feasible) {
+    os << "FEASIBLE loads=[";
+    for (std::size_t j = 0; j < machine_utilization.size(); ++j) {
+      if (j > 0) os << ",";
+      os << machine_utilization[j];
+    }
+    os << "]";
+  } else {
+    os << "INFEASIBLE failed_task=";
+    if (failed_task) {
+      os << *failed_task;
+    } else {
+      os << "none";
+    }
+    os << " w=" << failed_utilization;
+  }
+  return os.str();
+}
+
+PartitionResult first_fit_partition(const TaskSet& tasks,
+                                    const Platform& platform,
+                                    AdmissionKind kind, double alpha,
+                                    PartitionEngine engine) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+  if (resolve_engine(engine, kind) == PartitionEngine::kNaive) {
+    return naive_partition(tasks, platform, kind, alpha);
+  }
+  return tree_partition(tasks, platform, kind, alpha);
+}
+
 bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
                        AdmissionKind kind, double alpha) {
-  return first_fit_partition(tasks, platform, kind, alpha).feasible;
+  PartitionScratch scratch;
+  return first_fit_accepts(tasks, platform, kind, alpha, scratch);
+}
+
+bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
+                       AdmissionKind kind, double alpha,
+                       PartitionScratch& scratch, PartitionEngine engine) {
+  HETSCHED_CHECK(platform.size() >= 1);
+  HETSCHED_CHECK(alpha >= 1.0);
+  if (!admission_has_slack_form(kind)) {
+    return naive_accepts_only(tasks, platform, kind, alpha);
+  }
+  prepare_order(tasks, scratch);
+  return accepts_prepared(tasks, platform, kind, alpha, scratch, engine);
 }
 
 std::optional<double> min_feasible_alpha(const TaskSet& tasks,
                                          const Platform& platform,
                                          AdmissionKind kind, double alpha_hi,
                                          double tol) {
+  PartitionScratch scratch;
+  return min_feasible_alpha(tasks, platform, kind, alpha_hi, scratch,
+                            PartitionEngine::kAuto, tol);
+}
+
+std::optional<double> min_feasible_alpha(const TaskSet& tasks,
+                                         const Platform& platform,
+                                         AdmissionKind kind, double alpha_hi,
+                                         PartitionScratch& scratch,
+                                         PartitionEngine engine, double tol) {
+  HETSCHED_CHECK(platform.size() >= 1);
   HETSCHED_CHECK(alpha_hi >= 1.0);
   HETSCHED_CHECK(tol > 0);
-  if (first_fit_accepts(tasks, platform, kind, 1.0)) return 1.0;
-  if (!first_fit_accepts(tasks, platform, kind, alpha_hi)) return std::nullopt;
+  prepare_order(tasks, scratch);
+  const auto probe = [&](double alpha) {
+    return accepts_prepared(tasks, platform, kind, alpha, scratch, engine);
+  };
+  if (probe(1.0)) return 1.0;
+  if (!probe(alpha_hi)) return std::nullopt;
   double lo = 1.0, hi = alpha_hi;  // reject at lo, accept at hi
   while (hi - lo > tol) {
     const double mid = 0.5 * (lo + hi);
-    if (first_fit_accepts(tasks, platform, kind, mid)) {
+    if (probe(mid)) {
       hi = mid;
     } else {
       lo = mid;

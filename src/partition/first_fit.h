@@ -22,6 +22,7 @@
 #include "core/platform.h"
 #include "core/task.h"
 #include "partition/admission.h"
+#include "partition/engine.h"
 
 namespace hetsched {
 
@@ -48,14 +49,25 @@ struct PartitionResult {
   std::string to_string() const;
 };
 
-// Runs the first-fit partitioner.  alpha >= 1.
-PartitionResult first_fit_partition(const TaskSet& tasks,
-                                    const Platform& platform,
-                                    AdmissionKind kind, double alpha);
+// Runs the first-fit partitioner.  alpha >= 1.  Both engines return
+// bit-identical results (see partition/engine.h); kAuto picks the segment
+// tree whenever the admission kind has a slack form.
+PartitionResult first_fit_partition(
+    const TaskSet& tasks, const Platform& platform, AdmissionKind kind,
+    double alpha, PartitionEngine engine = PartitionEngine::kAuto);
 
 // Convenience predicate.
 bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
                        AdmissionKind kind, double alpha);
+
+// Decision-only fast path: same verdict as first_fit_partition(...).feasible
+// but never builds a PartitionResult, never copies Task vectors, and reuses
+// the caller's scratch buffers — allocation-free once the scratch is warm.
+// (kRmsResponseTime has no slack form and still allocates internally.)
+bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
+                       AdmissionKind kind, double alpha,
+                       PartitionScratch& scratch,
+                       PartitionEngine engine = PartitionEngine::kAuto);
 
 // Smallest alpha in [1, alpha_hi] at which first-fit accepts, located by
 // bisection to within `tol`.  Returns nullopt if even alpha_hi is rejected.
@@ -70,5 +82,13 @@ std::optional<double> min_feasible_alpha(const TaskSet& tasks,
                                          const Platform& platform,
                                          AdmissionKind kind, double alpha_hi,
                                          double tol = 1e-6);
+
+// Scratch-reusing bisection: sorts the tasks once, then runs every probe
+// through the decision-only accept path.  Identical result to the overload
+// above; this is the hot path of the augmentation studies.
+std::optional<double> min_feasible_alpha(
+    const TaskSet& tasks, const Platform& platform, AdmissionKind kind,
+    double alpha_hi, PartitionScratch& scratch,
+    PartitionEngine engine = PartitionEngine::kAuto, double tol = 1e-6);
 
 }  // namespace hetsched

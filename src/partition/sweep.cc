@@ -1,0 +1,18 @@
+#include "partition/sweep.h"
+
+namespace hetsched {
+
+void partition_sweep(std::size_t trials, const SweepOptions& options,
+                     const std::function<void(SweepContext&)>& body) {
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : default_thread_pool();
+  pool.parallel_for_index(trials, [&](std::size_t trial) {
+    // One scratch per worker thread, reused across trials and sweeps: the
+    // accept path allocates only until the largest (n, m) has been seen.
+    thread_local PartitionScratch scratch;
+    SweepContext ctx(trial, options, scratch);
+    body(ctx);
+  });
+}
+
+}  // namespace hetsched

@@ -1,0 +1,82 @@
+// Batch API for independent partition trials.
+//
+// Every large evaluation in this repo — acceptance curves, augmentation
+// studies, tightness probes — runs thousands of independent
+// (taskset, kind, alpha) trials.  partition_sweep shards them across
+// ThreadPool::parallel_for_index and hands each trial a SweepContext with
+//   * a deterministic per-trial RNG (derived from the sweep seed and the
+//     trial index, so results never depend on worker count or scheduling),
+//   * a per-worker PartitionScratch, so the engine fast path runs
+//     allocation-free across the whole sweep,
+//   * accept / min-alpha helpers bound to the sweep's engine selection.
+// The per-trial stream matches the scheme the experiment harnesses always
+// used (SplitMix64(seed).next() + trial * stride), so sweeps rewired onto
+// this API reproduce their historical tables bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/engine.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hetsched {
+
+// Stride between per-trial RNG seeds (an odd SplitMix64-style constant).
+inline constexpr std::uint64_t kSweepTrialStride = 0xD1B54A32D192ED03ULL;
+
+struct SweepOptions {
+  std::uint64_t seed = 0;
+  PartitionEngine engine = PartitionEngine::kAuto;
+  ThreadPool* pool = nullptr;  // nullptr selects default_thread_pool()
+};
+
+// Handed to the sweep body for each trial.  Valid only during the body call.
+class SweepContext {
+ public:
+  SweepContext(std::size_t trial, const SweepOptions& options,
+               PartitionScratch& scratch)
+      : trial_(trial), options_(&options), scratch_(&scratch) {}
+
+  std::size_t trial() const { return trial_; }
+  PartitionEngine engine() const { return options_->engine; }
+  PartitionScratch& scratch() { return *scratch_; }
+
+  // Deterministic RNG for this trial, independent of sharding.
+  Rng trial_rng() const {
+    SplitMix64 mix(options_->seed);
+    return Rng(mix.next() + trial_ * kSweepTrialStride);
+  }
+
+  // Engine-bound, scratch-reusing feasibility probes.
+  bool accepts(const TaskSet& tasks, const Platform& platform,
+               AdmissionKind kind, double alpha) {
+    return first_fit_accepts(tasks, platform, kind, alpha, *scratch_,
+                             options_->engine);
+  }
+  std::optional<double> min_alpha(const TaskSet& tasks,
+                                  const Platform& platform, AdmissionKind kind,
+                                  double alpha_hi, double tol = 1e-6) {
+    return min_feasible_alpha(tasks, platform, kind, alpha_hi, *scratch_,
+                              options_->engine, tol);
+  }
+
+ private:
+  std::size_t trial_;
+  const SweepOptions* options_;
+  PartitionScratch* scratch_;
+};
+
+// Runs body once per trial index in [0, trials), sharded across the pool.
+// The body must be safe to run concurrently for distinct trials; anything
+// it accumulates needs its own synchronization.
+void partition_sweep(std::size_t trials, const SweepOptions& options,
+                     const std::function<void(SweepContext&)>& body);
+
+}  // namespace hetsched

@@ -21,12 +21,8 @@ AcceptanceSweepSpec small_spec() {
 
 std::vector<Tester> ff_edf_testers() {
   return {
-      {"ff-edf@1", [](const TaskSet& t, const Platform& p) {
-         return first_fit_accepts(t, p, AdmissionKind::kEdf, 1.0);
-       }},
-      {"ff-edf@3", [](const TaskSet& t, const Platform& p) {
-         return first_fit_accepts(t, p, AdmissionKind::kEdf, 3.0);
-       }},
+      Tester::make_first_fit("ff-edf@1", AdmissionKind::kEdf, 1.0),
+      Tester::make_first_fit("ff-edf@3", AdmissionKind::kEdf, 3.0),
   };
 }
 

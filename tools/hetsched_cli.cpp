@@ -1,12 +1,12 @@
 // hetsched_cli — command-line front end for the library.
 //
-//   hetsched_cli test <file> [--admission KIND] [--alpha X]
+//   hetsched_cli test <file> [--admission KIND] [--alpha X] [--engine E]
 //       Run the first-fit feasibility test and print the partition or the
 //       failure certificate.
 //   hetsched_cli certify <file>
 //       Run all the paper's certificates (Theorems I.1-I.4 plus the
 //       Andersson-Tovar baselines) and report each verdict.
-//   hetsched_cli augment <file> [--admission KIND]
+//   hetsched_cli augment <file> [--admission KIND] [--engine E]
 //       Report the minimum speed augmentation for first-fit acceptance and
 //       the exact LP lower bound.
 //   hetsched_cli simulate <file> [--policy edf|rm] [--alpha X]
@@ -21,6 +21,8 @@
 //
 // Instance file format: see src/io/text_format.h.
 // Admission kinds: edf (default), rms-ll, rms-hb, rms-rta.
+// Engines: auto (default), naive, tree — bit-identical results; "naive" is
+// the paper's O(n m) scan, "tree" the O(n log m) segment tree.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,6 +88,10 @@ std::optional<AdmissionKind> admission_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<PartitionEngine> engine_flag(const Args& args) {
+  return engine_from_name(args.get("engine", "auto"));
+}
+
 std::optional<Instance> load_or_complain(const std::string& path) {
   auto parsed = load_instance(path);
   if (!parsed.ok()) {
@@ -102,9 +108,11 @@ int cmd_test(const Args& args) {
   const auto kind = admission_from_name(args.get("admission", "edf"));
   if (!kind) return usage();
   const double alpha = args.get_double("alpha", 1.0);
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
 
   const PartitionResult res =
-      first_fit_partition(inst->tasks, inst->platform, *kind, alpha);
+      first_fit_partition(inst->tasks, inst->platform, *kind, alpha, *engine);
   std::printf("%s\n", res.to_string().c_str());
   if (res.feasible) {
     for (std::size_t j = 0; j < inst->platform.size(); ++j) {
@@ -170,9 +178,12 @@ int cmd_augment(const Args& args) {
   if (!inst) return 1;
   const auto kind = admission_from_name(args.get("admission", "edf"));
   if (!kind) return usage();
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
 
-  const auto alpha =
-      min_feasible_alpha(inst->tasks, inst->platform, *kind, 32.0, 1e-6);
+  PartitionScratch scratch;
+  const auto alpha = min_feasible_alpha(inst->tasks, inst->platform, *kind,
+                                        32.0, scratch, *engine, 1e-6);
   const double lp = min_lp_augmentation(inst->tasks, inst->platform);
   if (alpha) {
     std::printf("first-fit %s minimum alpha: %.6f\n",
