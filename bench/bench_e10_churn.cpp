@@ -1,0 +1,221 @@
+// E10-churn: the online admission controller under churn.
+//
+// Emits BENCH_churn.json (working directory) with one record per
+// (machines, offered-load, rebalance-period) cell:
+//   * per-admit latency (median and p99 ns over every admit() call in the
+//     trace, tree engine, warm controller);
+//   * online acceptance ratio vs. the clairvoyant batch re-pack
+//     (acceptance_vs_batch = online / clairvoyant);
+//   * regret (arrivals the clairvoyant takes but the controller misses)
+//     and migrations per applied rebalance.
+// Traces are deterministic: the per-trial RNG follows the sweep discipline
+// (SplitMix64(seed).next() + trial * kSweepTrialStride), so every run of
+// this binary reproduces the committed BENCH_churn.json bit-for-bit on the
+// same toolchain (timings of course vary).
+//
+// CI smoke-runs this with --quick (shorter traces, fewer trials).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/churn.h"
+#include "gen/churn_gen.h"
+#include "gen/platform_gen.h"
+#include "online/online_partitioner.h"
+#include "partition/sweep.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+struct CellSpec {
+  std::size_t m = 8;
+  double ratio = 1.5;  // geometric platform speed ratio (keep S_total sane)
+  double load = 0.5;   // target offered utilization as a fraction of S_total
+  std::size_t rebalance_every = 0;
+};
+
+struct CellResult {
+  CellSpec spec;
+  std::size_t arrivals = 0;  // per trial, after the ramp-up scaling
+  double admit_median_ns = 0;
+  double admit_p99_ns = 0;
+  double online_acceptance = 0;
+  double clairvoyant_acceptance = 0;
+  double acceptance_vs_batch = 0;
+  double regret_per_k_arrivals = 0;
+  double migrations_per_rebalance = 0;
+};
+
+ChurnSpec make_spec(const Platform& platform, double load,
+                    std::size_t min_arrivals) {
+  ChurnSpec spec;
+  spec.util_lo = 0.1;
+  spec.util_hi = 0.8;
+  // Dial the Poisson rate so the Little's-law offered utilization hits
+  // load * S_total: lambda = target / (E[life] * E[u]).
+  const double target = load * platform.total_speed();
+  spec.arrival_rate = target / (spec.mean_lifetime() * spec.mean_utilization());
+  // The steady-state resident count is target / E[u]; the ramp-up consumes
+  // about that many arrivals, so run the trace several multiples past it or
+  // the system never saturates and every cell reports acceptance 1.0.
+  const double steady_residents = target / spec.mean_utilization();
+  spec.arrivals = std::max(
+      min_arrivals, static_cast<std::size_t>(8.0 * steady_residents));
+  return spec;
+}
+
+double quantile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+CellResult run_cell(const CellSpec& cell, std::size_t min_arrivals,
+                    std::size_t trials, std::uint64_t seed) {
+  const Platform platform = geometric_platform(cell.m, cell.ratio);
+  const ChurnSpec churn = make_spec(platform, cell.load, min_arrivals);
+  const std::uint64_t base = SplitMix64(seed).next();
+
+  CellResult result;
+  result.spec = cell;
+  std::vector<double> admit_ns;
+  std::size_t arrivals_total = 0, online_total = 0, clair_total = 0;
+  std::size_t regret_total = 0, rebalances_applied = 0, migrations = 0;
+
+  result.arrivals = churn.arrivals;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(base + trial * kSweepTrialStride);
+    const ChurnTrace trace = generate_churn_trace(rng, churn);
+
+    ChurnOptions options;
+    options.kind = AdmissionKind::kEdf;
+    options.alpha = 1.0;
+    options.rebalance_every = cell.rebalance_every;
+    const ChurnResult r = run_churn(platform, trace, options);
+    arrivals_total += r.arrivals;
+    online_total += r.online_admitted;
+    clair_total += r.clairvoyant_admitted;
+    regret_total += r.regret;
+    rebalances_applied += r.rebalances_applied;
+    migrations += r.migrations;
+
+    // Latency pass: replay the same trace through a bare controller and
+    // time each admit() individually (the harness above spends most of its
+    // time in the clairvoyant re-pack, so it cannot be the timing loop).
+    OnlinePartitioner controller(platform, AdmissionKind::kEdf, 1.0);
+    controller.reserve(trace.arrivals);
+    std::vector<OnlineTaskId> ids(trace.arrivals, kInvalidOnlineTaskId);
+    for (const ChurnEvent& ev : trace.events) {
+      if (ev.kind == ChurnEvent::Kind::kArrival) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const AdmitDecision d = controller.admit(ev.params);
+        const auto t1 = std::chrono::steady_clock::now();
+        admit_ns.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+        if (d.admitted) ids[ev.task] = d.id;
+      } else if (ids[ev.task] != kInvalidOnlineTaskId) {
+        controller.depart(ids[ev.task]);
+        ids[ev.task] = kInvalidOnlineTaskId;
+      }
+    }
+  }
+
+  result.admit_median_ns = quantile(admit_ns, 0.5);
+  result.admit_p99_ns = quantile(admit_ns, 0.99);
+  result.online_acceptance = static_cast<double>(online_total) /
+                             static_cast<double>(arrivals_total);
+  result.clairvoyant_acceptance = static_cast<double>(clair_total) /
+                                  static_cast<double>(arrivals_total);
+  result.acceptance_vs_batch =
+      clair_total == 0 ? 1.0
+                       : static_cast<double>(online_total) /
+                             static_cast<double>(clair_total);
+  result.regret_per_k_arrivals = 1000.0 * static_cast<double>(regret_total) /
+                                 static_cast<double>(arrivals_total);
+  result.migrations_per_rebalance =
+      rebalances_applied == 0 ? 0.0
+                              : static_cast<double>(migrations) /
+                                    static_cast<double>(rebalances_applied);
+  return result;
+}
+
+void append_json(std::string& out, const CellResult& c) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"m\": %zu, \"ratio\": %.2f, \"load\": %.2f, "
+      "\"rebalance_every\": %zu, \"arrivals\": %zu, "
+      "\"admit_median_ns\": %.0f, \"admit_p99_ns\": %.0f, "
+      "\"online_acceptance\": %.4f, \"clairvoyant_acceptance\": %.4f, "
+      "\"acceptance_vs_batch\": %.4f, \"regret_per_k_arrivals\": %.2f, "
+      "\"migrations_per_rebalance\": %.2f}",
+      c.spec.m, c.spec.ratio, c.spec.load, c.spec.rebalance_every, c.arrivals,
+      c.admit_median_ns, c.admit_p99_ns, c.online_acceptance, c.clairvoyant_acceptance,
+      c.acceptance_vs_batch, c.regret_per_k_arrivals,
+      c.migrations_per_rebalance);
+  out += buf;
+}
+
+}  // namespace
+}  // namespace hetsched
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  std::size_t arrivals = 2048;
+  std::size_t trials = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      arrivals = 256;
+      trials = 2;
+    }
+  }
+
+  // m=64 uses a gentle ratio: a 1.5^63 speed spread would need an
+  // astronomically long trace to saturate.
+  const std::vector<CellSpec> grid = {
+      {8, 1.5, 0.30, 0},   {8, 1.5, 0.60, 0},   {8, 1.5, 0.90, 0},
+      {8, 1.5, 0.90, 64},  {64, 1.03, 0.60, 0}, {64, 1.03, 0.95, 0},
+      {64, 1.03, 0.95, 64},
+  };
+
+  std::printf("E10-churn: online controller vs clairvoyant batch re-pack "
+              "(>= %zu arrivals x %zu trials/cell, EDF alpha=1)\n",
+              arrivals, trials);
+  std::printf("%4s %6s %6s %8s %12s %12s %8s %8s %9s %10s %10s\n", "m",
+              "load", "rebal", "arrive", "admit50(ns)", "admit99(ns)",
+              "online", "clair", "vs_batch", "regret/1k", "migr/rebal");
+
+  std::string json = "{\n  \"benchmark\": \"online_churn\",\n"
+                     "  \"min_arrivals_per_trial\": " +
+                     std::to_string(arrivals) +
+                     ",\n  \"trials_per_cell\": " + std::to_string(trials) +
+                     ",\n  \"cells\": [\n";
+  bool first = true;
+  for (const CellSpec& spec : grid) {
+    const CellResult c = run_cell(spec, arrivals, trials, 0xE10C);
+    std::printf("%4zu %6.2f %6zu %8zu %12.0f %12.0f %8.4f %8.4f %9.4f "
+                "%10.2f %10.2f\n",
+                c.spec.m, c.spec.load, c.spec.rebalance_every, c.arrivals,
+                c.admit_median_ns, c.admit_p99_ns, c.online_acceptance,
+                c.clairvoyant_acceptance, c.acceptance_vs_batch,
+                c.regret_per_k_arrivals, c.migrations_per_rebalance);
+    if (!first) json += ",\n";
+    first = false;
+    append_json(json, c);
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = "BENCH_churn.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[json: %s]\n", path);
+  }
+  return 0;
+}

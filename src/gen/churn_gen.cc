@@ -1,0 +1,97 @@
+#include "gen/churn_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+std::string to_string(ChurnEvent::Kind k) {
+  return k == ChurnEvent::Kind::kArrival ? "arrive" : "depart";
+}
+
+double ChurnSpec::mean_lifetime() const {
+  // Mean of the bounded Pareto on [L, H] with tail index a:
+  //   a = 1:  ln(H/L) * L * H / (H - L)
+  //   else:   L^a / (1 - (L/H)^a) * a / (a - 1) * (1/L^{a-1} - 1/H^{a-1})
+  const double a = lifetime_shape;
+  const double l = lifetime_min;
+  const double h = lifetime_max;
+  if (a == 1.0) return std::log(h / l) * l * h / (h - l);
+  const double la = std::pow(l, a);
+  const double norm = 1.0 - std::pow(l / h, a);
+  return la / norm * a / (a - 1.0) *
+         (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+}
+
+double ChurnSpec::mean_utilization() const {
+  // Mean of the log-uniform draw on [lo, hi]: (hi - lo) / ln(hi / lo).
+  if (util_lo == util_hi) return util_lo;
+  return (util_hi - util_lo) / std::log(util_hi / util_lo);
+}
+
+double ChurnSpec::offered_utilization() const {
+  return arrival_rate * mean_lifetime() * mean_utilization();
+}
+
+double bounded_pareto(Rng& rng, double shape, double lo, double hi) {
+  HETSCHED_CHECK(shape > 0);
+  HETSCHED_CHECK(lo > 0 && lo < hi);
+  // Invert F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a):
+  //   x = lo * (1 - U (1 - (lo/hi)^a))^{-1/a}.
+  const double u = rng.next_double();  // [0, 1)
+  const double tail = 1.0 - std::pow(lo / hi, shape);
+  const double x = lo * std::pow(1.0 - u * tail, -1.0 / shape);
+  // Clamp: FP rounding at u -> 1 can overshoot hi by an ulp.
+  return std::min(x, hi);
+}
+
+ChurnTrace generate_churn_trace(Rng& rng, const ChurnSpec& spec) {
+  HETSCHED_CHECK(spec.arrivals > 0);
+  HETSCHED_CHECK(spec.arrival_rate > 0);
+  HETSCHED_CHECK(spec.util_lo > 0 && spec.util_lo <= spec.util_hi);
+
+  ChurnTrace trace;
+  trace.arrivals = spec.arrivals;
+  trace.events.reserve(2 * spec.arrivals);
+  double t = 0.0;
+  for (std::size_t i = 0; i < spec.arrivals; ++i) {
+    t += rng.exponential(spec.arrival_rate);
+    const double u = spec.util_lo == spec.util_hi
+                         ? spec.util_lo
+                         : rng.log_uniform(spec.util_lo, spec.util_hi);
+    const std::int64_t p = spec.periods.draw(rng);
+    const double life =
+        bounded_pareto(rng, spec.lifetime_shape, spec.lifetime_min,
+                       spec.lifetime_max);
+    // Realized exactly as realize_taskset does (c may exceed p on
+    // platforms with speeds > 1, hence the 4p cap, not p).
+    Task task;
+    task.period = p;
+    task.exec = std::clamp<std::int64_t>(
+        std::llround(u * static_cast<double>(p)), 1, p * 4);
+    ChurnEvent arrive;
+    arrive.kind = ChurnEvent::Kind::kArrival;
+    arrive.time = t;
+    arrive.task = i;
+    arrive.params = task;
+    ChurnEvent depart;
+    depart.kind = ChurnEvent::Kind::kDeparture;
+    depart.time = t + life;
+    depart.task = i;
+    trace.events.push_back(arrive);
+    trace.events.push_back(depart);
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) {
+                return a.kind == ChurnEvent::Kind::kArrival;
+              }
+              return a.task < b.task;
+            });
+  return trace;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,80 @@
+// Arrival/departure trace generation for the online admission-control
+// experiments.
+//
+// The batch generators (taskset_gen.h) draw one frozen task set; churn
+// experiments instead need an open stream of sporadic tasks that arrive and
+// later leave.  The standard queueing-flavoured model the empirical
+// literature uses:
+//   * arrivals form a Poisson process (exponential inter-arrival gaps with
+//     rate lambda);
+//   * lifetimes are bounded Pareto (heavy-tailed — a few long-lived tasks
+//     dominate residency — but with a finite cap so traces terminate);
+//   * per-task utilizations are log-uniform in [util_lo, util_hi] and
+//     periods come from a PeriodSpec, realized to integer tasks exactly as
+//     realize_taskset does (c = clamp(round(u * p), 1, p)).
+// By Little's law the steady-state offered utilization is approximately
+// lambda * E[lifetime] * E[u]; ChurnSpec::offered_utilization() reports it
+// so experiments can dial the load the same way batch sweeps dial U/S.
+//
+// Determinism: generation consumes a caller-supplied Rng only, so a trace
+// regenerates bit-identically from a seed.  Sweeps should derive per-trial
+// RNGs with the sweep discipline (SplitMix64(seed).next() + trial *
+// kSweepTrialStride, see partition/sweep.h) — the churn bench does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+#include "gen/taskset_gen.h"
+#include "util/rng.h"
+
+namespace hetsched {
+
+// One event in a churn trace.  Arrivals carry the task parameters; a
+// departure names the arrival it ends via `task` (the arrival index).
+struct ChurnEvent {
+  enum class Kind { kArrival, kDeparture };
+  Kind kind = Kind::kArrival;
+  double time = 0.0;
+  std::uint64_t task = 0;  // trace-local task number, dense from 0
+  Task params;             // meaningful for arrivals only
+};
+
+std::string to_string(ChurnEvent::Kind k);
+
+// A time-ordered event sequence.  Every task number in [0, arrivals) has
+// exactly one arrival and exactly one later departure.
+struct ChurnTrace {
+  std::vector<ChurnEvent> events;
+  std::size_t arrivals = 0;
+};
+
+struct ChurnSpec {
+  std::size_t arrivals = 256;    // trace length in arrivals
+  double arrival_rate = 1.0;     // Poisson rate lambda (> 0)
+  double lifetime_shape = 1.5;   // bounded-Pareto tail index a (> 0)
+  double lifetime_min = 4.0;     // L (> 0)
+  double lifetime_max = 4096.0;  // H (> L)
+  double util_lo = 0.05;         // log-uniform utilization draw
+  double util_hi = 0.5;
+  PeriodSpec periods = PeriodSpec::log_uniform(10, 1000);
+
+  double mean_lifetime() const;
+  double mean_utilization() const;
+  // Little's-law steady-state load estimate: rate * E[life] * E[u].
+  double offered_utilization() const;
+};
+
+// Inverse-CDF sample of the bounded Pareto distribution on [lo, hi] with
+// tail index shape > 0.  Requires 0 < lo < hi.
+double bounded_pareto(Rng& rng, double shape, double lo, double hi);
+
+// Generates a trace: `spec.arrivals` Poisson arrivals, each with a drawn
+// task and a bounded-Pareto lifetime; events sorted by time (ties broken
+// arrivals-first, then by task number, so the order is deterministic).
+ChurnTrace generate_churn_trace(Rng& rng, const ChurnSpec& spec);
+
+}  // namespace hetsched

@@ -34,14 +34,18 @@
 #include "experiments/acceptance.h"      // IWYU pragma: export
 #include "experiments/adversarial.h"     // IWYU pragma: export
 #include "experiments/augmentation.h"    // IWYU pragma: export
+#include "experiments/churn.h"           // IWYU pragma: export
 #include "experiments/sensitivity.h"     // IWYU pragma: export
-#include "io/text_format.h"              // IWYU pragma: export
+#include "gen/churn_gen.h"               // IWYU pragma: export
 #include "gen/platform_gen.h"            // IWYU pragma: export
 #include "gen/taskset_gen.h"             // IWYU pragma: export
+#include "io/text_format.h"              // IWYU pragma: export
+#include "io/trace_format.h"             // IWYU pragma: export
 #include "lp/feasibility_lp.h"           // IWYU pragma: export
 #include "lp/simplex.h"                  // IWYU pragma: export
 #include "migrating/bvn_schedule.h"      // IWYU pragma: export
 #include "migrating/slice_replay.h"      // IWYU pragma: export
+#include "online/online_partitioner.h"   // IWYU pragma: export
 #include "partition/admission.h"         // IWYU pragma: export
 #include "partition/analysis_constants.h"  // IWYU pragma: export
 #include "partition/engine.h"            // IWYU pragma: export

@@ -23,7 +23,9 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-std::optional<std::int64_t> parse_int(const std::string& tok) {
+}  // namespace
+
+std::optional<std::int64_t> parse_int_token(const std::string& tok) {
   std::int64_t v = 0;
   const auto [ptr, ec] =
       std::from_chars(tok.data(), tok.data() + tok.size(), v);
@@ -31,12 +33,20 @@ std::optional<std::int64_t> parse_int(const std::string& tok) {
   return v;
 }
 
+std::optional<double> parse_double_token(const std::string& tok) {
+  double v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
 // Accepts "3", "3/2", or a decimal like "2.5".
-std::optional<Rational> parse_speed(const std::string& tok) {
+std::optional<Rational> parse_speed_token(const std::string& tok) {
   const auto slash = tok.find('/');
   if (slash != std::string::npos) {
-    const auto num = parse_int(tok.substr(0, slash));
-    const auto den = parse_int(tok.substr(slash + 1));
+    const auto num = parse_int_token(tok.substr(0, slash));
+    const auto den = parse_int_token(tok.substr(slash + 1));
     if (!num || !den || *den == 0) return std::nullopt;
     return Rational(*num, *den);
   }
@@ -46,19 +56,17 @@ std::optional<Rational> parse_speed(const std::string& tok) {
     const std::string whole_s = tok.substr(0, point);
     const std::string frac_s = tok.substr(point + 1);
     if (frac_s.empty() || frac_s.size() > 12) return std::nullopt;
-    const auto whole = parse_int(whole_s.empty() ? "0" : whole_s);
-    const auto frac = parse_int(frac_s);
+    const auto whole = parse_int_token(whole_s.empty() ? "0" : whole_s);
+    const auto frac = parse_int_token(frac_s);
     if (!whole || !frac || *whole < 0 || *frac < 0) return std::nullopt;
     std::int64_t scale = 1;
     for (std::size_t i = 0; i < frac_s.size(); ++i) scale *= 10;
     return Rational(*whole) + Rational(*frac, scale);
   }
-  const auto v = parse_int(tok);
+  const auto v = parse_int_token(tok);
   if (!v) return std::nullopt;
   return Rational(*v);
 }
-
-}  // namespace
 
 ParseResult<Instance> parse_instance(std::istream& in) {
   ParseResult<Instance> result;
@@ -84,7 +92,7 @@ ParseResult<Instance> parse_instance(std::istream& in) {
       if (tokens.size() < 2) return fail("platform needs at least one speed");
       std::vector<Rational> speeds;
       for (std::size_t t = 1; t < tokens.size(); ++t) {
-        const auto s = parse_speed(tokens[t]);
+        const auto s = parse_speed_token(tokens[t]);
         if (!s) return fail("bad speed '" + tokens[t] + "'");
         if (!(*s > Rational(0))) {
           return fail("speed must be positive: '" + tokens[t] + "'");
@@ -94,8 +102,8 @@ ParseResult<Instance> parse_instance(std::istream& in) {
       platform = Platform::from_speeds_exact(speeds);
     } else if (tokens[0] == "task") {
       if (tokens.size() != 3) return fail("task needs <exec> <period>");
-      const auto exec = parse_int(tokens[1]);
-      const auto period = parse_int(tokens[2]);
+      const auto exec = parse_int_token(tokens[1]);
+      const auto period = parse_int_token(tokens[2]);
       if (!exec || !period) return fail("task parameters must be integers");
       const Task t{*exec, *period};
       if (!t.valid()) return fail("task parameters must be positive");

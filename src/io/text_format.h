@@ -17,6 +17,7 @@
 // same format and round-trips exactly (speeds are written as rationals).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -46,6 +47,13 @@ struct ParseResult {
 
   bool ok() const { return value.has_value(); }
 };
+
+// Token parsers shared by the instance and trace (io/trace_format.h)
+// grammars.  parse_speed_token accepts "3", "3/2", or a short decimal
+// "2.5" and keeps the value exact.
+std::optional<std::int64_t> parse_int_token(const std::string& tok);
+std::optional<double> parse_double_token(const std::string& tok);
+std::optional<Rational> parse_speed_token(const std::string& tok);
 
 // Parses an instance from text.  Requires at least one `platform` line; a
 // second `platform` line is an error.  Zero tasks is allowed.

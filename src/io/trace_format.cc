@@ -1,0 +1,162 @@
+#include "io/trace_format.h"
+
+#include <cstddef>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace hetsched {
+
+namespace {
+
+// Splits on whitespace (same rule as the instance grammar).
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+ParseResult<ChurnInstance> parse_trace(std::istream& in) {
+  ParseResult<ChurnInstance> result;
+  std::optional<Platform> platform;
+  ChurnTrace trace;
+  std::unordered_set<std::uint64_t> arrived;
+  std::unordered_set<std::uint64_t> live;
+  double last_time = -std::numeric_limits<double>::infinity();
+
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&](std::string msg) {
+    result.error = ParseError{lineno, std::move(msg)};
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "platform") {
+      if (platform.has_value()) return fail("duplicate platform directive");
+      if (tokens.size() < 2) return fail("platform needs at least one speed");
+      std::vector<Rational> speeds;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        const auto s = parse_speed_token(tokens[t]);
+        if (!s) return fail("bad speed '" + tokens[t] + "'");
+        if (!(*s > Rational(0))) {
+          return fail("speed must be positive: '" + tokens[t] + "'");
+        }
+        speeds.push_back(*s);
+      }
+      platform = Platform::from_speeds_exact(speeds);
+    } else if (tokens[0] == "arrive") {
+      if (tokens.size() != 5) {
+        return fail("arrive needs <time> <task> <exec> <period>");
+      }
+      const auto time = parse_double_token(tokens[1]);
+      const auto task = parse_int_token(tokens[2]);
+      const auto exec = parse_int_token(tokens[3]);
+      const auto period = parse_int_token(tokens[4]);
+      if (!time) return fail("bad time '" + tokens[1] + "'");
+      if (!task || *task < 0) return fail("bad task number '" + tokens[2] + "'");
+      if (!exec || !period) return fail("task parameters must be integers");
+      if (*time < last_time) return fail("event times must be non-decreasing");
+      const Task params{*exec, *period};
+      if (!params.valid()) return fail("task parameters must be positive");
+      const auto id = static_cast<std::uint64_t>(*task);
+      if (!arrived.insert(id).second) {
+        return fail("task " + tokens[2] + " arrives twice");
+      }
+      live.insert(id);
+      last_time = *time;
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kArrival;
+      ev.time = *time;
+      ev.task = id;
+      ev.params = params;
+      trace.events.push_back(ev);
+    } else if (tokens[0] == "depart") {
+      if (tokens.size() != 3) return fail("depart needs <time> <task>");
+      const auto time = parse_double_token(tokens[1]);
+      const auto task = parse_int_token(tokens[2]);
+      if (!time) return fail("bad time '" + tokens[1] + "'");
+      if (!task || *task < 0) return fail("bad task number '" + tokens[2] + "'");
+      if (*time < last_time) return fail("event times must be non-decreasing");
+      const auto id = static_cast<std::uint64_t>(*task);
+      if (live.erase(id) == 0) {
+        return fail("depart of task " + tokens[2] + " which is not resident");
+      }
+      last_time = *time;
+      ChurnEvent ev;
+      ev.kind = ChurnEvent::Kind::kDeparture;
+      ev.time = *time;
+      ev.task = id;
+      trace.events.push_back(ev);
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+
+  if (!platform.has_value()) {
+    result.error = ParseError{lineno, "missing platform directive"};
+    return result;
+  }
+  trace.arrivals = arrived.size();
+  result.value = ChurnInstance{*std::move(platform), std::move(trace)};
+  return result;
+}
+
+ParseResult<ChurnInstance> parse_trace_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_trace(is);
+}
+
+ParseResult<ChurnInstance> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult<ChurnInstance> result;
+    result.error = ParseError{0, "cannot open '" + path + "'"};
+    return result;
+  }
+  auto result = parse_trace(in);
+  if (result.error) {
+    result.error->message = path + ": " + result.error->message;
+  }
+  return result;
+}
+
+std::string format_trace(const ChurnInstance& instance) {
+  std::ostringstream os;
+  os << "platform";
+  for (std::size_t j = 0; j < instance.platform.size(); ++j) {
+    os << ' ' << instance.platform.speed_exact(j).to_string();
+  }
+  os << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const ChurnEvent& ev : instance.trace.events) {
+    if (ev.kind == ChurnEvent::Kind::kArrival) {
+      os << "arrive " << ev.time << ' ' << ev.task << ' ' << ev.params.exec
+         << ' ' << ev.params.period << '\n';
+    } else {
+      os << "depart " << ev.time << ' ' << ev.task << '\n';
+    }
+  }
+  return os.str();
+}
+
+bool save_trace(const ChurnInstance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << format_trace(instance);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hetsched

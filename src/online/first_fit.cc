@@ -1,7 +1,19 @@
+// Implementation of the batch first-fit API (partition/first_fit.h).
+//
+// Since the online re-layering, the full-result batch path is a thin
+// wrapper over OnlinePartitioner: construct a controller and admit the
+// tasks in canonical (utilization-descending) order, so the batch and
+// online paths share one admission code path and stay bit-identical
+// (tests/online_equivalence_test.cpp).  The decision-only accept path and
+// the alpha bisection keep their allocation-free PartitionScratch engine —
+// the same slack arithmetic via admission_fold_step, without the
+// controller's assignment bookkeeping.
 #include "partition/first_fit.h"
 
+#include <iomanip>
 #include <sstream>
 
+#include "online/online_partitioner.h"
 #include "util/check.h"
 
 namespace hetsched {
@@ -37,26 +49,12 @@ void reset_machines(const Platform& platform, AdmissionKind kind, double alpha,
   }
 }
 
-// Admits task i (utilization w) onto machine j, mirroring
-// MachineLoad::admit's arithmetic exactly.
-void admit_on(AdmissionKind kind, PartitionScratch& s, std::size_t j,
-              double w) {
-  s.util_sum[j] += w;
-  s.hyper[j] *= w / s.capacity[j] + 1.0;
-  ++s.count[j];
-  s.slack[j] =
-      admission_slack(kind, s.capacity[j], s.util_sum[j], s.count[j],
-                      s.hyper[j]);
-}
-
 // Runs first fit over the prepared order using the resolved engine
 // (kNaive = linear scan over the slack array, kSegmentTree = tree descent;
-// identical comparisons either way).  Records assignments in caller
-// numbering when `assignment` is non-null.  Returns the position in
-// s.order of the first task that fits nowhere, or tasks.size() if all fit.
+// identical comparisons either way).  Returns the position in s.order of
+// the first task that fits nowhere, or tasks.size() if all fit.
 std::size_t run_slack_engine(const TaskSet& tasks, AdmissionKind kind,
-                             PartitionEngine resolved, PartitionScratch& s,
-                             std::vector<std::size_t>* assignment) {
+                             PartitionEngine resolved, PartitionScratch& s) {
   const std::size_t m = s.slack.size();
   const bool use_tree = resolved == PartitionEngine::kSegmentTree;
   if (use_tree) s.tree.build(s.slack);
@@ -72,97 +70,11 @@ std::size_t run_slack_engine(const TaskSet& tasks, AdmissionKind kind,
       while (j < m && !(w <= s.slack[j])) ++j;
       if (j == m) return pos;
     }
-    admit_on(kind, s, j, w);
+    admission_fold_step(kind, w, s.capacity[j], s.util_sum[j], s.hyper[j],
+                        s.count[j], s.slack[j]);
     if (use_tree) s.tree.update(j, s.slack[j]);
-    if (assignment != nullptr) (*assignment)[i] = j;
   }
   return tasks.size();
-}
-
-// The reference implementation: MachineLoad-based linear scan.  Kept
-// verbatim as the semantic baseline (and the only path for
-// kRmsResponseTime, which needs the per-machine task lists for RTA).
-PartitionResult naive_partition(const TaskSet& tasks, const Platform& platform,
-                                AdmissionKind kind, double alpha) {
-  PartitionResult out;
-  out.kind = kind;
-  out.alpha = alpha;
-  out.assignment.assign(tasks.size(), platform.size());
-
-  std::vector<MachineLoad> loads;
-  loads.reserve(platform.size());
-  for (std::size_t j = 0; j < platform.size(); ++j) {
-    loads.emplace_back(kind, platform.speed_exact(j), alpha);
-  }
-
-  // Tasks in non-increasing utilization order (paper's order), machines are
-  // already sorted by non-decreasing speed inside Platform.
-  for (const std::size_t i : tasks.order_by_utilization_desc()) {
-    const Task& t = tasks[i];
-    bool placed = false;
-    for (std::size_t j = 0; j < loads.size(); ++j) {
-      if (loads[j].can_admit(t)) {
-        loads[j].admit(t);
-        out.assignment[i] = j;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      out.feasible = false;
-      out.failed_task = i;
-      out.failed_utilization = t.utilization();
-      break;
-    }
-  }
-  if (!out.failed_task.has_value()) out.feasible = true;
-
-  // Expose the (possibly partial) loads: the proofs reason about exactly
-  // this state.  The loads are dead after this, so move the task vectors
-  // out instead of copying them.
-  out.tasks_per_machine.resize(platform.size());
-  out.machine_utilization.resize(platform.size());
-  for (std::size_t j = 0; j < loads.size(); ++j) {
-    out.machine_utilization[j] = loads[j].utilization();
-    out.tasks_per_machine[j] = loads[j].take_tasks();
-  }
-  return out;
-}
-
-PartitionResult tree_partition(const TaskSet& tasks, const Platform& platform,
-                               AdmissionKind kind, double alpha) {
-  PartitionResult out;
-  out.kind = kind;
-  out.alpha = alpha;
-  out.assignment.assign(tasks.size(), platform.size());
-
-  PartitionScratch s;
-  prepare_order(tasks, s);
-  reset_machines(platform, kind, alpha, s);
-  const std::size_t failed_pos =
-      run_slack_engine(tasks, kind, PartitionEngine::kSegmentTree, s,
-                       &out.assignment);
-
-  out.feasible = failed_pos == tasks.size();
-  if (!out.feasible) {
-    const std::size_t i = s.order[failed_pos];
-    out.failed_task = i;
-    out.failed_utilization = s.utils[i];
-  }
-  out.machine_utilization.assign(s.util_sum.begin(), s.util_sum.end());
-  // Group the placed prefix per machine in admission order — the same
-  // sequence the naive engine's MachineLoads accumulate.
-  out.tasks_per_machine.resize(platform.size());
-  for (std::size_t j = 0; j < platform.size(); ++j) {
-    out.tasks_per_machine[j].reserve(s.count[j]);
-  }
-  const std::size_t placed =
-      out.feasible ? tasks.size() : failed_pos;
-  for (std::size_t pos = 0; pos < placed; ++pos) {
-    const std::size_t i = s.order[pos];
-    out.tasks_per_machine[out.assignment[i]].push_back(tasks[i]);
-  }
-  return out;
 }
 
 // Decision-only scan for kinds without a slack form (kRmsResponseTime):
@@ -199,7 +111,7 @@ bool accepts_prepared(const TaskSet& tasks, const Platform& platform,
   }
   reset_machines(platform, kind, alpha, s);
   const PartitionEngine resolved = resolve_engine(engine, kind);
-  return run_slack_engine(tasks, kind, resolved, s, nullptr) == tasks.size();
+  return run_slack_engine(tasks, kind, resolved, s) == tasks.size();
 }
 
 }  // namespace
@@ -207,6 +119,9 @@ bool accepts_prepared(const TaskSet& tasks, const Platform& platform,
 std::string PartitionResult::to_string() const {
   std::ostringstream os;
   os << hetsched::to_string(kind) << " alpha=" << alpha << " ";
+  // Fixed precision so CSV-diffing benches are stable across libstdc++
+  // versions (default double formatting is not).
+  os << std::fixed << std::setprecision(6);
   if (feasible) {
     os << "FEASIBLE loads=[";
     for (std::size_t j = 0; j < machine_utilization.size(); ++j) {
@@ -232,10 +147,33 @@ PartitionResult first_fit_partition(const TaskSet& tasks,
                                     PartitionEngine engine) {
   HETSCHED_CHECK(platform.size() >= 1);
   HETSCHED_CHECK(alpha >= 1.0);
-  if (resolve_engine(engine, kind) == PartitionEngine::kNaive) {
-    return naive_partition(tasks, platform, kind, alpha);
+  PartitionResult out;
+  out.kind = kind;
+  out.alpha = alpha;
+  out.assignment.assign(tasks.size(), platform.size());
+
+  OnlinePartitioner controller(platform, kind, alpha, engine);
+  controller.reserve(tasks.size());
+  for (const std::size_t i : tasks.order_by_utilization_desc()) {
+    const AdmitDecision d = controller.admit(tasks[i]);
+    if (!d.admitted) {
+      out.failed_task = i;
+      out.failed_utilization = d.utilization;
+      break;
+    }
+    out.assignment[i] = d.machine;
   }
-  return tree_partition(tasks, platform, kind, alpha);
+  out.feasible = !out.failed_task.has_value();
+
+  // Expose the (possibly partial) loads: the proofs reason about exactly
+  // this state.
+  out.machine_utilization.resize(platform.size());
+  out.tasks_per_machine.resize(platform.size());
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    out.machine_utilization[j] = controller.machine_utilization(j);
+    out.tasks_per_machine[j] = controller.machine_tasks(j);
+  }
+  return out;
 }
 
 bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,

@@ -1,0 +1,304 @@
+#include "online/online_partitioner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hetsched {
+
+OnlinePartitioner::OnlinePartitioner(const Platform& platform,
+                                     AdmissionKind kind, double alpha,
+                                     PartitionEngine engine)
+    : platform_(platform), kind_(kind), alpha_(alpha) {
+  HETSCHED_CHECK(platform_.size() >= 1);
+  HETSCHED_CHECK(alpha_ >= 1.0);
+  slack_form_ = admission_has_slack_form(kind_);
+  use_tree_ =
+      resolve_engine(engine, kind_) == PartitionEngine::kSegmentTree;
+  const std::size_t m = platform_.size();
+  capacity_.resize(m);
+  st_.residents.resize(m);
+  if (slack_form_) {
+    st_.util_sum.assign(m, 0.0);
+    st_.hyper.assign(m, 1.0);
+    st_.count.assign(m, 0);
+    st_.slack.resize(m);
+  } else {
+    st_.loads.reserve(m);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    capacity_[j] = platform_.speed(j) * alpha_;
+    if (slack_form_) {
+      st_.slack[j] = admission_slack(kind_, capacity_[j], 0.0, 0, 1.0);
+    } else {
+      st_.loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
+    }
+  }
+  if (use_tree_) tree_.build(st_.slack);
+}
+
+std::size_t OnlinePartitioner::find_machine(const Task& t, double w) const {
+  const std::size_t m = platform_.size();
+  if (!slack_form_) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (st_.loads[j].can_admit(t)) return j;
+    }
+    return kNoMachine;
+  }
+  if (use_tree_) {
+    const std::size_t j = tree_.find_first_at_least(w);
+    return j == SlackTree::npos ? kNoMachine : j;
+  }
+  // Naive engine: the reference linear scan, identical comparisons.
+  for (std::size_t j = 0; j < m; ++j) {
+    if (w <= st_.slack[j]) return j;
+  }
+  return kNoMachine;
+}
+
+void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
+  if (slack_form_) {
+    admission_fold_step(kind_, w, capacity_[j], st_.util_sum[j], st_.hyper[j],
+                        st_.count[j], st_.slack[j]);
+    if (use_tree_) tree_.update(j, st_.slack[j]);
+  } else {
+    st_.loads[j].admit(t);
+  }
+}
+
+AdmitDecision OnlinePartitioner::admit(const Task& t) {
+  HETSCHED_CHECK(t.valid());
+  AdmitDecision d;
+  d.utilization = t.utilization();
+  const std::size_t j = find_machine(t, d.utilization);
+  if (j == kNoMachine) return d;
+
+  apply_admit(j, d.utilization, t);
+  std::uint32_t slot;
+  if (!st_.free_slots.empty()) {
+    slot = st_.free_slots.back();
+    st_.free_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(st_.slots.size());
+    st_.slots.emplace_back();
+  }
+  Slot& s = st_.slots[slot];
+  s.task = t;
+  s.util = d.utilization;
+  s.seq = st_.next_seq++;
+  s.machine = static_cast<std::uint32_t>(j);
+  s.live = true;
+  st_.residents[j].push_back(slot);
+  ++st_.resident;
+
+  d.admitted = true;
+  d.id = make_id(slot, s.gen);
+  d.machine = j;
+  return d;
+}
+
+void OnlinePartitioner::recompute_machine(std::size_t j) {
+  if (slack_form_) {
+    double util_sum = 0.0;
+    double hyper = 1.0;
+    for (const std::uint32_t idx : st_.residents[j]) {
+      const double w = st_.slots[idx].util;
+      util_sum += w;
+      hyper *= w / capacity_[j] + 1.0;
+    }
+    st_.util_sum[j] = util_sum;
+    st_.hyper[j] = hyper;
+    st_.count[j] = st_.residents[j].size();
+    st_.slack[j] =
+        admission_slack(kind_, capacity_[j], util_sum, st_.count[j], hyper);
+    if (use_tree_) tree_.update(j, st_.slack[j]);
+  } else {
+    st_.loads[j] = MachineLoad(kind_, platform_.speed_exact(j), alpha_);
+    for (const std::uint32_t idx : st_.residents[j]) {
+      st_.loads[j].admit(st_.slots[idx].task);
+    }
+  }
+}
+
+bool OnlinePartitioner::depart(OnlineTaskId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= st_.slots.size()) return false;
+  Slot& s = st_.slots[slot];
+  if (!s.live || s.gen != gen) return false;
+
+  const std::size_t j = s.machine;
+  auto& res = st_.residents[j];
+  res.erase(std::find(res.begin(), res.end(), slot));
+  s.live = false;
+  ++s.gen;  // invalidate the departed id forever
+  st_.free_slots.push_back(slot);
+  --st_.resident;
+  recompute_machine(j);
+  return true;
+}
+
+RebalanceReport OnlinePartitioner::rebalance() {
+  RebalanceReport rep;
+  rep.resident = st_.resident;
+  if (st_.resident == 0) {
+    rep.applied = true;
+    return rep;
+  }
+
+  // Canonical order: utilization descending, ties by admission sequence —
+  // the exact order first_fit_partition consumes tasks in when the
+  // residents are laid out as a TaskSet in admission order.
+  rb_order_.clear();
+  for (std::uint32_t i = 0; i < st_.slots.size(); ++i) {
+    if (st_.slots[i].live) rb_order_.push_back(i);
+  }
+  std::sort(rb_order_.begin(), rb_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (st_.slots[a].util != st_.slots[b].util) {
+                return st_.slots[a].util > st_.slots[b].util;
+              }
+              return st_.slots[a].seq < st_.slots[b].seq;
+            });
+
+  // Trial pass on scratch state; the live assignment is untouched until
+  // the whole re-pack is known to fit.
+  const std::size_t m = platform_.size();
+  rb_machine_.resize(rb_order_.size());
+  std::vector<MachineLoad> trial_loads;  // kRmsResponseTime only
+  if (slack_form_) {
+    rb_util_sum_.assign(m, 0.0);
+    rb_hyper_.assign(m, 1.0);
+    rb_count_.assign(m, 0);
+    rb_slack_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      rb_slack_[j] = admission_slack(kind_, capacity_[j], 0.0, 0, 1.0);
+    }
+  } else {
+    trial_loads.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      trial_loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
+    }
+  }
+  for (std::size_t pos = 0; pos < rb_order_.size(); ++pos) {
+    const Slot& s = st_.slots[rb_order_[pos]];
+    std::size_t placed = kNoMachine;
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool fits = slack_form_ ? s.util <= rb_slack_[j]
+                                    : trial_loads[j].can_admit(s.task);
+      if (fits) {
+        placed = j;
+        break;
+      }
+    }
+    if (placed == kNoMachine) return rep;  // applied = false, state intact
+    if (slack_form_) {
+      admission_fold_step(kind_, s.util, capacity_[placed],
+                          rb_util_sum_[placed], rb_hyper_[placed],
+                          rb_count_[placed], rb_slack_[placed]);
+    } else {
+      trial_loads[placed].admit(s.task);
+    }
+    rb_machine_[pos] = static_cast<std::uint32_t>(placed);
+  }
+
+  // Commit: rebuild resident lists in canonical admission order.
+  for (std::size_t j = 0; j < m; ++j) st_.residents[j].clear();
+  for (std::size_t pos = 0; pos < rb_order_.size(); ++pos) {
+    const std::uint32_t idx = rb_order_[pos];
+    const std::uint32_t j = rb_machine_[pos];
+    if (st_.slots[idx].machine != j) ++rep.migrations;
+    st_.slots[idx].machine = j;
+    st_.residents[j].push_back(idx);
+  }
+  if (slack_form_) {
+    st_.util_sum = rb_util_sum_;
+    st_.hyper = rb_hyper_;
+    st_.count = rb_count_;
+    st_.slack = rb_slack_;
+    if (use_tree_) tree_.build(st_.slack);
+  } else {
+    st_.loads = std::move(trial_loads);
+  }
+  rep.applied = true;
+  return rep;
+}
+
+OnlinePartitioner::Snapshot OnlinePartitioner::snapshot() const {
+  return Snapshot{st_};
+}
+
+void OnlinePartitioner::restore(const Snapshot& snap) {
+  HETSCHED_CHECK(snap.state.residents.size() == platform_.size());
+  st_ = snap.state;
+  if (slack_form_ && use_tree_) tree_.build(st_.slack);
+}
+
+void OnlinePartitioner::reserve(std::size_t tasks) {
+  st_.slots.reserve(st_.slots.size() + tasks);
+  st_.free_slots.reserve(st_.free_slots.size() + tasks);
+}
+
+double OnlinePartitioner::machine_utilization(std::size_t j) const {
+  HETSCHED_CHECK(j < platform_.size());
+  return slack_form_ ? st_.util_sum[j] : st_.loads[j].utilization();
+}
+
+std::size_t OnlinePartitioner::machine_task_count(std::size_t j) const {
+  HETSCHED_CHECK(j < platform_.size());
+  return st_.residents[j].size();
+}
+
+std::optional<std::size_t> OnlinePartitioner::machine_of(
+    OnlineTaskId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= st_.slots.size()) return std::nullopt;
+  const Slot& s = st_.slots[slot];
+  if (!s.live || s.gen != gen) return std::nullopt;
+  return static_cast<std::size_t>(s.machine);
+}
+
+std::optional<Task> OnlinePartitioner::task_of(OnlineTaskId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= st_.slots.size()) return std::nullopt;
+  const Slot& s = st_.slots[slot];
+  if (!s.live || s.gen != gen) return std::nullopt;
+  return s.task;
+}
+
+std::vector<Task> OnlinePartitioner::machine_tasks(std::size_t j) const {
+  HETSCHED_CHECK(j < platform_.size());
+  std::vector<Task> out;
+  out.reserve(st_.residents[j].size());
+  for (const std::uint32_t idx : st_.residents[j]) {
+    out.push_back(st_.slots[idx].task);
+  }
+  return out;
+}
+
+double OnlinePartitioner::total_utilization() const {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < platform_.size(); ++j) {
+    sum += machine_utilization(j);
+  }
+  return sum;
+}
+
+std::string OnlinePartitioner::to_string() const {
+  std::ostringstream os;
+  os << hetsched::to_string(kind_) << " alpha=" << std::fixed
+     << std::setprecision(3) << alpha_ << " resident=" << st_.resident
+     << " load=[" << std::setprecision(6);
+  for (std::size_t j = 0; j < platform_.size(); ++j) {
+    if (j > 0) os << ",";
+    os << machine_utilization(j);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hetsched

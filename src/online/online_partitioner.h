@@ -1,0 +1,193 @@
+// Stateful admission control on top of the paper's first-fit test.
+//
+// The batch test (partition/first_fit.h) answers one question about one
+// frozen task set.  A long-lived admission-control service faces the same
+// question continuously: sporadic tasks arrive, run for a while, and leave,
+// and every arrival needs an immediate admit/reject decision.
+// OnlinePartitioner owns a live assignment — the resident tasks, their
+// machines, and the per-machine admission state — and keeps the slack
+// segment tree of the batch engine incrementally up to date, so that
+//
+//   * admit(task)   decides and places in O(log m) for the slack-form
+//                   admission kinds (kEdf, kRmsLiuLayland, kRmsHyperbolic),
+//                   applying the SAME first-fit rule (leftmost machine whose
+//                   test passes at speed alpha * s_j) with the SAME exact
+//                   floating-point thresholds as the batch path;
+//   * depart(id)    releases the task's slack (the machine's admission
+//                   state is recomputed as the left fold of its remaining
+//                   residents in admission order — a canonical value that
+//                   does not depend on which task left);
+//   * rebalance()   re-runs the canonical utilization-descending first fit
+//                   over the resident tasks (ties broken by admission
+//                   sequence) and reports how many tasks migrated;
+//   * snapshot() /
+//     restore()     copy the whole mutable state in O(n + m) for cheap
+//                   what-if probing (e.g. "would this batch of five tasks
+//                   fit?" — snapshot, admit all five, restore).
+//
+// first_fit_partition is a thin wrapper over this class (construct a
+// controller, admit in canonical order), so the batch and online paths
+// share one admission code path and stay bit-identical — the property
+// tests/online_equivalence_test.cpp asserts over 500 seeded instances.
+//
+// After warm-up (every internal vector has reached its high-water mark),
+// admit performs no heap allocation for the slack-form admission kinds;
+// tests/online_alloc_test.cpp counts global operator new to prove it.
+// kRmsResponseTime is supported through the MachineLoad fallback and may
+// allocate on every call (RTA needs the per-machine task lists).
+//
+// Thread safety: none.  A controller is a single-writer object; shard
+// controllers per partition of the machine pool to scale out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "partition/admission.h"
+#include "partition/engine.h"
+
+namespace hetsched {
+
+// Stable handle for a resident task: slot index in the low 32 bits, a
+// per-slot generation counter in the high 32, so the id of a departed task
+// never aliases a later resident.
+using OnlineTaskId = std::uint64_t;
+inline constexpr OnlineTaskId kInvalidOnlineTaskId = ~OnlineTaskId{0};
+
+// Outcome of one admit() call.  When rejected, nothing was mutated and
+// id/machine are the invalid sentinels.
+struct AdmitDecision {
+  bool admitted = false;
+  OnlineTaskId id = kInvalidOnlineTaskId;
+  std::size_t machine = static_cast<std::size_t>(-1);  // sorted platform index
+  double utilization = 0.0;
+};
+
+// Outcome of one rebalance() call.  When the canonical re-pack fails to
+// place every resident (first fit is not optimal, so churn can strand the
+// controller in a state the canonical order cannot reproduce), applied is
+// false and the controller state is untouched.
+struct RebalanceReport {
+  bool applied = false;
+  std::size_t resident = 0;    // tasks considered
+  std::size_t migrations = 0;  // tasks whose machine changed
+};
+
+class OnlinePartitioner {
+ public:
+  static constexpr std::size_t kNoMachine = static_cast<std::size_t>(-1);
+
+  // The platform is copied and fixed for the controller's lifetime.
+  // alpha >= 1; engine as in first_fit_partition (kAuto picks the segment
+  // tree whenever the kind has a slack form).
+  OnlinePartitioner(const Platform& platform, AdmissionKind kind, double alpha,
+                    PartitionEngine engine = PartitionEngine::kAuto);
+
+  // First-fit admission: leftmost machine whose test still passes.
+  // O(log m) (tree engine) or O(m) (naive engine) for slack-form kinds;
+  // both make bit-identical decisions.
+  AdmitDecision admit(const Task& t);
+
+  // Removes a resident task and releases its slack.  Returns false (and
+  // changes nothing) if the id is unknown, stale, or already departed.
+  // O(k) in the number of tasks resident on the task's machine.
+  bool depart(OnlineTaskId id);
+
+  // Re-runs the canonical first fit (utilization descending, ties by
+  // admission sequence) over all residents.  On success applies the new
+  // assignment; existing OnlineTaskIds remain valid and follow their tasks.
+  RebalanceReport rebalance();
+
+  // Opaque copy of the mutable state.  restore() aborts if the snapshot
+  // came from a controller with a different machine count.
+  struct Snapshot;
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  // Pre-grows the slot arena so the next `tasks` admissions need no arena
+  // growth (per-machine resident lists still warm up on first use).
+  void reserve(std::size_t tasks);
+
+  // --- observers -----------------------------------------------------
+  const Platform& platform() const { return platform_; }
+  AdmissionKind kind() const { return kind_; }
+  double alpha() const { return alpha_; }
+  std::size_t machine_count() const { return platform_.size(); }
+  std::size_t resident_count() const { return st_.resident; }
+
+  // Utilization admitted on machine j (unaugmented task utilizations).
+  double machine_utilization(std::size_t j) const;
+  std::size_t machine_task_count(std::size_t j) const;
+
+  // The machine a live id is assigned to, or nullopt for stale ids.
+  std::optional<std::size_t> machine_of(OnlineTaskId id) const;
+  // The task behind a live id, or nullopt for stale ids.
+  std::optional<Task> task_of(OnlineTaskId id) const;
+
+  // Machine j's residents in admission order (copies the Task values).
+  std::vector<Task> machine_tasks(std::size_t j) const;
+
+  double total_utilization() const;
+
+  // "EDF alpha=2.000 resident=5 load=[0.400000,0.250000]" — for logs.
+  std::string to_string() const;
+
+ private:
+  struct Slot {
+    Task task;
+    double util = 0.0;
+    std::uint64_t seq = 0;     // admission sequence, canonical tie-break
+    std::uint32_t machine = 0;  // valid while live
+    std::uint32_t gen = 0;      // bumped on depart
+    bool live = false;
+  };
+
+  // Everything snapshot()/restore() copies.
+  struct State {
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free_slots;  // dead slot indices, LIFO
+    // Per machine: resident slot indices in admission order.
+    std::vector<std::vector<std::uint32_t>> residents;
+    // Per machine, slack-form kinds: the fold MachineLoad would compute.
+    std::vector<double> util_sum;
+    std::vector<double> hyper;
+    std::vector<std::size_t> count;
+    std::vector<double> slack;
+    // Per machine, kRmsResponseTime only: full RTA admission state.
+    std::vector<MachineLoad> loads;
+    std::uint64_t next_seq = 0;
+    std::size_t resident = 0;
+  };
+
+  std::size_t find_machine(const Task& t, double w) const;
+  void apply_admit(std::size_t j, double w, const Task& t);
+  void recompute_machine(std::size_t j);
+  static OnlineTaskId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<OnlineTaskId>(gen) << 32) | slot;
+  }
+
+  Platform platform_;
+  AdmissionKind kind_;
+  double alpha_ = 1.0;
+  bool slack_form_ = true;
+  bool use_tree_ = true;               // resolved engine is the segment tree
+  std::vector<double> capacity_;       // per machine: alpha * s_j (fixed)
+  State st_;
+  SlackTree tree_;                     // mirrors st_.slack when use_tree_
+  // Rebalance scratch (reused; rebalance itself may allocate on growth).
+  std::vector<std::uint32_t> rb_order_;
+  std::vector<std::uint32_t> rb_machine_;
+  std::vector<double> rb_util_sum_, rb_hyper_, rb_slack_;
+  std::vector<std::size_t> rb_count_;
+};
+
+struct OnlinePartitioner::Snapshot {
+  State state;
+};
+
+}  // namespace hetsched

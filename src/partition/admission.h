@@ -55,6 +55,21 @@ bool admission_has_slack_form(AdmissionKind k);
 double admission_slack(AdmissionKind kind, double capacity, double util_sum,
                        std::size_t task_count, double hyper_product);
 
+// One step of the slack-form admission fold, mirroring MachineLoad::admit's
+// arithmetic exactly: accumulate a task of utilization `w` into the
+// machine's running state and refresh its slack.  This is THE admission
+// code path shared by the batch scratch engine (online/first_fit.cc) and
+// the stateful controller (online/online_partitioner.h); keeping it in one
+// place is what keeps the two bit-identical.
+inline void admission_fold_step(AdmissionKind kind, double w, double capacity,
+                                double& util_sum, double& hyper_product,
+                                std::size_t& task_count, double& slack) {
+  util_sum += w;
+  hyper_product *= w / capacity + 1.0;
+  ++task_count;
+  slack = admission_slack(kind, capacity, util_sum, task_count, hyper_product);
+}
+
 // Incremental admission state for one machine.
 class MachineLoad {
  public:

@@ -51,7 +51,11 @@ struct PartitionResult {
 
 // Runs the first-fit partitioner.  alpha >= 1.  Both engines return
 // bit-identical results (see partition/engine.h); kAuto picks the segment
-// tree whenever the admission kind has a slack form.
+// tree whenever the admission kind has a slack form.  Implemented as a
+// thin wrapper over the stateful controller
+// (online/online_partitioner.h): a fresh OnlinePartitioner admits the
+// tasks in canonical utilization-descending order, so the batch and online
+// admission paths are one code path and stay bit-identical.
 PartitionResult first_fit_partition(
     const TaskSet& tasks, const Platform& platform, AdmissionKind kind,
     double alpha, PartitionEngine engine = PartitionEngine::kAuto);

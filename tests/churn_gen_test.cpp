@@ -1,0 +1,105 @@
+// Tests for the churn trace generator: determinism, distribution bounds,
+// event ordering, and arrival/departure pairing.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/churn_gen.h"
+
+namespace hetsched {
+namespace {
+
+TEST(BoundedPareto, SamplesStayInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = bounded_pareto(rng, 1.5, 4.0, 4096.0);
+    EXPECT_GE(x, 4.0);
+    EXPECT_LE(x, 4096.0);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanNearFormula) {
+  const ChurnSpec spec;  // shape 1.5 on [4, 4096]
+  Rng rng(2);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += bounded_pareto(rng, spec.lifetime_shape, spec.lifetime_min,
+                          spec.lifetime_max);
+  }
+  const double mean = sum / n;
+  // Heavy-tailed, so allow a generous band around the analytic mean.
+  EXPECT_NEAR(mean, spec.mean_lifetime(), 0.15 * spec.mean_lifetime());
+}
+
+TEST(ChurnSpec, OfferedUtilizationFollowsLittlesLaw) {
+  ChurnSpec spec;
+  spec.arrival_rate = 2.0;
+  EXPECT_DOUBLE_EQ(spec.offered_utilization(),
+                   2.0 * spec.mean_lifetime() * spec.mean_utilization());
+  EXPECT_GT(spec.mean_utilization(), spec.util_lo);
+  EXPECT_LT(spec.mean_utilization(), spec.util_hi);
+}
+
+TEST(GenerateChurnTrace, DeterministicFromSeed) {
+  ChurnSpec spec;
+  spec.arrivals = 128;
+  Rng a(42), b(42);
+  const ChurnTrace ta = generate_churn_trace(a, spec);
+  const ChurnTrace tb = generate_churn_trace(b, spec);
+  ASSERT_EQ(ta.events.size(), tb.events.size());
+  for (std::size_t i = 0; i < ta.events.size(); ++i) {
+    EXPECT_EQ(ta.events[i].kind, tb.events[i].kind);
+    EXPECT_EQ(ta.events[i].time, tb.events[i].time);  // bitwise
+    EXPECT_EQ(ta.events[i].task, tb.events[i].task);
+    EXPECT_EQ(ta.events[i].params, tb.events[i].params);
+  }
+}
+
+TEST(GenerateChurnTrace, EventsOrderedAndPaired) {
+  ChurnSpec spec;
+  spec.arrivals = 200;
+  Rng rng(7);
+  const ChurnTrace trace = generate_churn_trace(rng, spec);
+  EXPECT_EQ(trace.arrivals, 200u);
+  EXPECT_EQ(trace.events.size(), 400u);
+
+  std::map<std::uint64_t, double> arrive_time;
+  std::map<std::uint64_t, double> depart_time;
+  double last = -1.0;
+  for (const ChurnEvent& ev : trace.events) {
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+    if (ev.kind == ChurnEvent::Kind::kArrival) {
+      EXPECT_TRUE(arrive_time.emplace(ev.task, ev.time).second)
+          << "task " << ev.task << " arrives twice";
+      EXPECT_TRUE(ev.params.valid());
+      // Realized like realize_taskset: c in [1, 4p].
+      EXPECT_GE(ev.params.exec, 1);
+      EXPECT_LE(ev.params.exec, 4 * ev.params.period);
+    } else {
+      EXPECT_TRUE(depart_time.emplace(ev.task, ev.time).second)
+          << "task " << ev.task << " departs twice";
+    }
+  }
+  ASSERT_EQ(arrive_time.size(), 200u);
+  ASSERT_EQ(depart_time.size(), 200u);
+  for (const auto& [task, at] : arrive_time) {
+    const auto it = depart_time.find(task);
+    ASSERT_NE(it, depart_time.end());
+    EXPECT_GT(it->second, at) << "task " << task;
+    // Lifetime respects the bounded-Pareto support (ulp slop: the trace
+    // stores absolute times, so t + life - t can round).
+    const double life = it->second - at;
+    EXPECT_GE(life, ChurnSpec{}.lifetime_min - 1e-9);
+    EXPECT_LE(life, ChurnSpec{}.lifetime_max + 1e-9);
+  }
+}
+
+TEST(GenerateChurnTrace, ToStringOfKinds) {
+  EXPECT_EQ(to_string(ChurnEvent::Kind::kArrival), "arrive");
+  EXPECT_EQ(to_string(ChurnEvent::Kind::kDeparture), "depart");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,100 @@
+// Tests for the churn harness: bookkeeping invariants, the clairvoyant
+// comparison, rebalancing accounting, and determinism.
+#include <gtest/gtest.h>
+
+#include "experiments/churn.h"
+#include "gen/platform_gen.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+ChurnTrace trace_for(std::uint64_t seed, std::size_t arrivals,
+                     double arrival_rate) {
+  ChurnSpec spec;
+  spec.arrivals = arrivals;
+  spec.arrival_rate = arrival_rate;
+  Rng rng(seed);
+  return generate_churn_trace(rng, spec);
+}
+
+TEST(RunChurn, UnderloadAdmitsEverything) {
+  // A near-idle system: trickle arrivals onto ample capacity.
+  const ChurnTrace trace = trace_for(3, 64, 0.05);
+  ChurnOptions options;
+  const ChurnResult r = run_churn(Platform::identical(16), trace, options);
+  EXPECT_EQ(r.arrivals, 64u);
+  EXPECT_EQ(r.online_admitted, 64u);
+  EXPECT_EQ(r.clairvoyant_admitted, 64u);
+  EXPECT_EQ(r.regret, 0u);
+  EXPECT_EQ(r.inverse_regret, 0u);
+  EXPECT_DOUBLE_EQ(r.online_acceptance(), 1.0);
+  EXPECT_GE(r.peak_resident, 1u);
+}
+
+TEST(RunChurn, OverloadRejectsAndClairvoyantDominatesEarly) {
+  // Hammer one slow machine: most arrivals must be rejected, and counters
+  // stay consistent.
+  const ChurnTrace trace = trace_for(4, 200, 20.0);
+  ChurnOptions options;
+  const ChurnResult r = run_churn(Platform::identical(1), trace, options);
+  EXPECT_EQ(r.arrivals, 200u);
+  EXPECT_LT(r.online_admitted, 200u);
+  EXPECT_LE(r.online_admitted,
+            r.clairvoyant_admitted + r.inverse_regret);
+  EXPECT_GT(r.online_acceptance(), 0.0);
+  EXPECT_LE(r.online_acceptance(), 1.0);
+}
+
+TEST(RunChurn, RebalanceAccounting) {
+  const ChurnTrace trace = trace_for(5, 128, 4.0);
+  ChurnOptions options;
+  options.rebalance_every = 16;
+  const ChurnResult r =
+      run_churn(geometric_platform(4, 1.5), trace, options);
+  EXPECT_EQ(r.rebalances, 128u / 16u);
+  EXPECT_LE(r.rebalances_applied, r.rebalances);
+  if (r.rebalances_applied == 0) {
+    EXPECT_EQ(r.migrations, 0u);
+  }
+}
+
+TEST(RunChurn, DeterministicAcrossRuns) {
+  const ChurnTrace trace = trace_for(6, 150, 8.0);
+  ChurnOptions options;
+  options.rebalance_every = 32;
+  const Platform platform = geometric_platform(3, 2.0);
+  const ChurnResult a = run_churn(platform, trace, options);
+  const ChurnResult b = run_churn(platform, trace, options);
+  EXPECT_EQ(a.online_admitted, b.online_admitted);
+  EXPECT_EQ(a.clairvoyant_admitted, b.clairvoyant_admitted);
+  EXPECT_EQ(a.regret, b.regret);
+  EXPECT_EQ(a.inverse_regret, b.inverse_regret);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.peak_resident, b.peak_resident);
+}
+
+TEST(RunChurn, EnginesAgree) {
+  const ChurnTrace trace = trace_for(7, 150, 8.0);
+  const Platform platform = geometric_platform(3, 2.0);
+  ChurnOptions naive, tree;
+  naive.engine = PartitionEngine::kNaive;
+  tree.engine = PartitionEngine::kSegmentTree;
+  const ChurnResult a = run_churn(platform, trace, naive);
+  const ChurnResult b = run_churn(platform, trace, tree);
+  EXPECT_EQ(a.online_admitted, b.online_admitted);
+  EXPECT_EQ(a.clairvoyant_admitted, b.clairvoyant_admitted);
+  EXPECT_EQ(a.regret, b.regret);
+}
+
+TEST(ChurnResult, ToStringMentionsKeyCounters) {
+  ChurnResult r;
+  r.arrivals = 10;
+  r.online_admitted = 8;
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("arrivals=10"), std::string::npos);
+  EXPECT_NE(s.find("regret="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,74 @@
+// Regression tests pinning min_feasible_alpha's documented contract: the
+// result is "an alpha within tol of a boundary of the acceptance region" —
+// accepted at alpha*, rejected at alpha* - 2 tol — even though first-fit
+// acceptance is not provably monotone in alpha (see first_fit.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(MinFeasibleAlpha, ExactBoundaryOnCraftedInstance) {
+  // One task of utilization 1.0 on a machine of speed 1/2: EDF admits iff
+  // 1.0 <= alpha * 0.5, so the acceptance boundary is exactly alpha = 2.
+  const TaskSet tasks({{1, 1}});
+  const std::vector<Rational> speeds{Rational(1, 2)};
+  const Platform platform = Platform::from_speeds_exact(speeds);
+  const double tol = 1e-6;
+  const auto alpha = min_feasible_alpha(tasks, platform, AdmissionKind::kEdf,
+                                        32.0, tol);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_NEAR(*alpha, 2.0, tol);
+  EXPECT_TRUE(first_fit_accepts(tasks, platform, AdmissionKind::kEdf, *alpha));
+  EXPECT_FALSE(
+      first_fit_accepts(tasks, platform, AdmissionKind::kEdf, *alpha - 2 * tol));
+}
+
+TEST(MinFeasibleAlpha, BoundaryContractOnSampledInstance) {
+  // A pinned sampled instance (seed below): whatever alpha* the bisection
+  // returns must sit within tol of a boundary — accepted there, rejected
+  // just below.  This is the non-monotonicity regression: if a future
+  // engine change makes acceptance dip below alpha* the contract breaks
+  // loudly here.
+  Rng rng(0xB0DA);
+  const Platform platform = geometric_platform(4, 1.7);
+  TasksetSpec spec;
+  spec.n = 24;
+  spec.max_task_utilization = platform.max_speed();
+  spec.total_utilization = 1.05 * platform.total_speed();
+  spec.periods = PeriodSpec::log_uniform(10, 1000);
+  const TaskSet tasks = generate_taskset(rng, spec);
+
+  const double tol = 1e-6;
+  for (const AdmissionKind kind :
+       {AdmissionKind::kEdf, AdmissionKind::kRmsLiuLayland}) {
+    const auto alpha =
+        min_feasible_alpha(tasks, platform, kind, 32.0, tol);
+    ASSERT_TRUE(alpha.has_value()) << to_string(kind);
+    EXPECT_GT(*alpha, 1.0) << to_string(kind);  // overloaded: needs speedup
+    EXPECT_TRUE(first_fit_accepts(tasks, platform, kind, *alpha))
+        << to_string(kind);
+    EXPECT_FALSE(first_fit_accepts(tasks, platform, kind, *alpha - 2 * tol))
+        << to_string(kind);
+
+    // The scratch-reusing overload bisects to the same value under both
+    // engines.
+    PartitionScratch scratch;
+    for (const PartitionEngine engine :
+         {PartitionEngine::kNaive, PartitionEngine::kSegmentTree}) {
+      const auto fast = min_feasible_alpha(tasks, platform, kind, 32.0,
+                                           scratch, engine, tol);
+      ASSERT_TRUE(fast.has_value());
+      EXPECT_EQ(*fast, *alpha) << to_string(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,104 @@
+// Proves the ISSUE acceptance criterion: after warm-up, admit() performs no
+// heap allocation for the slack-form admission kinds (and depart() stays
+// clean too once the free list has grown).  This lives in its own test
+// binary because it replaces global operator new — instrumenting every
+// other suite with the counter would be noise.
+//
+// Methodology: admit a full wave (warm-up grows the slot arena, the
+// per-machine resident lists, and the free list via the departures), depart
+// everything, then admit the same wave again and assert the allocation
+// counter did not move.  The second wave reuses freed slots LIFO and lands
+// on the same machines (same canonical state), so no vector regrows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "online/online_partitioner.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hetsched {
+namespace {
+
+std::vector<Task> wave() {
+  // Mixed utilizations so the wave spreads over several machines.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back(Task{1 + (i * 7) % 9, 10 + (i * 13) % 90});
+  }
+  return tasks;
+}
+
+class AllocTest : public ::testing::TestWithParam<AdmissionKind> {};
+
+TEST_P(AllocTest, WarmAdmitAndDepartAreAllocationFree) {
+  const AdmissionKind kind = GetParam();
+  for (const PartitionEngine engine :
+       {PartitionEngine::kNaive, PartitionEngine::kSegmentTree}) {
+    OnlinePartitioner c(Platform::identical(8), kind, 2.0, engine);
+    const std::vector<Task> tasks = wave();
+    c.reserve(tasks.size());
+
+    // Warm-up: admit everything, then depart everything (grows free list).
+    std::vector<OnlineTaskId> ids;
+    ids.reserve(tasks.size());
+    for (const Task& t : tasks) {
+      const AdmitDecision d = c.admit(t);
+      ASSERT_TRUE(d.admitted);
+      ids.push_back(d.id);
+    }
+    for (const OnlineTaskId id : ids) ASSERT_TRUE(c.depart(id));
+
+    // Measured wave: same tasks, warm controller.
+    std::size_t k = 0;
+    const std::size_t before = g_allocations.load();
+    for (const Task& t : tasks) {
+      const AdmitDecision d = c.admit(t);
+      if (d.admitted) ids[k++] = d.id;
+    }
+    const std::size_t admit_allocs = g_allocations.load() - before;
+    EXPECT_EQ(admit_allocs, 0u)
+        << "engine " << (engine == PartitionEngine::kNaive ? "naive" : "tree");
+
+    // Warm departs are allocation-free as well (free list has capacity).
+    const std::size_t before_depart = g_allocations.load();
+    for (std::size_t i = 0; i < k; ++i) ASSERT_TRUE(c.depart(ids[i]));
+    EXPECT_EQ(g_allocations.load() - before_depart, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlackFormKinds, AllocTest,
+                         ::testing::Values(AdmissionKind::kEdf,
+                                           AdmissionKind::kRmsLiuLayland,
+                                           AdmissionKind::kRmsHyperbolic));
+
+TEST(AllocCounter, CountsAtAll) {
+  // Sanity-check the instrumentation itself: a vector growth must count.
+  const std::size_t before = g_allocations.load();
+  std::vector<int>* v = new std::vector<int>(100);
+  delete v;
+  EXPECT_GT(g_allocations.load(), before);
+}
+
+}  // namespace
+}  // namespace hetsched

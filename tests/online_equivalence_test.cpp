@@ -1,0 +1,154 @@
+// Randomized property test: replaying a task set through the online
+// controller in canonical utilization-descending order is bit-identical to
+// first_fit_partition, under both engines and every admission kind, across
+// 500 seeded instances.  This is the contract the batch wrapper rests on —
+// the two paths must never drift apart, or every theorem-level certificate
+// the batch test emits would silently stop covering the online service.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/platform_gen.h"
+#include "gen/taskset_gen.h"
+#include "online/online_partitioner.h"
+#include "partition/first_fit.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+Platform random_platform(Rng& rng) {
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return Platform::identical(m);
+    case 1:
+      return geometric_platform(m, rng.uniform(1.0, 2.5));
+    default:
+      return big_little_platform((m + 1) / 2, m / 2 + 1, 1.0,
+                                 rng.uniform(1.5, 4.0));
+  }
+}
+
+TaskSet random_taskset(Rng& rng, const Platform& platform) {
+  TasksetSpec spec;
+  spec.n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  spec.max_task_utilization = platform.max_speed();
+  // Straddle the acceptance boundary so the sample is rich in rejections.
+  const double norm = rng.uniform(0.4, 1.15);
+  spec.total_utilization =
+      std::min(norm * platform.total_speed(),
+               0.35 * static_cast<double>(spec.n) * spec.max_task_utilization);
+  spec.periods = PeriodSpec::log_uniform(10, 1000);
+  return generate_taskset(rng, spec);
+}
+
+// Replays `tasks` through a fresh controller in canonical order, stopping
+// at the first rejection exactly as the batch algorithm does, and asserts
+// the replay reproduces `batch` bit for bit.
+void expect_replay_matches(const TaskSet& tasks, const Platform& platform,
+                           AdmissionKind kind, double alpha,
+                           PartitionEngine engine,
+                           const PartitionResult& batch) {
+  OnlinePartitioner c(platform, kind, alpha, engine);
+  c.reserve(tasks.size());
+  bool feasible = true;
+  std::vector<std::size_t> assignment(tasks.size(), 0);
+  for (const std::size_t i : tasks.order_by_utilization_desc()) {
+    const AdmitDecision d = c.admit(tasks[i]);
+    if (!d.admitted) {
+      feasible = false;
+      ASSERT_TRUE(batch.failed_task.has_value());
+      EXPECT_EQ(*batch.failed_task, i);
+      EXPECT_EQ(batch.failed_utilization, d.utilization);
+      break;
+    }
+    assignment[i] = d.machine;
+  }
+  ASSERT_EQ(feasible, batch.feasible);
+  if (!feasible) return;
+  ASSERT_EQ(batch.assignment.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(assignment[i], batch.assignment[i]) << "task " << i;
+  }
+  for (std::size_t j = 0; j < platform.size(); ++j) {
+    EXPECT_EQ(c.machine_utilization(j), batch.machine_utilization[j])
+        << "machine " << j;
+    ASSERT_EQ(c.machine_task_count(j), batch.tasks_per_machine[j].size());
+    const std::vector<Task> online = c.machine_tasks(j);
+    for (std::size_t k = 0; k < online.size(); ++k) {
+      EXPECT_EQ(online[k], batch.tasks_per_machine[j][k]);
+    }
+  }
+}
+
+TEST(OnlineEquivalence, ReplayMatchesBatchOver500Instances) {
+  const AdmissionKind kinds[] = {
+      AdmissionKind::kEdf, AdmissionKind::kRmsLiuLayland,
+      AdmissionKind::kRmsHyperbolic, AdmissionKind::kRmsResponseTime};
+  const double alphas[] = {1.0, 1.3, 2.0, 2.98};
+  Rng rng(0x0511E);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Platform platform = random_platform(rng);
+    const TaskSet tasks = random_taskset(rng, platform);
+    const AdmissionKind kind = kinds[iter % 4];
+    const double alpha = alphas[static_cast<std::size_t>(
+        rng.uniform_int(0, 3))];
+    SCOPED_TRACE("iter " + std::to_string(iter) + " kind " + to_string(kind) +
+                 " alpha " + std::to_string(alpha));
+    for (const PartitionEngine engine :
+         {PartitionEngine::kNaive, PartitionEngine::kSegmentTree}) {
+      const PartitionResult batch =
+          first_fit_partition(tasks, platform, kind, alpha, engine);
+      expect_replay_matches(tasks, platform, kind, alpha, engine, batch);
+      // The decision-only scratch path agrees too.
+      PartitionScratch scratch;
+      EXPECT_EQ(
+          first_fit_accepts(tasks, platform, kind, alpha, scratch, engine),
+          batch.feasible);
+    }
+  }
+}
+
+TEST(OnlineEquivalence, ReplayAfterChurnStillMatchesBatchOnResidents) {
+  // Admit, depart a pseudo-random subset, then check the survivors: a fresh
+  // batch run over exactly the resident multiset must be accepted (every
+  // resident passed its own admission test), and re-admitting the residents
+  // into a fresh controller in canonical order must succeed as well.
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Platform platform = random_platform(rng);
+    const TaskSet tasks = random_taskset(rng, platform);
+    OnlinePartitioner c(platform, AdmissionKind::kEdf, 1.0);
+    std::vector<OnlineTaskId> admitted;
+    for (const Task& t : tasks) {
+      const AdmitDecision d = c.admit(t);
+      if (d.admitted) admitted.push_back(d.id);
+    }
+    for (const OnlineTaskId id : admitted) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        ASSERT_TRUE(c.depart(id));
+      }
+    }
+    std::vector<Task> residents;
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      for (const Task& t : c.machine_tasks(j)) residents.push_back(t);
+    }
+    if (residents.empty()) continue;
+    // Survivors need not pack under the canonical order (first fit is not
+    // optimal), but per-machine admission invariants must hold: replaying
+    // each machine's residents onto that machine alone must be accepted.
+    for (std::size_t j = 0; j < platform.size(); ++j) {
+      const std::vector<Task> on_j = c.machine_tasks(j);
+      if (on_j.empty()) continue;
+      const std::vector<Rational> solo_speed{platform.speed_exact(j)};
+      const Platform solo = Platform::from_speeds_exact(solo_speed);
+      EXPECT_TRUE(first_fit_accepts(TaskSet(on_j), solo, AdmissionKind::kEdf,
+                                    1.0))
+          << "machine " << j << " iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,96 @@
+// Tests for the churn-trace text format: grammar, validation, and exact
+// round-tripping of generated traces.
+#include <gtest/gtest.h>
+
+#include "gen/churn_gen.h"
+#include "io/trace_format.h"
+#include "util/rng.h"
+
+namespace hetsched {
+namespace {
+
+TEST(TraceFormat, ParsesMinimalTrace) {
+  const auto r = parse_trace_string(
+      "# comment\n"
+      "platform 1 3/2\n"
+      "arrive 0.5 0 2 10\n"
+      "arrive 1.5 1 9 20\n"
+      "depart 2.5 0\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->platform.size(), 2u);
+  ASSERT_EQ(r.value->trace.events.size(), 3u);
+  EXPECT_EQ(r.value->trace.arrivals, 2u);
+  EXPECT_EQ(r.value->trace.events[0].kind, ChurnEvent::Kind::kArrival);
+  EXPECT_EQ(r.value->trace.events[0].params.exec, 2);
+  EXPECT_EQ(r.value->trace.events[2].kind, ChurnEvent::Kind::kDeparture);
+  EXPECT_EQ(r.value->trace.events[2].task, 0u);
+}
+
+TEST(TraceFormat, TasksMayStayResident) {
+  const auto r = parse_trace_string("platform 1\narrive 1 0 1 4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->trace.arrivals, 1u);
+}
+
+TEST(TraceFormat, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* want;  // substring of the error message
+    std::size_t line;
+  };
+  const Case cases[] = {
+      {"arrive 1 0 1 4\n", "missing platform", 1},
+      {"platform 1\nplatform 1\n", "duplicate platform", 2},
+      {"platform 1\narrive 2 0 1 4\narrive 1 1 1 4\n", "non-decreasing", 3},
+      {"platform 1\narrive 1 0 1 4\narrive 2 0 1 4\n", "arrives twice", 3},
+      {"platform 1\ndepart 1 0\n", "not resident", 2},
+      {"platform 1\narrive 1 0 1 4\ndepart 2 0\ndepart 3 0\n", "not resident",
+       4},
+      {"platform 1\narrive x 0 1 4\n", "bad time", 2},
+      {"platform 1\narrive 1 0 0 4\n", "positive", 2},
+      {"platform 1\narrive 1 0 1\n", "arrive needs", 2},
+      {"platform 0\n", "positive", 1},
+      {"platform 1\nfrobnicate\n", "unknown directive", 2},
+  };
+  for (const Case& c : cases) {
+    const auto r = parse_trace_string(c.text);
+    ASSERT_FALSE(r.ok()) << c.text;
+    EXPECT_EQ(r.error->line, c.line) << c.text;
+    EXPECT_NE(r.error->message.find(c.want), std::string::npos)
+        << "got: " << r.error->message;
+  }
+}
+
+TEST(TraceFormat, GeneratedTraceRoundTripsExactly) {
+  ChurnSpec spec;
+  spec.arrivals = 100;
+  Rng rng(11);
+  ChurnInstance inst;
+  inst.platform = Platform::from_speeds({1.0, 1.5, 2.25});
+  inst.trace = generate_churn_trace(rng, spec);
+
+  const auto r = parse_trace_string(format_trace(inst));
+  ASSERT_TRUE(r.ok()) << r.error->to_string();
+  EXPECT_EQ(r.value->platform.size(), 3u);
+  ASSERT_EQ(r.value->trace.events.size(), inst.trace.events.size());
+  EXPECT_EQ(r.value->trace.arrivals, inst.trace.arrivals);
+  for (std::size_t i = 0; i < inst.trace.events.size(); ++i) {
+    const ChurnEvent& a = inst.trace.events[i];
+    const ChurnEvent& b = r.value->trace.events[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.time, b.time) << "event " << i;  // bitwise: max_digits10
+    EXPECT_EQ(a.task, b.task) << "event " << i;
+    if (a.kind == ChurnEvent::Kind::kArrival) {
+      EXPECT_EQ(a.params, b.params) << "event " << i;
+    }
+  }
+}
+
+TEST(TraceFormat, LoadReportsMissingFile) {
+  const auto r = load_trace("/nonexistent/path/trace.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -18,27 +18,43 @@
 //   hetsched_cli generate --n N --m M --util U [--seed S] [--ratio R]
 //       Emit a random instance in the text format (UUniFast-Discard tasks
 //       on a geometric platform).
+//   hetsched_cli generate-trace --arrivals N --m M [--rate L] [--seed S]
+//       Emit a random churn trace (Poisson arrivals, bounded-Pareto
+//       lifetimes) in the trace format.
+//   hetsched_cli replay <tracefile> [--admission KIND] [--alpha X]
+//       [--engine E] [--rebalance-every N]
+//       Replay a churn trace through the online admission controller and
+//       report acceptance ratio, regret vs the clairvoyant batch re-pack,
+//       and migration counts.
+//   hetsched_cli serve [--admission KIND] [--alpha X] [--engine E]
+//       Stream trace directives from stdin through a live controller and
+//       answer each one ("admit <task> -> machine <j>" / "reject <task>").
 //
 // Instance file format: see src/io/text_format.h.
+// Trace file format: see src/io/trace_format.h.
 // Admission kinds: edf (default), rms-ll, rms-hb, rms-rta.
 // Engines: auto (default), naive, tree — bit-identical results; "naive" is
 // the paper's O(n m) scan, "tree" the O(n log m) segment tree.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "hetsched/hetsched.h"
 #include "io/text_format.h"
+#include "io/trace_format.h"
 
 namespace hetsched {
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hetsched_cli <test|certify|augment|simulate|generate> "
+               "usage: hetsched_cli <test|certify|augment|simulate|"
+               "sensitivity|generate|generate-trace|replay|serve> "
                "[args]\n  see the header of tools/hetsched_cli.cpp\n");
   return 2;
 }
@@ -288,6 +304,174 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+int cmd_generate_trace(const Args& args) {
+  const auto arrivals = static_cast<std::size_t>(args.get_long("arrivals", 64));
+  const auto m = static_cast<std::size_t>(args.get_long("m", 4));
+  const double rate = args.get_double("rate", 1.0);
+  const double ratio = args.get_double("ratio", 1.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  if (arrivals == 0 || m == 0 || rate <= 0 || ratio < 1.0) return usage();
+
+  Rng rng(seed);
+  ChurnInstance inst;
+  inst.platform = geometric_platform(m, ratio);
+  ChurnSpec spec;
+  spec.arrivals = arrivals;
+  spec.arrival_rate = rate;
+  inst.trace = generate_churn_trace(rng, spec);
+  std::printf("%s", format_trace(inst).c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.empty()) return usage();
+  auto parsed = load_trace(args.positional[0]);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error->to_string().c_str());
+    return 1;
+  }
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
+
+  ChurnOptions options;
+  options.kind = *kind;
+  options.alpha = args.get_double("alpha", 1.0);
+  options.rebalance_every =
+      static_cast<std::size_t>(args.get_long("rebalance-every", 0));
+  options.engine = *engine;
+  const ChurnResult res =
+      run_churn(parsed.value->platform, parsed.value->trace, options);
+  std::printf("replay %s alpha=%.3f: %s\n", to_string(*kind).c_str(),
+              options.alpha, res.to_string().c_str());
+  std::printf("online acceptance %.4f vs clairvoyant %.4f\n",
+              res.online_acceptance(), res.clairvoyant_acceptance());
+  return 0;
+}
+
+// Streams trace directives from stdin through a live controller, answering
+// each line immediately — admission control as a service, minus the RPC.
+int cmd_serve(const Args& args) {
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
+  const double alpha = args.get_double("alpha", 1.0);
+
+  std::optional<OnlinePartitioner> controller;
+  std::map<std::uint64_t, OnlineTaskId> ids;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+
+    auto complain = [&](const char* what) {
+      std::printf("error line %zu: %s\n", lineno, what);
+      std::fflush(stdout);
+    };
+    if (tokens[0] == "platform") {
+      if (controller.has_value()) {
+        complain("duplicate platform directive");
+        continue;
+      }
+      std::vector<Rational> speeds;
+      bool ok = tokens.size() >= 2;
+      for (std::size_t t = 1; ok && t < tokens.size(); ++t) {
+        const auto s = parse_speed_token(tokens[t]);
+        if (!s || !(*s > Rational(0))) ok = false;
+        else speeds.push_back(*s);
+      }
+      if (!ok) {
+        complain("platform needs positive speeds");
+        continue;
+      }
+      controller.emplace(Platform::from_speeds_exact(speeds), *kind, alpha,
+                         *engine);
+      std::printf("serving %s alpha=%.3f on %zu machines\n",
+                  to_string(*kind).c_str(), alpha, speeds.size());
+    } else if (tokens[0] == "arrive") {
+      if (!controller) {
+        complain("arrive before platform");
+        continue;
+      }
+      if (tokens.size() != 5) {
+        complain("arrive needs <time> <task> <exec> <period>");
+        continue;
+      }
+      const auto task_no = parse_int_token(tokens[2]);
+      const auto exec = parse_int_token(tokens[3]);
+      const auto period = parse_int_token(tokens[4]);
+      if (!task_no || *task_no < 0 || !exec || !period) {
+        complain("bad arrive parameters");
+        continue;
+      }
+      const Task t{*exec, *period};
+      if (!t.valid()) {
+        complain("task parameters must be positive");
+        continue;
+      }
+      const AdmitDecision d = controller->admit(t);
+      if (d.admitted) {
+        ids[static_cast<std::uint64_t>(*task_no)] = d.id;
+        std::printf("admit %s -> machine %zu (w=%.4f, resident %zu)\n",
+                    tokens[2].c_str(), d.machine, d.utilization,
+                    controller->resident_count());
+      } else {
+        std::printf("reject %s (w=%.4f fits nowhere)\n", tokens[2].c_str(),
+                    d.utilization);
+      }
+    } else if (tokens[0] == "depart") {
+      if (!controller) {
+        complain("depart before platform");
+        continue;
+      }
+      if (tokens.size() != 3) {
+        complain("depart needs <time> <task>");
+        continue;
+      }
+      const auto task_no = parse_int_token(tokens[2]);
+      if (!task_no || *task_no < 0) {
+        complain("bad task number");
+        continue;
+      }
+      const auto it = ids.find(static_cast<std::uint64_t>(*task_no));
+      if (it == ids.end() || !controller->depart(it->second)) {
+        std::printf("depart %s: not resident\n", tokens[2].c_str());
+      } else {
+        ids.erase(it);
+        std::printf("depart %s ok (resident %zu)\n", tokens[2].c_str(),
+                    controller->resident_count());
+      }
+    } else if (tokens[0] == "rebalance") {
+      if (!controller) {
+        complain("rebalance before platform");
+        continue;
+      }
+      const RebalanceReport r = controller->rebalance();
+      std::printf("rebalance %s: %zu residents, %zu migrations\n",
+                  r.applied ? "applied" : "skipped", r.resident, r.migrations);
+    } else if (tokens[0] == "status") {
+      if (!controller) {
+        complain("status before platform");
+        continue;
+      }
+      std::printf("%s\n", controller->to_string().c_str());
+    } else {
+      complain("unknown directive");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -298,6 +482,9 @@ int run(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "sensitivity") return cmd_sensitivity(args);
   if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "generate-trace") return cmd_generate_trace(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "serve") return cmd_serve(args);
   return usage();
 }
 
