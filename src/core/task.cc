@@ -87,6 +87,8 @@ void TaskSet::order_by_utilization_desc(std::vector<std::size_t>& out) const {
               [this, &exact_desc](std::size_t a, std::size_t b) {
                 const double ua = tasks_[a].utilization();
                 const double ub = tasks_[b].utilization();
+                // Exact tie-break: keeps the order deterministic.
+                // hetsched-lint: allow(float-compare)
                 if (ua != ub) return ua > ub;
                 if (exact_desc(a, b)) return true;
                 if (exact_desc(b, a)) return false;

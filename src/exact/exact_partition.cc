@@ -85,6 +85,8 @@ class Searcher {
       // Symmetry: identical empty machines are interchangeable.
       if (loads_[j].task_count() == 0) {
         const double s = loads_[j].capacity();
+        // Exact: equal capacities mean interchangeable machines.
+        // hetsched-lint: allow(float-compare)
         if (s == tried_empty_speed) continue;
         tried_empty_speed = s;
       }

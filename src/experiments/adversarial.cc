@@ -23,10 +23,14 @@ struct Score {
   double saturation;
 
   bool operator>=(const Score& o) const {
+    // Exact tie-break: equal alphas fall through to saturation.
+    // hetsched-lint: allow(float-compare)
     if (alpha != o.alpha) return alpha > o.alpha;
     return saturation >= o.saturation;
   }
   bool operator>(const Score& o) const {
+    // Exact tie-break: equal alphas fall through to saturation.
+    // hetsched-lint: allow(float-compare)
     if (alpha != o.alpha) return alpha > o.alpha;
     return saturation > o.saturation;
   }

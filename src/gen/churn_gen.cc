@@ -18,6 +18,8 @@ double ChurnSpec::mean_lifetime() const {
   const double a = lifetime_shape;
   const double l = lifetime_min;
   const double h = lifetime_max;
+  // Exact: a == 1 is the removable singularity of the closed form.
+  // hetsched-lint: allow(float-compare)
   if (a == 1.0) return std::log(h / l) * l * h / (h - l);
   const double la = std::pow(l, a);
   const double norm = 1.0 - std::pow(l / h, a);
@@ -27,6 +29,8 @@ double ChurnSpec::mean_lifetime() const {
 
 double ChurnSpec::mean_utilization() const {
   // Mean of the log-uniform draw on [lo, hi]: (hi - lo) / ln(hi / lo).
+  // Exact: a degenerate (point) range short-circuits the draw.
+  // hetsched-lint: allow(float-compare)
   if (util_lo == util_hi) return util_lo;
   return (util_hi - util_lo) / std::log(util_hi / util_lo);
 }
@@ -58,6 +62,8 @@ ChurnTrace generate_churn_trace(Rng& rng, const ChurnSpec& spec) {
   double t = 0.0;
   for (std::size_t i = 0; i < spec.arrivals; ++i) {
     t += rng.exponential(spec.arrival_rate);
+    // Exact: point range (log_uniform needs lo < hi).
+    // hetsched-lint: allow(float-compare)
     const double u = spec.util_lo == spec.util_hi
                          ? spec.util_lo
                          : rng.log_uniform(spec.util_lo, spec.util_hi);
@@ -85,6 +91,8 @@ ChurnTrace generate_churn_trace(Rng& rng, const ChurnSpec& spec) {
   }
   std::sort(trace.events.begin(), trace.events.end(),
             [](const ChurnEvent& a, const ChurnEvent& b) {
+              // Exact tie-break keeps the event order deterministic.
+              // hetsched-lint: allow(float-compare)
               if (a.time != b.time) return a.time < b.time;
               if (a.kind != b.kind) {
                 return a.kind == ChurnEvent::Kind::kArrival;

@@ -113,6 +113,8 @@ class Tableau {
         double rc = cost[j];
         for (std::size_t i = 0; i < m_; ++i) {
           const double cb = cost[basis_[i]];
+          // Exact: skips the multiply only when it is a true no-op.
+          // hetsched-lint: allow(float-compare)
           if (cb != 0.0) rc -= cb * a_[i][j];
         }
         if (rc < -eps_) {  // Bland: first improving index
@@ -212,6 +214,8 @@ class Tableau {
     for (std::size_t i = 0; i < m_; ++i) {
       if (i == row) continue;
       const double f = a_[i][col];
+      // Exact: skips the row update only when it is a true no-op.
+      // hetsched-lint: allow(float-compare)
       if (f == 0.0) continue;
       for (std::size_t j = 0; j < cols_; ++j) a_[i][j] -= f * a_[row][j];
       a_[i][col] = 0.0;

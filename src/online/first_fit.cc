@@ -14,7 +14,15 @@
 #include <sstream>
 
 #include "online/online_partitioner.h"
+#include "partition/audit.h"
 #include "util/check.h"
+
+#if HETSCHED_AUDIT_ENABLED
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+#endif
 
 namespace hetsched {
 
@@ -23,6 +31,7 @@ namespace {
 // Fills scratch.utils and scratch.order.  The order is the exact
 // permutation TaskSet::order_by_utilization_desc produces, so every engine
 // consumes tasks in the same sequence.
+// HETSCHED_NOALLOC (scratch warm-up; allocation-free once warm)
 void prepare_order(const TaskSet& tasks, PartitionScratch& s) {
   const std::size_t n = tasks.size();
   s.utils.resize(n);
@@ -32,6 +41,7 @@ void prepare_order(const TaskSet& tasks, PartitionScratch& s) {
 
 // Resets the per-machine state (capacity, sums, slacks) for one run.
 // Capacity is computed exactly as MachineLoad's constructor computes it.
+// HETSCHED_NOALLOC (scratch warm-up; allocation-free once warm)
 void reset_machines(const Platform& platform, AdmissionKind kind, double alpha,
                     PartitionScratch& s) {
   const std::size_t m = platform.size();
@@ -53,6 +63,7 @@ void reset_machines(const Platform& platform, AdmissionKind kind, double alpha,
 // (kNaive = linear scan over the slack array, kSegmentTree = tree descent;
 // identical comparisons either way).  Returns the position in s.order of
 // the first task that fits nowhere, or tasks.size() if all fit.
+// HETSCHED_NOALLOC
 std::size_t run_slack_engine(const TaskSet& tasks, AdmissionKind kind,
                              PartitionEngine resolved, PartitionScratch& s) {
   const std::size_t m = s.slack.size();
@@ -103,15 +114,39 @@ bool naive_accepts_only(const TaskSet& tasks, const Platform& platform,
 
 // Accept probe assuming scratch.order / scratch.utils are already prepared
 // for `tasks` (the bisection hoists the sort out of the loop).
+// HETSCHED_NOALLOC (slack-form kinds; the RTA fallback allocates)
 bool accepts_prepared(const TaskSet& tasks, const Platform& platform,
                       AdmissionKind kind, double alpha, PartitionScratch& s,
                       PartitionEngine engine) {
+  bool verdict;
   if (!admission_has_slack_form(kind)) {
-    return naive_accepts_only(tasks, platform, kind, alpha);
+    verdict = naive_accepts_only(tasks, platform, kind, alpha);
+  } else {
+    reset_machines(platform, kind, alpha, s);
+    const PartitionEngine resolved = resolve_engine(engine, kind);
+    verdict = run_slack_engine(tasks, kind, resolved, s) == tasks.size();
   }
-  reset_machines(platform, kind, alpha, s);
-  const PartitionEngine resolved = resolve_engine(engine, kind);
-  return run_slack_engine(tasks, kind, resolved, s) == tasks.size();
+  // Shadow oracle: the decision-only scratch verdict must match the full
+  // batch partition (the controller path) and the opposite engine.
+  HETSCHED_AUDIT_HOOK(
+      const bool oracle =
+          first_fit_partition(tasks, platform, kind, alpha, engine).feasible;
+      HETSCHED_CHECK_MSG(verdict == oracle,
+                         "audit: scratch verdict diverged from batch oracle");
+      if (admission_has_slack_form(kind)) {
+        const PartitionEngine other =
+            resolve_engine(engine, kind) == PartitionEngine::kSegmentTree
+                ? PartitionEngine::kNaive
+                : PartitionEngine::kSegmentTree;
+        PartitionScratch fresh;
+        prepare_order(tasks, fresh);
+        reset_machines(platform, kind, alpha, fresh);
+        const bool cross =
+            run_slack_engine(tasks, kind, other, fresh) == tasks.size();
+        HETSCHED_CHECK_MSG(verdict == cross,
+                           "audit: engines disagree on accept verdict");
+      });
+  return verdict;
 }
 
 }  // namespace
@@ -182,6 +217,7 @@ bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
   return first_fit_accepts(tasks, platform, kind, alpha, scratch);
 }
 
+// HETSCHED_NOALLOC (slack-form kinds, warm scratch; RTA fallback allocates)
 bool first_fit_accepts(const TaskSet& tasks, const Platform& platform,
                        AdmissionKind kind, double alpha,
                        PartitionScratch& scratch, PartitionEngine engine) {
@@ -212,9 +248,38 @@ std::optional<double> min_feasible_alpha(const TaskSet& tasks,
   HETSCHED_CHECK(alpha_hi >= 1.0);
   HETSCHED_CHECK(tol > 0);
   prepare_order(tasks, scratch);
+#if HETSCHED_AUDIT_ENABLED
+  // Audit builds record every (alpha, verdict) the bisection observes and
+  // assert at the end that the samples are consistent with acceptance
+  // being monotone in alpha: no accepted alpha below a rejected one.
+  // First-fit acceptance is not provably monotone (see the header caveat),
+  // so a firing here is a genuine research find, not necessarily a bug.
+  std::vector<std::pair<double, bool>> audit_probes;
+#endif
   const auto probe = [&](double alpha) {
-    return accepts_prepared(tasks, platform, kind, alpha, scratch, engine);
+    const bool ok =
+        accepts_prepared(tasks, platform, kind, alpha, scratch, engine);
+#if HETSCHED_AUDIT_ENABLED
+    audit_probes.emplace_back(alpha, ok);
+#endif
+    return ok;
   };
+#if HETSCHED_AUDIT_ENABLED
+  const auto audit_monotone = [&] {
+    double min_accept = std::numeric_limits<double>::infinity();
+    double max_reject = -std::numeric_limits<double>::infinity();
+    for (const auto& [alpha, ok] : audit_probes) {
+      if (ok) {
+        min_accept = std::min(min_accept, alpha);
+      } else {
+        max_reject = std::max(max_reject, alpha);
+      }
+    }
+    HETSCHED_CHECK_MSG(
+        min_accept >= max_reject,
+        "audit: bisection observed non-monotone acceptance in alpha");
+  };
+#endif
   if (probe(1.0)) return 1.0;
   if (!probe(alpha_hi)) return std::nullopt;
   double lo = 1.0, hi = alpha_hi;  // reject at lo, accept at hi
@@ -226,6 +291,7 @@ std::optional<double> min_feasible_alpha(const TaskSet& tasks,
       lo = mid;
     }
   }
+  HETSCHED_AUDIT_HOOK(audit_monotone());
   return hi;
 }
 

@@ -4,7 +4,12 @@
 #include <iomanip>
 #include <sstream>
 
+#include "partition/audit.h"
 #include "util/check.h"
+
+#if HETSCHED_AUDIT_ENABLED
+#include "partition/first_fit.h"
+#endif
 
 namespace hetsched {
 
@@ -39,6 +44,7 @@ OnlinePartitioner::OnlinePartitioner(const Platform& platform,
   if (use_tree_) tree_.build(st_.slack);
 }
 
+// HETSCHED_NOALLOC (slack-form kinds; the RTA fallback allocates)
 std::size_t OnlinePartitioner::find_machine(const Task& t, double w) const {
   const std::size_t m = platform_.size();
   if (!slack_form_) {
@@ -58,6 +64,7 @@ std::size_t OnlinePartitioner::find_machine(const Task& t, double w) const {
   return kNoMachine;
 }
 
+// HETSCHED_NOALLOC (slack-form kinds; the RTA fallback allocates)
 void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
   if (slack_form_) {
     admission_fold_step(kind_, w, capacity_[j], st_.util_sum[j], st_.hyper[j],
@@ -68,12 +75,16 @@ void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
   }
 }
 
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 AdmitDecision OnlinePartitioner::admit(const Task& t) {
   HETSCHED_CHECK(t.valid());
   AdmitDecision d;
   d.utilization = t.utilization();
   const std::size_t j = find_machine(t, d.utilization);
-  if (j == kNoMachine) return d;
+  if (j == kNoMachine) {
+    HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, kNoMachine));
+    return d;
+  }
 
   apply_admit(j, d.utilization, t);
   std::uint32_t slot;
@@ -82,7 +93,7 @@ AdmitDecision OnlinePartitioner::admit(const Task& t) {
     st_.free_slots.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(st_.slots.size());
-    st_.slots.emplace_back();
+    st_.slots.emplace_back();  // hetsched-lint: allow(noalloc) arena growth
   }
   Slot& s = st_.slots[slot];
   s.task = t;
@@ -90,15 +101,19 @@ AdmitDecision OnlinePartitioner::admit(const Task& t) {
   s.seq = st_.next_seq++;
   s.machine = static_cast<std::uint32_t>(j);
   s.live = true;
+  // hetsched-lint: allow(noalloc) arena growth, amortized after warm-up
   st_.residents[j].push_back(slot);
   ++st_.resident;
 
   d.admitted = true;
   d.id = make_id(slot, s.gen);
   d.machine = j;
+  HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, j);
+                      audit_verify_machine(j));
   return d;
 }
 
+// HETSCHED_NOALLOC (slack-form kinds; the RTA fallback allocates)
 void OnlinePartitioner::recompute_machine(std::size_t j) {
   if (slack_form_) {
     double util_sum = 0.0;
@@ -122,6 +137,7 @@ void OnlinePartitioner::recompute_machine(std::size_t j) {
   }
 }
 
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 bool OnlinePartitioner::depart(OnlineTaskId id) {
   const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
@@ -134,9 +150,11 @@ bool OnlinePartitioner::depart(OnlineTaskId id) {
   res.erase(std::find(res.begin(), res.end(), slot));
   s.live = false;
   ++s.gen;  // invalidate the departed id forever
+  // hetsched-lint: allow(noalloc) arena free list, amortized after warm-up
   st_.free_slots.push_back(slot);
   --st_.resident;
   recompute_machine(j);
+  HETSCHED_AUDIT_HOOK(audit_verify_full());
   return true;
 }
 
@@ -157,6 +175,8 @@ RebalanceReport OnlinePartitioner::rebalance() {
   }
   std::sort(rb_order_.begin(), rb_order_.end(),
             [&](std::uint32_t a, std::uint32_t b) {
+              // Exact double tie-break on purpose: must reproduce the batch
+              // ordering bit for bit.  hetsched-lint: allow(float-compare)
               if (st_.slots[a].util != st_.slots[b].util) {
                 return st_.slots[a].util > st_.slots[b].util;
               }
@@ -223,6 +243,7 @@ RebalanceReport OnlinePartitioner::rebalance() {
     st_.loads = std::move(trial_loads);
   }
   rep.applied = true;
+  HETSCHED_AUDIT_HOOK(audit_verify_full(); audit_verify_canonical());
   return rep;
 }
 
@@ -234,6 +255,7 @@ void OnlinePartitioner::restore(const Snapshot& snap) {
   HETSCHED_CHECK(snap.state.residents.size() == platform_.size());
   st_ = snap.state;
   if (slack_form_ && use_tree_) tree_.build(st_.slack);
+  HETSCHED_AUDIT_HOOK(audit_verify_full());
 }
 
 void OnlinePartitioner::reserve(std::size_t tasks) {
@@ -287,6 +309,152 @@ double OnlinePartitioner::total_utilization() const {
   }
   return sum;
 }
+
+#if HETSCHED_AUDIT_ENABLED
+
+// Audit checks compare recomputed floating-point state bitwise on purpose:
+// the incremental fold and the from-scratch fold execute the same FP
+// operations in the same order, so any difference at all is a divergence.
+// hetsched-lint: allow(float-compare) applies to this whole block.
+
+void OnlinePartitioner::audit_verify_machine(std::size_t j) const {
+  HETSCHED_CHECK(j < platform_.size());
+  if (!slack_form_) {
+    // Rebuild the RTA admission state from the resident list and compare
+    // the observable fold.
+    MachineLoad expect(kind_, platform_.speed_exact(j), alpha_);
+    for (const std::uint32_t idx : st_.residents[j]) {
+      expect.admit(st_.slots[idx].task);
+    }
+    HETSCHED_CHECK_MSG(
+        // hetsched-lint: allow(float-compare)
+        expect.utilization() == st_.loads[j].utilization() &&
+            expect.tasks() == st_.loads[j].tasks(),
+        "audit: RTA machine state diverged from resident fold");
+    return;
+  }
+  double util_sum = 0.0;
+  double hyper = 1.0;
+  for (const std::uint32_t idx : st_.residents[j]) {
+    const Slot& s = st_.slots[idx];
+    HETSCHED_CHECK_MSG(s.live && s.machine == j,
+                       "audit: resident list names a dead or foreign slot");
+    // hetsched-lint: allow(float-compare)
+    HETSCHED_CHECK_MSG(s.util == s.task.utilization(),
+                       "audit: cached slot utilization is stale");
+    util_sum += s.util;
+    hyper *= s.util / capacity_[j] + 1.0;
+  }
+  const double slack =
+      admission_slack(kind_, capacity_[j], util_sum, st_.residents[j].size(),
+                      hyper);
+  // hetsched-lint: allow(float-compare) — bit-identity is the contract.
+  HETSCHED_CHECK_MSG(util_sum == st_.util_sum[j],
+                     "audit: util_sum fold diverged from recomputation");
+  // hetsched-lint: allow(float-compare)
+  HETSCHED_CHECK_MSG(hyper == st_.hyper[j],
+                     "audit: hyperbolic fold diverged from recomputation");
+  HETSCHED_CHECK_MSG(st_.count[j] == st_.residents[j].size(),
+                     "audit: task count diverged from resident list");
+  // hetsched-lint: allow(float-compare)
+  HETSCHED_CHECK_MSG(slack == st_.slack[j],
+                     "audit: slack diverged from recomputation");
+  if (use_tree_) {
+    // hetsched-lint: allow(float-compare)
+    HETSCHED_CHECK_MSG(tree_.slack_at(j) == st_.slack[j],
+                       "audit: SlackTree leaf out of sync with slack array");
+  }
+}
+
+void OnlinePartitioner::audit_verify_decision(const Task& t, double w,
+                                              std::size_t chosen) const {
+  // Replay the first-fit decision with the reference scan.  On the admit
+  // path the per-machine state has already been folded forward for the
+  // chosen machine, so reconstruct its pre-admit admissibility from the
+  // decision itself: machines left of `chosen` must reject, and `chosen`
+  // (when a machine was picked) must have admitted — which for slack-form
+  // kinds we can still check because only machine `chosen` mutated.
+  const std::size_t m = platform_.size();
+  const std::size_t stop = chosen == kNoMachine ? m : chosen;
+  for (std::size_t j = 0; j < stop; ++j) {
+    const bool admits =
+        slack_form_ ? w <= st_.slack[j] : st_.loads[j].can_admit(t);
+    HETSCHED_CHECK_MSG(!admits,
+                       "audit: first fit skipped an admitting machine");
+  }
+  if (chosen != kNoMachine && slack_form_) {
+    // Undo the fold on the chosen machine: recompute its pre-admit state
+    // from the residents minus the newest arrival (the last list entry).
+    double util_sum = 0.0;
+    double hyper = 1.0;
+    std::size_t count = 0;
+    const auto& res = st_.residents[chosen];
+    for (std::size_t k = 0; k + 1 < res.size(); ++k) {
+      const double u = st_.slots[res[k]].util;
+      util_sum += u;
+      hyper *= u / capacity_[chosen] + 1.0;
+      ++count;
+    }
+    const double pre_slack =
+        admission_slack(kind_, capacity_[chosen], util_sum, count, hyper);
+    HETSCHED_CHECK_MSG(w <= pre_slack,
+                       "audit: first fit placed on a rejecting machine");
+  }
+}
+
+void OnlinePartitioner::audit_verify_full() const {
+  const std::size_t m = platform_.size();
+  std::size_t resident = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    audit_verify_machine(j);
+    resident += st_.residents[j].size();
+  }
+  HETSCHED_CHECK_MSG(resident == st_.resident,
+                     "audit: resident count diverged from machine lists");
+  std::size_t live = 0;
+  for (const Slot& s : st_.slots) {
+    if (s.live) ++live;
+  }
+  HETSCHED_CHECK_MSG(live == st_.resident,
+                     "audit: live slot count diverged from resident count");
+  HETSCHED_CHECK_MSG(st_.free_slots.size() + live == st_.slots.size(),
+                     "audit: slot arena leaked or double-freed a slot");
+}
+
+void OnlinePartitioner::audit_verify_canonical() const {
+  // The controller just committed the canonical re-pack, so batch first fit
+  // over the residents (laid out in admission order, the batch tie-break)
+  // must reproduce the live assignment bit for bit — this is the
+  // bit-identity bridge between the online state and the batch oracle.
+  std::vector<std::uint32_t> order;
+  order.reserve(st_.resident);
+  for (std::uint32_t i = 0; i < st_.slots.size(); ++i) {
+    if (st_.slots[i].live) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return st_.slots[a].seq < st_.slots[b].seq;
+            });
+  std::vector<Task> tasks;
+  tasks.reserve(order.size());
+  for (const std::uint32_t idx : order) tasks.push_back(st_.slots[idx].task);
+  const PartitionResult oracle = first_fit_partition(
+      TaskSet(std::move(tasks)), platform_, kind_, alpha_,
+      use_tree_ ? PartitionEngine::kSegmentTree : PartitionEngine::kNaive);
+  HETSCHED_CHECK_MSG(oracle.feasible,
+                     "audit: batch oracle rejects the committed re-pack");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    HETSCHED_CHECK_MSG(oracle.assignment[i] == st_.slots[order[i]].machine,
+                       "audit: online assignment diverged from batch oracle");
+  }
+  for (std::size_t j = 0; j < platform_.size(); ++j) {
+    // hetsched-lint: allow(float-compare) — bit-identity is the contract.
+    HETSCHED_CHECK_MSG(oracle.machine_utilization[j] == machine_utilization(j),
+                       "audit: per-machine load diverged from batch oracle");
+  }
+}
+
+#endif  // HETSCHED_AUDIT_ENABLED
 
 std::string OnlinePartitioner::to_string() const {
   std::ostringstream os;

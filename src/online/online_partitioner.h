@@ -167,6 +167,15 @@ class OnlinePartitioner {
   std::size_t find_machine(const Task& t, double w) const;
   void apply_admit(std::size_t j, double w, const Task& t);
   void recompute_machine(std::size_t j);
+#if HETSCHED_AUDIT_ENABLED
+  // Shadow-oracle checks (see partition/audit.h).  Machine-local fold
+  // recomputation, first-fit decision replay, whole-state invariants, and
+  // bit-identity of the canonical state with the batch oracle.
+  void audit_verify_machine(std::size_t j) const;
+  void audit_verify_decision(const Task& t, double w, std::size_t chosen) const;
+  void audit_verify_full() const;
+  void audit_verify_canonical() const;
+#endif
   static OnlineTaskId make_id(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<OnlineTaskId>(gen) << 32) | slot;
   }

@@ -61,6 +61,7 @@ double admission_slack(AdmissionKind kind, double capacity, double util_sum,
 // code path shared by the batch scratch engine (online/first_fit.cc) and
 // the stateful controller (online/online_partitioner.h); keeping it in one
 // place is what keeps the two bit-identical.
+// HETSCHED_NOALLOC
 inline void admission_fold_step(AdmissionKind kind, double w, double capacity,
                                 double& util_sum, double& hyper_product,
                                 std::size_t& task_count, double& slack) {

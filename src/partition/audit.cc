@@ -1,0 +1,17 @@
+#include "partition/audit.h"
+
+#if HETSCHED_AUDIT_ENABLED
+
+namespace hetsched::audit {
+
+namespace {
+thread_local int audit_depth = 0;
+}  // namespace
+
+Scope::Scope() : active_(audit_depth == 0) { ++audit_depth; }
+
+Scope::~Scope() { --audit_depth; }
+
+}  // namespace hetsched::audit
+
+#endif  // HETSCHED_AUDIT_ENABLED

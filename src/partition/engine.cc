@@ -34,29 +34,37 @@ PartitionEngine resolve_engine(PartitionEngine e, AdmissionKind kind) {
   return PartitionEngine::kSegmentTree;
 }
 
+// HETSCHED_NOALLOC (storage grows only until the largest m has been seen)
 void SlackTree::build(std::span<const double> slack) {
   m_ = slack.size();
   leaves_ = 1;
   while (leaves_ < m_) leaves_ *= 2;
-  node_.resize(2 * leaves_);
-  std::copy(slack.begin(), slack.end(), node_.begin() + static_cast<std::ptrdiff_t>(leaves_));
+  node_.resize(2 * leaves_);  // hetsched-lint: allow(noalloc) warm-up growth
+  std::copy(slack.begin(), slack.end(),
+            node_.begin() + static_cast<std::ptrdiff_t>(leaves_));
   std::fill(node_.begin() + static_cast<std::ptrdiff_t>(leaves_ + m_),
             node_.end(), -std::numeric_limits<double>::infinity());
   for (std::size_t i = leaves_ - 1; i >= 1; --i) {
     node_[i] = std::max(node_[2 * i], node_[2 * i + 1]);
   }
+  HETSCHED_AUDIT_HOOK(audit_verify_heap());
 }
 
 std::size_t SlackTree::find_first_at_least(double w) const {
-  if (m_ == 0 || node_[1] < w) return npos;
+  if (m_ == 0 || node_[1] < w) {
+    HETSCHED_AUDIT_HOOK(audit_verify_find(w, npos));
+    return npos;
+  }
   std::size_t i = 1;
   while (i < leaves_) {
     i *= 2;
     if (node_[i] < w) ++i;  // left subtree's max too small -> go right
   }
+  HETSCHED_AUDIT_HOOK(audit_verify_find(w, i - leaves_));
   return i - leaves_;
 }
 
+// HETSCHED_NOALLOC
 void SlackTree::update(std::size_t j, double slack) {
   HETSCHED_CHECK(j < m_);
   std::size_t i = leaves_ + j;
@@ -64,6 +72,41 @@ void SlackTree::update(std::size_t j, double slack) {
   for (i /= 2; i >= 1; i /= 2) {
     node_[i] = std::max(node_[2 * i], node_[2 * i + 1]);
   }
+  HETSCHED_AUDIT_HOOK(audit_verify_heap());
 }
+
+#if HETSCHED_AUDIT_ENABLED
+
+void SlackTree::audit_verify_heap() const {
+  HETSCHED_CHECK_MSG(leaves_ >= m_ && node_.size() == 2 * leaves_,
+                     "audit: SlackTree geometry");
+  for (std::size_t j = m_; j < leaves_; ++j) {
+    HETSCHED_CHECK_MSG(
+        node_[leaves_ + j] == -std::numeric_limits<double>::infinity(),
+        "audit: SlackTree padding leaf not -inf");
+  }
+  for (std::size_t i = 1; i < leaves_; ++i) {
+    const double expected_max = std::max(node_[2 * i], node_[2 * i + 1]);
+    // Bitwise comparison on purpose: the tree must mirror the slack array
+    // exactly, NaNs included.  hetsched-lint: allow(float-compare)
+    HETSCHED_CHECK_MSG(node_[i] == expected_max,
+                       "audit: SlackTree internal node != max(children)");
+  }
+}
+
+void SlackTree::audit_verify_find(double w, std::size_t result) const {
+  // Reference answer: naive leftmost scan over the live leaves.
+  std::size_t expect = npos;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (node_[leaves_ + j] >= w) {
+      expect = j;
+      break;
+    }
+  }
+  HETSCHED_CHECK_MSG(result == expect,
+                     "audit: SlackTree descent disagrees with naive scan");
+}
+
+#endif  // HETSCHED_AUDIT_ENABLED
 
 }  // namespace hetsched

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "partition/admission.h"
+#include "partition/audit.h"
 
 namespace hetsched {
 
@@ -63,6 +64,13 @@ class SlackTree {
   void update(std::size_t j, double slack);
 
  private:
+#if HETSCHED_AUDIT_ENABLED
+  // Audit-build invariants: every internal node is the max of its children,
+  // padding leaves are -inf, and a descent answer matches the naive
+  // leftmost scan over the leaves.
+  void audit_verify_heap() const;
+  void audit_verify_find(double w, std::size_t result) const;
+#endif
   std::size_t m_ = 0;
   std::size_t leaves_ = 0;    // leaf count, power of two (padding = -inf)
   std::vector<double> node_;  // 1-based heap layout; node_[1] is the root

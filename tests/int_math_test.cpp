@@ -1,7 +1,10 @@
-// Unit tests for overflow-checked integer helpers (util/int_math.h).
+// Unit tests for overflow-checked integer helpers (util/int_math.h) and
+// the 128-bit widening type (util/int128.h).
 #include "util/int_math.h"
 
 #include <gtest/gtest.h>
+
+#include "util/int128.h"
 
 #include <cmath>
 #include <limits>
@@ -78,6 +81,68 @@ TEST(IntMath, CeilDiv) {
   EXPECT_EQ(ceil_div(7, -2), -3);
   EXPECT_EQ(ceil_div(-7, -2), 4);
   EXPECT_EQ(ceil_div(6, 2), 3);
+}
+
+// Boundary coverage at the INT64 extremes (run under UBSan in CI: every
+// operation here must be overflow-checked, never wrap).
+TEST(IntMath, CheckedMulNearInt64Max) {
+  // floor(sqrt(2^63 - 1)) = 3037000499: the largest n with n * n <= kMax.
+  constexpr std::int64_t kSqrtMax = 3'037'000'499;
+  EXPECT_EQ(checked_mul(kSqrtMax, kSqrtMax), kSqrtMax * kSqrtMax);
+  EXPECT_EQ(checked_mul(kSqrtMax + 1, kSqrtMax + 1), std::nullopt);
+  EXPECT_EQ(checked_mul(kMax, 1), kMax);
+  EXPECT_EQ(checked_mul(kMax, 2), std::nullopt);
+  EXPECT_EQ(checked_mul(kMax / 2, 2), kMax - 1);
+  // The one negation that does not fit: -kMin == 2^63 > kMax.
+  EXPECT_EQ(checked_mul(kMin, -1), std::nullopt);
+  EXPECT_EQ(checked_mul(kMin, 1), kMin);
+}
+
+TEST(IntMath, CheckedAddSubAtExtremes) {
+  EXPECT_EQ(checked_add(kMax, 0), kMax);
+  EXPECT_EQ(checked_add(kMin, -1), std::nullopt);
+  EXPECT_EQ(checked_add(kMax, kMin), -1);
+  EXPECT_EQ(checked_sub(0, kMin), std::nullopt);  // -kMin overflows
+  EXPECT_EQ(checked_sub(-1, kMax), kMin);
+}
+
+TEST(IntMath, CheckedLcmAtInt64Boundary) {
+  EXPECT_EQ(checked_lcm(kMax, kMax), kMax);
+  // kMax and kMax - 1 are coprime, so their lcm is their (overflowing)
+  // product.
+  EXPECT_EQ(checked_lcm(kMax - 1, kMax), std::nullopt);
+  EXPECT_EQ(checked_lcm(std::int64_t{1} << 62, 2), std::int64_t{1} << 62);
+}
+
+TEST(IntMath, HyperperiodRejectsNonPositivePeriods) {
+  const std::vector<std::int64_t> negative = {10, -5};
+  const std::vector<std::int64_t> zero = {10, 0};
+  EXPECT_DEATH(hyperperiod(negative), "p > 0");
+  EXPECT_DEATH(hyperperiod(zero), "p > 0");
+}
+
+TEST(IntMath, FloorCeilDivAtExtremes) {
+  EXPECT_EQ(floor_div(kMin, 1), kMin);
+  EXPECT_EQ(ceil_div(kMax, 1), kMax);
+  EXPECT_EQ(floor_div(kMin + 1, -1), kMax);
+  EXPECT_EQ(ceil_div(kMin + 1, -1), kMax);
+  EXPECT_EQ(floor_div(kMax, -1), -kMax);
+  EXPECT_EQ(ceil_div(kMax, -1), -kMax);
+}
+
+// int128 is the widening type every Rational product funnels through; pin
+// that full 64x64 products survive the round trip.
+TEST(IntMath, Int128HoldsFull64BitProducts) {
+  const int128 p = static_cast<int128>(kMax) * kMax;
+  EXPECT_EQ(p / kMax, static_cast<int128>(kMax));
+  EXPECT_EQ(p % kMax, 0);
+  const int128 q = static_cast<int128>(kMin) * kMin;
+  EXPECT_GT(q, 0);  // (-2^63)^2 = 2^126 is positive and representable
+  EXPECT_EQ(q / kMin, static_cast<int128>(kMin));
+  EXPECT_EQ(static_cast<std::int64_t>(static_cast<int128>(kMin)), kMin);
+  const uint128 u = static_cast<uint128>(std::uint64_t{0} - 1) *
+                    (std::uint64_t{0} - 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(u), 1u);  // (2^64-1)^2 mod 2^64
 }
 
 TEST(IntMath, FloorCeilConsistency) {

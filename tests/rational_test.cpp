@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -122,6 +123,62 @@ TEST(Rational, FromDoubleApproximatesIrrational) {
   const Rational r = rational_from_double(3.14159265358979, 1'000'000);
   EXPECT_NEAR(r.to_double(), 3.14159265358979, 1e-10);
   EXPECT_LE(r.den(), 1'000'000);
+}
+
+// Boundary behaviour at the int64 extremes.  Every product funnels through
+// reduce128, so values survive as long as the REDUCED result fits — and the
+// overflow CHECK must fire (not wrap) the moment it does not.  CI runs this
+// suite under UBSan, which would flag any signed wraparound on the way.
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+
+TEST(Rational, MulNearInt64MaxReducesThroughInt128) {
+  // (kMax/2) * (2/kMax) == 1: the intermediate products kMax*2 and 2*kMax
+  // exceed int64 and only survive because reduction happens at 128 bits.
+  const Rational a(kI64Max, 2);
+  const Rational b(2, kI64Max);
+  EXPECT_EQ(a * b, Rational(1));
+  // Widest representable magnitudes round-trip through self-division.
+  const Rational big(kI64Max, 1);
+  EXPECT_EQ(big / big, Rational(1));
+  EXPECT_EQ(big * Rational(1, kI64Max), Rational(1));
+  // Sum with matching denominator stays exactly representable.
+  EXPECT_EQ(Rational(kI64Max - 1, 2) + Rational(1, 2), Rational(kI64Max, 2));
+}
+
+TEST(Rational, OverflowAfterReductionAborts) {
+  const Rational big(kI64Max, 1);
+  EXPECT_DEATH(big * big, "overflow after reduction");
+  EXPECT_DEATH(big + Rational(1), "overflow after reduction");
+  // 1/kMin reduces to -1/2^63, whose denominator does not fit.
+  EXPECT_DEATH(Rational(1, kI64Min), "overflow after reduction");
+}
+
+TEST(Rational, NegationOfInt64MinAborts) {
+  const Rational lowest(kI64Min, 1);
+  EXPECT_DEATH(-lowest, "num_");
+  // One above the edge is fine.
+  EXPECT_EQ(-Rational(kI64Min + 1, 1), Rational(kI64Max, 1));
+}
+
+TEST(Rational, NegativeDenominatorAtBoundaryNormalizes) {
+  // kMin + 1 == -kMax, so the sign flip lands exactly on the edge.
+  const Rational r(kI64Max, kI64Min + 1);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 1);
+  const Rational s(1, -kI64Max);
+  EXPECT_EQ(s.num(), -1);
+  EXPECT_EQ(s.den(), kI64Max);
+}
+
+TEST(Rational, ComparisonWidensThroughInt128) {
+  // Cross products kMax * kMax would overflow int64; ordering must still
+  // be exact.
+  const Rational a(kI64Max, kI64Max - 2);
+  const Rational b(kI64Max - 1, kI64Max - 2);
+  EXPECT_LT(b, a);
+  EXPECT_GT(Rational(kI64Max, 1), Rational(kI64Max - 1, 1));
+  EXPECT_LT(Rational(kI64Min + 1, 1), Rational(kI64Min + 2, 1));
 }
 
 // Property: field axioms hold on random small rationals.

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace hetsched {
@@ -68,6 +70,38 @@ TEST(ThreadPool, SequentialSumMatchesParallel) {
   });
   const long sum = std::accumulate(out.begin(), out.end(), 0L);
   EXPECT_EQ(sum, static_cast<long>(kN * (kN - 1)));
+}
+
+// Destroying the pool with tasks still queued must drain them, not drop
+// them: workers only exit once the queue is empty, and the destructor
+// joins every worker.  A shutdown path that discarded the backlog would
+// silently lose sweep shards — this pins the drain-then-join contract.
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    // No wait_idle(): the destructor races a still-deep backlog.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// Same contract at the single-worker degenerate point, where the
+// destructor's notify_all lands while the lone worker is mid-task.
+TEST(ThreadPool, DestructionWithSingleWorkerAndDeepBacklog) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {

@@ -1,0 +1,667 @@
+// hetsched_lint — repo-specific static checks no generic tool enforces.
+//
+// The library's correctness story rests on contracts that live between the
+// lines of the C++ type system, so clang-tidy cannot see them:
+//
+//   [float-compare]   Raw `==`/`!=` on doubles is forbidden outside
+//                     src/util/ and analysis_constants.h.  The engines'
+//                     bit-identity guarantees make exact FP comparison a
+//                     deliberate, documented act — every remaining site
+//                     must carry `hetsched-lint: allow(float-compare)`.
+//   [assert-abort]    Library code must fail through HETSCHED_CHECK* (one
+//                     abort path, with source location and a message), not
+//                     bare assert()/abort(), which NDEBUG silently strips
+//                     or which lose the diagnostic.
+//   [nondeterminism]  std::random_device, rand()/srand(), and unseeded
+//                     standard engines break the repo's determinism
+//                     contract (every experiment replays bit-for-bit from
+//                     a seed); all randomness must flow through util/rng.h.
+//   [noalloc]         Functions annotated `// HETSCHED_NOALLOC` are the
+//                     warm admit/depart and first_fit_accepts paths, which
+//                     must not allocate: `new`, `delete`, std::function
+//                     construction, and push_back/emplace_back/resize/
+//                     reserve on anything that is not a PartitionScratch
+//                     member are flagged.  Amortized arena growth is
+//                     suppressed per line with
+//                     `hetsched-lint: allow(noalloc)`.
+//
+// Scanning is lexical (comments and string literals are stripped first);
+// the rules are tuned to this codebase and verified two ways by CTest:
+// `lint_tree` must report zero violations on src/, and `lint_fixtures`
+// runs every file in tools/lint/testdata/ and requires each declared
+// `EXPECT-VIOLATION: <rule>` to fire — so a rule that silently stops
+// matching fails CI just like a rule that starts firing on clean code.
+//
+// Usage:
+//   hetsched_lint --root <repo-root>      # scan <repo-root>/src
+//   hetsched_lint --fixtures <dir>        # self-test against fixtures
+//   hetsched_lint <file>...               # scan specific files
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::string path;
+  std::vector<std::string> raw;   // original lines
+  std::vector<std::string> code;  // comments and literals blanked out
+};
+
+// rule -> 1-based line numbers where the rule is suppressed.
+using SuppressionMap = std::map<std::string, std::set<std::size_t>>;
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Blanks out comments, string literals, and char literals, preserving line
+// structure so diagnostics keep their line numbers.
+std::vector<std::string> strip_comments_and_literals(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            code[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+// A `hetsched-lint: allow(<rule>)` comment suppresses <rule> on its own
+// line and on the line after it (so the comment can sit above the code).
+SuppressionMap collect_suppressions(const std::vector<std::string>& raw) {
+  SuppressionMap out;
+  const std::string marker = "hetsched-lint: allow(";
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::size_t pos = 0;
+    while ((pos = raw[i].find(marker, pos)) != std::string::npos) {
+      pos += marker.size();
+      const std::size_t close = raw[i].find(')', pos);
+      if (close == std::string::npos) break;
+      const std::string rule = raw[i].substr(pos, close - pos);
+      out[rule].insert(i + 1);
+      out[rule].insert(i + 2);
+      pos = close;
+    }
+  }
+  return out;
+}
+
+bool suppressed(const SuppressionMap& sup, const std::string& rule,
+                std::size_t line) {
+  const auto it = sup.find(rule);
+  return it != sup.end() && it->second.count(line) > 0;
+}
+
+// True if `text` contains `token` as a whole identifier at some position;
+// reports the first such position via `*pos`.
+bool find_word(const std::string& text, const std::string& token,
+               std::size_t* pos, std::size_t start = 0) {
+  for (std::size_t at = text.find(token, start); at != std::string::npos;
+       at = text.find(token, at + 1)) {
+    const bool left_ok = at == 0 || !is_ident_char(text[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) {
+      *pos = at;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- float-compare
+
+bool path_exempt_from_float_rule(const std::string& path) {
+  return path.find("/util/") != std::string::npos ||
+         path.find("analysis_constants.h") != std::string::npos;
+}
+
+// Floating-point literal ending at (exclusive) position `end`.
+bool float_literal_ends_at(const std::string& s, std::size_t end) {
+  std::size_t i = end;
+  bool digits = false;
+  bool dot = false;
+  while (i > 0) {
+    const char c = s[i - 1];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digits = true;
+    } else if (c == '.') {
+      dot = true;
+    } else if (c == 'e' || c == 'E' || c == '+' || c == '-' || c == 'f') {
+      // exponent / suffix chars; keep scanning
+    } else {
+      break;
+    }
+    --i;
+  }
+  return digits && dot;
+}
+
+// Floating-point literal starting at position `start`.
+bool float_literal_starts_at(const std::string& s, std::size_t start) {
+  std::size_t i = start;
+  bool digits = false;
+  bool dot = false;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digits = true;
+    } else if (c == '.') {
+      dot = true;
+    } else if (c == 'e' || c == 'E' || c == 'f' ||
+               ((c == '+' || c == '-') && i > start &&
+                (s[i - 1] == 'e' || s[i - 1] == 'E'))) {
+      // exponent / suffix chars; keep scanning
+    } else {
+      break;
+    }
+    ++i;
+  }
+  return digits && dot;
+}
+
+// Last identifier before position `end` (an operand like `a.b[i]` reports
+// `b`: for member chains the final member name is what the double-name set
+// indexes).
+std::string last_ident_before(const std::string& s, std::size_t end) {
+  std::size_t i = end;
+  while (i > 0 && !is_ident_char(s[i - 1])) {
+    const char c = s[i - 1];
+    // Stop at anything that is not part of a postfix expression.
+    if (c != ' ' && c != ']' && c != ')' && c != '[') return "";
+    --i;
+  }
+  const std::size_t stop = i;
+  while (i > 0 && is_ident_char(s[i - 1])) --i;
+  if (i == stop) return "";
+  return s.substr(i, stop - i);
+}
+
+// First operand after position `start`, following member chains: for
+// `speeds.size()` the compared value is `.size()`'s result, so the LAST
+// member name in the chain is reported (mirroring last_ident_before).
+std::string first_ident_after(const std::string& s, std::size_t start) {
+  std::size_t i = start;
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '(' || s[i] == '-' || s[i] == '+')) {
+    ++i;
+  }
+  std::size_t from = i;
+  while (i < s.size() && is_ident_char(s[i])) ++i;
+  std::string name = s.substr(from, i - from);
+  while (i < s.size()) {
+    if (s[i] == '(' || s[i] == '[') {
+      const char open = s[i];
+      const char close = open == '(' ? ')' : ']';
+      int depth = 0;
+      while (i < s.size()) {
+        if (s[i] == open) ++depth;
+        if (s[i] == close && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    } else if (s[i] == '.' && i + 1 < s.size() && is_ident_char(s[i + 1])) {
+      from = ++i;
+      while (i < s.size() && is_ident_char(s[i])) ++i;
+      name = s.substr(from, i - from);
+    } else {
+      break;
+    }
+  }
+  return name;
+}
+
+// Names declared with double type: `double x`, `double& x`,
+// `std::vector<double> xs`, `span<const double> xs`, including function
+// names with a double return type.  Each file is checked against the names
+// declared in headers (the API surface every TU sees) plus its own — NOT
+// against other .cc files' locals, whose short names (`double s`, `double
+// m`) would false-positive integer comparisons across the tree.
+void collect_double_names(const FileText& file, std::set<std::string>* names) {
+  static const std::vector<std::string> kPrefixes = {
+      "double", "vector<double>", "span<const double>", "span<double>"};
+  for (const std::string& line : file.code) {
+    for (const std::string& prefix : kPrefixes) {
+      std::size_t pos = 0;
+      while ((pos = line.find(prefix, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        std::size_t i = pos + prefix.size();
+        pos = i;
+        if (!left_ok) continue;
+        while (i < line.size() && (line[i] == ' ' || line[i] == '&')) ++i;
+        const std::size_t from = i;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        if (i > from && !std::isdigit(static_cast<unsigned char>(line[from]))) {
+          names->insert(line.substr(from, i - from));
+        }
+      }
+    }
+  }
+}
+
+void check_float_compare(const FileText& file,
+                         const std::set<std::string>& double_names,
+                         const SuppressionMap& sup,
+                         std::vector<Violation>* out) {
+  if (path_exempt_from_float_rule(file.path)) return;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+      const char c = line[i];
+      if ((c != '=' && c != '!') || line[i + 1] != '=') continue;
+      // Exclude <=, >=, ==/= chains, and operator==/!= declarations.
+      if (i > 0 && (line[i - 1] == '<' || line[i - 1] == '>' ||
+                    line[i - 1] == '=' || line[i - 1] == '!')) {
+        continue;
+      }
+      if (i + 2 < line.size() && line[i + 2] == '=') continue;
+      const std::size_t op_end = i + 2;
+      const std::string left = last_ident_before(line, i);
+      if (left == "operator") continue;
+      const std::string right = first_ident_after(line, op_end);
+      const bool left_fp = float_literal_ends_at(line, i > 0 ? i - 1 : 0) ||
+                           double_names.count(left) > 0;
+      std::size_t r = op_end;
+      while (r < line.size() && line[r] == ' ') ++r;
+      const bool right_fp = float_literal_starts_at(line, r) ||
+                            double_names.count(right) > 0;
+      if (!left_fp && !right_fp) continue;
+      if (suppressed(sup, "float-compare", li + 1)) continue;
+      out->push_back({file.path, li + 1, "float-compare",
+                      "raw ==/!= on double (use an explicit tolerance, or "
+                      "document exactness with hetsched-lint: "
+                      "allow(float-compare))"});
+      ++i;  // do not re-flag the same operator
+    }
+  }
+}
+
+// ------------------------------------------------------------ assert-abort
+
+void check_assert_abort(const FileText& file, const SuppressionMap& sup,
+                        std::vector<Violation>* out) {
+  if (file.path.find("util/check.h") != std::string::npos) return;
+  static const std::vector<std::string> kBanned = {"assert", "abort"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (const std::string& token : kBanned) {
+      std::size_t pos = 0;
+      std::size_t from = 0;
+      while (find_word(line, token, &pos, from)) {
+        from = pos + token.size();
+        std::size_t after = pos + token.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        const bool is_call = after < line.size() && line[after] == '(';
+        const bool qualified =
+            pos >= 5 && line.compare(pos - 5, 5, "std::") == 0;
+        if (!is_call && !qualified) continue;
+        if (suppressed(sup, "assert-abort", li + 1)) continue;
+        out->push_back({file.path, li + 1, "assert-abort",
+                        "library code must fail through HETSCHED_CHECK*, "
+                        "not " + token + "()"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- nondeterminism
+
+void check_nondeterminism(const FileText& file, const SuppressionMap& sup,
+                          std::vector<Violation>* out) {
+  static const std::vector<std::string> kBanned = {
+      "random_device", "srand", "rand", "mt19937", "mt19937_64",
+      "default_random_engine", "minstd_rand", "minstd_rand0"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (const std::string& token : kBanned) {
+      std::size_t pos = 0;
+      if (!find_word(line, token, &pos)) continue;
+      // `rand`/`srand` only count as calls or std:: references; the engine
+      // and device names are banned in any position (declaration, member,
+      // template argument) because a seeded std engine is still a
+      // determinism hazard across libstdc++ versions.
+      if (token == "rand" || token == "srand") {
+        std::size_t after = pos + token.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        const bool is_call = after < line.size() && line[after] == '(';
+        const bool qualified =
+            pos >= 5 && line.compare(pos - 5, 5, "std::") == 0;
+        if (!is_call && !qualified) continue;
+      }
+      if (suppressed(sup, "nondeterminism", li + 1)) continue;
+      out->push_back({file.path, li + 1, "nondeterminism",
+                      token + " breaks the determinism contract; all "
+                      "randomness must flow through util/rng.h"});
+    }
+  }
+}
+
+// ----------------------------------------------------------------- noalloc
+
+// Receivers rooted in a PartitionScratch (`s.`, `scratch.`, or any name
+// containing "scratch") may warm up their storage.
+bool scratch_receiver(const std::string& receiver) {
+  if (receiver.find("scratch") != std::string::npos) return true;
+  return receiver == "s" || receiver.rfind("s.", 0) == 0;
+}
+
+// Receiver chain before a `.member(` call site, e.g. `st_.residents[j]`.
+std::string receiver_before(const std::string& s, std::size_t dot) {
+  std::size_t i = dot;
+  int bracket_depth = 0;
+  while (i > 0) {
+    const char c = s[i - 1];
+    if (c == ']' || c == ')') {
+      ++bracket_depth;
+    } else if (c == '[' || c == '(') {
+      if (bracket_depth == 0) break;
+      --bracket_depth;
+    } else if (bracket_depth == 0 && !is_ident_char(c) && c != '.' &&
+               c != '_') {
+      break;
+    }
+    --i;
+  }
+  return s.substr(i, dot - i);
+}
+
+void check_noalloc(const FileText& file, const SuppressionMap& sup,
+                   std::vector<Violation>* out) {
+  static const std::vector<std::string> kMemberCalls = {
+      "push_back", "emplace_back", "resize", "reserve", "shrink_to_fit"};
+  static const std::vector<std::string> kBannedWords = {
+      "new", "delete", "make_unique", "make_shared"};
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    if (file.raw[li].find("// HETSCHED_NOALLOC") == std::string::npos) {
+      continue;
+    }
+    // Find the annotated function's body: first `{` after the annotation,
+    // then match braces.
+    std::size_t open_line = li + 1;
+    std::size_t open_col = std::string::npos;
+    for (; open_line < file.code.size() && open_line < li + 12; ++open_line) {
+      open_col = file.code[open_line].find('{');
+      if (open_col != std::string::npos) break;
+    }
+    if (open_col == std::string::npos) {
+      out->push_back({file.path, li + 1, "noalloc",
+                      "HETSCHED_NOALLOC annotation with no function body "
+                      "within 10 lines"});
+      continue;
+    }
+    int depth = 0;
+    std::size_t body_end = file.code.size();
+    for (std::size_t bl = open_line; bl < file.code.size(); ++bl) {
+      const std::string& line = file.code[bl];
+      const std::size_t start = bl == open_line ? open_col : 0;
+      for (std::size_t ci = start; ci < line.size(); ++ci) {
+        if (line[ci] == '{') ++depth;
+        if (line[ci] == '}') --depth;
+        if (depth == 0) {
+          body_end = bl + 1;
+          break;
+        }
+      }
+      if (body_end != file.code.size()) break;
+    }
+    for (std::size_t bl = open_line; bl < body_end; ++bl) {
+      const std::string& line = file.code[bl];
+      for (const std::string& word : kBannedWords) {
+        std::size_t pos = 0;
+        if (!find_word(line, word, &pos)) continue;
+        if (suppressed(sup, "noalloc", bl + 1)) continue;
+        out->push_back({file.path, bl + 1, "noalloc",
+                        "`" + word + "` inside a HETSCHED_NOALLOC function"});
+      }
+      std::size_t fpos = line.find("std::function");
+      if (fpos != std::string::npos && !suppressed(sup, "noalloc", bl + 1)) {
+        out->push_back({file.path, bl + 1, "noalloc",
+                        "std::function construction inside a "
+                        "HETSCHED_NOALLOC function"});
+      }
+      for (const std::string& call : kMemberCalls) {
+        std::size_t pos = 0;
+        std::size_t from = 0;
+        while (find_word(line, call, &pos, from)) {
+          from = pos + call.size();
+          if (pos == 0 || line[pos - 1] != '.') continue;
+          const std::size_t after = pos + call.size();
+          if (after >= line.size() || line[after] != '(') continue;
+          const std::string receiver = receiver_before(line, pos - 1);
+          if (scratch_receiver(receiver)) continue;
+          if (suppressed(sup, "noalloc", bl + 1)) continue;
+          out->push_back(
+              {file.path, bl + 1, "noalloc",
+               "." + call + "() on non-scratch `" + receiver +
+                   "` inside a HETSCHED_NOALLOC function"});
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ driver
+
+bool read_file(const std::string& path, FileText* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->path = path;
+  std::string line;
+  while (std::getline(in, line)) out->raw.push_back(line);
+  out->code = strip_comments_and_literals(out->raw);
+  return true;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+std::vector<Violation> scan_batch(const std::vector<FileText>& files) {
+  std::set<std::string> header_names;
+  for (const FileText& f : files) {
+    if (is_header(f.path)) collect_double_names(f, &header_names);
+  }
+  std::vector<Violation> violations;
+  for (const FileText& f : files) {
+    std::set<std::string> double_names = header_names;
+    collect_double_names(f, &double_names);
+    const auto sup = collect_suppressions(f.raw);
+    check_float_compare(f, double_names, sup, &violations);
+    check_assert_abort(f, sup, &violations);
+    check_nondeterminism(f, sup, &violations);
+    check_noalloc(f, sup, &violations);
+  }
+  return violations;
+}
+
+void print_violations(const std::vector<Violation>& violations) {
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+}
+
+bool scannable_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h";
+}
+
+int scan_tree(const std::string& root) {
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::is_directory(src)) {
+    std::fprintf(stderr, "hetsched_lint: no src/ under %s\n", root.c_str());
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && scannable_source(entry.path())) {
+      paths.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<FileText> files;
+  for (const std::string& p : paths) {
+    FileText f;
+    if (!read_file(p, &f)) {
+      std::fprintf(stderr, "hetsched_lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+  const std::vector<Violation> violations = scan_batch(files);
+  print_violations(violations);
+  std::fprintf(stderr, "hetsched_lint: %zu file(s), %zu violation(s)\n",
+               files.size(), violations.size());
+  return violations.empty() ? 0 : 1;
+}
+
+// Fixture mode: every file in `dir` is scanned on its own (so fixture
+// declarations do not leak into each other's double-name sets), and the
+// multiset of fired rules must equal the file's EXPECT-VIOLATION lines.
+int run_fixtures(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "hetsched_lint: no fixture dir %s\n", dir.c_str());
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      paths.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "hetsched_lint: fixture dir %s is empty\n",
+                 dir.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& p : paths) {
+    FileText f;
+    if (!read_file(p, &f)) {
+      std::fprintf(stderr, "hetsched_lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    std::vector<std::string> expected;
+    const std::string marker = "EXPECT-VIOLATION:";
+    for (const std::string& line : f.raw) {
+      const std::size_t pos = line.find(marker);
+      if (pos == std::string::npos) continue;
+      std::istringstream rest(line.substr(pos + marker.size()));
+      std::string rule;
+      rest >> rule;
+      if (!rule.empty()) expected.push_back(rule);
+    }
+    std::vector<FileText> batch;
+    batch.push_back(std::move(f));
+    std::vector<std::string> fired;
+    const std::vector<Violation> violations = scan_batch(batch);
+    fired.reserve(violations.size());
+    for (const Violation& v : violations) fired.push_back(v.rule);
+    std::sort(expected.begin(), expected.end());
+    std::sort(fired.begin(), fired.end());
+    if (expected != fired) {
+      ++failures;
+      std::fprintf(stderr, "hetsched_lint: fixture mismatch in %s\n",
+                   p.c_str());
+      std::fprintf(stderr, "  expected:");
+      for (const std::string& r : expected) {
+        std::fprintf(stderr, " %s", r.c_str());
+      }
+      std::fprintf(stderr, "\n  fired:   ");
+      for (const std::string& r : fired) std::fprintf(stderr, " %s", r.c_str());
+      std::fprintf(stderr, "\n");
+      print_violations(violations);
+    }
+  }
+  std::fprintf(stderr, "hetsched_lint: %zu fixture(s), %d mismatch(es)\n",
+               paths.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--root") return scan_tree(args[1]);
+  if (args.size() == 2 && args[0] == "--fixtures") {
+    return run_fixtures(args[1]);
+  }
+  if (!args.empty() && args[0][0] != '-') {
+    std::vector<FileText> files;
+    for (const std::string& p : args) {
+      FileText f;
+      if (!read_file(p, &f)) {
+        std::fprintf(stderr, "hetsched_lint: cannot read %s\n", p.c_str());
+        return 2;
+      }
+      files.push_back(std::move(f));
+    }
+    const std::vector<Violation> violations = scan_batch(files);
+    print_violations(violations);
+    return violations.empty() ? 0 : 1;
+  }
+  std::fprintf(stderr,
+               "usage: hetsched_lint --root <repo-root> | --fixtures <dir> "
+               "| <file>...\n");
+  return 2;
+}

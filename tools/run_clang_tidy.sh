@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Runs clang-tidy over the library sources with the pinned .clang-tidy
+# configuration, against the compile_commands.json CMake exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists).  CI
+# and developers invoke this identically:
+#
+#   tools/run_clang_tidy.sh [build-dir]     # build-dir defaults to ./build
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+command -v clang-tidy >/dev/null 2>&1 || {
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH" >&2
+  exit 2
+}
+cmake -S . -B "$BUILD_DIR" >/dev/null
+find src -name '*.cc' -print0 | xargs -0 clang-tidy -p "$BUILD_DIR" --quiet

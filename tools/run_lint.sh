@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds the repo-specific linter and runs both of its gates: the fixture
+# self-test (every rule must still fire on tools/lint/testdata/) and the
+# tree scan (src/ must be violation-free).  CI and developers invoke this
+# identically:
+#
+#   tools/run_lint.sh [build-dir]     # build-dir defaults to ./build
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+cmake -S . -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" --target hetsched_lint -j"$(nproc)"
+"$BUILD_DIR"/tools/lint/hetsched_lint --fixtures tools/lint/testdata
+"$BUILD_DIR"/tools/lint/hetsched_lint --root .
