@@ -2,8 +2,9 @@
 //
 // Emits BENCH_churn.json (working directory) with one record per
 // (machines, offered-load, rebalance-period) cell:
-//   * per-admit latency (median and p99 ns over every admit() call in the
-//     trace, tree engine, warm controller);
+//   * per-admit latency (median, p99, and p999 ns over every admit() call
+//     in the trace, tree engine, warm controller), reduced through
+//     stats::summarize so the percentile definitions match the obs layer;
 //   * online acceptance ratio vs. the clairvoyant batch re-pack
 //     (acceptance_vs_batch = online / clairvoyant);
 //   * regret (arrivals the clairvoyant takes but the controller misses)
@@ -26,6 +27,7 @@
 #include "online/online_partitioner.h"
 #include "partition/sweep.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace hetsched {
 namespace {
@@ -42,6 +44,7 @@ struct CellResult {
   std::size_t arrivals = 0;  // per trial, after the ramp-up scaling
   double admit_median_ns = 0;
   double admit_p99_ns = 0;
+  double admit_p999_ns = 0;
   double online_acceptance = 0;
   double clairvoyant_acceptance = 0;
   double acceptance_vs_batch = 0;
@@ -65,14 +68,6 @@ ChurnSpec make_spec(const Platform& platform, double load,
   spec.arrivals = std::max(
       min_arrivals, static_cast<std::size_t>(8.0 * steady_residents));
   return spec;
-}
-
-double quantile(std::vector<double>& samples, double q) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1));
-  return samples[idx];
 }
 
 CellResult run_cell(const CellSpec& cell, std::size_t min_arrivals,
@@ -125,8 +120,10 @@ CellResult run_cell(const CellSpec& cell, std::size_t min_arrivals,
     }
   }
 
-  result.admit_median_ns = quantile(admit_ns, 0.5);
-  result.admit_p99_ns = quantile(admit_ns, 0.99);
+  const Summary admit = summarize(admit_ns);
+  result.admit_median_ns = admit.p50;
+  result.admit_p99_ns = admit.p99;
+  result.admit_p999_ns = admit.p999;
   result.online_acceptance = static_cast<double>(online_total) /
                              static_cast<double>(arrivals_total);
   result.clairvoyant_acceptance = static_cast<double>(clair_total) /
@@ -151,11 +148,13 @@ void append_json(std::string& out, const CellResult& c) {
       "    {\"m\": %zu, \"ratio\": %.2f, \"load\": %.2f, "
       "\"rebalance_every\": %zu, \"arrivals\": %zu, "
       "\"admit_median_ns\": %.0f, \"admit_p99_ns\": %.0f, "
+      "\"admit_p999_ns\": %.0f, "
       "\"online_acceptance\": %.4f, \"clairvoyant_acceptance\": %.4f, "
       "\"acceptance_vs_batch\": %.4f, \"regret_per_k_arrivals\": %.2f, "
       "\"migrations_per_rebalance\": %.2f}",
       c.spec.m, c.spec.ratio, c.spec.load, c.spec.rebalance_every, c.arrivals,
-      c.admit_median_ns, c.admit_p99_ns, c.online_acceptance, c.clairvoyant_acceptance,
+      c.admit_median_ns, c.admit_p99_ns, c.admit_p999_ns, c.online_acceptance,
+      c.clairvoyant_acceptance,
       c.acceptance_vs_batch, c.regret_per_k_arrivals,
       c.migrations_per_rebalance);
   out += buf;
@@ -187,9 +186,10 @@ int main(int argc, char** argv) {
   std::printf("E10-churn: online controller vs clairvoyant batch re-pack "
               "(>= %zu arrivals x %zu trials/cell, EDF alpha=1)\n",
               arrivals, trials);
-  std::printf("%4s %6s %6s %8s %12s %12s %8s %8s %9s %10s %10s\n", "m",
+  std::printf("%4s %6s %6s %8s %12s %12s %13s %8s %8s %9s %10s %10s\n", "m",
               "load", "rebal", "arrive", "admit50(ns)", "admit99(ns)",
-              "online", "clair", "vs_batch", "regret/1k", "migr/rebal");
+              "admit999(ns)", "online", "clair", "vs_batch", "regret/1k",
+              "migr/rebal");
 
   std::string json = "{\n  \"benchmark\": \"online_churn\",\n"
                      "  \"min_arrivals_per_trial\": " +
@@ -199,12 +199,13 @@ int main(int argc, char** argv) {
   bool first = true;
   for (const CellSpec& spec : grid) {
     const CellResult c = run_cell(spec, arrivals, trials, 0xE10C);
-    std::printf("%4zu %6.2f %6zu %8zu %12.0f %12.0f %8.4f %8.4f %9.4f "
-                "%10.2f %10.2f\n",
+    std::printf("%4zu %6.2f %6zu %8zu %12.0f %12.0f %13.0f %8.4f %8.4f "
+                "%9.4f %10.2f %10.2f\n",
                 c.spec.m, c.spec.load, c.spec.rebalance_every, c.arrivals,
-                c.admit_median_ns, c.admit_p99_ns, c.online_acceptance,
-                c.clairvoyant_acceptance, c.acceptance_vs_batch,
-                c.regret_per_k_arrivals, c.migrations_per_rebalance);
+                c.admit_median_ns, c.admit_p99_ns, c.admit_p999_ns,
+                c.online_acceptance, c.clairvoyant_acceptance,
+                c.acceptance_vs_batch, c.regret_per_k_arrivals,
+                c.migrations_per_rebalance);
     if (!first) json += ",\n";
     first = false;
     append_json(json, c);

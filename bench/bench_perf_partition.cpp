@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "gen/platform_gen.h"
 #include "gen/taskset_gen.h"
 #include "partition/first_fit.h"
@@ -49,26 +50,12 @@ Workload make_workload(std::size_t n, std::size_t m) {
   return w;
 }
 
-double median_ns(std::vector<double>& samples) {
-  std::sort(samples.begin(), samples.end());
-  const std::size_t mid = samples.size() / 2;
-  if (samples.size() % 2 == 1) return samples[mid];
-  return 0.5 * (samples[mid - 1] + samples[mid]);
-}
-
+// The shared kernel's interpolated p50 reproduces the classic midpoint
+// median exactly (odd n: the middle sample; even n: the mean of the two
+// middle samples), so routing through it changes no reference numbers.
 template <typename Fn>
 double time_ns(Fn&& fn, int reps) {
-  fn();  // warm-up: faults in pages, warms caches and scratch buffers
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    samples.push_back(
-        std::chrono::duration<double, std::nano>(t1 - t0).count());
-  }
-  return median_ns(samples);
+  return bench::time_summary_ns(fn, reps).p50;
 }
 
 struct Cell {

@@ -5,11 +5,32 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "online/online_partitioner.h"
 #include "partition/first_fit.h"
 #include "util/check.h"
 
 namespace hetsched {
+
+#if HETSCHED_METRICS_ENABLED
+namespace {
+
+// Regret accounting vs. the clairvoyant baseline, aggregated across every
+// run_churn call in the process.
+struct ChurnMetrics {
+  obs::Counter arrivals = obs::registry().counter(
+      "hetsched_churn_arrivals_total", "churn arrival events processed");
+  obs::Counter regret = obs::registry().counter(
+      "hetsched_churn_regret_total",
+      "arrivals the clairvoyant baseline admits but the controller rejects");
+  obs::Counter inverse_regret = obs::registry().counter(
+      "hetsched_churn_inverse_regret_total",
+      "arrivals the controller admits but the clairvoyant baseline rejects");
+};
+const ChurnMetrics g_churn_metrics;
+
+}  // namespace
+#endif  // HETSCHED_METRICS_ENABLED
 
 std::string ChurnResult::to_string() const {
   std::ostringstream os;
@@ -62,8 +83,15 @@ ChurnResult run_churn(const Platform& platform, const ChurnTrace& trace,
         clair_tasks.pop_back();
       }
 
-      if (clair_ok && !d.admitted) ++result.regret;
-      if (!clair_ok && d.admitted) ++result.inverse_regret;
+      HETSCHED_COUNT(g_churn_metrics.arrivals);
+      if (clair_ok && !d.admitted) {
+        ++result.regret;
+        HETSCHED_COUNT(g_churn_metrics.regret);
+      }
+      if (!clair_ok && d.admitted) {
+        ++result.inverse_regret;
+        HETSCHED_COUNT(g_churn_metrics.inverse_regret);
+      }
 
       if (options.rebalance_every > 0 &&
           arrivals_seen % options.rebalance_every == 0) {

@@ -1,0 +1,36 @@
+#include "io/obs_jsonl.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hetsched {
+
+std::string trace_event_json(const obs::TraceEvent& ev) {
+  std::ostringstream out;
+  out << "{\"seq\":" << ev.seq << ",\"t_ns\":" << ev.t_ns << ",\"kind\":\""
+      << obs::to_string(ev.kind) << "\",\"ok\":" << (ev.ok ? "true" : "false")
+      << ",\"machine\":" << ev.machine << ",\"value\":" << ev.value << "}";
+  return out.str();
+}
+
+std::size_t write_trace_jsonl(std::span<const obs::TraceEvent> events,
+                              std::ostream& out) {
+  std::size_t lines = 0;
+  for (const obs::TraceEvent& ev : events) {
+    out << trace_event_json(ev) << "\n";
+    ++lines;
+  }
+  return lines;
+}
+
+bool save_trace_jsonl(std::span<const obs::TraceEvent> events,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_trace_jsonl(events, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace hetsched

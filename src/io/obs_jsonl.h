@@ -1,0 +1,31 @@
+// JSONL serialization for the observability layer (obs/trace.h).
+//
+// One trace event per line, e.g.:
+//
+//   {"seq":17,"t_ns":123456789,"kind":"admit","ok":true,"machine":3,"value":42}
+//
+// Field meanings follow obs::TraceEvent: `value` is the task id for
+// admit/depart events and the migration count for rebalance events.
+// Events are written in the order given (trace_drain returns seq order).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace hetsched {
+
+// One event as a single-line JSON object (no trailing newline).
+std::string trace_event_json(const obs::TraceEvent& ev);
+
+// Writes one JSON object per line; returns the number of lines written.
+std::size_t write_trace_jsonl(std::span<const obs::TraceEvent> events,
+                              std::ostream& out);
+
+// Writes to `path`, truncating; false on I/O failure.
+bool save_trace_jsonl(std::span<const obs::TraceEvent> events,
+                      const std::string& path);
+
+}  // namespace hetsched

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace hetsched::obs {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kAdmit:
+      return "admit";
+    case TraceKind::kDepart:
+      return "depart";
+    case TraceKind::kRebalance:
+      return "rebalance";
+  }
+  return "?";
+}
+
+namespace {
+
+// Packed ring slot: [seq, t_ns, (machine << 32) | (kind << 8) | ok, value].
+struct TraceRing {
+  std::atomic<std::uint64_t> words[kTraceCapacity][4] = {};
+  std::atomic<std::uint64_t> head{0};  // total events ever written
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<TraceRing*> rings;
+  std::vector<TraceEvent> retired;  // flushed rings of exited threads
+  std::uint64_t retired_dropped = 0;
+  std::atomic<std::uint64_t> seq{0};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaky: outlives all threads
+  return *s;
+}
+
+TraceEvent unpack(const std::atomic<std::uint64_t> (&slot)[4]) {
+  TraceEvent ev;
+  ev.seq = slot[0].load(std::memory_order_relaxed);
+  ev.t_ns = slot[1].load(std::memory_order_relaxed);
+  const std::uint64_t packed = slot[2].load(std::memory_order_relaxed);
+  ev.machine = static_cast<std::uint32_t>(packed >> 32);
+  ev.kind = static_cast<TraceKind>((packed >> 8) & 0xff);
+  ev.ok = (packed & 1) != 0;
+  ev.value = slot[3].load(std::memory_order_relaxed);
+  return ev;
+}
+
+// Oldest-to-newest readout of one ring; `dropped` accumulates overwrites.
+void collect_ring(const TraceRing& ring, std::vector<TraceEvent>* out,
+                  std::uint64_t* dropped) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t held = std::min<std::uint64_t>(head, kTraceCapacity);
+  *dropped += head - held;
+  for (std::uint64_t i = head - held; i < head; ++i) {
+    out->push_back(unpack(ring.words[i % kTraceCapacity]));
+  }
+}
+
+struct TraceRingHolder {
+  TraceRingHolder() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rings.push_back(&ring);
+  }
+  ~TraceRingHolder() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = std::find(s.rings.begin(), s.rings.end(), &ring);
+    if (it == s.rings.end()) return;
+    s.rings.erase(it);
+    collect_ring(ring, &s.retired, &s.retired_dropped);
+  }
+  TraceRingHolder(const TraceRingHolder&) = delete;
+  TraceRingHolder& operator=(const TraceRingHolder&) = delete;
+  TraceRing ring;
+};
+
+TraceRing& local_ring() {
+  thread_local TraceRingHolder holder;
+  return holder.ring;
+}
+
+}  // namespace
+
+namespace detail {
+constinit std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void trace_record(TraceKind kind, bool ok, std::uint32_t machine,
+                  std::uint64_t value) {
+  TraceState& s = state();
+  TraceRing& ring = local_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  auto& slot = ring.words[head % kTraceCapacity];
+  slot[0].store(s.seq.fetch_add(1, std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  slot[1].store(now_ns(), std::memory_order_relaxed);
+  slot[2].store((std::uint64_t{machine} << 32) |
+                    (std::uint64_t{static_cast<std::uint8_t>(kind)} << 8) |
+                    (ok ? 1u : 0u),
+                std::memory_order_relaxed);
+  slot[3].store(value, std::memory_order_relaxed);
+  // Release so a drainer that sees the new head also sees the slot words.
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> trace_drain(bool clear) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> out = s.retired;
+  std::uint64_t dropped = 0;
+  for (TraceRing* ring : s.rings) collect_ring(*ring, &out, &dropped);
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  if (clear) {
+    s.retired.clear();
+    s.retired_dropped += dropped;
+    for (TraceRing* ring : s.rings) {
+      ring->head.store(0, std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t dropped = s.retired_dropped;
+  for (TraceRing* ring : s.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > kTraceCapacity) dropped += head - kTraceCapacity;
+  }
+  return dropped;
+}
+
+}  // namespace hetsched::obs

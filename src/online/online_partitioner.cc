@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/audit.h"
 #include "util/check.h"
 
@@ -12,6 +14,47 @@
 #endif
 
 namespace hetsched {
+
+#if HETSCHED_METRICS_ENABLED
+namespace {
+
+// Pre-registered handles (lint rule [metric-handle]: hot paths must not
+// look metrics up by name).  The namespace-scope constructor runs during
+// static initialization, so no HETSCHED_NOALLOC function ever triggers
+// registration.  Note that audit builds replay batch oracles through these
+// same paths, so audit-mode counter values exceed the decision counts.
+struct OnlineMetrics {
+  obs::Counter admits_warm = obs::registry().counter(
+      "hetsched_admit_warm_total", "admits that reused a free arena slot");
+  obs::Counter admits_cold = obs::registry().counter(
+      "hetsched_admit_cold_total", "admits that grew the slot arena");
+  obs::Counter admits_rejected = obs::registry().counter(
+      "hetsched_admit_reject_total", "admission attempts no machine fit");
+  obs::Counter departs = obs::registry().counter(
+      "hetsched_depart_total", "successful departures");
+  obs::Counter departs_stale = obs::registry().counter(
+      "hetsched_depart_stale_total", "departures with a dead or reused id");
+  obs::Counter rebalances_applied = obs::registry().counter(
+      "hetsched_rebalance_applied_total", "rebalances that committed");
+  obs::Counter rebalances_failed = obs::registry().counter(
+      "hetsched_rebalance_failed_total",
+      "rebalances whose trial re-pack did not fit");
+  obs::Counter migrations = obs::registry().counter(
+      "hetsched_rebalance_migrations_total",
+      "tasks moved to a different machine by rebalances");
+  obs::LatencyHistogram admit_ns = obs::registry().histogram(
+      "hetsched_admit_latency_ns",
+      "admit() latency (sampled 1/kLatencySamplePeriod)");
+  obs::LatencyHistogram depart_ns = obs::registry().histogram(
+      "hetsched_depart_latency_ns",
+      "depart() latency (sampled 1/kLatencySamplePeriod)");
+  obs::LatencyHistogram rebalance_ns = obs::registry().histogram(
+      "hetsched_rebalance_latency_ns", "rebalance() latency (every call)");
+};
+const OnlineMetrics g_metrics;
+
+}  // namespace
+#endif  // HETSCHED_METRICS_ENABLED
 
 OnlinePartitioner::OnlinePartitioner(const Platform& platform,
                                      AdmissionKind kind, double alpha,
@@ -77,11 +120,14 @@ void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
 
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 AdmitDecision OnlinePartitioner::admit(const Task& t) {
+  HETSCHED_TIMED_SAMPLED(g_metrics.admit_ns);
   HETSCHED_CHECK(t.valid());
   AdmitDecision d;
   d.utilization = t.utilization();
   const std::size_t j = find_machine(t, d.utilization);
   if (j == kNoMachine) {
+    HETSCHED_COUNT(g_metrics.admits_rejected);
+    HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, false, 0, 0);
     HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, kNoMachine));
     return d;
   }
@@ -91,9 +137,11 @@ AdmitDecision OnlinePartitioner::admit(const Task& t) {
   if (!st_.free_slots.empty()) {
     slot = st_.free_slots.back();
     st_.free_slots.pop_back();
+    HETSCHED_COUNT(g_metrics.admits_warm);
   } else {
     slot = static_cast<std::uint32_t>(st_.slots.size());
     st_.slots.emplace_back();  // hetsched-lint: allow(noalloc) arena growth
+    HETSCHED_COUNT(g_metrics.admits_cold);
   }
   Slot& s = st_.slots[slot];
   s.task = t;
@@ -108,6 +156,7 @@ AdmitDecision OnlinePartitioner::admit(const Task& t) {
   d.admitted = true;
   d.id = make_id(slot, s.gen);
   d.machine = j;
+  HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, true, j, slot);
   HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, j);
                       audit_verify_machine(j));
   return d;
@@ -139,11 +188,18 @@ void OnlinePartitioner::recompute_machine(std::size_t j) {
 
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 bool OnlinePartitioner::depart(OnlineTaskId id) {
+  HETSCHED_TIMED_SAMPLED(g_metrics.depart_ns);
   const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
-  if (slot >= st_.slots.size()) return false;
+  if (slot >= st_.slots.size()) {
+    HETSCHED_COUNT(g_metrics.departs_stale);
+    return false;
+  }
   Slot& s = st_.slots[slot];
-  if (!s.live || s.gen != gen) return false;
+  if (!s.live || s.gen != gen) {
+    HETSCHED_COUNT(g_metrics.departs_stale);
+    return false;
+  }
 
   const std::size_t j = s.machine;
   auto& res = st_.residents[j];
@@ -154,15 +210,20 @@ bool OnlinePartitioner::depart(OnlineTaskId id) {
   st_.free_slots.push_back(slot);
   --st_.resident;
   recompute_machine(j);
+  HETSCHED_COUNT(g_metrics.departs);
+  HETSCHED_TRACE_EVENT(obs::TraceKind::kDepart, true, j, slot);
   HETSCHED_AUDIT_HOOK(audit_verify_full());
   return true;
 }
 
 RebalanceReport OnlinePartitioner::rebalance() {
+  HETSCHED_TIMED(g_metrics.rebalance_ns);
   RebalanceReport rep;
   rep.resident = st_.resident;
   if (st_.resident == 0) {
     rep.applied = true;
+    HETSCHED_COUNT(g_metrics.rebalances_applied);
+    HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, true, 0, 0);
     return rep;
   }
 
@@ -213,7 +274,11 @@ RebalanceReport OnlinePartitioner::rebalance() {
         break;
       }
     }
-    if (placed == kNoMachine) return rep;  // applied = false, state intact
+    if (placed == kNoMachine) {  // applied = false, state intact
+      HETSCHED_COUNT(g_metrics.rebalances_failed);
+      HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, false, 0, 0);
+      return rep;
+    }
     if (slack_form_) {
       admission_fold_step(kind_, s.util, capacity_[placed],
                           rb_util_sum_[placed], rb_hyper_[placed],
@@ -243,6 +308,9 @@ RebalanceReport OnlinePartitioner::rebalance() {
     st_.loads = std::move(trial_loads);
   }
   rep.applied = true;
+  HETSCHED_COUNT(g_metrics.rebalances_applied);
+  HETSCHED_COUNT_ADD(g_metrics.migrations, rep.migrations);
+  HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, true, 0, rep.migrations);
   HETSCHED_AUDIT_HOOK(audit_verify_full(); audit_verify_canonical());
   return rep;
 }

@@ -1,11 +1,38 @@
 #include "partition/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace hetsched {
+
+#if HETSCHED_METRICS_ENABLED
+namespace {
+
+// Pre-registered handles (lint rule [metric-handle]); constructed during
+// static initialization, never from the HETSCHED_NOALLOC tree paths.
+struct SlackTreeMetrics {
+  obs::Counter rebuilds = obs::registry().counter(
+      "hetsched_slacktree_rebuilds_total", "full SlackTree (re)builds");
+  obs::Counter descents = obs::registry().counter(
+      "hetsched_slacktree_descents_total",
+      "root-to-leaf first-fit descents taken");
+  obs::Counter misses = obs::registry().counter(
+      "hetsched_slacktree_misses_total",
+      "queries rejected at the root (no machine has enough slack)");
+  // A successful descent walks exactly log2(leaves) levels, so the depth
+  // is a deterministic property of the current tree — a gauge refreshed
+  // at build() time, not a per-descent counter on the warm-admit path.
+  obs::Gauge depth = obs::registry().gauge(
+      "hetsched_slacktree_depth", "tree levels per descent (log2 leaves)");
+};
+const SlackTreeMetrics g_tree_metrics;
+
+}  // namespace
+#endif  // HETSCHED_METRICS_ENABLED
 
 std::string to_string(PartitionEngine e) {
   switch (e) {
@@ -47,11 +74,14 @@ void SlackTree::build(std::span<const double> slack) {
   for (std::size_t i = leaves_ - 1; i >= 1; --i) {
     node_[i] = std::max(node_[2 * i], node_[2 * i + 1]);
   }
+  HETSCHED_COUNT(g_tree_metrics.rebuilds);
+  HETSCHED_GAUGE_SET(g_tree_metrics.depth, std::bit_width(leaves_) - 1);
   HETSCHED_AUDIT_HOOK(audit_verify_heap());
 }
 
 std::size_t SlackTree::find_first_at_least(double w) const {
   if (m_ == 0 || node_[1] < w) {
+    HETSCHED_COUNT(g_tree_metrics.misses);
     HETSCHED_AUDIT_HOOK(audit_verify_find(w, npos));
     return npos;
   }
@@ -60,6 +90,7 @@ std::size_t SlackTree::find_first_at_least(double w) const {
     i *= 2;
     if (node_[i] < w) ++i;  // left subtree's max too small -> go right
   }
+  HETSCHED_COUNT(g_tree_metrics.descents);
   HETSCHED_AUDIT_HOOK(audit_verify_find(w, i - leaves_));
   return i - leaves_;
 }

@@ -33,11 +33,11 @@ double max_of(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
-double percentile(std::span<const double> xs, double p) {
-  HETSCHED_CHECK(!xs.empty());
-  HETSCHED_CHECK(p >= 0 && p <= 100);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+// Shared kernel for percentile() and summarize(): linear interpolation
+// between order statistics of an already-sorted sample.
+double percentile_sorted(std::span<const double> sorted, double p) {
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
@@ -46,24 +46,39 @@ double percentile(std::span<const double> xs, double p) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  HETSCHED_CHECK(!xs.empty());
+  HETSCHED_CHECK(p >= 0 && p <= 100);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.count = xs.size();
   if (xs.empty()) return s;
   s.mean = mean(xs);
   s.stddev = sample_stddev(xs);
-  s.min = min_of(xs);
-  s.p50 = percentile(xs, 50);
-  s.p95 = percentile(xs, 95);
-  s.p99 = percentile(xs, 99);
-  s.max = max_of(xs);
+  // One sort serves every order statistic below.
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.p50 = percentile_sorted(sorted, 50);
+  s.p95 = percentile_sorted(sorted, 95);
+  s.p99 = percentile_sorted(sorted, 99);
+  s.p999 = percentile_sorted(sorted, 99.9);
+  s.max = sorted.back();
   return s;
 }
 
 std::string Summary::to_string() const {
   std::ostringstream os;
   os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
-     << " p50=" << p50 << " p95=" << p95 << " p99=" << p99 << " max=" << max;
+     << " p50=" << p50 << " p95=" << p95 << " p99=" << p99 << " p999=" << p999
+     << " max=" << max;
   return os.str();
 }
 

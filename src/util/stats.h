@@ -34,6 +34,7 @@ struct Summary {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;
   double max = 0;
 
   std::string to_string() const;

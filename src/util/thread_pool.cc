@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace hetsched {
+
+#if HETSCHED_METRICS_ENABLED
+namespace {
+
+struct PoolMetrics {
+  obs::Counter submitted = obs::registry().counter(
+      "hetsched_pool_tasks_submitted_total", "tasks pushed onto pool queues");
+  obs::Counter executed = obs::registry().counter(
+      "hetsched_pool_tasks_executed_total", "tasks run by pool workers");
+  obs::Gauge queue_depth = obs::registry().gauge(
+      "hetsched_pool_queue_depth", "tasks waiting in pool queues");
+  obs::Gauge workers = obs::registry().gauge(
+      "hetsched_pool_workers", "worker threads across live pools");
+};
+const PoolMetrics g_pool_metrics;
+
+}  // namespace
+#endif  // HETSCHED_METRICS_ENABLED
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,6 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  HETSCHED_GAUGE_ADD(g_pool_metrics.workers, threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,6 +43,8 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  HETSCHED_GAUGE_ADD(g_pool_metrics.workers, -static_cast<std::int64_t>(
+                                                 workers_.size()));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -32,6 +54,8 @@ void ThreadPool::submit(std::function<void()> task) {
     HETSCHED_CHECK_MSG(!shutdown_, "submit after shutdown");
     queue_.push(std::move(task));
     ++in_flight_;
+    HETSCHED_COUNT(g_pool_metrics.submitted);
+    HETSCHED_GAUGE_ADD(g_pool_metrics.queue_depth, 1);
   }
   cv_task_.notify_one();
 }
@@ -66,8 +90,10 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // shutdown with drained queue
       task = std::move(queue_.front());
       queue_.pop();
+      HETSCHED_GAUGE_ADD(g_pool_metrics.queue_depth, -1);
     }
     task();
+    HETSCHED_COUNT(g_pool_metrics.executed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

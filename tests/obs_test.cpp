@@ -1,0 +1,360 @@
+// Tests for the observability layer (src/obs): bucket mapping against
+// util/stats.h's Histogram, registry aggregation across threads (the
+// TSan-matrix workload for `ctest -L obs`), trace ring semantics, JSONL
+// serialization, and the kill-switch contract.
+//
+// The Counter/Gauge/LatencyHistogram classes and the registry exist in
+// BOTH build modes — only the HETSCHED_* macros compile away with
+// -DHETSCHED_METRICS=OFF — so most of this file runs unconditionally and
+// the macro-gated sections assert the mode-specific behavior.
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "io/obs_jsonl.h"
+#include "obs/trace.h"
+#include "online/online_partitioner.h"
+#include "partition/audit.h"
+#include "util/stats.h"
+
+namespace hetsched {
+namespace {
+
+TEST(ObsBuckets, EdgeCases) {
+  EXPECT_EQ(obs::latency_bucket(0), 0u);
+  EXPECT_EQ(obs::latency_bucket(1), 0u);
+  EXPECT_EQ(obs::latency_bucket(2), 1u);
+  EXPECT_EQ(obs::latency_bucket(3), 1u);
+  EXPECT_EQ(obs::latency_bucket(4), 2u);
+  EXPECT_EQ(obs::latency_bucket(1023), 9u);
+  EXPECT_EQ(obs::latency_bucket(1024), 10u);
+  EXPECT_EQ(obs::latency_bucket(~std::uint64_t{0}), 63u);
+}
+
+TEST(ObsBuckets, EdgesAreConsistent) {
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    EXPECT_EQ(obs::latency_bucket(obs::bucket_lo_ns(b) == 0
+                                      ? 0
+                                      : obs::bucket_lo_ns(b)),
+              b);
+    if (b + 1 < obs::kHistogramBuckets) {
+      EXPECT_EQ(obs::latency_bucket(obs::bucket_hi_ns(b)), b + 1);
+    }
+  }
+}
+
+// The log-spaced ns buckets must agree, sample for sample, with a
+// stats::Histogram(0, 64, 64) fed log2(ns) — the design contract that
+// makes the two histogram implementations cross-checkable.
+TEST(ObsBuckets, CrossCheckAgainstStatsHistogram) {
+  obs::LatencyHistogram h =
+      obs::registry().histogram("test_crosscheck_ns", "cross-check");
+  Histogram reference(0, 64, 64);
+
+  const obs::HistogramSnapshot before = obs::registry().histogram_snapshot(h);
+  std::vector<std::uint64_t> samples;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(v);
+    v = v * 3 + 1;  // spreads across many octaves, deterministic
+    if (v > (std::uint64_t{1} << 40)) v = (v % 977) + 1;
+  }
+  for (const std::uint64_t ns : samples) {
+    h.record_ns(ns);
+    reference.add(std::log2(static_cast<double>(ns)));
+  }
+
+  const obs::HistogramSnapshot after = obs::registry().histogram_snapshot(h);
+  EXPECT_EQ(after.count - before.count, samples.size());
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    EXPECT_EQ(after.buckets[b] - before.buckets[b], reference.bin_count(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotent) {
+  obs::Counter a = obs::registry().counter("test_idem_total", "first");
+  obs::Counter b = obs::registry().counter("test_idem_total", "second");
+  EXPECT_EQ(a.id(), b.id());
+  obs::Gauge g1 = obs::registry().gauge("test_idem_gauge", "");
+  obs::Gauge g2 = obs::registry().gauge("test_idem_gauge", "");
+  EXPECT_EQ(g1.id(), g2.id());
+}
+
+TEST(ObsRegistry, CounterAndGaugeRoundTrip) {
+  obs::Counter c = obs::registry().counter("test_roundtrip_total", "");
+  const std::uint64_t before = obs::registry().counter_value(c);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(obs::registry().counter_value(c), before + 42);
+
+  obs::Gauge g = obs::registry().gauge("test_roundtrip_gauge", "");
+  g.set(-7);
+  EXPECT_EQ(obs::registry().gauge_value(g), -7);
+  g.add(10);
+  EXPECT_EQ(obs::registry().gauge_value(g), 3);
+}
+
+// The TSan-matrix workload: concurrent writers on one counter and one
+// histogram, with threads exiting (exercising the retired-block fold)
+// while a reader polls snapshots.  Totals must be exact after join.
+TEST(ObsRegistry, ConcurrentWritersExactAfterJoin) {
+  obs::Counter c = obs::registry().counter("test_mt_total", "");
+  obs::LatencyHistogram h = obs::registry().histogram("test_mt_ns", "");
+  const std::uint64_t c0 = obs::registry().counter_value(c);
+  const std::uint64_t h0 = obs::registry().histogram_snapshot(h).count;
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  for (int wave = 0; wave < 2; ++wave) {  // second wave re-attaches blocks
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          c.inc();
+          h.record_ns(static_cast<std::uint64_t>(t * kPerThread + i));
+        }
+      });
+    }
+    // Concurrent reader: snapshots must be well-formed (monotone counts),
+    // not exact, while writers run.
+    const obs::HistogramSnapshot mid = obs::registry().histogram_snapshot(h);
+    EXPECT_GE(mid.count, h0);
+    for (std::thread& th : threads) th.join();
+  }
+
+  EXPECT_EQ(obs::registry().counter_value(c) - c0,
+            std::uint64_t{2 * kThreads * kPerThread});
+  const obs::HistogramSnapshot snap = obs::registry().histogram_snapshot(h);
+  EXPECT_EQ(snap.count - h0, std::uint64_t{2 * kThreads * kPerThread});
+}
+
+TEST(ObsRegistry, SnapshotPercentilesAreOrdered) {
+  obs::LatencyHistogram h =
+      obs::registry().histogram("test_percentile_ns", "");
+  for (std::uint64_t ns = 1; ns <= 4096; ++ns) h.record_ns(ns);
+  const obs::HistogramSnapshot snap = obs::registry().histogram_snapshot(h);
+  const double p50 = snap.percentile_ns(50);
+  const double p99 = snap.percentile_ns(99);
+  const double p999 = snap.percentile_ns(99.9);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // The p50 of 1..4096 is ~2048; the log-bucket estimate may be off by at
+  // most one octave.
+  EXPECT_GE(p50, 1024.0);
+  EXPECT_LE(p50, 4096.0);
+}
+
+TEST(ObsRegistry, ExposeFormat) {
+  obs::Counter c = obs::registry().counter("test_expose_total", "help text");
+  c.inc();
+  const std::string text = obs::registry().expose();
+  EXPECT_EQ(text.rfind("hetsched_metrics_enabled ", 0), 0u);
+  EXPECT_NE(text.find("# HELP test_expose_total help text"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expose_total counter"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Kill-switch contract.
+// ---------------------------------------------------------------------
+
+#if HETSCHED_METRICS_ENABLED
+
+// With metrics compiled in, the macros must actually bump.
+TEST(ObsMacros, MacrosBumpWhenEnabled) {
+  static const obs::Counter c =
+      obs::registry().counter("test_macro_total", "");
+  const std::uint64_t before = obs::registry().counter_value(c);
+  HETSCHED_COUNT(c);
+  HETSCHED_COUNT_ADD(c, 4);
+  EXPECT_EQ(obs::registry().counter_value(c), before + 5);
+}
+
+#else  // !HETSCHED_METRICS_ENABLED
+
+// With metrics compiled out, macro arguments are discarded textually —
+// this must compile even though no such handle exists anywhere.
+TEST(ObsMacros, MacrosDiscardArgumentsWhenDisabled) {
+  HETSCHED_COUNT(no_such_handle_anywhere);
+  HETSCHED_COUNT_ADD(no_such_handle_anywhere, 123);
+  HETSCHED_GAUGE_SET(no_such_handle_anywhere, -1);
+  HETSCHED_TIMED(no_such_handle_anywhere);
+  HETSCHED_TIMED_SAMPLED(no_such_handle_anywhere);
+  HETSCHED_TRACE_EVENT(no_such_kind, true, 0, 0);
+  SUCCEED();
+}
+
+#endif  // HETSCHED_METRICS_ENABLED
+
+// ---------------------------------------------------------------------
+// Trace ring.
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, RecordDrainRoundTrip) {
+  obs::trace_drain();  // clear anything earlier tests left behind
+  obs::set_trace_enabled(true);
+  obs::trace_record(obs::TraceKind::kAdmit, true, 3, 42);
+  obs::trace_record(obs::TraceKind::kDepart, false, 0, 7);
+  obs::trace_record(obs::TraceKind::kRebalance, true, 0, 2);
+  obs::set_trace_enabled(false);
+
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::kAdmit);
+  EXPECT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].machine, 3u);
+  EXPECT_EQ(events[0].value, 42u);
+  EXPECT_EQ(events[1].kind, obs::TraceKind::kDepart);
+  EXPECT_FALSE(events[1].ok);
+  EXPECT_EQ(events[2].kind, obs::TraceKind::kRebalance);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+  // Drain cleared: nothing left.
+  EXPECT_TRUE(obs::trace_drain().empty());
+}
+
+TEST(ObsTrace, OverwritesAreCountedAsDropped) {
+  obs::trace_drain();
+  const std::uint64_t dropped0 = obs::trace_dropped();
+  obs::set_trace_enabled(true);
+  const std::size_t n = obs::kTraceCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::trace_record(obs::TraceKind::kAdmit, true, 0, i);
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::trace_dropped() - dropped0, 100u);
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  ASSERT_EQ(events.size(), obs::kTraceCapacity);
+  // The survivors are the most recent kTraceCapacity events, in order.
+  EXPECT_EQ(events.front().value, 100u);
+  EXPECT_EQ(events.back().value, n - 1);
+}
+
+TEST(ObsTrace, ConcurrentRecordersKeepGlobalSeqUnique) {
+  obs::trace_drain();
+  obs::set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;  // fits each thread's ring
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::trace_record(obs::TraceKind::kAdmit, true,
+                          static_cast<std::uint32_t>(t),
+                          static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  EXPECT_EQ(events.size(), std::size_t{kThreads * kPerThread});
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);  // strictly increasing
+  }
+}
+
+TEST(ObsTraceJson, EventFormat) {
+  obs::TraceEvent ev;
+  ev.seq = 17;
+  ev.t_ns = 123456789;
+  ev.kind = obs::TraceKind::kAdmit;
+  ev.ok = true;
+  ev.machine = 3;
+  ev.value = 42;
+  EXPECT_EQ(trace_event_json(ev),
+            "{\"seq\":17,\"t_ns\":123456789,\"kind\":\"admit\",\"ok\":true,"
+            "\"machine\":3,\"value\":42}");
+  std::ostringstream out;
+  const std::vector<obs::TraceEvent> events = {ev, ev};
+  EXPECT_EQ(write_trace_jsonl(events, out), 2u);
+  EXPECT_EQ(out.str(), trace_event_json(ev) + "\n" + trace_event_json(ev) +
+                           "\n");
+}
+
+// ---------------------------------------------------------------------
+// Instrumented paths end to end.
+// ---------------------------------------------------------------------
+
+// Exact outcome counts from the OnlinePartitioner instrumentation.  Audit
+// builds replay decisions through shadow oracles built on the same
+// instrumented paths, inflating the counters, so the exact-count asserts
+// only hold in non-audit builds.
+#if HETSCHED_METRICS_ENABLED && !HETSCHED_AUDIT_ENABLED
+TEST(ObsInstrumentation, AdmitDepartCountsAreExact) {
+  obs::Counter warm =
+      obs::registry().counter("hetsched_admit_warm_total", "");
+  obs::Counter cold =
+      obs::registry().counter("hetsched_admit_cold_total", "");
+  obs::Counter departs = obs::registry().counter("hetsched_depart_total", "");
+  const std::uint64_t warm0 = obs::registry().counter_value(warm);
+  const std::uint64_t cold0 = obs::registry().counter_value(cold);
+  const std::uint64_t dep0 = obs::registry().counter_value(departs);
+
+  OnlinePartitioner ctl(Platform::from_speeds({1.0, 1.0}),
+                        AdmissionKind::kEdf, 1.0);
+  const Task t{1, 10};
+  const AdmitDecision a = ctl.admit(t);
+  const AdmitDecision b = ctl.admit(t);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+  EXPECT_EQ(obs::registry().counter_value(cold) - cold0, 2u);
+  ASSERT_TRUE(ctl.depart(a.id));
+  EXPECT_EQ(obs::registry().counter_value(departs) - dep0, 1u);
+  const AdmitDecision c2 = ctl.admit(t);  // reuses a's slot -> warm
+  ASSERT_TRUE(c2.admitted);
+  EXPECT_EQ(obs::registry().counter_value(warm) - warm0, 1u);
+}
+
+TEST(ObsInstrumentation, AdmitTraceEventsMatchDecisions) {
+  obs::trace_drain();
+  obs::set_trace_enabled(true);
+  OnlinePartitioner ctl(Platform::from_speeds({1.0}), AdmissionKind::kEdf,
+                        1.0);
+  const AdmitDecision a = ctl.admit(Task{3, 4});   // fits
+  const AdmitDecision b = ctl.admit(Task{9, 10});  // cannot fit
+  ASSERT_TRUE(a.admitted);
+  ASSERT_FALSE(b.admitted);
+  ctl.depart(a.id);
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::kAdmit);
+  EXPECT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].machine, a.machine);
+  EXPECT_EQ(events[1].kind, obs::TraceKind::kAdmit);
+  EXPECT_FALSE(events[1].ok);
+  EXPECT_EQ(events[2].kind, obs::TraceKind::kDepart);
+  EXPECT_TRUE(events[2].ok);
+}
+#endif  // HETSCHED_METRICS_ENABLED && !HETSCHED_AUDIT_ENABLED
+
+#if !HETSCHED_METRICS_ENABLED
+// With the kill switch off, instrumented code paths must record nothing:
+// the admit below would otherwise produce trace events.
+TEST(ObsInstrumentation, InstrumentationCompiledOutRecordsNothing) {
+  obs::trace_drain();
+  obs::set_trace_enabled(true);
+  OnlinePartitioner ctl(Platform::from_speeds({1.0}), AdmissionKind::kEdf,
+                        1.0);
+  const AdmitDecision a = ctl.admit(Task{1, 2});
+  ASSERT_TRUE(a.admitted);
+  obs::set_trace_enabled(false);
+  EXPECT_TRUE(obs::trace_drain().empty());
+}
+#endif  // !HETSCHED_METRICS_ENABLED
+
+}  // namespace
+}  // namespace hetsched

@@ -61,6 +61,18 @@ TEST(Stats, SummarizeCountsAndOrder) {
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_DOUBLE_EQ(s.p50, 3.0);
   EXPECT_FALSE(s.to_string().empty());
+  EXPECT_NE(s.to_string().find("p999="), std::string::npos);
+}
+
+TEST(Stats, SummarizePercentilesMatchPercentileFn) {
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(static_cast<double>(i % 997));
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(xs, 50));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(xs, 95));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(xs, 99));
+  EXPECT_DOUBLE_EQ(s.p999, percentile(xs, 99.9));
+  EXPECT_GE(s.p999, s.p99);
 }
 
 TEST(Stats, SummarizeEmpty) {

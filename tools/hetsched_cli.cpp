@@ -22,13 +22,26 @@
 //       Emit a random churn trace (Poisson arrivals, bounded-Pareto
 //       lifetimes) in the trace format.
 //   hetsched_cli replay <tracefile> [--admission KIND] [--alpha X]
-//       [--engine E] [--rebalance-every N]
+//       [--engine E] [--rebalance-every N] [--stats] [--trace-out FILE]
 //       Replay a churn trace through the online admission controller and
 //       report acceptance ratio, regret vs the clairvoyant batch re-pack,
-//       and migration counts.
+//       and migration counts.  --stats appends the end-of-trace metrics
+//       snapshot (see below); --trace-out records per-decision events and
+//       writes them as JSONL (requires -DHETSCHED_METRICS=ON).
 //   hetsched_cli serve [--admission KIND] [--alpha X] [--engine E]
+//       [--stats-interval N]
 //       Stream trace directives from stdin through a live controller and
 //       answer each one ("admit <task> -> machine <j>" / "reject <task>").
+//       With --stats-interval N, a metrics snapshot is printed after every
+//       N processed directives.
+//
+// Metrics snapshot format (README "Observability"): a line
+// "hetsched_metrics_enabled 0|1", then Prometheus-style text — # HELP /
+// # TYPE comments, counter and gauge samples, histogram cumulative
+// buckets with _sum/_count — plus one "# percentiles <name> p50=...
+// p95=... p99=... p999=..." comment per latency histogram.  When the
+// binary was built without -DHETSCHED_METRICS=ON the snapshot is just the
+// hetsched_metrics_enabled 0 line and a compiled-out notice.
 //
 // Instance file format: see src/io/text_format.h.
 // Trace file format: see src/io/trace_format.h.
@@ -45,8 +58,11 @@
 #include <vector>
 
 #include "hetsched/hetsched.h"
+#include "io/obs_jsonl.h"
 #include "io/text_format.h"
 #include "io/trace_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hetsched {
 namespace {
@@ -60,9 +76,15 @@ int usage() {
 }
 
 // Minimal --flag value parser; positional args collected separately.
+// Boolean flags never consume the next token, so "replay --stats t.trace"
+// keeps t.trace positional.
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
+
+  static bool boolean_flag(const std::string& key) {
+    return key == "stats" || key == "quick";
+  }
 
   static Args parse(int argc, char** argv, int from) {
     Args a;
@@ -70,7 +92,9 @@ struct Args {
       const std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         const std::string key = arg.substr(2);
-        if (i + 1 < argc) {
+        const bool next_is_flag =
+            i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
+        if (!boolean_flag(key) && i + 1 < argc && !next_is_flag) {
           a.flags[key] = argv[++i];
         } else {
           a.flags[key] = "";
@@ -81,6 +105,8 @@ struct Args {
     }
     return a;
   }
+
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
 
   std::string get(const std::string& key, const std::string& dflt) const {
     const auto it = flags.find(key);
@@ -334,6 +360,13 @@ int cmd_replay(const Args& args) {
   if (!kind) return usage();
   const auto engine = engine_flag(args);
   if (!engine) return usage();
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty() && !obs::kMetricsCompiled) {
+    std::fprintf(stderr,
+                 "warning: --trace-out needs -DHETSCHED_METRICS=ON; the "
+                 "event trace will be empty\n");
+  }
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   ChurnOptions options;
   options.kind = *kind;
@@ -347,6 +380,22 @@ int cmd_replay(const Args& args) {
               options.alpha, res.to_string().c_str());
   std::printf("online acceptance %.4f vs clairvoyant %.4f\n",
               res.online_acceptance(), res.clairvoyant_acceptance());
+
+  if (!trace_out.empty()) {
+    obs::set_trace_enabled(false);
+    const std::vector<obs::TraceEvent> events = obs::trace_drain();
+    if (!save_trace_jsonl(events, trace_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("[trace: %s, %zu events, %llu dropped]\n", trace_out.c_str(),
+                events.size(),
+                static_cast<unsigned long long>(obs::trace_dropped()));
+  }
+  if (args.has("stats")) {
+    std::printf("--- metrics snapshot (end of trace) ---\n%s",
+                obs::registry().expose().c_str());
+  }
   return 0;
 }
 
@@ -358,11 +407,19 @@ int cmd_serve(const Args& args) {
   const auto engine = engine_flag(args);
   if (!engine) return usage();
   const double alpha = args.get_double("alpha", 1.0);
+  const auto stats_interval =
+      static_cast<std::size_t>(args.get_long("stats-interval", 0));
+  if (stats_interval > 0 && !obs::kMetricsCompiled) {
+    std::fprintf(stderr,
+                 "warning: --stats-interval snapshots will be empty; this "
+                 "binary was built without -DHETSCHED_METRICS=ON\n");
+  }
 
   std::optional<OnlinePartitioner> controller;
   std::map<std::uint64_t, OnlineTaskId> ids;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t directives = 0;
   while (std::getline(std::cin, line)) {
     ++lineno;
     const auto hash = line.find('#');
@@ -466,7 +523,19 @@ int cmd_serve(const Args& args) {
       std::printf("%s\n", controller->to_string().c_str());
     } else {
       complain("unknown directive");
+      std::fflush(stdout);
+      continue;
     }
+    ++directives;
+    if (stats_interval > 0 && directives % stats_interval == 0) {
+      std::printf("--- metrics snapshot (after %zu directives) ---\n%s",
+                  directives, obs::registry().expose().c_str());
+    }
+    std::fflush(stdout);
+  }
+  if (stats_interval > 0) {
+    std::printf("--- metrics snapshot (final, %zu directives) ---\n%s",
+                directives, obs::registry().expose().c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -24,6 +24,12 @@
 //                     member are flagged.  Amortized arena growth is
 //                     suppressed per line with
 //                     `hetsched-lint: allow(noalloc)`.
+//   [metric-handle]   HETSCHED_COUNT/HETSCHED_TIMED/HETSCHED_GAUGE_* uses
+//                     inside a HETSCHED_NOALLOC function must pass a
+//                     pre-registered metric handle: a string literal or a
+//                     registry() call in the macro argument means the hot
+//                     path is registering by name (which locks and
+//                     allocates on first hit).
 //
 // Scanning is lexical (comments and string literals are stripped first);
 // the rules are tuned to this codebase and verified two ways by CTest:
@@ -424,18 +430,26 @@ std::string receiver_before(const std::string& s, std::size_t dot) {
   return s.substr(i, dot - i);
 }
 
-void check_noalloc(const FileText& file, const SuppressionMap& sup,
-                   std::vector<Violation>* out) {
-  static const std::vector<std::string> kMemberCalls = {
-      "push_back", "emplace_back", "resize", "reserve", "shrink_to_fit"};
-  static const std::vector<std::string> kBannedWords = {
-      "new", "delete", "make_unique", "make_shared"};
+// A located HETSCHED_NOALLOC-annotated function body: code lines
+// [open_line, body_end) belong to it.  `found == false` records an
+// annotation with no body within reach (reported by check_noalloc only).
+struct NoallocBody {
+  std::size_t annotation_line = 0;  // 0-based raw line of the annotation
+  std::size_t open_line = 0;
+  std::size_t body_end = 0;
+  bool found = false;
+};
+
+// Shared by the noalloc and metric-handle rules: locate every annotated
+// body (first `{` within 10 lines of the annotation, then brace matching).
+std::vector<NoallocBody> find_noalloc_bodies(const FileText& file) {
+  std::vector<NoallocBody> bodies;
   for (std::size_t li = 0; li < file.raw.size(); ++li) {
     if (file.raw[li].find("// HETSCHED_NOALLOC") == std::string::npos) {
       continue;
     }
-    // Find the annotated function's body: first `{` after the annotation,
-    // then match braces.
+    NoallocBody body;
+    body.annotation_line = li;
     std::size_t open_line = li + 1;
     std::size_t open_col = std::string::npos;
     for (; open_line < file.code.size() && open_line < li + 12; ++open_line) {
@@ -443,9 +457,7 @@ void check_noalloc(const FileText& file, const SuppressionMap& sup,
       if (open_col != std::string::npos) break;
     }
     if (open_col == std::string::npos) {
-      out->push_back({file.path, li + 1, "noalloc",
-                      "HETSCHED_NOALLOC annotation with no function body "
-                      "within 10 lines"});
+      bodies.push_back(body);
       continue;
     }
     int depth = 0;
@@ -463,7 +475,28 @@ void check_noalloc(const FileText& file, const SuppressionMap& sup,
       }
       if (body_end != file.code.size()) break;
     }
-    for (std::size_t bl = open_line; bl < body_end; ++bl) {
+    body.open_line = open_line;
+    body.body_end = body_end;
+    body.found = true;
+    bodies.push_back(body);
+  }
+  return bodies;
+}
+
+void check_noalloc(const FileText& file, const SuppressionMap& sup,
+                   std::vector<Violation>* out) {
+  static const std::vector<std::string> kMemberCalls = {
+      "push_back", "emplace_back", "resize", "reserve", "shrink_to_fit"};
+  static const std::vector<std::string> kBannedWords = {
+      "new", "delete", "make_unique", "make_shared"};
+  for (const NoallocBody& body : find_noalloc_bodies(file)) {
+    if (!body.found) {
+      out->push_back({file.path, body.annotation_line + 1, "noalloc",
+                      "HETSCHED_NOALLOC annotation with no function body "
+                      "within 10 lines"});
+      continue;
+    }
+    for (std::size_t bl = body.open_line; bl < body.body_end; ++bl) {
       const std::string& line = file.code[bl];
       for (const std::string& word : kBannedWords) {
         std::size_t pos = 0;
@@ -499,6 +532,74 @@ void check_noalloc(const FileText& file, const SuppressionMap& sup,
   }
 }
 
+// ----------------------------------------------------------- metric-handle
+
+// Instrumentation macros allowed in hot paths only with pre-registered
+// handles (see src/obs/metrics.h).
+bool metric_macro_at(const std::string& line, std::size_t* pos,
+                     std::size_t* name_end, std::size_t start) {
+  static const std::vector<std::string> kMacros = {
+      "HETSCHED_COUNT_ADD", "HETSCHED_COUNT",      "HETSCHED_TIMED_SAMPLED",
+      "HETSCHED_TIMED",     "HETSCHED_GAUGE_SET",  "HETSCHED_GAUGE_ADD"};
+  std::size_t best = std::string::npos;
+  std::size_t best_end = 0;
+  for (const std::string& macro : kMacros) {
+    std::size_t at = 0;
+    if (!find_word(line, macro, &at, start)) continue;
+    if (at < best) {
+      best = at;
+      best_end = at + macro.size();
+    }
+  }
+  if (best == std::string::npos) return false;
+  *pos = best;
+  *name_end = best_end;
+  return true;
+}
+
+void check_metric_handle(const FileText& file, const SuppressionMap& sup,
+                         std::vector<Violation>* out) {
+  for (const NoallocBody& body : find_noalloc_bodies(file)) {
+    if (!body.found) continue;  // reported by check_noalloc
+    for (std::size_t bl = body.open_line; bl < body.body_end; ++bl) {
+      std::size_t from = 0;
+      std::size_t pos = 0;
+      std::size_t name_end = 0;
+      while (metric_macro_at(file.code[bl], &pos, &name_end, from)) {
+        from = name_end;
+        // Collect the macro's parenthesized argument text, which may span
+        // lines.  Literal stripping keeps the quote characters, so a
+        // by-name registration is visible as a '"' in the argument.
+        std::string arg;
+        int depth = 0;
+        bool done = false;
+        std::size_t ci = name_end;
+        for (std::size_t al = bl; al < body.body_end && !done; ++al) {
+          const std::string& line = file.code[al];
+          for (; ci < line.size(); ++ci) {
+            if (line[ci] == '(') ++depth;
+            if (line[ci] == ')' && --depth == 0) {
+              done = true;
+              break;
+            }
+            if (depth > 0) arg.push_back(line[ci]);
+          }
+          ci = 0;
+        }
+        std::size_t unused = 0;
+        const bool by_name = arg.find('"') != std::string::npos ||
+                             find_word(arg, "registry", &unused);
+        if (!by_name) continue;
+        if (suppressed(sup, "metric-handle", bl + 1)) continue;
+        out->push_back(
+            {file.path, bl + 1, "metric-handle",
+             "metric macro in a HETSCHED_NOALLOC function must take a "
+             "pre-registered handle, not a by-name registry lookup"});
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------------ driver
 
 bool read_file(const std::string& path, FileText* out) {
@@ -529,6 +630,7 @@ std::vector<Violation> scan_batch(const std::vector<FileText>& files) {
     check_assert_abort(f, sup, &violations);
     check_nondeterminism(f, sup, &violations);
     check_noalloc(f, sup, &violations);
+    check_metric_handle(f, sup, &violations);
   }
   return violations;
 }
