@@ -1,0 +1,349 @@
+// Network load generator: replays generated churn traces over loopback
+// TCP against the sharded admission server and reports sustained
+// throughput plus request-latency percentiles (BENCH_net.json).
+//
+// Three phases:
+//
+//   1. Throughput: an in-process server with S shards, one pipelined
+//      client connection per shard, each replaying its own seeded churn
+//      trace.  Wall time is measured around all connections; throughput
+//      is admitted tasks per second.  Every connection's decision
+//      sequence is checksum-compared (FNV-1a, as in bench_obs_overhead)
+//      against an offline replay of the same trace on a bare
+//      OnlinePartitioner — the bench is also a correctness probe.
+//   2. Latency: percentiles (p50/p95/p99/p999) over the merged
+//      request->response round-trip samples from phase 1.
+//   3. Backpressure: a deliberately tiny queue with paused shards shows
+//      the server answering kRetryLater instead of buffering without
+//      bound, then draining cleanly once shards resume.
+//
+// Against an external server (`hetsched_cli serve --listen ...`), pass
+// --connect host:port; the in-process server and the offline checksum
+// comparison are skipped (the peer's platform is unknown).
+//
+//   bench_net_loadgen [--quick] [--no-target-gate] [--connect H:P]
+//                     [--shards S] [--arrivals N] [--window W]
+//
+// Target (gated unless --no-target-gate): >= 100k admits/s sustained.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/churn_gen.h"
+#include "gen/platform_gen.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/trace_replay.h"
+#include "util/rng.h"
+
+namespace hetsched::net {
+namespace {
+
+constexpr double kTargetAdmitsPerSec = 100e3;
+
+struct Options {
+  bool quick = false;
+  bool gate = true;
+  std::string connect;  // empty: in-process server
+  std::size_t shards = 4;
+  std::size_t arrivals = 50000;  // per shard
+  std::size_t window = 256;
+  std::size_t machines = 8;
+  double alpha = 2.0;
+};
+
+ChurnTrace shard_trace(std::uint64_t shard, std::size_t arrivals) {
+  Rng rng(0x10AD + shard * 0x9E3779B97F4A7C15ULL);
+  ChurnSpec spec;
+  spec.arrivals = arrivals;
+  return generate_churn_trace(rng, spec);
+}
+
+double percentile_ns(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) +
+         frac * (static_cast<double>(sorted[hi]) -
+                 static_cast<double>(sorted[lo]));
+}
+
+struct ConnResult {
+  ReplaySummary sum;
+  std::string error;
+};
+
+}  // namespace
+}  // namespace hetsched::net
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  using namespace hetsched::net;
+
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      o.quick = true;
+      o.shards = 2;
+      o.arrivals = 2000;
+    } else if (arg == "--no-target-gate") {
+      o.gate = false;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      o.connect = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      o.shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--arrivals" && i + 1 < argc) {
+      o.arrivals =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--window" && i + 1 < argc) {
+      o.window = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (o.shards < 1 || o.shards > kMaxShards || o.window < 1 ||
+      o.arrivals < 1) {
+    std::fprintf(stderr, "bad --shards/--window/--arrivals\n");
+    return 2;
+  }
+
+  const Platform pf = geometric_platform(o.machines, 1.5);
+  const bool in_process = o.connect.empty();
+
+  std::printf("net loadgen: %zu shard(s), %zu arrivals each, window %zu%s\n",
+              o.shards, o.arrivals, o.window,
+              in_process ? " (in-process server)" : "");
+
+  // Phase 1+2: throughput and latency.  Queue depth >= window per shard
+  // guarantees zero retries, which keeps checksums comparable.
+  Server* server = nullptr;
+  ServerOptions sopts;
+  sopts.shards = o.shards;
+  sopts.alpha = o.alpha;
+  sopts.queue_depth = std::max<std::size_t>(1024, 2 * o.window);
+  Server in_proc_server(pf, sopts);
+  std::string addr = o.connect;
+  if (in_process) {
+    std::string err;
+    if (!in_proc_server.start(&err)) {
+      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+      return 1;
+    }
+    server = &in_proc_server;
+    addr = "127.0.0.1:" + std::to_string(server->port());
+  }
+
+  std::vector<ChurnTrace> traces;
+  traces.reserve(o.shards);
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    traces.push_back(shard_trace(s, o.arrivals));
+  }
+
+  std::vector<ConnResult> results(o.shards);
+  std::vector<std::thread> workers;
+  workers.reserve(o.shards);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    workers.emplace_back([&, s] {
+      Client client;
+      std::string err;
+      if (!client.connect(addr, 5000, &err)) {
+        results[s].error = err;
+        return;
+      }
+      results[s].sum = replay_trace_over_client(
+          client, traces[s], static_cast<std::uint16_t>(s), o.window, 10000,
+          /*collect_latency=*/true);
+      if (!results[s].sum.ok) results[s].error = client.last_error();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::uint64_t requests = 0, admits = 0, rejects = 0, departs = 0,
+                retries = 0, bad = 0;
+  std::vector<std::uint64_t> latencies;
+  bool all_ok = true;
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    const ConnResult& r = results[s];
+    if (!r.sum.ok) {
+      std::fprintf(stderr, "connection %zu failed: %s\n", s, r.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    requests += r.sum.requests;
+    admits += r.sum.admitted;
+    rejects += r.sum.rejected;
+    departs += r.sum.departed;
+    retries += r.sum.retried;
+    bad += r.sum.bad;
+    latencies.insert(latencies.end(), r.sum.latencies_ns.begin(),
+                     r.sum.latencies_ns.end());
+  }
+  if (!all_ok) return 1;
+
+  bool checksum_match = true;
+  if (in_process) {
+    for (std::size_t s = 0; s < o.shards; ++s) {
+      if (results[s].sum.retried != 0) continue;  // not comparable
+      const std::uint64_t offline = offline_decision_checksum(
+          pf, traces[s], sopts.kind, sopts.alpha, sopts.engine);
+      if (results[s].sum.checksum != offline) {
+        std::fprintf(stderr,
+                     "shard %zu: served checksum %016llx != offline %016llx\n",
+                     s,
+                     static_cast<unsigned long long>(results[s].sum.checksum),
+                     static_cast<unsigned long long>(offline));
+        checksum_match = false;
+      }
+    }
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile_ns(latencies, 0.50);
+  const double p95 = percentile_ns(latencies, 0.95);
+  const double p99 = percentile_ns(latencies, 0.99);
+  const double p999 = percentile_ns(latencies, 0.999);
+  const double admits_per_sec =
+      wall_s > 0 ? static_cast<double>(admits) / wall_s : 0.0;
+  const double requests_per_sec =
+      wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0;
+
+  std::printf("throughput: %llu requests (%llu admits, %llu rejects, "
+              "%llu departs) in %.3f s\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(admits),
+              static_cast<unsigned long long>(rejects),
+              static_cast<unsigned long long>(departs), wall_s);
+  std::printf("  %.0f admits/s, %.0f requests/s, retries=%llu, bad=%llu\n",
+              admits_per_sec, requests_per_sec,
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(bad));
+  std::printf("latency ns: p50=%.0f p95=%.0f p99=%.0f p999=%.0f (%zu samples)"
+              "\n",
+              p50, p95, p99, p999, latencies.size());
+  std::printf("checksums vs offline replay: %s\n",
+              in_process ? (checksum_match ? "match" : "MISMATCH")
+                         : "skipped (--connect)");
+
+  if (in_process) {
+    server->request_stop();
+    server->wait();
+  }
+
+  // Phase 3: backpressure.  Tiny queue, paused shard, a burst larger than
+  // the queue: the overflow must come back kRetryLater, and the queued
+  // remainder must still be decided after resume.
+  std::uint64_t bp_retries = 0, bp_decided = 0;
+  constexpr std::uint64_t kBurst = 256;
+  {
+    ServerOptions bp;
+    bp.shards = 1;
+    bp.queue_depth = 16;
+    bp.start_paused = true;
+    Server bserver(pf, bp);
+    std::string err;
+    if (!bserver.start(&err)) {
+      std::fprintf(stderr, "backpressure server start failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    Client client;
+    if (!client.connect("127.0.0.1:" + std::to_string(bserver.port()), 5000,
+                        &err)) {
+      std::fprintf(stderr, "backpressure connect failed: %s\n", err.c_str());
+      return 1;
+    }
+    for (std::uint64_t i = 0; i < kBurst; ++i) {
+      client.queue_request(Request::admit(0, i, 1, 1000));
+    }
+    if (!client.flush(5000)) {
+      std::fprintf(stderr, "backpressure flush failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    // Wait until every frame was routed (enqueued or bounced), then let
+    // the shard drain the queued remainder.
+    while (bserver.stats().frames_rx < kBurst) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    bserver.resume_shards();
+    for (std::uint64_t i = 0; i < kBurst; ++i) {
+      Response r;
+      if (!client.recv_response(&r, 5000)) {
+        std::fprintf(stderr, "backpressure recv failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+      if (r.status == Status::kRetryLater) {
+        ++bp_retries;
+      } else {
+        ++bp_decided;
+      }
+    }
+    bserver.request_stop();
+    bserver.wait();
+  }
+  std::printf("backpressure: burst %llu into depth-16 queue -> %llu "
+              "kRetryLater, %llu decided after resume\n",
+              static_cast<unsigned long long>(kBurst),
+              static_cast<unsigned long long>(bp_retries),
+              static_cast<unsigned long long>(bp_decided));
+  const bool backpressure_ok =
+      bp_retries > 0 && bp_retries + bp_decided == kBurst;
+
+  const bool throughput_met = admits_per_sec >= kTargetAdmitsPerSec;
+  const bool target_met = throughput_met && checksum_match && backpressure_ok;
+
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"net_loadgen\",\n"
+       << "  \"mode\": \"" << (in_process ? "loopback" : "connect")
+       << "\",\n"
+       << "  \"shards\": " << o.shards << ",\n"
+       << "  \"arrivals_per_shard\": " << o.arrivals << ",\n"
+       << "  \"window\": " << o.window << ",\n"
+       << "  \"requests\": " << requests << ",\n"
+       << "  \"admits\": " << admits << ",\n"
+       << "  \"rejects\": " << rejects << ",\n"
+       << "  \"departs\": " << departs << ",\n"
+       << "  \"retries\": " << retries << ",\n"
+       << "  \"wall_s\": " << wall_s << ",\n"
+       << "  \"admits_per_sec\": " << admits_per_sec << ",\n"
+       << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
+       << "  \"latency_p50_ns\": " << p50 << ",\n"
+       << "  \"latency_p95_ns\": " << p95 << ",\n"
+       << "  \"latency_p99_ns\": " << p99 << ",\n"
+       << "  \"latency_p999_ns\": " << p999 << ",\n"
+       << "  \"checksum_match\": "
+       << (in_process ? (checksum_match ? "true" : "false") : "null") << ",\n"
+       << "  \"backpressure_retries\": " << bp_retries << ",\n"
+       << "  \"backpressure_decided\": " << bp_decided << ",\n"
+       << "  \"target\": \">= 100k admits/s sustained; served decisions "
+          "bit-identical to offline replay; full queue answers "
+          "RETRY_LATER\",\n"
+       << "  \"target_met\": " << (target_met ? "true" : "false") << "\n}\n";
+  if (std::ofstream f{"BENCH_net.json"}) {
+    f << json.str();
+    std::printf("[json: BENCH_net.json]\n");
+  }
+
+  if (!checksum_match || !backpressure_ok) return 1;
+  if (!throughput_met) {
+    std::fprintf(stderr, "throughput %.0f admits/s below 100k target\n",
+                 admits_per_sec);
+    if (o.gate) return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -38,6 +39,10 @@ std::optional<double> parse_double_token(const std::string& tok) {
   const auto [ptr, ec] =
       std::from_chars(tok.data(), tok.data() + tok.size(), v);
   if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  // from_chars happily parses "nan" and "inf", but every caller is a
+  // trace/event time where NaN would also slip past the non-decreasing
+  // check (NaN < x is false) and poison the trace downstream.
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
 }
 

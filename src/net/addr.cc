@@ -1,0 +1,40 @@
+#include "net/addr.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <charconv>
+
+namespace hetsched::net {
+
+bool parse_host_port(const std::string& s, HostPort* out, std::string* error) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    if (error != nullptr) *error = "address '" + s + "' is missing ':port'";
+    return false;
+  }
+  std::string host = s.substr(0, colon);
+  if (host.empty()) host = "0.0.0.0";
+  in_addr probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe) != 1) {
+    if (error != nullptr) {
+      *error = "host '" + host + "' is not an IPv4 dotted quad";
+    }
+    return false;
+  }
+  const char* first = s.data() + colon + 1;
+  const char* last = s.data() + s.size();
+  unsigned port = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, port);
+  if (ec != std::errc{} || ptr != last || port > 65535 || first == last) {
+    if (error != nullptr) {
+      *error = "port '" + std::string(first, last) + "' is not in [0, 65535]";
+    }
+    return false;
+  }
+  out->host = std::move(host);
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+}  // namespace hetsched::net

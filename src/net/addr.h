@@ -1,0 +1,22 @@
+// "host:port" parsing shared by the server listen address and the client
+// connect address.  IPv4 dotted-quad hosts only (the service is a
+// loopback / rack-local admission endpoint, not a general resolver — no
+// DNS lookups, so parsing never blocks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hetsched::net {
+
+struct HostPort {
+  std::string host;         // dotted quad, e.g. "127.0.0.1"
+  std::uint16_t port = 0;   // 0 = let the kernel pick (listen side)
+};
+
+// Parses "host:port".  An empty host ("":8000" or ":8000") means
+// 0.0.0.0.  Returns false and sets *error on a missing colon, a host
+// that is not a dotted quad, or a port outside [0, 65535].
+bool parse_host_port(const std::string& s, HostPort* out, std::string* error);
+
+}  // namespace hetsched::net

@@ -1,0 +1,99 @@
+// Bounded MPSC work queue for the shard pipeline (server.h).
+//
+// Design constraints, in order:
+//   * bounded — the queue is THE buffer between the sockets and a shard's
+//     OnlinePartitioner.  When it is full, try_push fails and the server
+//     answers kRetryLater instead of buffering; memory use is fixed no
+//     matter how fast clients send (the backpressure contract of
+//     net/protocol.h).
+//   * batch-draining — the consumer wakes once and takes up to K items,
+//     so a busy shard pays one lock + one condvar wait per batch, not per
+//     request.
+//   * allocation-free after construction — the ring is preallocated;
+//     push/pop move items in and out of existing slots.
+//
+// Concurrency: any number of producers (the event loop today; the MPSC
+// shape keeps multiple acceptor threads possible), one consumer (the
+// shard thread).  A plain mutex + condvar is deliberate: an uncontended
+// lock costs ~20 ns, invisible next to a socket read, and keeps close()
+// semantics trivial.  depth() is a relaxed atomic so metric gauges read
+// it without taking the lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hetsched::net {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity) : ring_(capacity) {
+    HETSCHED_CHECK(capacity >= 1);
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  // Moves `v` into the ring.  Returns false — and leaves `v` valid but
+  // unspecified only on success — when the queue is full or closed.
+  bool try_push(T&& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == ring_.size()) return false;
+      ring_[(head_ + size_) % ring_.size()] = std::move(v);
+      ++size_;
+      depth_.store(size_, std::memory_order_relaxed);
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until at least one item is available or the queue is closed,
+  // then moves up to `max_n` items into `out` in FIFO order.  Returns the
+  // number taken; 0 means closed AND drained (the consumer's exit signal).
+  std::size_t pop_batch(T* out, std::size_t max_n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+    const std::size_t n = size_ < max_n ? size_ : max_n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+    }
+    size_ -= n;
+    depth_.store(size_, std::memory_order_relaxed);
+    return n;
+  }
+
+  // After close(), try_push fails and pop_batch drains the remaining items
+  // before returning 0.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;  // index of the oldest item
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::atomic<std::size_t> depth_{0};  // mirrors size_ for lock-free reads
+};
+
+}  // namespace hetsched::net

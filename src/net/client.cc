@@ -1,0 +1,199 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/addr.h"
+
+namespace hetsched::net {
+
+namespace {
+
+constexpr std::size_t kRecvBufSize = 4096;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Remaining budget for a deadline-based wait; -1 = forever.
+int remaining_ms(int timeout_ms, std::int64_t start_ms) {
+  if (timeout_ms < 0) return -1;
+  const std::int64_t left =
+      static_cast<std::int64_t>(timeout_ms) - (now_ms() - start_ms);
+  return left <= 0 ? 0 : static_cast<int>(left);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  rpos_ = rlen_ = 0;
+}
+
+void Client::fail(const std::string& what) {
+  error_ = what;
+  close();
+}
+
+bool Client::connect(const std::string& addr, int timeout_ms,
+                     std::string* error) {
+  close();
+  HostPort hp;
+  if (!parse_host_port(addr, &hp, error)) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  if (!set_nonblocking(fd_)) {
+    if (error != nullptr) *error = "fcntl(O_NONBLOCK) failed";
+    close();
+    return false;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(hp.port);
+  ::inet_pton(AF_INET, hp.host.c_str(), &sa.sin_addr);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) {
+      if (error != nullptr) *error = std::strerror(errno);
+      close();
+      return false;
+    }
+    pollfd p{fd_, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) {
+      if (error != nullptr) *error = "connect timed out";
+      close();
+      return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      if (error != nullptr) *error = std::strerror(so_error);
+      close();
+      return false;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  rbuf_.resize(kRecvBufSize);
+  rpos_ = rlen_ = 0;
+  return true;
+}
+
+void Client::queue_request(const Request& r) {
+  const std::size_t off = sendbuf_.size();
+  sendbuf_.resize(off + kFrameSize);
+  encode_request(r, sendbuf_.data() + off);
+}
+
+bool Client::flush(int timeout_ms) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  const std::int64_t start = now_ms();
+  std::size_t off = 0;
+  while (off < sendbuf_.size()) {
+    const ssize_t w =
+        ::send(fd_, sendbuf_.data() + off, sendbuf_.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd_, POLLOUT, 0};
+      if (::poll(&p, 1, remaining_ms(timeout_ms, start)) > 0) continue;
+      fail("flush timed out");
+      return false;
+    }
+    fail(std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  sendbuf_.clear();
+  return true;
+}
+
+bool Client::fill_rbuf(int timeout_ms) {
+  // Compact so the recv always has contiguous space.
+  if (rpos_ > 0) {
+    std::memmove(rbuf_.data(), rbuf_.data() + rpos_, rlen_ - rpos_);
+    rlen_ -= rpos_;
+    rpos_ = 0;
+  }
+  const std::int64_t start = now_ms();
+  while (true) {
+    const ssize_t n =
+        ::recv(fd_, rbuf_.data() + rlen_, rbuf_.size() - rlen_, 0);
+    if (n > 0) {
+      rlen_ += static_cast<std::size_t>(n);
+      return true;
+    }
+    if (n == 0) {
+      fail("peer closed the connection");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, remaining_ms(timeout_ms, start)) > 0) continue;
+      fail("recv timed out");
+      return false;
+    }
+    fail(std::string("recv: ") + std::strerror(errno));
+    return false;
+  }
+}
+
+bool Client::recv_response(Response* out, int timeout_ms) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  while (true) {
+    std::size_t consumed = 0;
+    const DecodeResult r =
+        decode_response(rbuf_.data() + rpos_, rlen_ - rpos_, out, &consumed);
+    if (r == DecodeResult::kOk) {
+      rpos_ += consumed;
+      return true;
+    }
+    if (r == DecodeResult::kBad) {
+      fail("malformed response frame");
+      return false;
+    }
+    if (!fill_rbuf(timeout_ms)) return false;
+  }
+}
+
+bool Client::call(const Request& r, Response* out, int timeout_ms) {
+  queue_request(r);
+  if (!flush(timeout_ms)) return false;
+  return recv_response(out, timeout_ms);
+}
+
+}  // namespace hetsched::net

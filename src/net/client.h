@@ -1,0 +1,79 @@
+// Client for the sharded admission service (net/server.h).
+//
+// Two usage styles over one TCP connection:
+//
+//   * Pipelined (the load-generator path): queue_request() appends encoded
+//     frames to an in-memory send buffer, flush() writes them in large
+//     batches, recv_response() decodes replies as they stream back.
+//     Keeping a window of W requests in flight amortizes the loopback
+//     round trip over W decisions — the difference between ~20k and
+//     several hundred thousand admits/s.
+//   * Synchronous (the trickle path): call() = queue + flush + one recv.
+//
+// Every blocking operation takes an explicit timeout in milliseconds
+// (negative = wait forever) and returns false on timeout, peer close, or
+// a malformed reply; last_error() describes the failure.  The socket is
+// non-blocking throughout — timeouts are enforced with poll(2), not
+// SO_RCVTIMEO, so a deadline spans partial reads.
+//
+// Responses on one connection to one shard arrive in request order; when
+// requests fan out across shards, match replies by request_id.  A
+// kRetryLater status is NOT a transport error — recv_response returns
+// true and the caller decides when to resend (see protocol.h's
+// backpressure contract).
+//
+// Thread safety: none; use one Client per thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace hetsched::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to "host:port" (IPv4 dotted quad).  False on parse failure,
+  // refusal, or timeout; the client stays unconnected.
+  bool connect(const std::string& addr, int timeout_ms, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // --- pipelined interface -------------------------------------------
+  // Appends one encoded frame to the send buffer (no I/O).
+  void queue_request(const Request& r);
+  std::size_t pending_bytes() const { return sendbuf_.size(); }
+  // Writes the whole send buffer.  On success the buffer is empty; on
+  // failure the connection is closed (a half-written frame stream cannot
+  // be resynchronized).
+  bool flush(int timeout_ms);
+  // Decodes the next response, reading from the socket as needed.
+  bool recv_response(Response* out, int timeout_ms);
+
+  // --- synchronous helper --------------------------------------------
+  // queue + flush + one recv.  Requires no other responses in flight.
+  bool call(const Request& r, Response* out, int timeout_ms);
+
+  const std::string& last_error() const { return error_; }
+
+ private:
+  bool fill_rbuf(int timeout_ms);  // one recv, polling up to the deadline
+  void fail(const std::string& what);
+
+  int fd_ = -1;
+  std::vector<unsigned char> sendbuf_;
+  std::vector<unsigned char> rbuf_;
+  std::size_t rpos_ = 0;  // undecoded data lives at [rpos_, rlen_)
+  std::size_t rlen_ = 0;
+  std::string error_;
+};
+
+}  // namespace hetsched::net

@@ -1,0 +1,205 @@
+#include "net/protocol.h"
+
+#include <bit>
+
+namespace hetsched::net {
+
+namespace {
+
+// Little-endian field helpers.  Byte-at-a-time stores keep the layout
+// identical on any host endianness and alignment.
+// HETSCHED_NOALLOC
+void put_u16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+}
+
+// HETSCHED_NOALLOC
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+// HETSCHED_NOALLOC
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+// HETSCHED_NOALLOC
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+// HETSCHED_NOALLOC
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// HETSCHED_NOALLOC
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool known_request_type(std::uint8_t t) {
+  return t == static_cast<std::uint8_t>(MsgType::kAdmit) ||
+         t == static_cast<std::uint8_t>(MsgType::kDepart) ||
+         t == static_cast<std::uint8_t>(MsgType::kRebalance);
+}
+
+bool known_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(Status::kBadShard);
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kAdmit:
+      return "admit";
+    case MsgType::kDepart:
+      return "depart";
+    case MsgType::kRebalance:
+      return "rebalance";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kAdmitted:
+      return "admitted";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kRetryLater:
+      return "retry-later";
+    case Status::kDeparted:
+      return "departed";
+    case Status::kStaleId:
+      return "stale-id";
+    case Status::kRebalanced:
+      return "rebalanced";
+    case Status::kRebalanceSkipped:
+      return "rebalance-skipped";
+    case Status::kBadRequest:
+      return "bad-request";
+    case Status::kBadShard:
+      return "bad-shard";
+  }
+  return "?";
+}
+
+Request Request::admit(std::uint16_t shard, std::uint64_t request_id,
+                       std::int64_t exec, std::int64_t period) {
+  Request r;
+  r.type = MsgType::kAdmit;
+  r.shard = shard;
+  r.request_id = request_id;
+  r.a = static_cast<std::uint64_t>(exec);
+  r.b = static_cast<std::uint64_t>(period);
+  return r;
+}
+
+Request Request::depart(std::uint16_t shard, std::uint64_t request_id,
+                        std::uint64_t task_id) {
+  Request r;
+  r.type = MsgType::kDepart;
+  r.shard = shard;
+  r.request_id = request_id;
+  r.a = task_id;
+  return r;
+}
+
+Request Request::rebalance(std::uint16_t shard, std::uint64_t request_id) {
+  Request r;
+  r.type = MsgType::kRebalance;
+  r.shard = shard;
+  r.request_id = request_id;
+  return r;
+}
+
+double Response::utilization() const { return std::bit_cast<double>(value); }
+
+// HETSCHED_NOALLOC (per-frame encode on the shard hot path)
+std::size_t encode_request(const Request& r, unsigned char* buf) {
+  put_u32(buf, static_cast<std::uint32_t>(kPayloadSize));
+  unsigned char* p = buf + kHeaderSize;
+  p[0] = kProtocolVersion;
+  p[1] = static_cast<unsigned char>(r.type);
+  put_u16(p + 2, r.shard);
+  put_u32(p + 4, 0);
+  put_u64(p + 8, r.request_id);
+  put_u64(p + 16, r.a);
+  put_u64(p + 24, r.b);
+  return kFrameSize;
+}
+
+// HETSCHED_NOALLOC (per-frame encode on the shard hot path)
+std::size_t encode_response(const Response& r, unsigned char* buf) {
+  put_u32(buf, static_cast<std::uint32_t>(kPayloadSize));
+  unsigned char* p = buf + kHeaderSize;
+  p[0] = kProtocolVersion;
+  p[1] = static_cast<unsigned char>(static_cast<std::uint8_t>(r.type) |
+                                    kResponseBit);
+  p[2] = static_cast<unsigned char>(r.status);
+  p[3] = 0;
+  put_u32(p + 4, r.machine);
+  put_u64(p + 8, r.request_id);
+  put_u64(p + 16, r.task_id);
+  put_u64(p + 24, r.value);
+  return kFrameSize;
+}
+
+// HETSCHED_NOALLOC (per-frame decode on the server read path)
+DecodeResult decode_request(const unsigned char* buf, std::size_t len,
+                            Request* out, std::size_t* consumed) {
+  if (len < kHeaderSize) return DecodeResult::kNeedMore;
+  const std::uint32_t payload = get_u32(buf);
+  if (payload != kPayloadSize) return DecodeResult::kBad;
+  if (len < kFrameSize) return DecodeResult::kNeedMore;
+  const unsigned char* p = buf + kHeaderSize;
+  if (p[0] != kProtocolVersion) return DecodeResult::kBad;
+  if (!known_request_type(p[1])) return DecodeResult::kBad;
+  if (get_u32(p + 4) != 0) return DecodeResult::kBad;
+  out->type = static_cast<MsgType>(p[1]);
+  out->shard = get_u16(p + 2);
+  out->request_id = get_u64(p + 8);
+  out->a = get_u64(p + 16);
+  out->b = get_u64(p + 24);
+  *consumed = kFrameSize;
+  return DecodeResult::kOk;
+}
+
+// HETSCHED_NOALLOC (per-frame decode on the client read path)
+DecodeResult decode_response(const unsigned char* buf, std::size_t len,
+                             Response* out, std::size_t* consumed) {
+  if (len < kHeaderSize) return DecodeResult::kNeedMore;
+  const std::uint32_t payload = get_u32(buf);
+  if (payload != kPayloadSize) return DecodeResult::kBad;
+  if (len < kFrameSize) return DecodeResult::kNeedMore;
+  const unsigned char* p = buf + kHeaderSize;
+  if (p[0] != kProtocolVersion) return DecodeResult::kBad;
+  const std::uint8_t raw = p[1];
+  if ((raw & kResponseBit) == 0 ||
+      !known_request_type(raw & static_cast<std::uint8_t>(~kResponseBit))) {
+    return DecodeResult::kBad;
+  }
+  if (!known_status(p[2]) || p[3] != 0) return DecodeResult::kBad;
+  out->type = static_cast<MsgType>(raw & static_cast<std::uint8_t>(~kResponseBit));
+  out->status = static_cast<Status>(p[2]);
+  out->machine = get_u32(p + 4);
+  out->request_id = get_u64(p + 8);
+  out->task_id = get_u64(p + 16);
+  out->value = get_u64(p + 24);
+  *consumed = kFrameSize;
+  return DecodeResult::kOk;
+}
+
+}  // namespace hetsched::net

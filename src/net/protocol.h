@@ -1,0 +1,137 @@
+// Wire protocol for the sharded admission service (versioned, binary).
+//
+// Every message is one length-prefixed frame:
+//
+//   u32  payload length (little-endian; always kPayloadSize here)
+//   u8   protocol version (kProtocolVersion)
+//   u8   message type (MsgType)
+//   ...  fixed type-specific fields, little-endian, layouts below
+//
+// Both directions use a single fixed payload size, so a frame is always
+// kFrameSize bytes on the wire and encode/decode run without allocation —
+// the per-frame functions are on the shard hot path and carry the
+// noalloc annotation enforced by tools/lint/hetsched_lint.
+//
+// Request payload (kPayloadSize = 32 bytes):
+//   off  field
+//    0   u8  version
+//    1   u8  type        (kAdmit / kDepart / kRebalance)
+//    2   u16 shard       (tenant shard the request is routed to)
+//    4   u32 reserved    (must be zero)
+//    8   u64 request_id  (echoed verbatim in the response)
+//   16   u64 a           (admit: task exec; depart: OnlineTaskId)
+//   24   u64 b           (admit: task period; otherwise zero)
+//
+// Response payload (kPayloadSize = 32 bytes):
+//   off  field
+//    0   u8  version
+//    1   u8  type        (request type | kResponseBit)
+//    2   u8  status      (Status)
+//    3   u8  reserved    (zero)
+//    4   u32 machine     (admit: chosen machine; otherwise zero)
+//    8   u64 request_id  (copied from the request)
+//   16   u64 task_id     (admit: assigned OnlineTaskId; rebalance:
+//                         migration count; otherwise zero)
+//   24   u64 value       (admit: bit pattern of the task utilization —
+//                         std::bit_cast<double>, so checksums can fold the
+//                         exact bits the server computed)
+//
+// Backpressure contract: a server whose shard queue is full answers
+// kRetryLater immediately instead of buffering the request — the bounded
+// queue is the only buffer between the socket and the partitioner, so
+// memory use is fixed no matter how fast clients send.  Responses to one
+// shard over one connection arrive in request order; requests that name
+// different shards may be answered out of order (match on request_id).
+//
+// Text-trace interop: replay_trace_over_client (trace_replay.h) converts
+// an io/trace_format churn trace into this frame stream, and its decision
+// checksum proves the served sequence bit-identical to an offline replay
+// of the same trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetsched::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 4;
+inline constexpr std::size_t kPayloadSize = 32;
+inline constexpr std::size_t kFrameSize = kHeaderSize + kPayloadSize;
+
+// High bit marks a response so request/response type pairs stay in sync.
+inline constexpr std::uint8_t kResponseBit = 0x80;
+
+enum class MsgType : std::uint8_t {
+  kAdmit = 1,
+  kDepart = 2,
+  kRebalance = 3,
+};
+
+enum class Status : std::uint8_t {
+  kAdmitted = 0,          // admit: placed; machine/task_id/value are set
+  kRejected = 1,          // admit: certified infeasible on every machine
+  kRetryLater = 2,        // shard queue full — resend later (backpressure)
+  kDeparted = 3,          // depart: task released
+  kStaleId = 4,           // depart: unknown, reused, or already-departed id
+  kRebalanced = 5,        // rebalance: re-pack applied; task_id = migrations
+  kRebalanceSkipped = 6,  // rebalance: canonical re-pack did not fit
+  kBadRequest = 7,        // malformed parameters (e.g. non-positive task)
+  kBadShard = 8,          // shard index out of range
+};
+
+const char* to_string(MsgType t);
+const char* to_string(Status s);
+
+// Decoded request frame.  `a`/`b` are interpreted per `type` (see the
+// payload layout above); helpers below name the interpretations.
+struct Request {
+  MsgType type = MsgType::kAdmit;
+  std::uint16_t shard = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  std::int64_t exec() const { return static_cast<std::int64_t>(a); }
+  std::int64_t period() const { return static_cast<std::int64_t>(b); }
+  std::uint64_t task_id() const { return a; }
+
+  static Request admit(std::uint16_t shard, std::uint64_t request_id,
+                       std::int64_t exec, std::int64_t period);
+  static Request depart(std::uint16_t shard, std::uint64_t request_id,
+                        std::uint64_t task_id);
+  static Request rebalance(std::uint16_t shard, std::uint64_t request_id);
+};
+
+// Decoded response frame.  `value` holds the admit utilization bits
+// (std::bit_cast from double) so decision checksums fold exact bits.
+struct Response {
+  MsgType type = MsgType::kAdmit;
+  Status status = Status::kBadRequest;
+  std::uint32_t machine = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t task_id = 0;
+  std::uint64_t value = 0;
+
+  double utilization() const;
+};
+
+// Serializes into `buf` (at least kFrameSize bytes); returns kFrameSize.
+// Allocation-free: the shard hot path encodes into preallocated buffers.
+std::size_t encode_request(const Request& r, unsigned char* buf);
+std::size_t encode_response(const Response& r, unsigned char* buf);
+
+enum class DecodeResult : std::uint8_t {
+  kOk = 0,        // one frame decoded; *consumed bytes were used
+  kNeedMore = 1,  // the buffer holds only a frame prefix — read more
+  kBad = 2,       // malformed (bad length/version/type/reserved bits)
+};
+
+// Decodes one frame from [buf, buf+len).  On kOk sets *out and *consumed
+// (= kFrameSize).  Both are allocation-free and never read past `len`.
+DecodeResult decode_request(const unsigned char* buf, std::size_t len,
+                            Request* out, std::size_t* consumed);
+DecodeResult decode_response(const unsigned char* buf, std::size_t len,
+                             Response* out, std::size_t* consumed);
+
+}  // namespace hetsched::net

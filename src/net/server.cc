@@ -1,0 +1,620 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/addr.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+#if defined(__linux__)
+#define HETSCHED_NET_USE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define HETSCHED_NET_USE_EPOLL 0
+#endif
+
+namespace hetsched::net {
+
+namespace {
+
+#if HETSCHED_METRICS_ENABLED
+// Pre-registered handles: instrumentation on the frame path must not do
+// by-name registry lookups (lint rule [metric-handle]).  Per-shard queue
+// depth gauges are registered per Server instance (names carry the shard
+// index), so they live on the Shard, not here.
+struct NetMetrics {
+  obs::Counter connections = obs::registry().counter(
+      "hetsched_net_connections_total", "TCP connections accepted");
+  obs::Counter frames_rx = obs::registry().counter(
+      "hetsched_net_frames_rx_total", "Request frames decoded");
+  obs::Counter admits = obs::registry().counter(
+      "hetsched_net_admit_total", "Admit requests answered admitted");
+  obs::Counter rejects = obs::registry().counter(
+      "hetsched_net_reject_total", "Admit requests answered rejected");
+  obs::Counter retries = obs::registry().counter(
+      "hetsched_net_retry_total",
+      "Requests answered retry-later because the shard queue was full");
+  obs::Counter departs = obs::registry().counter(
+      "hetsched_net_depart_total", "Depart requests answered departed");
+  obs::Counter stale = obs::registry().counter(
+      "hetsched_net_stale_total", "Depart requests naming a stale id");
+  obs::Counter rebalances = obs::registry().counter(
+      "hetsched_net_rebalance_total", "Rebalance requests processed");
+  obs::Counter bad = obs::registry().counter(
+      "hetsched_net_bad_frame_total",
+      "Malformed frames, bad shard indices, and invalid task parameters");
+  obs::Counter batches = obs::registry().counter(
+      "hetsched_net_batches_total", "Shard wakeups that drained >= 1 frame");
+  obs::LatencyHistogram latency = obs::registry().histogram(
+      "hetsched_net_request_latency_ns",
+      "Enqueue-to-response latency, sampled 1 in kLatencySamplePeriod");
+};
+const NetMetrics g_metrics;
+#endif  // HETSCHED_METRICS_ENABLED
+
+void bump(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Read-interest poller: epoll on Linux, poll(2) everywhere else.  Level
+// triggered in both flavors, so a partially drained socket re-fires and
+// the read path never needs an exhaustive drain loop to stay correct.
+class Poller {
+ public:
+  Poller() = default;
+  ~Poller() {
+#if HETSCHED_NET_USE_EPOLL
+    if (ep_ >= 0) ::close(ep_);
+#endif
+  }
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool init(std::string* error) {
+#if HETSCHED_NET_USE_EPOLL
+    ep_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (ep_ < 0) {
+      *error = errno_string("epoll_create1");
+      return false;
+    }
+    events_.resize(64);
+#endif
+    return true;
+  }
+
+  bool add(int fd) {
+#if HETSCHED_NET_USE_EPOLL
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    return ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) == 0;
+#else
+    fds_.push_back(pollfd{fd, POLLIN, 0});
+    return true;
+#endif
+  }
+
+  void remove(int fd) {
+#if HETSCHED_NET_USE_EPOLL
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+#else
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+      if (fds_[i].fd == fd) {
+        fds_[i] = fds_.back();
+        fds_.pop_back();
+        return;
+      }
+    }
+#endif
+  }
+
+  // Blocks until at least one registered fd is readable (or hung up /
+  // errored — the read path surfaces those as EOF).  Fills `ready` with
+  // the fds to service; returns false on a wait error other than EINTR.
+  bool wait(std::vector<int>& ready) {
+    ready.clear();
+#if HETSCHED_NET_USE_EPOLL
+    const int n =
+        ::epoll_wait(ep_, events_.data(), static_cast<int>(events_.size()), -1);
+    if (n < 0) return errno == EINTR;
+    for (int i = 0; i < n; ++i) {
+      ready.push_back(events_[static_cast<std::size_t>(i)].data.fd);
+    }
+#else
+    const int n = ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()), -1);
+    if (n < 0) return errno == EINTR;
+    for (const pollfd& p : fds_) {
+      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        ready.push_back(p.fd);
+      }
+    }
+#endif
+    return true;
+  }
+
+ private:
+#if HETSCHED_NET_USE_EPOLL
+  int ep_ = -1;
+  std::vector<epoll_event> events_;
+#else
+  std::vector<pollfd> fds_;
+#endif
+};
+
+}  // namespace
+
+// One accepted socket.  The read side (rbuf) belongs to the event-loop
+// thread; the write side is shared between the event loop (inline
+// retry-later / bad-shard replies) and shard threads (decision replies)
+// and serialized by write_mu, one whole frame run per send, so frames
+// never interleave mid-frame on the wire.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in), rbuf(kReadBufSize) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Blocking-with-timeout write of `n` bytes of encoded frames.  On a
+  // stalled peer (timeout_ms of no POLLOUT progress) or a socket error
+  // the connection is marked dead and further writes are dropped — a
+  // slow reader must not wedge a shard thread forever.
+  bool write_frames(const unsigned char* buf, std::size_t n, int timeout_ms) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (dead.load(std::memory_order_relaxed)) return false;
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd, buf + off, n - off, MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd p{fd, POLLOUT, 0};
+        if (::poll(&p, 1, timeout_ms) > 0) continue;
+      }
+      dead.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  // Room for ~100 frames per read: one recv per event-loop wakeup keeps
+  // syscall count per frame low at the bench's frame rate.
+  static constexpr std::size_t kReadBufSize = 4096;
+
+  int fd;
+  std::mutex write_mu;
+  std::atomic<bool> dead{false};
+  std::vector<unsigned char> rbuf;  // event-loop thread only
+  std::size_t rbuf_len = 0;         // bytes of undecoded prefix in rbuf
+};
+
+// One tenant shard: a single-threaded controller fed by its bounded
+// queue.  items/outbuf are preallocated to the batch size so the drain
+// loop is allocation-free.
+struct Server::Shard {
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    Request req;
+    std::uint64_t enq_ns = 0;  // nonzero only for latency-sampled items
+  };
+
+  Shard(const Platform& platform, const ServerOptions& o)
+      : controller(platform, o.kind, o.alpha, o.engine),
+        queue(o.queue_depth),
+        items(o.batch),
+        outbuf(o.batch * kFrameSize) {
+    // Warm the controller arena so steady-state admits take the
+    // allocation-free path from the first request.
+    controller.reserve(o.queue_depth);
+  }
+
+  OnlinePartitioner controller;
+  BoundedMpscQueue<WorkItem> queue;
+  std::vector<WorkItem> items;        // pop_batch destination
+  std::vector<unsigned char> outbuf;  // encoded responses, per batch
+  std::thread thread;
+#if HETSCHED_METRICS_ENABLED
+  obs::Gauge depth_gauge;
+  std::uint32_t push_tick = 0;  // event-loop thread only (sampling)
+#endif
+};
+
+Server::Server(const Platform& platform, const ServerOptions& options)
+    : platform_(platform), options_(options) {}
+
+Server::~Server() {
+  request_stop();
+  wait();
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool Server::start(std::string* error) {
+  HETSCHED_CHECK(error != nullptr);
+  if (running_.load(std::memory_order_acquire)) {
+    *error = "server already started";
+    return false;
+  }
+  if (platform_.empty()) {
+    *error = "platform has no machines";
+    return false;
+  }
+  if (options_.shards < 1 || options_.shards > kMaxShards) {
+    *error = "shards must be in [1, " + std::to_string(kMaxShards) + "]";
+    return false;
+  }
+  if (options_.queue_depth < 1 || options_.batch < 1) {
+    *error = "queue_depth and batch must be >= 1";
+    return false;
+  }
+
+  HostPort addr;
+  if (!parse_host_port(options_.listen_addr, &addr, error)) return false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = errno_string("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  ::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
+    *error = errno_string("bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_fds_) != 0 || !set_nonblocking(wake_fds_[0])) {
+    *error = errno_string("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  shards_.clear();
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(platform_, options_));
+#if HETSCHED_METRICS_ENABLED
+    shards_.back()->depth_gauge = obs::registry().gauge(
+        "hetsched_net_queue_depth_shard" + std::to_string(i),
+        "Requests queued for shard " + std::to_string(i));
+#endif
+  }
+
+  paused_ = options_.start_paused;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+  }
+  loop_thread_ = std::thread([this] { event_loop(); });
+  return true;
+}
+
+void Server::resume_shards() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void Server::request_stop() {
+  stopping_.store(true, std::memory_order_release);
+  resume_shards();  // paused shards must run to drain their queues
+  if (wake_fds_[1] >= 0) {
+    const char b = 0;
+    [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &b, 1);
+  }
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = counters_.connections.load(std::memory_order_relaxed);
+  s.frames_rx = counters_.frames_rx.load(std::memory_order_relaxed);
+  s.enqueued = counters_.enqueued.load(std::memory_order_relaxed);
+  s.admitted = counters_.admitted.load(std::memory_order_relaxed);
+  s.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  s.retried = counters_.retried.load(std::memory_order_relaxed);
+  s.departed = counters_.departed.load(std::memory_order_relaxed);
+  s.stale = counters_.stale.load(std::memory_order_relaxed);
+  s.rebalances = counters_.rebalances.load(std::memory_order_relaxed);
+  s.bad = counters_.bad.load(std::memory_order_relaxed);
+  s.batches = counters_.batches.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Server::shard_resident_count(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shards_.size());
+  return shards_[shard]->controller.resident_count();
+}
+
+void Server::respond_inline(const std::shared_ptr<Connection>& conn,
+                            const Request& req, Status status) {
+  Response resp;
+  resp.type = req.type;
+  resp.status = status;
+  resp.request_id = req.request_id;
+  unsigned char buf[kFrameSize];
+  encode_response(resp, buf);
+  conn->write_frames(buf, kFrameSize, options_.write_timeout_ms);
+}
+
+// HETSCHED_NOALLOC (per-frame routing on the event-loop hot path; the
+// queue slot is preallocated and the shared_ptr copy is refcount-only)
+void Server::route_frame(const std::shared_ptr<Connection>& conn,
+                         const Request& req) {
+  if (req.shard >= shards_.size()) {
+    bump(counters_.bad);
+    HETSCHED_COUNT(g_metrics.bad);
+    respond_inline(conn, req, Status::kBadShard);
+    return;
+  }
+  Shard& sh = *shards_[req.shard];
+  Shard::WorkItem item;
+  item.conn = conn;
+  item.req = req;
+#if HETSCHED_METRICS_ENABLED
+  if ((++sh.push_tick & (obs::kLatencySamplePeriod - 1)) == 0) {
+    item.enq_ns = obs::now_ns();
+  }
+#endif
+  if (!sh.queue.try_push(std::move(item))) {
+    bump(counters_.retried);
+    HETSCHED_COUNT(g_metrics.retries);
+    respond_inline(conn, req, Status::kRetryLater);
+    return;
+  }
+  bump(counters_.enqueued);
+  HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
+}
+
+bool Server::drain_readable(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead.load(std::memory_order_relaxed)) return false;
+  while (true) {
+    const std::size_t space = conn->rbuf.size() - conn->rbuf_len;
+    const ssize_t n =
+        ::recv(conn->fd, conn->rbuf.data() + conn->rbuf_len, space, 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;  // drained for now
+    }
+    conn->rbuf_len += static_cast<std::size_t>(n);
+    std::size_t off = 0;
+    while (true) {
+      Request req;
+      std::size_t consumed = 0;
+      const DecodeResult r = decode_request(
+          conn->rbuf.data() + off, conn->rbuf_len - off, &req, &consumed);
+      if (r == DecodeResult::kNeedMore) break;
+      if (r == DecodeResult::kBad) {
+        // A desynced byte stream cannot be re-framed; drop the peer.
+        bump(counters_.bad);
+        HETSCHED_COUNT(g_metrics.bad);
+        return false;
+      }
+      off += consumed;
+      bump(counters_.frames_rx);
+      HETSCHED_COUNT(g_metrics.frames_rx);
+      route_frame(conn, req);
+    }
+    if (off > 0) {
+      std::memmove(conn->rbuf.data(), conn->rbuf.data() + off,
+                   conn->rbuf_len - off);
+      conn->rbuf_len -= off;
+    }
+    if (static_cast<std::size_t>(n) < space) return true;  // socket drained
+  }
+}
+
+// HETSCHED_NOALLOC (per-frame decision on the shard hot path: warm admits
+// and departs run the controller's allocation-free paths)
+Response Server::process_request(Shard& shard, const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  resp.request_id = req.request_id;
+  switch (req.type) {
+    case MsgType::kAdmit: {
+      if (req.exec() <= 0 || req.period() <= 0) {
+        resp.status = Status::kBadRequest;
+        bump(counters_.bad);
+        HETSCHED_COUNT(g_metrics.bad);
+        break;
+      }
+      const Task t{req.exec(), req.period()};
+      const AdmitDecision d = shard.controller.admit(t);
+      resp.value = std::bit_cast<std::uint64_t>(d.utilization);
+      if (d.admitted) {
+        resp.status = Status::kAdmitted;
+        resp.machine = static_cast<std::uint32_t>(d.machine);
+        resp.task_id = d.id;
+        bump(counters_.admitted);
+        HETSCHED_COUNT(g_metrics.admits);
+      } else {
+        resp.status = Status::kRejected;
+        bump(counters_.rejected);
+        HETSCHED_COUNT(g_metrics.rejects);
+      }
+      break;
+    }
+    case MsgType::kDepart: {
+      if (shard.controller.depart(req.task_id())) {
+        resp.status = Status::kDeparted;
+        bump(counters_.departed);
+        HETSCHED_COUNT(g_metrics.departs);
+      } else {
+        resp.status = Status::kStaleId;
+        bump(counters_.stale);
+        HETSCHED_COUNT(g_metrics.stale);
+      }
+      break;
+    }
+    case MsgType::kRebalance: {
+      const RebalanceReport r = shard.controller.rebalance();
+      resp.status = r.applied ? Status::kRebalanced : Status::kRebalanceSkipped;
+      resp.task_id = r.migrations;
+      bump(counters_.rebalances);
+      HETSCHED_COUNT(g_metrics.rebalances);
+      break;
+    }
+  }
+  return resp;
+}
+
+void Server::shard_loop(std::size_t shard_index) {
+  {
+    std::unique_lock<std::mutex> lock(pause_mu_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
+  Shard& sh = *shards_[shard_index];
+  while (true) {
+    const std::size_t n = sh.queue.pop_batch(sh.items.data(), sh.items.size());
+    if (n == 0) break;  // queue closed and fully drained
+    bump(counters_.batches);
+    HETSCHED_COUNT(g_metrics.batches);
+    HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
+    // Decide every item, coalescing consecutive responses to the same
+    // connection into one send().
+    Connection* run_conn = nullptr;
+    std::size_t run_first = 0;
+    std::size_t out_len = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard::WorkItem& item = sh.items[i];
+      const Response resp = process_request(sh, item.req);
+#if HETSCHED_METRICS_ENABLED
+      if (item.enq_ns != 0) {
+        g_metrics.latency.record_ns(obs::now_ns() - item.enq_ns);
+      }
+#endif
+      if (run_conn != nullptr && item.conn.get() != run_conn) {
+        sh.items[run_first].conn->write_frames(sh.outbuf.data(), out_len,
+                                               options_.write_timeout_ms);
+        out_len = 0;
+        run_first = i;
+      }
+      run_conn = item.conn.get();
+      out_len += encode_response(resp, sh.outbuf.data() + out_len);
+    }
+    if (run_conn != nullptr && out_len > 0) {
+      sh.items[run_first].conn->write_frames(sh.outbuf.data(), out_len,
+                                             options_.write_timeout_ms);
+    }
+    // Drop connection refs so closed peers release their fds promptly.
+    for (std::size_t i = 0; i < n; ++i) sh.items[i].conn.reset();
+  }
+}
+
+void Server::event_loop() {
+  Poller poller;
+  std::string error;
+  bool poller_ok = poller.init(&error);
+  if (poller_ok) {
+    poller_ok = poller.add(listen_fd_) && poller.add(wake_fds_[0]);
+  }
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::vector<int> ready;
+  while (poller_ok && !stopping_.load(std::memory_order_acquire)) {
+    if (!poller.wait(ready)) break;
+    for (const int fd : ready) {
+      if (fd == wake_fds_[0]) {
+        char drain[16];
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;  // stopping_ is re-checked at the loop head
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) {
+            if (errno == EINTR) continue;
+            break;  // EAGAIN: accepted everything pending
+          }
+          if (!set_nonblocking(cfd)) {
+            ::close(cfd);
+            continue;
+          }
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_shared<Connection>(cfd);
+          if (!poller.add(cfd)) continue;  // dtor closes cfd
+          conns.emplace(cfd, std::move(conn));
+          bump(counters_.connections);
+          HETSCHED_COUNT(g_metrics.connections);
+        }
+        continue;
+      }
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      if (!drain_readable(it->second)) {
+        poller.remove(fd);
+        conns.erase(it);  // fd closes when the last WorkItem ref drops
+      }
+    }
+  }
+  // Graceful shutdown: stop accepting and reading (this loop has exited),
+  // then let every shard drain what was already queued and flush its
+  // responses before the sockets go away.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  resume_shards();
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+  conns.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace hetsched::net

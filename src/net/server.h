@@ -1,0 +1,176 @@
+// Sharded TCP admission service over the online partitioner.
+//
+// Architecture (one process, 1 + N threads):
+//
+//   clients ──► event-loop thread ──► N shard threads ──► client sockets
+//              (epoll on Linux,       (each owns ONE          (responses)
+//               poll(2) fallback)      OnlinePartitioner)
+//
+//   * The event loop accepts connections, reads length-prefixed frames
+//     (net/protocol.h), and routes each request to the shard it names via
+//     a bounded MPSC queue (net/bounded_queue.h).  A full queue answers
+//     kRetryLater immediately — explicit backpressure, never unbounded
+//     buffering.
+//   * Each shard thread drains its queue in batches of up to
+//     ServerOptions::batch frames per wakeup and runs them through its
+//     single-threaded OnlinePartitioner — the same allocation-free warm
+//     admit path the offline replay uses, so the served decision stream
+//     is bit-identical to `hetsched_cli replay` of the same trace
+//     (tests/net_test.cpp proves it with an FNV-1a checksum).
+//     Responses for consecutive frames from one connection coalesce into
+//     one send() call.
+//   * Shards are independent tenants: machine pools are per-shard copies
+//     of the platform, and requests never cross shards, so throughput
+//     scales with shard count until the event loop saturates.
+//
+// Response writes happen on shard threads under a per-connection mutex
+// (the event loop writes only kRetryLater / kBadShard rejections), each
+// frame in one send(), so frames never interleave mid-frame.  Per shard
+// and connection, responses preserve request order; requests to different
+// shards are answered in whatever order the shards reach them — clients
+// match on request_id.
+//
+// Shutdown (request_stop or SIGTERM via the CLI): stop accepting, stop
+// reading, close the shard queues, drain every queued request, flush its
+// response, join the shards, then close the sockets — so a clean stop
+// answers everything it has accepted responsibility for.
+//
+// Observability (compiled with -DHETSCHED_METRICS=ON): per-shard
+// queue-depth gauges (hetsched_net_queue_depth_shard<i>), admit / reject /
+// retry / depart counters, and a sampled enqueue-to-response latency
+// histogram; README "Observability" lists the full net_* catalog.
+// ServerStats mirrors the decision counters as plain atomics so tests and
+// the load generator work in metrics-off builds too.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/platform.h"
+#include "net/bounded_queue.h"
+#include "net/protocol.h"
+#include "online/online_partitioner.h"
+#include "partition/admission.h"
+#include "partition/engine.h"
+
+namespace hetsched::net {
+
+// Per-shard queue-depth gauges are registered up front, so the shard count
+// is capped well below the obs registry's gauge capacity.
+inline constexpr std::size_t kMaxShards = 16;
+
+struct ServerOptions {
+  std::string listen_addr = "127.0.0.1:0";  // "host:port"; port 0 = ephemeral
+  std::size_t shards = 1;
+  AdmissionKind kind = AdmissionKind::kEdf;
+  double alpha = 1.0;
+  PartitionEngine engine = PartitionEngine::kAuto;
+  std::size_t queue_depth = 1024;  // bounded per-shard request queue
+  std::size_t batch = 64;          // frames drained per shard wakeup
+  int write_timeout_ms = 5000;     // per-send stall budget before a
+                                   // connection is declared dead
+  // Test hook: shard threads start idle until resume_shards() — lets tests
+  // fill a queue deterministically to observe kRetryLater backpressure.
+  bool start_paused = false;
+};
+
+// Decision counters, independent of the obs layer so they exist in
+// metrics-off builds.  Eventually consistent while threads run; exact
+// after wait().
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t retried = 0;   // kRetryLater answers (queue full)
+  std::uint64_t departed = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t bad = 0;       // bad frames / bad shard / bad request
+  std::uint64_t batches = 0;   // shard wakeups that processed >= 1 frame
+};
+
+class Server {
+ public:
+  // The platform is copied into every shard's controller.
+  Server(const Platform& platform, const ServerOptions& options);
+  ~Server();  // request_stop() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the event loop + shard threads.  False on
+  // socket errors (*error describes the failure; server is not running).
+  bool start(std::string* error);
+
+  // Bound TCP port (after start) — useful with an ephemeral listen port.
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Releases shards started with ServerOptions::start_paused.
+  void resume_shards();
+
+  // Begins a graceful shutdown: stop accepting and reading, drain every
+  // queued request, flush responses, join threads.  Thread-safe,
+  // idempotent, returns immediately; wait() blocks until done.
+  void request_stop();
+  void wait();
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+  // Shard controller observers for tests (call only while that shard is
+  // quiescent: paused, stopped, or provably idle).
+  std::size_t shard_resident_count(std::size_t shard) const;
+
+ private:
+  struct Connection;
+  struct Shard;
+
+  void event_loop();
+  void shard_loop(std::size_t shard_index);
+  // Decodes and routes every complete frame in `conn`'s read buffer.
+  // Returns false when the connection must be closed (EOF, error, or a
+  // malformed frame — a desynced byte stream cannot be re-synced).
+  bool drain_readable(const std::shared_ptr<Connection>& conn);
+  void route_frame(const std::shared_ptr<Connection>& conn, const Request& req);
+  void respond_inline(const std::shared_ptr<Connection>& conn,
+                      const Request& req, Status status);
+  Response process_request(Shard& shard, const Request& req);
+
+  Platform platform_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: request_stop -> event loop
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread loop_thread_;
+  std::mutex join_mu_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // ServerStats source (relaxed; summed snapshot under stats()).
+  struct Counters {
+    std::atomic<std::uint64_t> connections{0}, frames_rx{0}, enqueued{0},
+        admitted{0}, rejected{0}, retried{0}, departed{0}, stale{0},
+        rebalances{0}, bad{0}, batches{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace hetsched::net

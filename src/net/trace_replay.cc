@@ -1,0 +1,186 @@
+#include "net/trace_replay.h"
+
+#include <bit>
+#include <chrono>
+#include <deque>
+
+#include "online/online_partitioner.h"
+#include "util/check.h"
+
+namespace hetsched::net {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-arrival outcome as the replay driver learns it from responses.
+enum class Outcome : std::uint8_t {
+  kPending,  // admit request sent, response not yet seen
+  kAdmitted,
+  kLost,  // rejected, retried, or errored — no server-side id exists
+};
+
+struct TaskState {
+  Outcome outcome = Outcome::kPending;
+  std::uint64_t server_id = 0;
+};
+
+struct Pending {
+  ChurnEvent::Kind kind = ChurnEvent::Kind::kArrival;
+  std::uint64_t task = 0;     // trace-local task number
+  std::uint64_t send_ns = 0;  // nonzero when latency collection is on
+};
+
+// Generated traces number tasks densely from 0, but hand-written parsed
+// traces may skip numbers — size the per-task table by the largest one.
+std::size_t task_slot_count(const ChurnTrace& trace) {
+  std::size_t n = 0;
+  for (const ChurnEvent& ev : trace.events) {
+    const auto need = static_cast<std::size_t>(ev.task) + 1;
+    if (need > n) n = need;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::uint64_t offline_decision_checksum(const Platform& platform,
+                                        const ChurnTrace& trace,
+                                        AdmissionKind kind, double alpha,
+                                        PartitionEngine engine) {
+  OnlinePartitioner ctl(platform, kind, alpha, engine);
+  ctl.reserve(trace.arrivals);
+  std::uint64_t h = kFnv1aSeed;
+  std::vector<TaskState> tasks(task_slot_count(trace));
+  for (const ChurnEvent& ev : trace.events) {
+    TaskState& st = tasks[ev.task];
+    if (ev.kind == ChurnEvent::Kind::kArrival) {
+      const AdmitDecision d = ctl.admit(ev.params);
+      h = fnv1a(h, d.admitted ? 1 : 0);
+      h = fnv1a(h, d.admitted ? d.machine : 0);
+      h = fnv1a(h, std::bit_cast<std::uint64_t>(d.utilization));
+      st.outcome = d.admitted ? Outcome::kAdmitted : Outcome::kLost;
+      st.server_id = d.id;
+    } else if (st.outcome == Outcome::kAdmitted) {
+      h = fnv1a(h, ctl.depart(st.server_id) ? 1 : 0);
+      st.outcome = Outcome::kLost;
+    }
+    // Departures of rejected arrivals fold nothing (see the header).
+  }
+  return h;
+}
+
+namespace {
+
+// Receives exactly one response, folds it into the summary, and resolves
+// the pending-request FIFO entry it answers.  Returns false on transport
+// failure or a response that does not match the FIFO head.
+bool drain_one(Client& client, std::deque<Pending>& pending,
+               std::vector<TaskState>& tasks, ReplaySummary& sum,
+               int timeout_ms) {
+  Response resp;
+  if (!client.recv_response(&resp, timeout_ms)) return false;
+  if (pending.empty()) return false;
+  const Pending p = pending.front();
+  pending.pop_front();
+  if (p.send_ns != 0) sum.latencies_ns.push_back(steady_ns() - p.send_ns);
+  if (resp.status == Status::kRetryLater) {
+    ++sum.retried;
+    if (p.kind == ChurnEvent::Kind::kArrival) {
+      tasks[p.task].outcome = Outcome::kLost;
+    }
+    return true;
+  }
+  if (p.kind == ChurnEvent::Kind::kArrival) {
+    sum.checksum = fnv1a(sum.checksum, resp.status == Status::kAdmitted ? 1 : 0);
+    sum.checksum = fnv1a(sum.checksum,
+                         resp.status == Status::kAdmitted ? resp.machine : 0);
+    sum.checksum = fnv1a(sum.checksum, resp.value);
+    TaskState& st = tasks[p.task];
+    if (resp.status == Status::kAdmitted) {
+      ++sum.admitted;
+      st.outcome = Outcome::kAdmitted;
+      st.server_id = resp.task_id;
+    } else {
+      if (resp.status == Status::kRejected) {
+        ++sum.rejected;
+      } else {
+        ++sum.bad;
+      }
+      st.outcome = Outcome::kLost;
+    }
+  } else {
+    sum.checksum =
+        fnv1a(sum.checksum, resp.status == Status::kDeparted ? 1 : 0);
+    if (resp.status == Status::kDeparted) {
+      ++sum.departed;
+    } else if (resp.status == Status::kStaleId) {
+      ++sum.stale;
+    } else {
+      ++sum.bad;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReplaySummary replay_trace_over_client(Client& client, const ChurnTrace& trace,
+                                       std::uint16_t shard, std::size_t window,
+                                       int timeout_ms, bool collect_latency) {
+  HETSCHED_CHECK(window >= 1);
+  ReplaySummary sum;
+  std::vector<TaskState> tasks(task_slot_count(trace));
+  std::deque<Pending> pending;
+  if (collect_latency) sum.latencies_ns.reserve(trace.events.size());
+  std::uint64_t next_request_id = 0;
+
+  const auto submit = [&](const Request& req, ChurnEvent::Kind kind,
+                          std::uint64_t task) {
+    client.queue_request(req);
+    pending.push_back(
+        Pending{kind, task, collect_latency ? steady_ns() : 0});
+    ++sum.requests;
+  };
+
+  for (const ChurnEvent& ev : trace.events) {
+    if (ev.kind == ChurnEvent::Kind::kArrival) {
+      submit(Request::admit(shard, next_request_id++, ev.params.exec,
+                            ev.params.period),
+             ev.kind, ev.task);
+    } else {
+      // A departure needs the server id its arrival was assigned; drain
+      // responses (they arrive in request order) until it is resolved.
+      while (tasks[ev.task].outcome == Outcome::kPending) {
+        if (!client.flush(timeout_ms) ||
+            !drain_one(client, pending, tasks, sum, timeout_ms)) {
+          return sum;
+        }
+      }
+      if (tasks[ev.task].outcome != Outcome::kAdmitted) continue;
+      submit(Request::depart(shard, next_request_id++,
+                             tasks[ev.task].server_id),
+             ev.kind, ev.task);
+      tasks[ev.task].outcome = Outcome::kLost;  // at most one depart
+    }
+    if (pending.size() >= window) {
+      if (!client.flush(timeout_ms)) return sum;
+      while (pending.size() >= window) {
+        if (!drain_one(client, pending, tasks, sum, timeout_ms)) return sum;
+      }
+    }
+  }
+  if (!client.flush(timeout_ms)) return sum;
+  while (!pending.empty()) {
+    if (!drain_one(client, pending, tasks, sum, timeout_ms)) return sum;
+  }
+  sum.ok = true;
+  return sum;
+}
+
+}  // namespace hetsched::net

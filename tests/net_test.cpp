@@ -1,0 +1,546 @@
+// Tests for src/net/: wire protocol round-trips and rejection, address
+// parsing, the bounded MPSC queue, and loopback integration against a
+// live server — including the PR's correctness anchor, bit-identical
+// served vs offline decision checksums over a generated churn trace.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/churn_gen.h"
+#include "gen/platform_gen.h"
+#include "net/addr.h"
+#include "net/bounded_queue.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/trace_replay.h"
+#include "util/rng.h"
+
+namespace hetsched::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// protocol
+// ---------------------------------------------------------------------
+
+TEST(NetProtocol, RequestRoundTripsAllTypes) {
+  const Request cases[] = {
+      Request::admit(3, 77, 5, 20),
+      Request::depart(0, 78, 0xDEADBEEFCAFEULL),
+      Request::rebalance(15, 79),
+  };
+  for (const Request& r : cases) {
+    unsigned char buf[kFrameSize];
+    ASSERT_EQ(encode_request(r, buf), kFrameSize);
+    Request out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_request(buf, kFrameSize, &out, &consumed),
+              DecodeResult::kOk);
+    EXPECT_EQ(consumed, kFrameSize);
+    EXPECT_EQ(out.type, r.type);
+    EXPECT_EQ(out.shard, r.shard);
+    EXPECT_EQ(out.request_id, r.request_id);
+    EXPECT_EQ(out.a, r.a);
+    EXPECT_EQ(out.b, r.b);
+  }
+}
+
+TEST(NetProtocol, ResponseRoundTripsUtilizationBits) {
+  Response r;
+  r.type = MsgType::kAdmit;
+  r.status = Status::kAdmitted;
+  r.machine = 3;
+  r.request_id = 123456789;
+  r.task_id = (std::uint64_t{7} << 32) | 42;
+  r.value = std::bit_cast<std::uint64_t>(0.3123456789);
+  unsigned char buf[kFrameSize];
+  ASSERT_EQ(encode_response(r, buf), kFrameSize);
+  Response out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_response(buf, kFrameSize, &out, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(out.status, Status::kAdmitted);
+  EXPECT_EQ(out.machine, 3u);
+  EXPECT_EQ(out.task_id, r.task_id);
+  EXPECT_EQ(out.utilization(), 0.3123456789);  // exact: bit pattern
+}
+
+TEST(NetProtocol, RandomizedRequestRoundTrip) {
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 500; ++i) {
+    Request r;
+    r.type = static_cast<MsgType>(1 + rng.next_u64() % 3);
+    r.shard = static_cast<std::uint16_t>(rng.next_u64());
+    r.request_id = rng.next_u64();
+    r.a = rng.next_u64();
+    r.b = rng.next_u64();
+    unsigned char buf[kFrameSize];
+    encode_request(r, buf);
+    Request out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_request(buf, kFrameSize, &out, &consumed),
+              DecodeResult::kOk);
+    EXPECT_EQ(out.shard, r.shard);
+    EXPECT_EQ(out.request_id, r.request_id);
+    EXPECT_EQ(out.a, r.a);
+    EXPECT_EQ(out.b, r.b);
+  }
+}
+
+TEST(NetProtocol, ShortBuffersNeedMore) {
+  unsigned char buf[kFrameSize];
+  encode_request(Request::admit(0, 1, 2, 10), buf);
+  Request out;
+  std::size_t consumed = 0;
+  for (std::size_t len = 0; len < kFrameSize; ++len) {
+    EXPECT_EQ(decode_request(buf, len, &out, &consumed),
+              DecodeResult::kNeedMore)
+        << "len " << len;
+  }
+}
+
+TEST(NetProtocol, MalformedFramesRejected) {
+  unsigned char good[kFrameSize];
+  encode_request(Request::admit(0, 1, 2, 10), good);
+  Request out;
+  std::size_t consumed = 0;
+
+  unsigned char bad_len[kFrameSize];
+  std::memcpy(bad_len, good, kFrameSize);
+  bad_len[0] = 33;  // payload length != kPayloadSize
+  EXPECT_EQ(decode_request(bad_len, kFrameSize, &out, &consumed),
+            DecodeResult::kBad);
+
+  unsigned char bad_version[kFrameSize];
+  std::memcpy(bad_version, good, kFrameSize);
+  bad_version[kHeaderSize] = kProtocolVersion + 1;
+  EXPECT_EQ(decode_request(bad_version, kFrameSize, &out, &consumed),
+            DecodeResult::kBad);
+
+  unsigned char bad_type[kFrameSize];
+  std::memcpy(bad_type, good, kFrameSize);
+  bad_type[kHeaderSize + 1] = 99;
+  EXPECT_EQ(decode_request(bad_type, kFrameSize, &out, &consumed),
+            DecodeResult::kBad);
+
+  unsigned char bad_reserved[kFrameSize];
+  std::memcpy(bad_reserved, good, kFrameSize);
+  bad_reserved[kHeaderSize + 5] = 1;
+  EXPECT_EQ(decode_request(bad_reserved, kFrameSize, &out, &consumed),
+            DecodeResult::kBad);
+
+  // A request frame is not a response (missing kResponseBit)...
+  Response rout;
+  EXPECT_EQ(decode_response(good, kFrameSize, &rout, &consumed),
+            DecodeResult::kBad);
+  // ...and a response frame is not a request (type has kResponseBit).
+  Response resp;
+  resp.type = MsgType::kAdmit;
+  resp.status = Status::kAdmitted;
+  unsigned char rbuf[kFrameSize];
+  encode_response(resp, rbuf);
+  EXPECT_EQ(decode_request(rbuf, kFrameSize, &out, &consumed),
+            DecodeResult::kBad);
+
+  unsigned char bad_status[kFrameSize];
+  std::memcpy(bad_status, rbuf, kFrameSize);
+  bad_status[kHeaderSize + 2] = 200;
+  EXPECT_EQ(decode_response(bad_status, kFrameSize, &rout, &consumed),
+            DecodeResult::kBad);
+}
+
+// ---------------------------------------------------------------------
+// addr
+// ---------------------------------------------------------------------
+
+TEST(NetAddr, ParsesHostPort) {
+  HostPort hp;
+  std::string err;
+  ASSERT_TRUE(parse_host_port("127.0.0.1:8080", &hp, &err)) << err;
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 8080);
+  ASSERT_TRUE(parse_host_port(":0", &hp, &err)) << err;
+  EXPECT_EQ(hp.host, "0.0.0.0");
+  EXPECT_EQ(hp.port, 0);
+}
+
+TEST(NetAddr, RejectsMalformedAddresses) {
+  HostPort hp;
+  std::string err;
+  EXPECT_FALSE(parse_host_port("127.0.0.1", &hp, &err));    // no port
+  EXPECT_FALSE(parse_host_port("host.name:80", &hp, &err)); // no DNS
+  EXPECT_FALSE(parse_host_port("127.0.0.1:65536", &hp, &err));
+  EXPECT_FALSE(parse_host_port("127.0.0.1:x", &hp, &err));
+  EXPECT_FALSE(parse_host_port("127.0.0.1:", &hp, &err));
+  EXPECT_FALSE(parse_host_port("127.0.0.1:-1", &hp, &err));
+}
+
+// ---------------------------------------------------------------------
+// bounded queue
+// ---------------------------------------------------------------------
+
+TEST(BoundedQueue, PushPopFifoAndBackpressure) {
+  BoundedMpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_FALSE(q.try_push(99));  // full: explicit backpressure
+  int out[8];
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[2], 2);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.pop_batch(out, 8), 2u);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(out[1], 4);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsExit) {
+  BoundedMpscQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed to producers immediately
+  int out[8];
+  EXPECT_EQ(q.pop_batch(out, 8), 2u);  // remainder still drains
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);  // then the exit signal
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedMpscQueue<int> q(64);
+  std::atomic<long long> pushed_sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &pushed_sum, p] {
+      long long local = 0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        while (!q.try_push(int{v})) std::this_thread::yield();
+        local += v;
+      }
+      pushed_sum.fetch_add(local);
+    });
+  }
+  long long popped_sum = 0;
+  std::size_t popped = 0;
+  int out[32];
+  while (popped < kProducers * kPerProducer) {
+    const std::size_t n = q.pop_batch(out, 32);
+    for (std::size_t i = 0; i < n; ++i) popped_sum += out[i];
+    popped += n;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(popped_sum, pushed_sum.load());
+}
+
+// ---------------------------------------------------------------------
+// loopback integration
+// ---------------------------------------------------------------------
+
+std::string loopback_addr(const Server& server) {
+  return "127.0.0.1:" + std::to_string(server.port());
+}
+
+ChurnTrace make_trace(std::uint64_t seed, std::size_t arrivals) {
+  Rng rng(seed);
+  ChurnSpec spec;
+  spec.arrivals = arrivals;
+  return generate_churn_trace(rng, spec);
+}
+
+// Polls a server-stats predicate with a deadline — the event loop and the
+// client run asynchronously, so tests wait for effects, never sleep for
+// fixed amounts.
+template <typename Pred>
+bool eventually(const Pred& pred, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// The correctness anchor: the served decision sequence over loopback is
+// bit-identical (FNV-1a) to an offline replay of the same trace.
+TEST(NetLoopback, ServedChecksumMatchesOfflineReplay) {
+  const Platform pf = geometric_platform(4, 1.5);
+  const ChurnTrace trace = make_trace(42, 300);
+  const std::uint64_t offline =
+      offline_decision_checksum(pf, trace, AdmissionKind::kEdf, 1.0);
+
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.kind = AdmissionKind::kEdf;
+  opts.alpha = 1.0;
+  opts.queue_depth = 1024;  // >= window, so retries cannot occur
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  Client client;
+  ASSERT_TRUE(client.connect(loopback_addr(server), 2000, &err)) << err;
+  const ReplaySummary sum =
+      replay_trace_over_client(client, trace, 0, 64, 5000);
+  ASSERT_TRUE(sum.ok) << client.last_error();
+  ASSERT_EQ(sum.retried, 0u);  // precondition for checksum comparability
+  EXPECT_GT(sum.admitted, 0u);
+  EXPECT_EQ(sum.checksum, offline);
+
+  server.request_stop();
+  server.wait();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.admitted, sum.admitted);
+  EXPECT_EQ(s.rejected, sum.rejected);
+  EXPECT_EQ(s.departed, sum.departed);
+  EXPECT_EQ(s.retried, 0u);
+}
+
+TEST(NetLoopback, ChecksumMatchesForRmsKindToo) {
+  const Platform pf = geometric_platform(3, 2.0);
+  const ChurnTrace trace = make_trace(7, 200);
+  const std::uint64_t offline = offline_decision_checksum(
+      pf, trace, AdmissionKind::kRmsHyperbolic, 1.5);
+
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.kind = AdmissionKind::kRmsHyperbolic;
+  opts.alpha = 1.5;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  Client client;
+  ASSERT_TRUE(client.connect(loopback_addr(server), 2000, &err)) << err;
+  const ReplaySummary sum =
+      replay_trace_over_client(client, trace, 0, 32, 5000);
+  ASSERT_TRUE(sum.ok) << client.last_error();
+  ASSERT_EQ(sum.retried, 0u);
+  EXPECT_EQ(sum.checksum, offline);
+}
+
+// Shards are independent tenants: concurrent replays against different
+// shards both reproduce the single-controller offline checksum.
+TEST(NetLoopback, ShardsAreIndependentTenants) {
+  const Platform pf = geometric_platform(4, 1.5);
+  const ChurnTrace traces[2] = {make_trace(1, 150), make_trace(2, 150)};
+  std::uint64_t offline[2];
+  for (int i = 0; i < 2; ++i) {
+    offline[i] =
+        offline_decision_checksum(pf, traces[i], AdmissionKind::kEdf, 1.0);
+  }
+
+  ServerOptions opts;
+  opts.shards = 2;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  ReplaySummary sums[2];
+  std::string errs[2];
+  std::thread workers[2];
+  for (int i = 0; i < 2; ++i) {
+    workers[i] = std::thread([&, i] {
+      Client client;
+      std::string cerr;
+      if (!client.connect(loopback_addr(server), 2000, &cerr)) {
+        errs[i] = cerr;
+        return;
+      }
+      sums[i] = replay_trace_over_client(
+          client, traces[i], static_cast<std::uint16_t>(i), 32, 5000);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sums[i].ok) << errs[i];
+    ASSERT_EQ(sums[i].retried, 0u);
+    EXPECT_EQ(sums[i].checksum, offline[i]) << "shard " << i;
+  }
+}
+
+TEST(NetLoopback, StatusCodesForEdgeRequests) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  Client client;
+  ASSERT_TRUE(client.connect(loopback_addr(server), 2000, &err)) << err;
+
+  Response r;
+  ASSERT_TRUE(client.call(Request::admit(0, 1, 2, 10), &r, 2000))
+      << client.last_error();
+  EXPECT_EQ(r.status, Status::kAdmitted);
+  EXPECT_EQ(r.request_id, 1u);
+  EXPECT_GT(r.utilization(), 0.0);
+
+  ASSERT_TRUE(client.call(Request::depart(0, 2, r.task_id), &r, 2000));
+  EXPECT_EQ(r.status, Status::kDeparted);
+  ASSERT_TRUE(client.call(Request::depart(0, 3, r.task_id), &r, 2000));
+  EXPECT_EQ(r.status, Status::kStaleId);  // id generation prevents reuse
+
+  ASSERT_TRUE(client.call(Request::admit(0, 4, 0, 10), &r, 2000));
+  EXPECT_EQ(r.status, Status::kBadRequest);  // non-positive exec
+
+  ASSERT_TRUE(client.call(Request::admit(9, 5, 2, 10), &r, 2000));
+  EXPECT_EQ(r.status, Status::kBadShard);  // only shard 0 exists
+
+  ASSERT_TRUE(client.call(Request::rebalance(0, 6), &r, 2000));
+  EXPECT_EQ(r.status, Status::kRebalanced);
+  EXPECT_EQ(r.task_id, 0u);  // no residents: zero migrations
+}
+
+// Backpressure: with the shard paused and a tiny queue, excess requests
+// are answered kRetryLater immediately — the queue is the only buffer.
+TEST(NetLoopback, FullQueueAnswersRetryLater) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  opts.queue_depth = 4;
+  opts.start_paused = true;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  Client client;
+  ASSERT_TRUE(client.connect(loopback_addr(server), 2000, &err)) << err;
+
+  constexpr std::uint64_t kRequests = 32;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    client.queue_request(Request::admit(0, i, 1, 100));
+  }
+  ASSERT_TRUE(client.flush(2000)) << client.last_error();
+  // All frames reach the event loop; exactly queue_depth fit the queue.
+  ASSERT_TRUE(eventually([&] {
+    return server.stats().frames_rx == kRequests;
+  }));
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.enqueued, opts.queue_depth);
+  EXPECT_EQ(s.retried, kRequests - opts.queue_depth);
+
+  server.resume_shards();
+  std::uint64_t retries = 0;
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    Response r;
+    ASSERT_TRUE(client.recv_response(&r, 5000)) << client.last_error();
+    if (r.status == Status::kRetryLater) ++retries;
+    if (r.status == Status::kAdmitted) ++admitted;
+  }
+  EXPECT_EQ(retries, kRequests - opts.queue_depth);
+  EXPECT_EQ(admitted, opts.queue_depth);  // u=0.01 each: all fit
+}
+
+// Graceful shutdown: requests queued before request_stop() are still
+// decided and answered before the sockets close.
+TEST(NetLoopback, StopDrainsQueuedRequests) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  opts.queue_depth = 64;
+  opts.start_paused = true;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  Client client;
+  ASSERT_TRUE(client.connect(loopback_addr(server), 2000, &err)) << err;
+
+  constexpr std::uint64_t kRequests = 16;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    client.queue_request(Request::admit(0, i, 1, 100));
+  }
+  ASSERT_TRUE(client.flush(2000)) << client.last_error();
+  ASSERT_TRUE(eventually([&] {
+    return server.stats().enqueued == kRequests;
+  }));
+
+  server.request_stop();  // unpauses, drains, then closes
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    Response r;
+    ASSERT_TRUE(client.recv_response(&r, 5000))
+        << "response " << i << ": " << client.last_error();
+    EXPECT_EQ(r.request_id, i);
+    EXPECT_EQ(r.status, Status::kAdmitted);
+  }
+  server.wait();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().admitted, kRequests);
+}
+
+// A malformed byte stream cannot be re-framed: the server drops the peer.
+TEST(NetLoopback, GarbageBytesCloseTheConnection) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)),
+            0);
+  unsigned char garbage[kFrameSize];
+  std::memset(garbage, 0xFF, sizeof(garbage));
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+  unsigned char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // EOF: peer dropped us
+  ::close(fd);
+  EXPECT_TRUE(eventually([&] { return server.stats().bad == 1; }));
+}
+
+TEST(NetServer, StartRejectsBadOptions) {
+  const Platform pf = geometric_platform(2, 1.5);
+  std::string err;
+  {
+    ServerOptions opts;
+    opts.shards = kMaxShards + 1;
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+  {
+    ServerOptions opts;
+    opts.listen_addr = "127.0.0.1";  // missing port
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+  {
+    ServerOptions opts;
+    opts.queue_depth = 0;
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+}
+
+TEST(NetReplay, OfflineChecksumIsDeterministic) {
+  const Platform pf = geometric_platform(4, 1.5);
+  const ChurnTrace trace = make_trace(5, 100);
+  const std::uint64_t a =
+      offline_decision_checksum(pf, trace, AdmissionKind::kEdf, 2.0);
+  const std::uint64_t b =
+      offline_decision_checksum(pf, trace, AdmissionKind::kEdf, 2.0);
+  EXPECT_EQ(a, b);
+  // Engine choice must not change decisions (bit-identical engines).
+  const std::uint64_t naive = offline_decision_checksum(
+      pf, trace, AdmissionKind::kEdf, 2.0, PartitionEngine::kNaive);
+  EXPECT_EQ(a, naive);
+}
+
+}  // namespace
+}  // namespace hetsched::net

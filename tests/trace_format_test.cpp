@@ -51,6 +51,17 @@ TEST(TraceFormat, ErrorsCarryLineNumbers) {
       {"platform 1\narrive 1 0 1\n", "arrive needs", 2},
       {"platform 0\n", "positive", 1},
       {"platform 1\nfrobnicate\n", "unknown directive", 2},
+      // Non-finite times must be rejected outright: NaN would also slip
+      // past the non-decreasing check (NaN < x is false for every x).
+      {"platform 1\narrive nan 0 1 4\n", "bad time", 2},
+      {"platform 1\narrive inf 0 1 4\n", "bad time", 2},
+      {"platform 1\narrive 1 0 1 4\ndepart nan 0\n", "bad time", 3},
+      {"platform 1\narrive 1 -3 1 4\n", "bad task number", 2},
+      {"platform 1\narrive 1 0 1 4\ndepart 2 -1\n", "bad task number", 3},
+      {"platform 1\narrive 1 0 -1 4\n", "positive", 2},
+      {"platform 1\narrive 1 0 1 4\ndepart 2\n", "depart needs", 3},
+      {"platform 1\narrive 1 0\n", "arrive needs", 2},
+      {"platform 1\narrive 1 0 1 4 9\n", "arrive needs", 2},
   };
   for (const Case& c : cases) {
     const auto r = parse_trace_string(c.text);
@@ -83,6 +94,41 @@ TEST(TraceFormat, GeneratedTraceRoundTripsExactly) {
     if (a.kind == ChurnEvent::Kind::kArrival) {
       EXPECT_EQ(a.params, b.params) << "event " << i;
     }
+  }
+}
+
+// Property: format -> parse is the identity on generated traces, across
+// many seeds and churn shapes (short/long, slow/fast departure mixes).
+TEST(TraceFormat, RandomizedRoundTripProperty) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    ChurnSpec spec;
+    spec.arrivals = 20 + 15 * (seed % 5);
+    spec.arrival_rate = 0.25 * static_cast<double>(1 + seed % 4);
+    Rng rng(seed * 0x9E3779B9ULL);
+    ChurnInstance inst;
+    inst.platform =
+        Platform::from_speeds({1.0, 1.0 + 0.5 * static_cast<double>(seed % 3)});
+    inst.trace = generate_churn_trace(rng, spec);
+
+    const std::string text = format_trace(inst);
+    const auto r = parse_trace_string(text);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.error->to_string();
+    ASSERT_EQ(r.value->trace.events.size(), inst.trace.events.size())
+        << "seed " << seed;
+    EXPECT_EQ(r.value->trace.arrivals, inst.trace.arrivals) << "seed " << seed;
+    for (std::size_t i = 0; i < inst.trace.events.size(); ++i) {
+      const ChurnEvent& a = inst.trace.events[i];
+      const ChurnEvent& b = r.value->trace.events[i];
+      ASSERT_EQ(a.kind, b.kind) << "seed " << seed << " event " << i;
+      ASSERT_EQ(a.time, b.time) << "seed " << seed << " event " << i;
+      ASSERT_EQ(a.task, b.task) << "seed " << seed << " event " << i;
+      if (a.kind == ChurnEvent::Kind::kArrival) {
+        ASSERT_EQ(a.params, b.params) << "seed " << seed << " event " << i;
+      }
+    }
+    // And the second generation is byte-stable: format(parse(format(x)))
+    // == format(x), so traces survive repeated edit/save cycles.
+    EXPECT_EQ(format_trace(*r.value), text) << "seed " << seed;
   }
 }
 

@@ -29,11 +29,24 @@
 //       snapshot (see below); --trace-out records per-decision events and
 //       writes them as JSONL (requires -DHETSCHED_METRICS=ON).
 //   hetsched_cli serve [--admission KIND] [--alpha X] [--engine E]
-//       [--stats-interval N]
+//       [--stats-interval N] [--trace-out FILE]
 //       Stream trace directives from stdin through a live controller and
 //       answer each one ("admit <task> -> machine <j>" / "reject <task>").
 //       With --stats-interval N, a metrics snapshot is printed after every
-//       N processed directives.
+//       N processed directives.  SIGINT/SIGTERM stop the stream cleanly:
+//       the final snapshot (and --trace-out ring) is flushed and the
+//       process exits 0.
+//   hetsched_cli serve --listen <host:port> [--shards N] [--admission KIND]
+//       [--alpha X] [--engine E] [--queue-depth D] [--batch K]
+//       [--machines M] [--ratio R | --platform FILE] [--port-file FILE]
+//       [--stats-interval SECONDS] [--trace-out FILE]
+//       Network mode: run the sharded TCP admission service (src/net/) on
+//       the given address (port 0 picks an ephemeral port, written to
+//       --port-file for scripts).  Each shard serves an independent copy
+//       of the platform (--platform takes an instance file; otherwise a
+//       geometric platform of --machines M and --ratio R).  In this mode
+//       --stats-interval is in seconds.  SIGINT/SIGTERM drain the shard
+//       queues, flush responses and the final snapshot, and exit 0.
 //
 // Metrics snapshot format (README "Observability"): a line
 // "hetsched_metrics_enabled 0|1", then Prometheus-style text — # HELP /
@@ -48,9 +61,12 @@
 // Admission kinds: edf (default), rms-ll, rms-hb, rms-rta.
 // Engines: auto (default), naive, tree — bit-identical results; "naive" is
 // the paper's O(n m) scan, "tree" the O(n log m) segment tree.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -61,6 +77,7 @@
 #include "io/obs_jsonl.h"
 #include "io/text_format.h"
 #include "io/trace_format.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -399,9 +416,150 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+// SIGINT/SIGTERM flag for the stdin serve loop.  The handler is installed
+// WITHOUT SA_RESTART so a blocked getline returns with EINTR, the loop
+// exits, and the final snapshot still prints — a drain, not a kill.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = serve_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt the blocking read
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+// Shared tail of both serve modes: flush the obs trace ring to
+// --trace-out (when requested) before exiting.
+int flush_trace_ring(const std::string& trace_out) {
+  if (trace_out.empty()) return 0;
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  if (!save_trace_jsonl(events, trace_out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+    return 1;
+  }
+  std::printf("[trace: %s, %zu events, %llu dropped]\n", trace_out.c_str(),
+              events.size(),
+              static_cast<unsigned long long>(obs::trace_dropped()));
+  return 0;
+}
+
+// Network serve mode: the sharded TCP admission service of src/net/.
+int cmd_serve_net(const Args& args) {
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
+
+  Platform platform;
+  const std::string platform_file = args.get("platform", "");
+  if (!platform_file.empty()) {
+    const auto inst = load_or_complain(platform_file);
+    if (!inst) return 1;
+    platform = inst->platform;
+  } else {
+    const auto m = static_cast<std::size_t>(args.get_long("machines", 4));
+    const double ratio = args.get_double("ratio", 1.5);
+    if (m == 0 || ratio < 1.0) return usage();
+    platform = geometric_platform(m, ratio);
+  }
+
+  net::ServerOptions options;
+  options.listen_addr = args.get("listen", "127.0.0.1:0");
+  options.shards = static_cast<std::size_t>(args.get_long("shards", 1));
+  options.kind = *kind;
+  options.alpha = args.get_double("alpha", 1.0);
+  options.engine = *engine;
+  options.queue_depth =
+      static_cast<std::size_t>(args.get_long("queue-depth", 1024));
+  options.batch = static_cast<std::size_t>(args.get_long("batch", 64));
+  const auto stats_interval = args.get_long("stats-interval", 0);
+  const std::string trace_out = args.get("trace-out", "");
+  if ((stats_interval > 0 || !trace_out.empty()) && !obs::kMetricsCompiled) {
+    std::fprintf(stderr,
+                 "warning: this binary was built without "
+                 "-DHETSCHED_METRICS=ON; snapshots and traces are empty\n");
+  }
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+  // Block the stop signals before spawning threads so every server thread
+  // inherits the mask and delivery funnels into sigtimedwait below.
+  sigset_t stop_set;
+  sigemptyset(&stop_set);
+  sigaddset(&stop_set, SIGINT);
+  sigaddset(&stop_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
+
+  net::Server server(platform, options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on port %u: %zu shard(s) of %s alpha=%.3f on %zu "
+              "machines (queue %zu, batch %zu)\n",
+              server.port(), options.shards, to_string(*kind).c_str(),
+              options.alpha, platform.size(), options.queue_depth,
+              options.batch);
+  std::fflush(stdout);
+
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+
+  // Wait for SIGINT/SIGTERM, waking every --stats-interval seconds for a
+  // snapshot.  sigtimedwait keeps this loop signal-race-free: delivery
+  // can only happen here, never mid-snapshot.
+  while (server.running()) {
+    if (stats_interval > 0) {
+      timespec ts{};
+      ts.tv_sec = static_cast<time_t>(stats_interval);
+      if (sigtimedwait(&stop_set, nullptr, &ts) > 0) break;
+      if (errno == EAGAIN) {
+        std::printf("--- metrics snapshot ---\n%s",
+                    obs::registry().expose().c_str());
+        std::fflush(stdout);
+      }
+    } else {
+      if (sigwaitinfo(&stop_set, nullptr) > 0) break;
+    }
+  }
+
+  // Graceful drain: stop accepting, answer everything queued, join.
+  server.request_stop();
+  server.wait();
+  const net::ServerStats s = server.stats();
+  std::printf("served %llu frames over %llu connections: %llu admitted, "
+              "%llu rejected, %llu retried, %llu departed, %llu stale, "
+              "%llu rebalances, %llu bad\n",
+              static_cast<unsigned long long>(s.frames_rx),
+              static_cast<unsigned long long>(s.connections),
+              static_cast<unsigned long long>(s.admitted),
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.retried),
+              static_cast<unsigned long long>(s.departed),
+              static_cast<unsigned long long>(s.stale),
+              static_cast<unsigned long long>(s.rebalances),
+              static_cast<unsigned long long>(s.bad));
+  if (stats_interval > 0) {
+    std::printf("--- metrics snapshot (final) ---\n%s",
+                obs::registry().expose().c_str());
+  }
+  const int trace_rc = flush_trace_ring(trace_out);
+  std::fflush(stdout);
+  return trace_rc;
+}
+
 // Streams trace directives from stdin through a live controller, answering
 // each line immediately — admission control as a service, minus the RPC.
 int cmd_serve(const Args& args) {
+  if (args.has("listen")) return cmd_serve_net(args);
   const auto kind = admission_from_name(args.get("admission", "edf"));
   if (!kind) return usage();
   const auto engine = engine_flag(args);
@@ -409,18 +567,21 @@ int cmd_serve(const Args& args) {
   const double alpha = args.get_double("alpha", 1.0);
   const auto stats_interval =
       static_cast<std::size_t>(args.get_long("stats-interval", 0));
-  if (stats_interval > 0 && !obs::kMetricsCompiled) {
+  const std::string trace_out = args.get("trace-out", "");
+  if ((stats_interval > 0 || !trace_out.empty()) && !obs::kMetricsCompiled) {
     std::fprintf(stderr,
-                 "warning: --stats-interval snapshots will be empty; this "
-                 "binary was built without -DHETSCHED_METRICS=ON\n");
+                 "warning: this binary was built without "
+                 "-DHETSCHED_METRICS=ON; snapshots and traces are empty\n");
   }
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
+  install_stop_handlers();
 
   std::optional<OnlinePartitioner> controller;
   std::map<std::uint64_t, OnlineTaskId> ids;
   std::string line;
   std::size_t lineno = 0;
   std::size_t directives = 0;
-  while (std::getline(std::cin, line)) {
+  while (!g_serve_stop && std::getline(std::cin, line)) {
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -533,12 +694,16 @@ int cmd_serve(const Args& args) {
     }
     std::fflush(stdout);
   }
+  if (g_serve_stop != 0) {
+    std::printf("stopping: drained after %zu directives\n", directives);
+  }
   if (stats_interval > 0) {
     std::printf("--- metrics snapshot (final, %zu directives) ---\n%s",
                 directives, obs::registry().expose().c_str());
-    std::fflush(stdout);
   }
-  return 0;
+  const int trace_rc = flush_trace_ring(trace_out);
+  std::fflush(stdout);
+  return trace_rc;
 }
 
 int run(int argc, char** argv) {

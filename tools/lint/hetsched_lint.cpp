@@ -17,12 +17,14 @@
 //                     contract (every experiment replays bit-for-bit from
 //                     a seed); all randomness must flow through util/rng.h.
 //   [noalloc]         Functions annotated `// HETSCHED_NOALLOC` are the
-//                     warm admit/depart and first_fit_accepts paths, which
-//                     must not allocate: `new`, `delete`, std::function
-//                     construction, and push_back/emplace_back/resize/
-//                     reserve on anything that is not a PartitionScratch
-//                     member are flagged.  Amortized arena growth is
-//                     suppressed per line with
+//                     warm admit/depart and first_fit_accepts paths plus
+//                     the net/ per-frame decode/route/process/encode
+//                     handlers, which must not allocate: `new`, `delete`,
+//                     the C allocators (malloc/calloc/realloc/strdup),
+//                     std::function construction, and push_back/
+//                     emplace_back/resize/reserve on anything that is not
+//                     a PartitionScratch member are flagged.  Amortized
+//                     arena growth is suppressed per line with
 //                     `hetsched-lint: allow(noalloc)`.
 //   [metric-handle]   HETSCHED_COUNT/HETSCHED_TIMED/HETSCHED_GAUGE_* uses
 //                     inside a HETSCHED_NOALLOC function must pass a
@@ -488,7 +490,8 @@ void check_noalloc(const FileText& file, const SuppressionMap& sup,
   static const std::vector<std::string> kMemberCalls = {
       "push_back", "emplace_back", "resize", "reserve", "shrink_to_fit"};
   static const std::vector<std::string> kBannedWords = {
-      "new", "delete", "make_unique", "make_shared"};
+      "new",    "delete", "make_unique", "make_shared",
+      "malloc", "calloc", "realloc",     "strdup"};
   for (const NoallocBody& body : find_noalloc_bodies(file)) {
     if (!body.found) {
       out->push_back({file.path, body.annotation_line + 1, "noalloc",
