@@ -1,36 +1,57 @@
 // Network load generator: replays generated churn traces over loopback
-// TCP against the sharded admission server and reports sustained
-// throughput plus request-latency percentiles (BENCH_net.json).
+// TCP against the thread-per-core admission server and reports a
+// shards × connections scaling matrix — sustained throughput plus
+// request-latency percentiles per cell (BENCH_net.json).
 //
-// Three phases:
+// Matrix cell (S shards, C connections):
 //
-//   1. Throughput: an in-process server with S shards, one pipelined
-//      client connection per shard, each replaying its own seeded churn
-//      trace.  Wall time is measured around all connections; throughput
-//      is admitted tasks per second.  Every connection's decision
-//      sequence is checksum-compared (FNV-1a, as in bench_obs_overhead)
-//      against an offline replay of the same trace on a bare
-//      OnlinePartitioner — the bench is also a correctness probe.
-//   2. Latency: percentiles (p50/p95/p99/p999) over the merged
-//      request->response round-trip samples from phase 1.
-//   3. Backpressure: a deliberately tiny queue with paused shards shows
-//      the server answering kRetryLater instead of buffering without
-//      bound, then draining cleanly once shards resume.
+//   * The in-process server runs S load tenants plus P = min(S, 4)
+//     parity tenants.  C - P "load" connections replay seeded churn
+//     traces against the load tenants (round-robin), all multiplexed by
+//     one worker thread over poll(2) via PipelinedReplay — this is what
+//     lets one cell drive 4096 pipelining connections.
+//   * P "parity" connections each drive one parity tenant exclusively
+//     with a deterministic trace.  A tenant fed by exactly one
+//     connection sees one deterministic request order even while the
+//     load connections saturate the same event loops, so its served
+//     decision sequence is FNV-1a checksum-compared against an offline
+//     replay on a bare OnlinePartitioner — the correctness gate holds in
+//     EVERY cell, under full load.  (Load tenants shared by several
+//     connections cannot be checksummed: their decision stream depends
+//     on the socket interleaving.)
+//   * Latency percentiles (p50/p95/p99/p999) merge the round-trip
+//     samples of all connections; all JSON latency fields are integer
+//     nanoseconds.
+//
+// A dedicated parity cell (4 shards, 4 connections, window 256 — the
+// PR 5 loadgen shape) carries the tail-latency target, and a
+// backpressure probe (tiny queue, paused shard, oversized burst) shows
+// kRetryLater answered instead of unbounded buffering.
 //
 // Against an external server (`hetsched_cli serve --listen ...`), pass
-// --connect host:port; the in-process server and the offline checksum
-// comparison are skipped (the peer's platform is unknown).
+// --connect host:port: a single cell runs with --shards/--connections,
+// without parity tenants, checksums, or the backpressure probe (the
+// peer's platform is unknown).
 //
 //   bench_net_loadgen [--quick] [--no-target-gate] [--connect H:P]
-//                     [--shards S] [--arrivals N] [--window W]
+//                     [--shards S] [--connections C] [--arrivals N]
+//                     [--window W]
 //
-// Target (gated unless --no-target-gate): >= 100k admits/s sustained.
+// Targets (gated unless --no-target-gate): best cell >= 2x PR 5's
+// 292k admits/s, parity-cell p999 <= 500 us, checksums match in every
+// cell, backpressure answers kRetryLater.
+#include <poll.h>
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -46,41 +67,272 @@
 namespace hetsched::net {
 namespace {
 
-constexpr double kTargetAdmitsPerSec = 100e3;
+constexpr double kBaselinePr5AdmitsPerSec = 292076.0;  // BENCH_net.json @ PR 5
+constexpr double kTargetAdmitsPerSec = 2.0 * kBaselinePr5AdmitsPerSec;
+constexpr std::uint64_t kTargetParityP999Ns = 500000;  // 500 us
+constexpr std::size_t kParityWindow = 256;  // PR 5 loadgen pipeline window
 
 struct Options {
   bool quick = false;
   bool gate = true;
-  std::string connect;  // empty: in-process server
-  std::size_t shards = 4;
-  std::size_t arrivals = 50000;  // per shard
-  std::size_t window = 256;
-  std::size_t machines = 8;
-  double alpha = 2.0;
+  std::string connect;         // empty: in-process matrix
+  std::size_t shards = 4;      // --connect mode only
+  std::size_t connections = 4; // --connect mode only
+  std::size_t load_arrivals = 400000;   // total across load connections
+  std::size_t parity_arrivals = 30000;  // per parity connection
+  std::size_t window = 256;    // load-connection window upper bound
 };
 
-ChurnTrace shard_trace(std::uint64_t shard, std::size_t arrivals) {
-  Rng rng(0x10AD + shard * 0x9E3779B97F4A7C15ULL);
+struct CellSpec {
+  std::size_t shards = 1;
+  std::size_t conns = 1;
+};
+
+struct CellResult {
+  CellSpec spec;
+  std::size_t window = 0;  // load-connection window used
+  std::uint64_t requests = 0, admits = 0, rejects = 0, departs = 0,
+                retries = 0, bad = 0;
+  double wall_s = 0.0, admits_per_sec = 0.0, requests_per_sec = 0.0;
+  std::uint64_t p50 = 0, p95 = 0, p99 = 0, p999 = 0;
+  bool checksum_match = true;
+  bool ok = false;
+  std::string error;
+};
+
+ChurnTrace seeded_trace(std::uint64_t salt, std::uint64_t index,
+                        std::size_t arrivals) {
+  Rng rng(salt + index * 0x9E3779B97F4A7C15ULL);
   ChurnSpec spec;
   spec.arrivals = arrivals;
   return generate_churn_trace(rng, spec);
 }
 
-double percentile_ns(const std::vector<std::uint64_t>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
+std::uint64_t percentile_ns(const std::vector<std::uint64_t>& sorted,
+                            double q) {
+  if (sorted.empty()) return 0;
   const double rank = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return static_cast<double>(sorted[lo]) +
-         frac * (static_cast<double>(sorted[hi]) -
-                 static_cast<double>(sorted[lo]));
+  const double v = static_cast<double>(sorted[lo]) +
+                   frac * (static_cast<double>(sorted[hi]) -
+                           static_cast<double>(sorted[lo]));
+  return static_cast<std::uint64_t>(std::llround(v));
 }
 
-struct ConnResult {
-  ReplaySummary sum;
+// One multiplexed connection: its client, its resumable replay, and the
+// trace it replays (owned here so PipelinedReplay's reference stays
+// valid).
+struct ConnState {
+  ConnState(ChurnTrace trace_in, std::uint16_t shard, std::size_t window)
+      : trace(std::move(trace_in)), rp(trace, shard, window,
+                                       /*collect_latency=*/true) {}
+  ChurnTrace trace;
+  PipelinedReplay rp;
+  Client client;
+  bool done = false;
+  bool parity = false;
   std::string error;
 };
+
+std::uint64_t total_progress(
+    const std::vector<std::unique_ptr<ConnState>>& conns) {
+  std::uint64_t p = 0;
+  for (const auto& c : conns) p += c->rp.progress();
+  return p;
+}
+
+// Runs one matrix cell.  `pf` must match the server platform when
+// checksums are wanted; `addr` empty means start an in-process server.
+CellResult run_cell(const Platform& pf, const CellSpec& spec,
+                    const Options& o, std::size_t parity_arrivals,
+                    const std::string& external_addr) {
+  CellResult res;
+  res.spec = spec;
+  const bool in_process = external_addr.empty();
+  const std::size_t parity =
+      in_process ? std::min<std::size_t>({spec.shards, spec.conns, 4}) : 0;
+  const std::size_t load_conns = spec.conns - parity;
+
+  // Load window shrinks as connections grow so total in-flight requests
+  // stay bounded (~64k frames) regardless of the cell.
+  std::size_t window = o.window;
+  if (load_conns > 0) {
+    const std::size_t cap = std::max<std::size_t>(8, 65536 / load_conns);
+    window = std::min(window, cap);
+  }
+  res.window = window;
+
+  ServerOptions sopts;
+  sopts.shards = spec.shards + parity;
+  sopts.alpha = 2.0;
+  // Well beyond 2x the largest window: keeps parity connections free of
+  // kRetryLater (checksums stay comparable) and, via the controller's
+  // reserve(queue_depth), pre-warms the arena deep enough that mid-run
+  // growth never spikes the latency tail.
+  sopts.queue_depth =
+      std::max<std::size_t>(8192, 2 * std::max(window, kParityWindow));
+  Server server(pf, sopts);
+  std::string addr = external_addr;
+  if (in_process) {
+    std::string err;
+    if (!server.start(&err)) {
+      res.error = "server start failed: " + err;
+      return res;
+    }
+    addr = "127.0.0.1:" + std::to_string(server.port());
+  }
+
+  const std::size_t load_arrivals_each =
+      load_conns == 0
+          ? 0
+          : std::max<std::size_t>(64, o.load_arrivals / load_conns);
+
+  std::vector<std::unique_ptr<ConnState>> conns;
+  conns.reserve(spec.conns);
+  for (std::size_t c = 0; c < spec.conns; ++c) {
+    const bool is_parity = c < parity;
+    const auto shard = static_cast<std::uint16_t>(
+        is_parity ? spec.shards + c : (c - parity) % spec.shards);
+    conns.push_back(std::make_unique<ConnState>(
+        is_parity ? seeded_trace(0x7A417, c, parity_arrivals)
+                  : seeded_trace(0x10AD, c - parity, load_arrivals_each),
+        shard, is_parity ? kParityWindow : window));
+    conns.back()->parity = is_parity;
+  }
+  for (auto& cs : conns) {
+    std::string err;
+    if (!cs->client.connect(addr, 5000, &err)) {
+      res.error = "connect failed: " + err;
+      return res;
+    }
+  }
+
+  // Multiplex every connection over one poll set until all replays
+  // finish.  A poll round that times out with zero global progress means
+  // the server stalled.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t active = 0;
+  for (auto& cs : conns) {
+    const auto st = cs->rp.step(cs->client);
+    if (st == PipelinedReplay::State::kRunning) {
+      ++active;
+    } else if (st == PipelinedReplay::State::kError) {
+      cs->done = true;
+      cs->error = cs->client.last_error();
+    } else {
+      cs->done = true;
+    }
+  }
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pidx;
+  while (active > 0) {
+    pfds.clear();
+    pidx.clear();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      ConnState& cs = *conns[i];
+      if (cs.done) continue;
+      short events = 0;
+      if (cs.rp.want_read()) events |= POLLIN;
+      if (cs.rp.want_write()) events |= POLLOUT;
+      if (events == 0) events = POLLIN;
+      pfds.push_back(pollfd{cs.client.fd(), events, 0});
+      pidx.push_back(i);
+    }
+    const std::uint64_t before = total_progress(conns);
+    const int n =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 10000);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (total_progress(conns) == before) {
+        res.error = "replay stalled (no progress in 10 s)";
+        return res;
+      }
+      continue;
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      ConnState& cs = *conns[pidx[k]];
+      const auto st = cs.rp.step(cs.client);
+      if (st == PipelinedReplay::State::kRunning) continue;
+      cs.done = true;
+      --active;
+      if (st == PipelinedReplay::State::kError) {
+        cs.error = cs.client.last_error();
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<std::uint64_t> latencies;
+  for (const auto& cs : conns) {
+    const ReplaySummary& s = cs->rp.summary();
+    if (!s.ok) {
+      res.error = "connection failed: " +
+                  (cs->error.empty() ? std::string("replay error") : cs->error);
+      return res;
+    }
+    res.requests += s.requests;
+    res.admits += s.admitted;
+    res.rejects += s.rejected;
+    res.departs += s.departed;
+    res.retries += s.retried;
+    res.bad += s.bad;
+    latencies.insert(latencies.end(), s.latencies_ns.begin(),
+                     s.latencies_ns.end());
+  }
+
+  if (in_process) {
+    for (const auto& cs : conns) {
+      if (!cs->parity) continue;
+      const ReplaySummary& s = cs->rp.summary();
+      if (s.retried != 0) {
+        // The parity queue is sized so this cannot happen; a retry would
+        // make the checksum incomparable, so treat it as a failure.
+        res.checksum_match = false;
+        continue;
+      }
+      const std::uint64_t offline = offline_decision_checksum(
+          pf, cs->trace, sopts.kind, sopts.alpha, sopts.engine);
+      if (s.checksum != offline) {
+        std::fprintf(stderr,
+                     "cell %zux%zu: served checksum %016llx != offline "
+                     "%016llx\n",
+                     spec.shards, spec.conns,
+                     static_cast<unsigned long long>(s.checksum),
+                     static_cast<unsigned long long>(offline));
+        res.checksum_match = false;
+      }
+    }
+    server.request_stop();
+    server.wait();
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  res.p50 = percentile_ns(latencies, 0.50);
+  res.p95 = percentile_ns(latencies, 0.95);
+  res.p99 = percentile_ns(latencies, 0.99);
+  res.p999 = percentile_ns(latencies, 0.999);
+  res.admits_per_sec =
+      res.wall_s > 0 ? static_cast<double>(res.admits) / res.wall_s : 0.0;
+  res.requests_per_sec =
+      res.wall_s > 0 ? static_cast<double>(res.requests) / res.wall_s : 0.0;
+  res.ok = true;
+  return res;
+}
+
+void raise_fd_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  rlim_t want = 65536;
+  if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) want = rl.rlim_max;
+  if (rl.rlim_cur < want) {
+    rl.rlim_cur = want;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
 
 }  // namespace
 }  // namespace hetsched::net
@@ -94,161 +346,123 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       o.quick = true;
-      o.shards = 2;
-      o.arrivals = 2000;
+      o.load_arrivals = 8000;
+      o.parity_arrivals = 2000;
     } else if (arg == "--no-target-gate") {
       o.gate = false;
     } else if (arg == "--connect" && i + 1 < argc) {
       o.connect = argv[++i];
     } else if (arg == "--shards" && i + 1 < argc) {
-      o.shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      o.shards =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--connections" && i + 1 < argc) {
+      o.connections =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--arrivals" && i + 1 < argc) {
-      o.arrivals =
+      o.load_arrivals =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--window" && i + 1 < argc) {
-      o.window = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      o.window =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 2;
     }
   }
-  if (o.shards < 1 || o.shards > kMaxShards || o.window < 1 ||
-      o.arrivals < 1) {
-    std::fprintf(stderr, "bad --shards/--window/--arrivals\n");
+  if (o.shards < 1 || o.connections < 1 || o.window < 1 ||
+      o.load_arrivals < 1) {
+    std::fprintf(stderr, "bad --shards/--connections/--window/--arrivals\n");
     return 2;
   }
+  raise_fd_limit();
 
-  const Platform pf = geometric_platform(o.machines, 1.5);
+  const Platform pf = geometric_platform(8, 1.5);
   const bool in_process = o.connect.empty();
 
-  std::printf("net loadgen: %zu shard(s), %zu arrivals each, window %zu%s\n",
-              o.shards, o.arrivals, o.window,
+  // The matrix.  The last cell is the 4-shard parity cell: the PR 5
+  // loadgen shape (every connection the sole driver of its tenant,
+  // window 256) that carries the p999 target.
+  std::vector<CellSpec> cells;
+  if (!in_process) {
+    cells.push_back(CellSpec{o.shards, o.connections});
+  } else if (o.quick) {
+    cells.push_back(CellSpec{1, 4});
+    cells.push_back(CellSpec{2, 16});
+    cells.push_back(CellSpec{2, 2});  // parity cell (quick shape)
+  } else {
+    for (const std::size_t s : {std::size_t{1}, std::size_t{4},
+                                std::size_t{16}}) {
+      for (const std::size_t c : {std::size_t{16}, std::size_t{256},
+                                  std::size_t{4096}}) {
+        cells.push_back(CellSpec{s, c});
+      }
+    }
+    cells.push_back(CellSpec{4, 4});  // parity cell
+  }
+  const std::size_t parity_cell = cells.size() - 1;
+  // The dedicated parity cell carries the p999 target; run it at PR 5's
+  // 50k arrivals per connection so the tail is measured over a long
+  // steady state, not dominated by warmup.
+  const std::size_t parity_cell_arrivals = o.quick ? o.parity_arrivals : 50000;
+
+  std::printf("net loadgen: %zu cell(s)%s\n", cells.size(),
               in_process ? " (in-process server)" : "");
 
-  // Phase 1+2: throughput and latency.  Queue depth >= window per shard
-  // guarantees zero retries, which keeps checksums comparable.
-  Server* server = nullptr;
-  ServerOptions sopts;
-  sopts.shards = o.shards;
-  sopts.alpha = o.alpha;
-  sopts.queue_depth = std::max<std::size_t>(1024, 2 * o.window);
-  Server in_proc_server(pf, sopts);
-  std::string addr = o.connect;
-  if (in_process) {
-    std::string err;
-    if (!in_proc_server.start(&err)) {
-      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
-      return 1;
-    }
-    server = &in_proc_server;
-    addr = "127.0.0.1:" + std::to_string(server->port());
-  }
-
-  std::vector<ChurnTrace> traces;
-  traces.reserve(o.shards);
-  for (std::size_t s = 0; s < o.shards; ++s) {
-    traces.push_back(shard_trace(s, o.arrivals));
-  }
-
-  std::vector<ConnResult> results(o.shards);
-  std::vector<std::thread> workers;
-  workers.reserve(o.shards);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t s = 0; s < o.shards; ++s) {
-    workers.emplace_back([&, s] {
-      Client client;
-      std::string err;
-      if (!client.connect(addr, 5000, &err)) {
-        results[s].error = err;
-        return;
-      }
-      results[s].sum = replay_trace_over_client(
-          client, traces[s], static_cast<std::uint16_t>(s), o.window, 10000,
-          /*collect_latency=*/true);
-      if (!results[s].sum.ok) results[s].error = client.last_error();
-    });
-  }
-  for (std::thread& t : workers) t.join();
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
-
-  std::uint64_t requests = 0, admits = 0, rejects = 0, departs = 0,
-                retries = 0, bad = 0;
-  std::vector<std::uint64_t> latencies;
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
   bool all_ok = true;
-  for (std::size_t s = 0; s < o.shards; ++s) {
-    const ConnResult& r = results[s];
-    if (!r.sum.ok) {
-      std::fprintf(stderr, "connection %zu failed: %s\n", s, r.error.c_str());
-      all_ok = false;
-      continue;
+  bool checksum_match = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // The parity cell is measured as the median-of-3 by p999: the tail
+    // target is about the server, not about whatever else the host ran
+    // during one particular 0.5 s window.
+    const int repeats = (in_process && i == parity_cell && !o.quick) ? 3 : 1;
+    std::vector<CellResult> reps;
+    for (int rep = 0; rep < repeats; ++rep) {
+      reps.push_back(run_cell(
+          pf, cells[i], o,
+          i == parity_cell ? parity_cell_arrivals : o.parity_arrivals,
+          o.connect));
+      if (!reps.back().ok || !reps.back().checksum_match) break;
     }
-    requests += r.sum.requests;
-    admits += r.sum.admitted;
-    rejects += r.sum.rejected;
-    departs += r.sum.departed;
-    retries += r.sum.retried;
-    bad += r.sum.bad;
-    latencies.insert(latencies.end(), r.sum.latencies_ns.begin(),
-                     r.sum.latencies_ns.end());
+    std::sort(reps.begin(), reps.end(),
+              [](const CellResult& a, const CellResult& b) {
+                return a.p999 < b.p999;
+              });
+    CellResult r = std::move(reps[reps.size() / 2]);
+    if (!r.ok) {
+      std::fprintf(stderr, "cell %zux%zu failed: %s\n", cells[i].shards,
+                   cells[i].conns, r.error.c_str());
+      all_ok = false;
+    } else {
+      std::printf(
+          "cell %2zu shards x %4zu conns (window %3zu): %8.0f admits/s "
+          "%9.0f req/s  p50=%llu p99=%llu p999=%llu ns  retries=%llu %s\n",
+          r.spec.shards, r.spec.conns, r.window, r.admits_per_sec,
+          r.requests_per_sec, static_cast<unsigned long long>(r.p50),
+          static_cast<unsigned long long>(r.p99),
+          static_cast<unsigned long long>(r.p999),
+          static_cast<unsigned long long>(r.retries),
+          in_process ? (r.checksum_match ? "checksum=match" : "checksum=FAIL")
+                     : "checksum=skipped");
+    }
+    checksum_match = checksum_match && r.checksum_match;
+    results.push_back(std::move(r));
   }
   if (!all_ok) return 1;
 
-  bool checksum_match = true;
-  if (in_process) {
-    for (std::size_t s = 0; s < o.shards; ++s) {
-      if (results[s].sum.retried != 0) continue;  // not comparable
-      const std::uint64_t offline = offline_decision_checksum(
-          pf, traces[s], sopts.kind, sopts.alpha, sopts.engine);
-      if (results[s].sum.checksum != offline) {
-        std::fprintf(stderr,
-                     "shard %zu: served checksum %016llx != offline %016llx\n",
-                     s,
-                     static_cast<unsigned long long>(results[s].sum.checksum),
-                     static_cast<unsigned long long>(offline));
-        checksum_match = false;
-      }
-    }
+  const CellResult* best = &results[0];
+  for (const CellResult& r : results) {
+    if (r.admits_per_sec > best->admits_per_sec) best = &r;
   }
+  const CellResult& parity = results[parity_cell];
 
-  std::sort(latencies.begin(), latencies.end());
-  const double p50 = percentile_ns(latencies, 0.50);
-  const double p95 = percentile_ns(latencies, 0.95);
-  const double p99 = percentile_ns(latencies, 0.99);
-  const double p999 = percentile_ns(latencies, 0.999);
-  const double admits_per_sec =
-      wall_s > 0 ? static_cast<double>(admits) / wall_s : 0.0;
-  const double requests_per_sec =
-      wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0;
-
-  std::printf("throughput: %llu requests (%llu admits, %llu rejects, "
-              "%llu departs) in %.3f s\n",
-              static_cast<unsigned long long>(requests),
-              static_cast<unsigned long long>(admits),
-              static_cast<unsigned long long>(rejects),
-              static_cast<unsigned long long>(departs), wall_s);
-  std::printf("  %.0f admits/s, %.0f requests/s, retries=%llu, bad=%llu\n",
-              admits_per_sec, requests_per_sec,
-              static_cast<unsigned long long>(retries),
-              static_cast<unsigned long long>(bad));
-  std::printf("latency ns: p50=%.0f p95=%.0f p99=%.0f p999=%.0f (%zu samples)"
-              "\n",
-              p50, p95, p99, p999, latencies.size());
-  std::printf("checksums vs offline replay: %s\n",
-              in_process ? (checksum_match ? "match" : "MISMATCH")
-                         : "skipped (--connect)");
-
-  if (in_process) {
-    server->request_stop();
-    server->wait();
-  }
-
-  // Phase 3: backpressure.  Tiny queue, paused shard, a burst larger than
-  // the queue: the overflow must come back kRetryLater, and the queued
+  // Backpressure probe: tiny queue, paused shard, a burst larger than the
+  // queue — the overflow must come back kRetryLater, and the queued
   // remainder must still be decided after resume.
   std::uint64_t bp_retries = 0, bp_decided = 0;
   constexpr std::uint64_t kBurst = 256;
-  {
+  if (in_process) {
     ServerOptions bp;
     bp.shards = 1;
     bp.queue_depth = 16;
@@ -295,44 +509,67 @@ int main(int argc, char** argv) {
     }
     bserver.request_stop();
     bserver.wait();
+    std::printf("backpressure: burst %llu into depth-16 queue -> %llu "
+                "kRetryLater, %llu decided after resume\n",
+                static_cast<unsigned long long>(kBurst),
+                static_cast<unsigned long long>(bp_retries),
+                static_cast<unsigned long long>(bp_decided));
   }
-  std::printf("backpressure: burst %llu into depth-16 queue -> %llu "
-              "kRetryLater, %llu decided after resume\n",
-              static_cast<unsigned long long>(kBurst),
-              static_cast<unsigned long long>(bp_retries),
-              static_cast<unsigned long long>(bp_decided));
   const bool backpressure_ok =
-      bp_retries > 0 && bp_retries + bp_decided == kBurst;
+      !in_process || (bp_retries > 0 && bp_retries + bp_decided == kBurst);
 
-  const bool throughput_met = admits_per_sec >= kTargetAdmitsPerSec;
-  const bool target_met = throughput_met && checksum_match && backpressure_ok;
+  // --quick keeps the correctness gates but drops the throughput/tail
+  // targets: CI asserts target_met on hardware it does not control.
+  const bool throughput_met =
+      o.quick || best->admits_per_sec >= kTargetAdmitsPerSec;
+  const bool tail_met = o.quick || parity.p999 <= kTargetParityP999Ns;
+  const bool target_met =
+      throughput_met && tail_met && checksum_match && backpressure_ok;
+
+  std::printf("best cell: %zu shards x %zu conns at %.0f admits/s; parity "
+              "p999 %llu ns\n",
+              best->spec.shards, best->spec.conns, best->admits_per_sec,
+              static_cast<unsigned long long>(parity.p999));
 
   std::ostringstream json;
   json << "{\n  \"benchmark\": \"net_loadgen\",\n"
-       << "  \"mode\": \"" << (in_process ? "loopback" : "connect")
-       << "\",\n"
-       << "  \"shards\": " << o.shards << ",\n"
-       << "  \"arrivals_per_shard\": " << o.arrivals << ",\n"
-       << "  \"window\": " << o.window << ",\n"
-       << "  \"requests\": " << requests << ",\n"
-       << "  \"admits\": " << admits << ",\n"
-       << "  \"rejects\": " << rejects << ",\n"
-       << "  \"departs\": " << departs << ",\n"
-       << "  \"retries\": " << retries << ",\n"
-       << "  \"wall_s\": " << wall_s << ",\n"
-       << "  \"admits_per_sec\": " << admits_per_sec << ",\n"
-       << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
-       << "  \"latency_p50_ns\": " << p50 << ",\n"
-       << "  \"latency_p95_ns\": " << p95 << ",\n"
-       << "  \"latency_p99_ns\": " << p99 << ",\n"
-       << "  \"latency_p999_ns\": " << p999 << ",\n"
+       << "  \"mode\": \""
+       << (in_process ? (o.quick ? "loopback_quick" : "loopback") : "connect")
+       << "\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    json << "    {\"shards\": " << r.spec.shards
+         << ", \"connections\": " << r.spec.conns
+         << ", \"window\": " << r.window << ", \"requests\": " << r.requests
+         << ", \"admits\": " << r.admits << ", \"retries\": " << r.retries
+         << ", \"wall_s\": " << r.wall_s
+         << ", \"admits_per_sec\": " << r.admits_per_sec
+         << ", \"requests_per_sec\": " << r.requests_per_sec
+         << ", \"latency_p50_ns\": " << r.p50
+         << ", \"latency_p95_ns\": " << r.p95
+         << ", \"latency_p99_ns\": " << r.p99
+         << ", \"latency_p999_ns\": " << r.p999 << ", \"checksum_match\": "
+         << (in_process ? (r.checksum_match ? "true" : "false") : "null")
+         << (i + 1 < results.size() ? "},\n" : "}\n");
+  }
+  json << "  ],\n"
+       << "  \"best_cell\": {\"shards\": " << best->spec.shards
+       << ", \"connections\": " << best->spec.conns
+       << ", \"admits_per_sec\": " << best->admits_per_sec << "},\n"
+       << "  \"parity_cell\": {\"shards\": " << parity.spec.shards
+       << ", \"connections\": " << parity.spec.conns
+       << ", \"admits_per_sec\": " << parity.admits_per_sec
+       << ", \"latency_p50_ns\": " << parity.p50
+       << ", \"latency_p99_ns\": " << parity.p99
+       << ", \"latency_p999_ns\": " << parity.p999 << "},\n"
+       << "  \"baseline_pr5_admits_per_sec\": 292076,\n"
        << "  \"checksum_match\": "
        << (in_process ? (checksum_match ? "true" : "false") : "null") << ",\n"
        << "  \"backpressure_retries\": " << bp_retries << ",\n"
        << "  \"backpressure_decided\": " << bp_decided << ",\n"
-       << "  \"target\": \">= 100k admits/s sustained; served decisions "
-          "bit-identical to offline replay; full queue answers "
-          "RETRY_LATER\",\n"
+       << "  \"target\": \"best cell >= 2x PR 5 (584k admits/s); parity-cell "
+          "p999 <= 500us; served decisions bit-identical to offline replay "
+          "in every cell; full queue answers RETRY_LATER\",\n"
        << "  \"target_met\": " << (target_met ? "true" : "false") << "\n}\n";
   if (std::ofstream f{"BENCH_net.json"}) {
     f << json.str();
@@ -340,9 +577,13 @@ int main(int argc, char** argv) {
   }
 
   if (!checksum_match || !backpressure_ok) return 1;
-  if (!throughput_met) {
-    std::fprintf(stderr, "throughput %.0f admits/s below 100k target\n",
-                 admits_per_sec);
+  if (!throughput_met || !tail_met) {
+    std::fprintf(stderr,
+                 "target missed: best %.0f admits/s (>= %.0f), parity p999 "
+                 "%llu ns (<= %llu)\n",
+                 best->admits_per_sec, kTargetAdmitsPerSec,
+                 static_cast<unsigned long long>(parity.p999),
+                 static_cast<unsigned long long>(kTargetParityP999Ns));
     if (o.gate) return 1;
   }
   return 0;

@@ -12,12 +12,13 @@
 //   * allocation-free after construction — the ring is preallocated;
 //     push/pop move items in and out of existing slots.
 //
-// Concurrency: any number of producers (the event loop today; the MPSC
-// shape keeps multiple acceptor threads possible), one consumer (the
-// shard thread).  A plain mutex + condvar is deliberate: an uncontended
-// lock costs ~20 ns, invisible next to a socket read, and keeps close()
-// semantics trivial.  depth() is a relaxed atomic so metric gauges read
-// it without taking the lock.
+// Concurrency: any number of producers (every event loop routes into
+// every shard's queue in the thread-per-core design), one consumer (the
+// loop that owns the shard).  A plain mutex + condvar is deliberate: an
+// uncontended lock costs ~20 ns, invisible next to a socket read, and
+// keeps close() semantics trivial.  depth() is a relaxed atomic so metric
+// gauges — and the owning loop's inline-vs-queue routing check — read it
+// without taking the lock.
 #pragma once
 
 #include <atomic>
@@ -61,14 +62,16 @@ class BoundedMpscQueue {
   std::size_t pop_batch(T* out, std::size_t max_n) {
     std::unique_lock<std::mutex> lock(mu_);
     ready_.wait(lock, [&] { return size_ > 0 || closed_; });
-    const std::size_t n = size_ < max_n ? size_ : max_n;
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = std::move(ring_[head_]);
-      head_ = (head_ + 1) % ring_.size();
-    }
-    size_ -= n;
-    depth_.store(size_, std::memory_order_relaxed);
-    return n;
+    return locked_take(out, max_n);
+  }
+
+  // Non-blocking variant for event-loop consumers (they sleep in poll, not
+  // on the queue's condvar): moves up to `max_n` items into `out` and
+  // returns the number taken, 0 when the queue is currently empty.
+  // Producers signal a loop consumer through its wake pipe instead.
+  std::size_t try_pop_batch(T* out, std::size_t max_n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return locked_take(out, max_n);
   }
 
   // After close(), try_push fails and pop_batch drains the remaining items
@@ -87,6 +90,18 @@ class BoundedMpscQueue {
   }
 
  private:
+  // Takes up to max_n items under mu_ (both pop flavors share this).
+  std::size_t locked_take(T* out, std::size_t max_n) {
+    const std::size_t n = size_ < max_n ? size_ : max_n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+    }
+    size_ -= n;
+    depth_.store(size_, std::memory_order_relaxed);
+    return n;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::vector<T> ring_;

@@ -18,7 +18,7 @@ namespace hetsched::net {
 
 namespace {
 
-constexpr std::size_t kRecvBufSize = 4096;
+constexpr std::size_t kRecvBufSize = 16384;
 
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -187,6 +187,68 @@ bool Client::recv_response(Response* out, int timeout_ms) {
       return false;
     }
     if (!fill_rbuf(timeout_ms)) return false;
+  }
+}
+
+bool Client::try_flush() {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < sendbuf_.size()) {
+    const ssize_t w = ::send(fd_, sendbuf_.data() + off, sendbuf_.size() - off,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    fail(std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  sendbuf_.erase(sendbuf_.begin(),
+                 sendbuf_.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+int Client::try_recv_response(Response* out) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return -1;
+  }
+  while (true) {
+    std::size_t consumed = 0;
+    const DecodeResult r =
+        decode_response(rbuf_.data() + rpos_, rlen_ - rpos_, out, &consumed);
+    if (r == DecodeResult::kOk) {
+      rpos_ += consumed;
+      return 1;
+    }
+    if (r == DecodeResult::kBad) {
+      fail("malformed response frame");
+      return -1;
+    }
+    if (rpos_ > 0) {
+      std::memmove(rbuf_.data(), rbuf_.data() + rpos_, rlen_ - rpos_);
+      rlen_ -= rpos_;
+      rpos_ = 0;
+    }
+    const ssize_t n =
+        ::recv(fd_, rbuf_.data() + rlen_, rbuf_.size() - rlen_, 0);
+    if (n > 0) {
+      rlen_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      fail("peer closed the connection");
+      return -1;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    fail(std::string("recv: ") + std::strerror(errno));
+    return -1;
   }
 }
 

@@ -58,6 +58,17 @@ class Client {
   // Decodes the next response, reading from the socket as needed.
   bool recv_response(Response* out, int timeout_ms);
 
+  // --- non-blocking interface (multiplexing many clients per thread) ---
+  // Writes as much of the send buffer as the socket accepts right now.
+  // False on a hard error (connection closed); a short write is success —
+  // the remainder stays pending (pending_bytes() > 0, poll for POLLOUT).
+  bool try_flush();
+  // Decodes the next response without blocking: 1 = *out filled,
+  // 0 = would block (poll for POLLIN), -1 = error or peer close.
+  int try_recv_response(Response* out);
+  // The connected socket, for callers multiplexing with poll(2).
+  int fd() const { return fd_; }
+
   // --- synchronous helper --------------------------------------------
   // queue + flush + one recv.  Requires no other responses in flight.
   bool call(const Request& r, Response* out, int timeout_ms);

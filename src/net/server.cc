@@ -6,10 +6,12 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <unordered_map>
 
@@ -31,13 +33,17 @@ namespace {
 #if HETSCHED_METRICS_ENABLED
 // Pre-registered handles: instrumentation on the frame path must not do
 // by-name registry lookups (lint rule [metric-handle]).  Per-shard queue
-// depth gauges are registered per Server instance (names carry the shard
-// index), so they live on the Shard, not here.
+// depth and per-loop connection gauges are registered per Server instance
+// (names carry the shard/loop index), so they live on Shard/Loop, not
+// here.
 struct NetMetrics {
   obs::Counter connections = obs::registry().counter(
       "hetsched_net_connections_total", "TCP connections accepted");
   obs::Counter frames_rx = obs::registry().counter(
       "hetsched_net_frames_rx_total", "Request frames decoded");
+  obs::Counter frames_inline = obs::registry().counter(
+      "hetsched_net_frames_inline_total",
+      "Frames decided on the accepting loop with zero queue hops");
   obs::Counter admits = obs::registry().counter(
       "hetsched_net_admit_total", "Admit requests answered admitted");
   obs::Counter rejects = obs::registry().counter(
@@ -55,10 +61,16 @@ struct NetMetrics {
       "hetsched_net_bad_frame_total",
       "Malformed frames, bad shard indices, and invalid task parameters");
   obs::Counter batches = obs::registry().counter(
-      "hetsched_net_batches_total", "Shard wakeups that drained >= 1 frame");
+      "hetsched_net_batches_total", "Drain rounds that handled >= 1 frame");
+  obs::Counter partial_writes = obs::registry().counter(
+      "hetsched_net_partial_write_total",
+      "Short response writes parked in a connection backlog");
   obs::LatencyHistogram latency = obs::registry().histogram(
       "hetsched_net_request_latency_ns",
-      "Enqueue-to-response latency, sampled 1 in kLatencySamplePeriod");
+      "Decode-to-response latency, sampled 1 in kLatencySamplePeriod");
+  obs::LatencyHistogram batch_frames = obs::registry().histogram(
+      "hetsched_net_batch_frames",
+      "Frames per drain round (count, log2 buckets)");
 };
 const NetMetrics g_metrics;
 #endif  // HETSCHED_METRICS_ENABLED
@@ -76,11 +88,26 @@ std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-// Read-interest poller: epoll on Linux, poll(2) everywhere else.  Level
-// triggered in both flavors, so a partially drained socket re-fires and
-// the read path never needs an exhaustive drain loop to stay correct.
+std::size_t hardware_loops() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// Poller: per-loop readiness multiplexer — epoll on Linux, poll(2)
+// everywhere else.  Level triggered in both flavors, so a partially
+// drained socket re-fires and the read path never needs an exhaustive
+// drain loop to stay correct.  Write interest is per-fd and toggled as
+// response backlogs appear and drain.  Single-threaded: only the owning
+// loop touches its poller; cross-loop write arming goes through the
+// loop's control queue instead.
 class Poller {
  public:
+  struct Ready {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+  };
+
   Poller() = default;
   ~Poller() {
 #if HETSCHED_NET_USE_EPOLL
@@ -97,20 +124,35 @@ class Poller {
       *error = errno_string("epoll_create1");
       return false;
     }
-    events_.resize(64);
+    events_.resize(128);
 #endif
     return true;
   }
 
-  bool add(int fd) {
+  bool add(int fd, bool want_read, bool want_write) {
 #if HETSCHED_NET_USE_EPOLL
     epoll_event ev{};
-    ev.events = EPOLLIN;
+    ev.events = mask(want_read, want_write);
     ev.data.fd = fd;
     return ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) == 0;
 #else
-    fds_.push_back(pollfd{fd, POLLIN, 0});
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, events(want_read, want_write), 0});
     return true;
+#endif
+  }
+
+  void set_interest(int fd, bool want_read, bool want_write) {
+#if HETSCHED_NET_USE_EPOLL
+    epoll_event ev{};
+    ev.events = mask(want_read, want_write);
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+#else
+    const auto it = index_.find(fd);
+    if (it != index_.end()) {
+      fds_[it->second].events = events(want_read, want_write);
+    }
 #endif
   }
 
@@ -118,35 +160,44 @@ class Poller {
 #if HETSCHED_NET_USE_EPOLL
     ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
 #else
-    for (std::size_t i = 0; i < fds_.size(); ++i) {
-      if (fds_[i].fd == fd) {
-        fds_[i] = fds_.back();
-        fds_.pop_back();
-        return;
-      }
-    }
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t i = it->second;
+    index_.erase(it);
+    fds_[i] = fds_.back();
+    fds_.pop_back();
+    if (i < fds_.size()) index_[fds_[i].fd] = i;
 #endif
   }
 
-  // Blocks until at least one registered fd is readable (or hung up /
-  // errored — the read path surfaces those as EOF).  Fills `ready` with
-  // the fds to service; returns false on a wait error other than EINTR.
-  bool wait(std::vector<int>& ready) {
+  // Blocks up to timeout_ms (-1 = forever) for readiness.  Fills `ready`;
+  // hangups and errors surface as both readable (the read path sees EOF)
+  // and writable (the flush path sees the error).  Returns false on a
+  // wait error other than EINTR.
+  bool wait(std::vector<Ready>& ready, int timeout_ms) {
     ready.clear();
 #if HETSCHED_NET_USE_EPOLL
-    const int n =
-        ::epoll_wait(ep_, events_.data(), static_cast<int>(events_.size()), -1);
+    const int n = ::epoll_wait(ep_, events_.data(),
+                               static_cast<int>(events_.size()), timeout_ms);
     if (n < 0) return errno == EINTR;
     for (int i = 0; i < n; ++i) {
-      ready.push_back(events_[static_cast<std::size_t>(i)].data.fd);
+      const epoll_event& ev = events_[static_cast<std::size_t>(i)];
+      Ready r;
+      r.fd = ev.data.fd;
+      r.readable = (ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+      r.writable = (ev.events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0;
+      ready.push_back(r);
     }
 #else
-    const int n = ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()), -1);
+    const int n =
+        ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()), timeout_ms);
     if (n < 0) return errno == EINTR;
     for (const pollfd& p : fds_) {
-      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
-        ready.push_back(p.fd);
-      }
+      Ready r;
+      r.fd = p.fd;
+      r.readable = (p.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+      r.writable = (p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0;
+      if (r.readable || r.writable) ready.push_back(r);
     }
 #endif
     return true;
@@ -154,67 +205,133 @@ class Poller {
 
  private:
 #if HETSCHED_NET_USE_EPOLL
+  static std::uint32_t mask(bool want_read, bool want_write) {
+    return (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  }
   int ep_ = -1;
   std::vector<epoll_event> events_;
 #else
+  static short events(bool want_read, bool want_write) {
+    return static_cast<short>((want_read ? POLLIN : 0) |
+                              (want_write ? POLLOUT : 0));
+  }
   std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
 #endif
 };
 
 }  // namespace
 
-// One accepted socket.  The read side (rbuf) belongs to the event-loop
-// thread; the write side is shared between the event loop (inline
-// retry-later / bad-shard replies) and shard threads (decision replies)
-// and serialized by write_mu, one whole frame run per send, so frames
-// never interleave mid-frame on the wire.
+// One accepted socket.  The read side (rbuf) belongs to the home loop;
+// the write side is shared between loops (the home loop writes inline
+// decisions, other loops write queued-path decisions for shards they
+// own) and serialized by write_mu.  Writes never block: a short write
+// parks the unsent tail in `backlog` and the home loop resumes it on
+// EPOLLOUT, scatter-gathering backlog + fresh frames in one sendmsg so
+// frames never interleave mid-frame on the wire.
 struct Server::Connection {
-  explicit Connection(int fd_in) : fd(fd_in), rbuf(kReadBufSize) {}
+  Connection(int fd_in, std::size_t home)
+      : fd(fd_in), home_loop(home), rbuf(kReadBufSize) {}
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  // Blocking-with-timeout write of `n` bytes of encoded frames.  On a
-  // stalled peer (timeout_ms of no POLLOUT progress) or a socket error
-  // the connection is marked dead and further writes are dropped — a
-  // slow reader must not wedge a shard thread forever.
-  bool write_frames(const unsigned char* buf, std::size_t n, int timeout_ms) {
+  enum class WriteResult : std::uint8_t {
+    kFlushed,  // everything on the wire
+    kQueued,   // unsent tail parked in backlog — arm EPOLLOUT
+    kDead      // socket error or backlog cap blown — drop the peer
+  };
+
+  // Sends backlog + [data, data+n) in order without blocking.  The
+  // scatter-gather pair means a connection with a parked backlog never
+  // copies fresh frames twice unless the socket is still full.
+  WriteResult write_frames(const unsigned char* data, std::size_t n,
+                           std::size_t max_backlog) {
     std::lock_guard<std::mutex> lock(write_mu);
-    if (dead.load(std::memory_order_relaxed)) return false;
-    std::size_t off = 0;
-    while (off < n) {
-      const ssize_t w = ::send(fd, buf + off, n - off, MSG_NOSIGNAL);
-      if (w > 0) {
-        off += static_cast<std::size_t>(w);
-        continue;
+    if (dead.load(std::memory_order_relaxed)) return WriteResult::kDead;
+    std::size_t data_off = 0;
+    while (backlog_off < backlog.size() || data_off < n) {
+      iovec iov[2];
+      int iovcnt = 0;
+      if (backlog_off < backlog.size()) {
+        iov[iovcnt].iov_base = backlog.data() + backlog_off;
+        iov[iovcnt].iov_len = backlog.size() - backlog_off;
+        ++iovcnt;
       }
+      if (data_off < n) {
+        iov[iovcnt].iov_base =
+            const_cast<unsigned char*>(data) + data_off;  // sendmsg API
+        iov[iovcnt].iov_len = n - data_off;
+        ++iovcnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (w < 0 && errno == EINTR) continue;
-      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        pollfd p{fd, POLLOUT, 0};
-        if (::poll(&p, 1, timeout_ms) > 0) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (w <= 0) {
+        dead.store(true, std::memory_order_relaxed);
+        return WriteResult::kDead;
       }
-      dead.store(true, std::memory_order_relaxed);
-      return false;
+      std::size_t used = static_cast<std::size_t>(w);
+      const std::size_t from_backlog =
+          used < backlog.size() - backlog_off ? used
+                                              : backlog.size() - backlog_off;
+      backlog_off += from_backlog;
+      used -= from_backlog;
+      data_off += used;
+      if (backlog_off == backlog.size()) {
+        backlog.clear();
+        backlog_off = 0;
+      }
     }
-    return true;
+    if (backlog.empty() && data_off == n) {
+      want_write.store(false, std::memory_order_relaxed);
+      return WriteResult::kFlushed;
+    }
+    // Park the unsent tail (compacting first so backlog_off stays small).
+    if (backlog_off > 0) {
+      backlog.erase(backlog.begin(),
+                    backlog.begin() + static_cast<std::ptrdiff_t>(backlog_off));
+      backlog_off = 0;
+    }
+    backlog.insert(backlog.end(), data + data_off, data + n);
+    if (backlog.size() > max_backlog) {
+      dead.store(true, std::memory_order_relaxed);
+      return WriteResult::kDead;
+    }
+    want_write.store(true, std::memory_order_relaxed);
+    return WriteResult::kQueued;
   }
 
-  // Room for ~100 frames per read: one recv per event-loop wakeup keeps
+  // Room for ~450 frames per read: one recv per loop wakeup keeps the
   // syscall count per frame low at the bench's frame rate.
-  static constexpr std::size_t kReadBufSize = 4096;
+  static constexpr std::size_t kReadBufSize = 16384;
 
   int fd;
-  std::mutex write_mu;
+  const std::size_t home_loop;
+
+  // Home-loop-only state.
+  std::vector<unsigned char> rbuf;
+  std::size_t rbuf_len = 0;   // bytes of undecoded prefix in rbuf
+  bool read_enabled = true;   // cleared at shutdown
+  bool write_armed = false;   // mirrors the poller's EPOLLOUT interest
+
   std::atomic<bool> dead{false};
-  std::vector<unsigned char> rbuf;  // event-loop thread only
-  std::size_t rbuf_len = 0;         // bytes of undecoded prefix in rbuf
+  std::atomic<bool> want_write{false};  // backlog nonempty
+  std::atomic<bool> arm_pending{false};  // queued in home loop's control list
+
+  std::mutex write_mu;
+  std::vector<unsigned char> backlog;  // unsent bytes at [backlog_off, size)
+  std::size_t backlog_off = 0;
 };
 
-// One tenant shard: a single-threaded controller fed by its bounded
-// queue.  items/outbuf are preallocated to the batch size so the drain
-// loop is allocation-free.
+// One tenant shard: a single-threaded controller owned by one loop.  The
+// bounded queue carries the off-loop cases only (frames arriving on other
+// loops' connections, and everything while paused).
 struct Server::Shard {
   struct WorkItem {
     std::shared_ptr<Connection> conn;
@@ -223,10 +340,7 @@ struct Server::Shard {
   };
 
   Shard(const Platform& platform, const ServerOptions& o)
-      : controller(platform, o.kind, o.alpha, o.engine),
-        queue(o.queue_depth),
-        items(o.batch),
-        outbuf(o.batch * kFrameSize) {
+      : controller(platform, o.kind, o.alpha, o.engine), queue(o.queue_depth) {
     // Warm the controller arena so steady-state admits take the
     // allocation-free path from the first request.
     controller.reserve(o.queue_depth);
@@ -234,12 +348,50 @@ struct Server::Shard {
 
   OnlinePartitioner controller;
   BoundedMpscQueue<WorkItem> queue;
-  std::vector<WorkItem> items;        // pop_batch destination
-  std::vector<unsigned char> outbuf;  // encoded responses, per batch
-  std::thread thread;
+  std::size_t owner_loop = 0;
 #if HETSCHED_METRICS_ENABLED
   obs::Gauge depth_gauge;
-  std::uint32_t push_tick = 0;  // event-loop thread only (sampling)
+  std::atomic<std::uint32_t> push_tick{0};  // latency sampling (any loop)
+#endif
+};
+
+// One event-loop thread: poller, wake pipe, owned shards, accepted
+// connections, adaptive batch budget, and preallocated drain scratch.
+struct Server::Loop {
+  explicit Loop(const ServerOptions& o)
+      : items(o.batch), outbuf(o.batch * kFrameSize),
+        batcher(o.batch_min, o.batch) {}
+  ~Loop() {
+    for (int fd : {listen_fd, wake_fds[0], wake_fds[1]}) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  Loop(const Loop&) = delete;
+  Loop& operator=(const Loop&) = delete;
+
+  std::size_t index = 0;
+  int listen_fd = -1;           // own socket (reuseport) or loop 0 only
+  int wake_fds[2] = {-1, -1};   // cross-loop wakeups and request_stop
+  Poller poller;
+  std::thread thread;
+  std::vector<Shard*> shards;   // shards this loop owns
+  std::vector<Shard::WorkItem> items;   // queue drain destination
+  std::vector<unsigned char> outbuf;    // response staging, one drain round
+  AdaptiveBatch batcher;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> wake_pending{false};
+
+  // Cross-loop control plane, serviced on wakeup: write-interest requests
+  // for connections this loop homes, and accepted fds handed off by the
+  // fallback acceptor.
+  std::mutex control_mu;
+  std::vector<std::shared_ptr<Connection>> pending_arms;
+  std::vector<int> pending_fds;
+
+#if HETSCHED_METRICS_ENABLED
+  obs::Gauge conn_gauge;
+  std::uint32_t sample_tick = 0;  // loop-thread-only (inline sampling)
 #endif
 };
 
@@ -249,16 +401,89 @@ Server::Server(const Platform& platform, const ServerOptions& options)
 Server::~Server() {
   request_stop();
   wait();
-  for (int& fd : wake_fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
+}
+
+bool Server::start_listen_sockets(std::string* error) {
+  HostPort addr;
+  if (!parse_host_port(options_.listen_addr, &addr, error)) return false;
+
+  reuseport_active_ = false;
+#if defined(SO_REUSEPORT)
+  const bool try_reuseport = options_.reuseport && loops_.size() > 1;
+#else
+  const bool try_reuseport = false;
+#endif
+  const std::size_t sockets = try_reuseport ? loops_.size() : 1;
+  std::uint16_t bound_port = addr.port;
+  for (std::size_t i = 0; i < sockets; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = errno_string("socket");
+      return false;
     }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    bool reuseport_ok = false;
+#if defined(SO_REUSEPORT)
+    if (try_reuseport) {
+      reuseport_ok =
+          ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0;
+    }
+#endif
+    if (try_reuseport && !reuseport_ok) {
+      // Option unsupported at runtime: fall back to the single-acceptor
+      // round-robin handoff (only reachable before any socket is bound).
+      ::close(fd);
+      if (i == 0) break;
+      *error = "SO_REUSEPORT failed after first bind";
+      return false;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(bound_port);
+    ::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+        ::listen(fd, 1024) != 0 || !set_nonblocking(fd)) {
+      *error = errno_string("bind/listen");
+      ::close(fd);
+      return false;
+    }
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof(bound);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+      bound_port = ntohs(bound.sin_port);
+      port_ = bound_port;
+    }
+    loops_[i]->listen_fd = fd;
+    if (try_reuseport) reuseport_active_ = true;
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (loops_[0]->listen_fd < 0) {
+    // try_reuseport bailed on socket 0: single-acceptor fallback.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = errno_string("socket");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    ::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0 ||
+        ::listen(fd, 1024) != 0 || !set_nonblocking(fd)) {
+      *error = errno_string("bind/listen");
+      ::close(fd);
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    port_ = ntohs(bound.sin_port);
+    loops_[0]->listen_fd = fd;
   }
+  return true;
 }
 
 bool Server::start(std::string* error) {
@@ -275,86 +500,109 @@ bool Server::start(std::string* error) {
     *error = "shards must be in [1, " + std::to_string(kMaxShards) + "]";
     return false;
   }
+  if (options_.loops > kMaxLoops) {
+    *error = "loops must be in [0, " + std::to_string(kMaxLoops) + "]";
+    return false;
+  }
   if (options_.queue_depth < 1 || options_.batch < 1) {
     *error = "queue_depth and batch must be >= 1";
     return false;
   }
-
-  HostPort addr;
-  if (!parse_host_port(options_.listen_addr, &addr, error)) return false;
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    *error = errno_string("socket");
+  if (options_.batch_min < 1 || options_.batch_min > options_.batch) {
+    *error = "batch_min must be in [1, batch]";
     return false;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(addr.port);
-  ::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
-          0 ||
-      ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
-    *error = errno_string("bind/listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
 
-  if (::pipe(wake_fds_) != 0 || !set_nonblocking(wake_fds_[0])) {
-    *error = errno_string("pipe");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
+  std::size_t loop_count = options_.loops;
+  if (loop_count == 0) {
+    loop_count = options_.shards < hardware_loops() ? options_.shards
+                                                    : hardware_loops();
+    if (loop_count > kMaxLoops) loop_count = kMaxLoops;
+  }
+
+  loops_.clear();
+  loops_.reserve(loop_count);
+  for (std::size_t i = 0; i < loop_count; ++i) {
+    loops_.push_back(std::make_unique<Loop>(options_));
+    Loop& lp = *loops_.back();
+    lp.index = i;
+    if (::pipe(lp.wake_fds) != 0 || !set_nonblocking(lp.wake_fds[0]) ||
+        !set_nonblocking(lp.wake_fds[1])) {
+      *error = errno_string("pipe");
+      loops_.clear();
+      return false;
+    }
+    if (!lp.poller.init(error)) {
+      loops_.clear();
+      return false;
+    }
+#if HETSCHED_METRICS_ENABLED
+    lp.conn_gauge = obs::registry().gauge(
+        "hetsched_net_loop_conns" + std::to_string(i),
+        "Open connections homed on loop " + std::to_string(i));
+#endif
   }
 
   shards_.clear();
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(platform_, options_));
+    Shard& sh = *shards_.back();
+    sh.owner_loop = i % loop_count;
+    loops_[sh.owner_loop]->shards.push_back(&sh);
 #if HETSCHED_METRICS_ENABLED
-    shards_.back()->depth_gauge = obs::registry().gauge(
+    sh.depth_gauge = obs::registry().gauge(
         "hetsched_net_queue_depth_shard" + std::to_string(i),
         "Requests queued for shard " + std::to_string(i));
 #endif
   }
 
-  paused_ = options_.start_paused;
-  stopping_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+  if (!start_listen_sockets(error)) {
+    loops_.clear();
+    shards_.clear();
+    return false;
   }
-  loop_thread_ = std::thread([this] { event_loop(); });
+  for (auto& lp : loops_) {
+    if (!lp->poller.add(lp->wake_fds[0], true, false) ||
+        (lp->listen_fd >= 0 && !lp->poller.add(lp->listen_fd, true, false))) {
+      *error = "poller registration failed";
+      loops_.clear();
+      shards_.clear();
+      return false;
+    }
+  }
+
+  paused_.store(options_.start_paused, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  accept_rr_ = 0;
+  loops_reading_.store(static_cast<int>(loop_count),
+                       std::memory_order_release);
+  loops_draining_.store(static_cast<int>(loop_count),
+                        std::memory_order_release);
+  loops_alive_.store(static_cast<int>(loop_count), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& lp : loops_) {
+    Loop* raw = lp.get();
+    lp->thread = std::thread([this, raw] { loop_main(*raw); });
+  }
   return true;
 }
 
 void Server::resume_shards() {
-  {
-    std::lock_guard<std::mutex> lock(pause_mu_);
-    paused_ = false;
-  }
-  pause_cv_.notify_all();
+  paused_.store(false, std::memory_order_release);
+  for (auto& lp : loops_) wake_loop(*lp);
 }
 
 void Server::request_stop() {
   stopping_.store(true, std::memory_order_release);
-  resume_shards();  // paused shards must run to drain their queues
-  if (wake_fds_[1] >= 0) {
-    const char b = 0;
-    [[maybe_unused]] const ssize_t w = ::write(wake_fds_[1], &b, 1);
-  }
+  resume_shards();  // paused shard queues must still drain
 }
 
 void Server::wait() {
   std::lock_guard<std::mutex> lock(join_mu_);
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& lp : loops_) {
+    if (lp->thread.joinable()) lp->thread.join();
+  }
 }
 
 ServerStats Server::stats() const {
@@ -362,6 +610,7 @@ ServerStats Server::stats() const {
   s.connections = counters_.connections.load(std::memory_order_relaxed);
   s.frames_rx = counters_.frames_rx.load(std::memory_order_relaxed);
   s.enqueued = counters_.enqueued.load(std::memory_order_relaxed);
+  s.frames_inline = counters_.frames_inline.load(std::memory_order_relaxed);
   s.admitted = counters_.admitted.load(std::memory_order_relaxed);
   s.rejected = counters_.rejected.load(std::memory_order_relaxed);
   s.retried = counters_.retried.load(std::memory_order_relaxed);
@@ -370,7 +619,13 @@ ServerStats Server::stats() const {
   s.rebalances = counters_.rebalances.load(std::memory_order_relaxed);
   s.bad = counters_.bad.load(std::memory_order_relaxed);
   s.batches = counters_.batches.load(std::memory_order_relaxed);
+  s.partial_writes = counters_.partial_writes.load(std::memory_order_relaxed);
   return s;
+}
+
+std::uint64_t Server::loop_connections(std::size_t i) const {
+  HETSCHED_CHECK(i < loops_.size());
+  return loops_[i]->accepted.load(std::memory_order_relaxed);
 }
 
 std::size_t Server::shard_resident_count(std::size_t shard) const {
@@ -378,86 +633,14 @@ std::size_t Server::shard_resident_count(std::size_t shard) const {
   return shards_[shard]->controller.resident_count();
 }
 
-void Server::respond_inline(const std::shared_ptr<Connection>& conn,
-                            const Request& req, Status status) {
-  Response resp;
-  resp.type = req.type;
-  resp.status = status;
-  resp.request_id = req.request_id;
-  unsigned char buf[kFrameSize];
-  encode_response(resp, buf);
-  conn->write_frames(buf, kFrameSize, options_.write_timeout_ms);
-}
-
-// HETSCHED_NOALLOC (per-frame routing on the event-loop hot path; the
-// queue slot is preallocated and the shared_ptr copy is refcount-only)
-void Server::route_frame(const std::shared_ptr<Connection>& conn,
-                         const Request& req) {
-  if (req.shard >= shards_.size()) {
-    bump(counters_.bad);
-    HETSCHED_COUNT(g_metrics.bad);
-    respond_inline(conn, req, Status::kBadShard);
-    return;
-  }
-  Shard& sh = *shards_[req.shard];
-  Shard::WorkItem item;
-  item.conn = conn;
-  item.req = req;
-#if HETSCHED_METRICS_ENABLED
-  if ((++sh.push_tick & (obs::kLatencySamplePeriod - 1)) == 0) {
-    item.enq_ns = obs::now_ns();
-  }
-#endif
-  if (!sh.queue.try_push(std::move(item))) {
-    bump(counters_.retried);
-    HETSCHED_COUNT(g_metrics.retries);
-    respond_inline(conn, req, Status::kRetryLater);
-    return;
-  }
-  bump(counters_.enqueued);
-  HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
-}
-
-bool Server::drain_readable(const std::shared_ptr<Connection>& conn) {
-  if (conn->dead.load(std::memory_order_relaxed)) return false;
-  while (true) {
-    const std::size_t space = conn->rbuf.size() - conn->rbuf_len;
-    const ssize_t n =
-        ::recv(conn->fd, conn->rbuf.data() + conn->rbuf_len, space, 0);
-    if (n == 0) return false;  // orderly EOF
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return errno == EAGAIN || errno == EWOULDBLOCK;  // drained for now
-    }
-    conn->rbuf_len += static_cast<std::size_t>(n);
-    std::size_t off = 0;
-    while (true) {
-      Request req;
-      std::size_t consumed = 0;
-      const DecodeResult r = decode_request(
-          conn->rbuf.data() + off, conn->rbuf_len - off, &req, &consumed);
-      if (r == DecodeResult::kNeedMore) break;
-      if (r == DecodeResult::kBad) {
-        // A desynced byte stream cannot be re-framed; drop the peer.
-        bump(counters_.bad);
-        HETSCHED_COUNT(g_metrics.bad);
-        return false;
-      }
-      off += consumed;
-      bump(counters_.frames_rx);
-      HETSCHED_COUNT(g_metrics.frames_rx);
-      route_frame(conn, req);
-    }
-    if (off > 0) {
-      std::memmove(conn->rbuf.data(), conn->rbuf.data() + off,
-                   conn->rbuf_len - off);
-      conn->rbuf_len -= off;
-    }
-    if (static_cast<std::size_t>(n) < space) return true;  // socket drained
+void Server::wake_loop(Loop& lp) {
+  if (!lp.wake_pending.exchange(true, std::memory_order_acq_rel)) {
+    const char b = 0;
+    [[maybe_unused]] const ssize_t w = ::write(lp.wake_fds[1], &b, 1);
   }
 }
 
-// HETSCHED_NOALLOC (per-frame decision on the shard hot path: warm admits
+// HETSCHED_NOALLOC (per-frame decision on the loop hot path: warm admits
 // and departs run the controller's allocation-free paths)
 Response Server::process_request(Shard& shard, const Request& req) {
   Response resp;
@@ -467,8 +650,6 @@ Response Server::process_request(Shard& shard, const Request& req) {
     case MsgType::kAdmit: {
       if (req.exec() <= 0 || req.period() <= 0) {
         resp.status = Status::kBadRequest;
-        bump(counters_.bad);
-        HETSCHED_COUNT(g_metrics.bad);
         break;
       }
       const Task t{req.exec(), req.period()};
@@ -478,143 +659,473 @@ Response Server::process_request(Shard& shard, const Request& req) {
         resp.status = Status::kAdmitted;
         resp.machine = static_cast<std::uint32_t>(d.machine);
         resp.task_id = d.id;
-        bump(counters_.admitted);
-        HETSCHED_COUNT(g_metrics.admits);
       } else {
         resp.status = Status::kRejected;
-        bump(counters_.rejected);
-        HETSCHED_COUNT(g_metrics.rejects);
       }
       break;
     }
     case MsgType::kDepart: {
-      if (shard.controller.depart(req.task_id())) {
-        resp.status = Status::kDeparted;
-        bump(counters_.departed);
-        HETSCHED_COUNT(g_metrics.departs);
-      } else {
-        resp.status = Status::kStaleId;
-        bump(counters_.stale);
-        HETSCHED_COUNT(g_metrics.stale);
-      }
+      resp.status = shard.controller.depart(req.task_id()) ? Status::kDeparted
+                                                           : Status::kStaleId;
       break;
     }
     case MsgType::kRebalance: {
       const RebalanceReport r = shard.controller.rebalance();
       resp.status = r.applied ? Status::kRebalanced : Status::kRebalanceSkipped;
       resp.task_id = r.migrations;
-      bump(counters_.rebalances);
-      HETSCHED_COUNT(g_metrics.rebalances);
       break;
     }
   }
   return resp;
 }
 
-void Server::shard_loop(std::size_t shard_index) {
-  {
-    std::unique_lock<std::mutex> lock(pause_mu_);
-    pause_cv_.wait(lock, [this] { return !paused_; });
-  }
-  Shard& sh = *shards_[shard_index];
-  while (true) {
-    const std::size_t n = sh.queue.pop_batch(sh.items.data(), sh.items.size());
-    if (n == 0) break;  // queue closed and fully drained
-    bump(counters_.batches);
-    HETSCHED_COUNT(g_metrics.batches);
-    HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
-    // Decide every item, coalescing consecutive responses to the same
-    // connection into one send().
-    Connection* run_conn = nullptr;
-    std::size_t run_first = 0;
-    std::size_t out_len = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      Shard::WorkItem& item = sh.items[i];
-      const Response resp = process_request(sh, item.req);
-#if HETSCHED_METRICS_ENABLED
-      if (item.enq_ns != 0) {
-        g_metrics.latency.record_ns(obs::now_ns() - item.enq_ns);
-      }
-#endif
-      if (run_conn != nullptr && item.conn.get() != run_conn) {
-        sh.items[run_first].conn->write_frames(sh.outbuf.data(), out_len,
-                                               options_.write_timeout_ms);
-        out_len = 0;
-        run_first = i;
-      }
-      run_conn = item.conn.get();
-      out_len += encode_response(resp, sh.outbuf.data() + out_len);
-    }
-    if (run_conn != nullptr && out_len > 0) {
-      sh.items[run_first].conn->write_frames(sh.outbuf.data(), out_len,
-                                             options_.write_timeout_ms);
-    }
-    // Drop connection refs so closed peers release their fds promptly.
-    for (std::size_t i = 0; i < n; ++i) sh.items[i].conn.reset();
+// Decision counter bookkeeping, shared by the inline and queued paths.
+void Server::count_response(const Response& resp) {
+  switch (resp.status) {
+    case Status::kAdmitted:
+      bump(counters_.admitted);
+      HETSCHED_COUNT(g_metrics.admits);
+      break;
+    case Status::kRejected:
+      bump(counters_.rejected);
+      HETSCHED_COUNT(g_metrics.rejects);
+      break;
+    case Status::kDeparted:
+      bump(counters_.departed);
+      HETSCHED_COUNT(g_metrics.departs);
+      break;
+    case Status::kStaleId:
+      bump(counters_.stale);
+      HETSCHED_COUNT(g_metrics.stale);
+      break;
+    case Status::kRebalanced:
+    case Status::kRebalanceSkipped:
+      bump(counters_.rebalances);
+      HETSCHED_COUNT(g_metrics.rebalances);
+      break;
+    case Status::kBadRequest:
+    case Status::kBadShard:
+      bump(counters_.bad);
+      HETSCHED_COUNT(g_metrics.bad);
+      break;
+    case Status::kRetryLater:
+      bump(counters_.retried);
+      HETSCHED_COUNT(g_metrics.retries);
+      break;
   }
 }
 
-void Server::event_loop() {
-  Poller poller;
-  std::string error;
-  bool poller_ok = poller.init(&error);
-  if (poller_ok) {
-    poller_ok = poller.add(listen_fd_) && poller.add(wake_fds_[0]);
+void Server::send_to_connection(Loop& lp,
+                                const std::shared_ptr<Connection>& conn,
+                                const unsigned char* data, std::size_t len) {
+  const Connection::WriteResult r =
+      conn->write_frames(data, len, options_.max_response_backlog);
+  if (r == Connection::WriteResult::kFlushed) return;
+  if (r == Connection::WriteResult::kQueued) {
+    bump(counters_.partial_writes);
+    HETSCHED_COUNT(g_metrics.partial_writes);
   }
-  std::unordered_map<int, std::shared_ptr<Connection>> conns;
-  std::vector<int> ready;
-  while (poller_ok && !stopping_.load(std::memory_order_acquire)) {
-    if (!poller.wait(ready)) break;
-    for (const int fd : ready) {
-      if (fd == wake_fds_[0]) {
-        char drain[16];
-        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+  request_write_interest(lp, conn);
+}
+
+void Server::request_write_interest(Loop& lp,
+                                    const std::shared_ptr<Connection>& conn) {
+  if (conn->home_loop == lp.index) {
+    if (conn->dead.load(std::memory_order_relaxed)) return;  // read path closes
+    if (!conn->write_armed &&
+        conn->want_write.load(std::memory_order_relaxed)) {
+      lp.poller.set_interest(conn->fd, conn->read_enabled, true);
+      conn->write_armed = true;
+    }
+    return;
+  }
+  Loop& home = *loops_[conn->home_loop];
+  if (!conn->arm_pending.exchange(true, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(home.control_mu);
+      home.pending_arms.push_back(conn);
+    }
+    wake_loop(home);
+  }
+}
+
+void Server::handle_writable(Loop& lp,
+                             const std::shared_ptr<Connection>& conn) {
+  const Connection::WriteResult r =
+      conn->write_frames(nullptr, 0, options_.max_response_backlog);
+  if (r == Connection::WriteResult::kDead) {
+    close_connection(lp, conn->fd);
+    return;
+  }
+  if (r == Connection::WriteResult::kFlushed && conn->write_armed) {
+    lp.poller.set_interest(conn->fd, conn->read_enabled, false);
+    conn->write_armed = false;
+  }
+}
+
+void Server::adopt_connection(Loop& lp, int fd) {
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+  }
+  auto conn = std::make_shared<Connection>(fd, lp.index);
+  if (!lp.poller.add(fd, true, false)) return;  // dtor closes fd
+  lp.conns.emplace(fd, std::move(conn));
+  lp.accepted.fetch_add(1, std::memory_order_relaxed);
+  bump(counters_.connections);
+  HETSCHED_COUNT(g_metrics.connections);
+  HETSCHED_GAUGE_SET(lp.conn_gauge, lp.conns.size());
+}
+
+void Server::close_connection(Loop& lp, int fd) {
+  const auto it = lp.conns.find(fd);
+  if (it == lp.conns.end()) return;
+  lp.poller.remove(fd);
+  lp.conns.erase(it);  // fd closes when the last WorkItem ref drops
+  HETSCHED_GAUGE_SET(lp.conn_gauge, lp.conns.size());
+}
+
+void Server::loop_accept(Loop& lp) {
+  while (true) {
+    const int cfd = ::accept(lp.listen_fd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: accepted everything pending
+    }
+    if (!reuseport_active_ && loops_.size() > 1) {
+      // Single-acceptor fallback: loop 0 spreads fds round-robin.
+      const std::size_t target = accept_rr_++ % loops_.size();
+      if (target != lp.index) {
+        Loop& t = *loops_[target];
+        {
+          std::lock_guard<std::mutex> lock(t.control_mu);
+          t.pending_fds.push_back(cfd);
         }
-        continue;  // stopping_ is re-checked at the loop head
-      }
-      if (fd == listen_fd_) {
-        while (true) {
-          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-          if (cfd < 0) {
-            if (errno == EINTR) continue;
-            break;  // EAGAIN: accepted everything pending
-          }
-          if (!set_nonblocking(cfd)) {
-            ::close(cfd);
-            continue;
-          }
-          const int one = 1;
-          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-          auto conn = std::make_shared<Connection>(cfd);
-          if (!poller.add(cfd)) continue;  // dtor closes cfd
-          conns.emplace(cfd, std::move(conn));
-          bump(counters_.connections);
-          HETSCHED_COUNT(g_metrics.connections);
-        }
+        wake_loop(t);
         continue;
       }
-      const auto it = conns.find(fd);
-      if (it == conns.end()) continue;
-      if (!drain_readable(it->second)) {
-        poller.remove(fd);
-        conns.erase(it);  // fd closes when the last WorkItem ref drops
-      }
+    }
+    adopt_connection(lp, cfd);
+  }
+}
+
+void Server::loop_service_control(Loop& lp) {
+  std::vector<std::shared_ptr<Connection>> arms;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(lp.control_mu);
+    arms.swap(lp.pending_arms);
+    fds.swap(lp.pending_fds);
+  }
+  for (const int fd : fds) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);  // handed off mid-shutdown: nothing will read it
+    } else {
+      adopt_connection(lp, fd);
     }
   }
-  // Graceful shutdown: stop accepting and reading (this loop has exited),
-  // then let every shard drain what was already queued and flush its
-  // responses before the sockets go away.
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  for (const auto& conn : arms) {
+    conn->arm_pending.store(false, std::memory_order_release);
+    // fd reuse guard: only act if this very connection is still homed here.
+    const auto it = lp.conns.find(conn->fd);
+    if (it == lp.conns.end() || it->second.get() != conn.get()) continue;
+    if (conn->dead.load(std::memory_order_relaxed)) {
+      close_connection(lp, conn->fd);
+      continue;
+    }
+    if (!conn->write_armed &&
+        conn->want_write.load(std::memory_order_relaxed)) {
+      lp.poller.set_interest(conn->fd, conn->read_enabled, true);
+      conn->write_armed = true;
+    }
   }
-  resume_shards();
-  for (auto& sh : shards_) sh->queue.close();
-  for (auto& sh : shards_) {
-    if (sh->thread.joinable()) sh->thread.join();
+}
+
+void Server::drain_shard_queues(Loop& lp) {
+  if (paused_.load(std::memory_order_acquire)) return;
+  for (Shard* sh : lp.shards) {
+    while (true) {
+      const std::size_t n =
+          sh->queue.try_pop_batch(lp.items.data(), lp.batcher.limit());
+      HETSCHED_GAUGE_SET(sh->depth_gauge, sh->queue.depth());
+      if (n == 0) break;
+      bump(counters_.batches);
+      HETSCHED_COUNT(g_metrics.batches);
+      // Decide every item, coalescing consecutive responses to the same
+      // connection into one scatter-gather write.
+      Connection* run_conn = nullptr;
+      std::size_t run_first = 0;
+      std::size_t out_len = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Shard::WorkItem& item = lp.items[i];
+        const Response resp = process_request(*sh, item.req);
+        count_response(resp);
+#if HETSCHED_METRICS_ENABLED
+        if (item.enq_ns != 0) {
+          g_metrics.latency.record_ns(obs::now_ns() - item.enq_ns);
+        }
+#endif
+        if (run_conn != nullptr && item.conn.get() != run_conn) {
+          send_to_connection(lp, lp.items[run_first].conn, lp.outbuf.data(),
+                             out_len);
+          out_len = 0;
+          run_first = i;
+        }
+        run_conn = item.conn.get();
+        out_len += encode_response(resp, lp.outbuf.data() + out_len);
+      }
+      if (run_conn != nullptr && out_len > 0) {
+        send_to_connection(lp, lp.items[run_first].conn, lp.outbuf.data(),
+                           out_len);
+      }
+      // Drop connection refs so closed peers release their fds promptly.
+      for (std::size_t i = 0; i < n; ++i) lp.items[i].conn.reset();
+      lp.batcher.observe(n);
+#if HETSCHED_METRICS_ENABLED
+      g_metrics.batch_frames.record_ns(n);
+#endif
+    }
   }
-  conns.clear();
-  running_.store(false, std::memory_order_release);
+}
+
+bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
+  if (conn->dead.load(std::memory_order_relaxed)) return false;
+  std::size_t staged = 0;        // response bytes staged for this conn
+  std::size_t staged_frames = 0;
+  bool alive = true;
+  const auto flush_staged = [&] {
+    if (staged == 0) return;
+    bump(counters_.batches);
+    HETSCHED_COUNT(g_metrics.batches);
+    lp.batcher.observe(staged_frames);
+#if HETSCHED_METRICS_ENABLED
+    g_metrics.batch_frames.record_ns(staged_frames);
+#endif
+    send_to_connection(lp, conn, lp.outbuf.data(), staged);
+    staged = 0;
+    staged_frames = 0;
+  };
+  while (alive) {
+    const std::size_t space = conn->rbuf.size() - conn->rbuf_len;
+    const ssize_t n =
+        ::recv(conn->fd, conn->rbuf.data() + conn->rbuf_len, space, 0);
+    if (n == 0) {
+      alive = false;  // orderly EOF
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      alive = errno == EAGAIN || errno == EWOULDBLOCK;  // drained for now
+      break;
+    }
+    conn->rbuf_len += static_cast<std::size_t>(n);
+    std::size_t off = 0;
+    while (alive) {
+      Request req;
+      std::size_t consumed = 0;
+      const DecodeResult r = decode_request(
+          conn->rbuf.data() + off, conn->rbuf_len - off, &req, &consumed);
+      if (r == DecodeResult::kNeedMore) break;
+      if (r == DecodeResult::kBad) {
+        // A desynced byte stream cannot be re-framed; drop the peer.
+        bump(counters_.bad);
+        HETSCHED_COUNT(g_metrics.bad);
+        alive = false;
+        break;
+      }
+      off += consumed;
+      bump(counters_.frames_rx);
+      HETSCHED_COUNT(g_metrics.frames_rx);
+      Response resp;
+      bool respond_now = false;
+      if (req.shard >= shards_.size()) {
+        resp.type = req.type;
+        resp.status = Status::kBadShard;
+        resp.request_id = req.request_id;
+        respond_now = true;
+      } else {
+        Shard& sh = *shards_[req.shard];
+        const bool local = sh.owner_loop == lp.index;
+        if (local && sh.queue.depth() == 0 &&
+            !paused_.load(std::memory_order_acquire)) {
+          // The common case: decode -> warm admit -> encode on this core,
+          // zero cross-thread hops.
+#if HETSCHED_METRICS_ENABLED
+          std::uint64_t t0 = 0;
+          if ((++lp.sample_tick & (obs::kLatencySamplePeriod - 1)) == 0) {
+            t0 = obs::now_ns();
+          }
+#endif
+          resp = process_request(sh, req);
+          bump(counters_.frames_inline);
+          HETSCHED_COUNT(g_metrics.frames_inline);
+#if HETSCHED_METRICS_ENABLED
+          if (t0 != 0) g_metrics.latency.record_ns(obs::now_ns() - t0);
+#endif
+          respond_now = true;
+        } else {
+          Shard::WorkItem item;
+          item.conn = conn;
+          item.req = req;
+#if HETSCHED_METRICS_ENABLED
+          if ((sh.push_tick.fetch_add(1, std::memory_order_relaxed) &
+               (obs::kLatencySamplePeriod - 1)) == 0) {
+            item.enq_ns = obs::now_ns();
+          }
+#endif
+          if (!sh.queue.try_push(std::move(item))) {
+            resp.type = req.type;
+            resp.status = Status::kRetryLater;
+            resp.request_id = req.request_id;
+            respond_now = true;
+          } else {
+            bump(counters_.enqueued);
+            HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
+            if (!local) wake_loop(*loops_[sh.owner_loop]);
+          }
+        }
+      }
+      if (respond_now) {
+        count_response(resp);
+        staged += encode_response(resp, lp.outbuf.data() + staged);
+        ++staged_frames;
+        if (staged_frames >= lp.batcher.limit() ||
+            staged + kFrameSize > lp.outbuf.size()) {
+          flush_staged();
+        }
+        if (conn->dead.load(std::memory_order_relaxed)) alive = false;
+      }
+    }
+    if (off > 0) {
+      std::memmove(conn->rbuf.data(), conn->rbuf.data() + off,
+                   conn->rbuf_len - off);
+      conn->rbuf_len -= off;
+    }
+    if (!alive) break;
+    if (static_cast<std::size_t>(n) < space) break;  // socket drained
+  }
+  flush_staged();
+  return alive && !conn->dead.load(std::memory_order_relaxed);
+}
+
+void Server::loop_main(Loop& lp) {
+  std::vector<Poller::Ready> ready;
+  bool poller_ok = true;
+  while (poller_ok && !stopping_.load(std::memory_order_acquire)) {
+    if (!lp.poller.wait(ready, -1)) {
+      poller_ok = false;
+      break;
+    }
+    // Wake handling first so wake_pending is clear before queues drain —
+    // a producer pushing after the drain below re-signals the pipe.
+    for (const Poller::Ready& r : ready) {
+      if (r.fd == lp.wake_fds[0]) {
+        char drain[64];
+        while (::read(lp.wake_fds[0], drain, sizeof(drain)) > 0) {
+        }
+        lp.wake_pending.store(false, std::memory_order_release);
+      }
+    }
+    loop_service_control(lp);
+    // Queued work precedes fresh reads: a frame routed to a queue must be
+    // answered before later frames of its connection+shard go inline.
+    drain_shard_queues(lp);
+    for (const Poller::Ready& r : ready) {
+      if (r.fd == lp.wake_fds[0]) continue;
+      if (r.fd == lp.listen_fd) {
+        loop_accept(lp);
+        continue;
+      }
+      const auto it = lp.conns.find(r.fd);
+      if (it == lp.conns.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+      if (r.writable) {
+        handle_writable(lp, conn);
+        if (lp.conns.find(r.fd) == lp.conns.end()) continue;  // closed
+      }
+      if (r.readable && conn->read_enabled) {
+        if (!drain_readable(lp, conn)) close_connection(lp, r.fd);
+      }
+    }
+    // Answer work our own reads just queued before sleeping (local pushes
+    // do not signal the wake pipe).
+    drain_shard_queues(lp);
+  }
+  stop_phase(lp);
+  if (loops_alive_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    running_.store(false, std::memory_order_release);
+  }
+}
+
+// Graceful shutdown, in lockstep with the sibling loops:
+//   1. stop accepting and reading (our half of "no new work"),
+//   2. once EVERY loop stopped reading, close + drain our shard queues —
+//      no producer can race the close, so the drain answers everything,
+//   3. once every loop drained, flush response backlogs (bounded by
+//      write_timeout_ms) and close the sockets.
+void Server::stop_phase(Loop& lp) {
+  if (lp.listen_fd >= 0) {
+    lp.poller.remove(lp.listen_fd);
+    ::close(lp.listen_fd);
+    lp.listen_fd = -1;
+  }
+  for (auto& [fd, conn] : lp.conns) {
+    conn->read_enabled = false;
+    lp.poller.set_interest(fd, false, conn->write_armed);
+  }
+  loops_reading_.fetch_sub(1, std::memory_order_acq_rel);
+
+  std::vector<Poller::Ready> ready;
+  const auto service_io = [&](int timeout_ms) {
+    if (!lp.poller.wait(ready, timeout_ms)) return;
+    for (const Poller::Ready& r : ready) {
+      if (r.fd == lp.wake_fds[0]) {
+        char drain[64];
+        while (::read(lp.wake_fds[0], drain, sizeof(drain)) > 0) {
+        }
+        lp.wake_pending.store(false, std::memory_order_release);
+        continue;
+      }
+      const auto it = lp.conns.find(r.fd);
+      if (it == lp.conns.end()) continue;
+      if (r.writable) handle_writable(lp, it->second);
+    }
+    loop_service_control(lp);
+  };
+
+  while (loops_reading_.load(std::memory_order_acquire) > 0) service_io(2);
+  for (Shard* sh : lp.shards) sh->queue.close();
+  drain_shard_queues(lp);
+  loops_draining_.fetch_sub(1, std::memory_order_acq_rel);
+  while (loops_draining_.load(std::memory_order_acquire) > 0) service_io(2);
+
+  // Flush whatever responses are still parked, then close.  The deadline
+  // bounds a peer that stopped reading; everyone else drains in a few
+  // rounds.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.write_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool parked = false;
+    for (auto& [fd, conn] : lp.conns) {
+      if (conn->dead.load(std::memory_order_relaxed)) continue;
+      if (conn->want_write.load(std::memory_order_relaxed)) {
+        parked = true;
+        if (!conn->write_armed) {
+          lp.poller.set_interest(fd, false, true);
+          conn->write_armed = true;
+        }
+      }
+    }
+    if (!parked) break;
+    service_io(5);
+  }
+  lp.conns.clear();
 }
 
 }  // namespace hetsched::net

@@ -1,50 +1,67 @@
-// Sharded TCP admission service over the online partitioner.
+// Sharded TCP admission service over the online partitioner —
+// thread-per-core network plane.
 //
-// Architecture (one process, 1 + N threads):
+// Architecture (one process, N event-loop threads, no shard threads):
 //
-//   clients ──► event-loop thread ──► N shard threads ──► client sockets
-//              (epoll on Linux,       (each owns ONE          (responses)
-//               poll(2) fallback)      OnlinePartitioner)
+//   clients ──► loop 0 ─ epoll ─ owns shards 0, N, 2N, ... ──► sockets
+//               loop 1 ─ epoll ─ owns shards 1, N+1, ...   ──► sockets
+//               ...          (every loop also accepts: SO_REUSEPORT)
 //
-//   * The event loop accepts connections, reads length-prefixed frames
-//     (net/protocol.h), and routes each request to the shard it names via
-//     a bounded MPSC queue (net/bounded_queue.h).  A full queue answers
-//     kRetryLater immediately — explicit backpressure, never unbounded
-//     buffering.
-//   * Each shard thread drains its queue in batches of up to
-//     ServerOptions::batch frames per wakeup and runs them through its
-//     single-threaded OnlinePartitioner — the same allocation-free warm
-//     admit path the offline replay uses, so the served decision stream
-//     is bit-identical to `hetsched_cli replay` of the same trace
-//     (tests/net_test.cpp proves it with an FNV-1a checksum).
-//     Responses for consecutive frames from one connection coalesce into
-//     one send() call.
-//   * Shards are independent tenants: machine pools are per-shard copies
-//     of the platform, and requests never cross shards, so throughput
-//     scales with shard count until the event loop saturates.
+//   * Each loop binds the listen address with SO_REUSEPORT, so the kernel
+//     spreads incoming connections across loops with no shared acceptor
+//     lock.  Where SO_REUSEPORT is unavailable (or disabled via
+//     ServerOptions::reuseport), loop 0 owns the only listen socket and
+//     hands accepted fds to the other loops round-robin through their
+//     wake pipes.
+//   * Tenant shards are statically owned by loops (shard s belongs to
+//     loop s % loops).  The common case — a frame naming a shard its
+//     connection's loop owns — runs connection → decode → warm admit →
+//     encode → writev entirely on that loop, with zero cross-thread queue
+//     hops.  The bounded MPSC queue (net/bounded_queue.h) remains only
+//     for the off-loop cases: frames that name a shard another loop owns,
+//     and shards paused by ServerOptions::start_paused.  A full queue
+//     still answers kRetryLater immediately — explicit backpressure,
+//     never unbounded buffering.
+//   * Batch sizes adapt to load (net/adaptive_batch.h): each loop drains
+//     up to `batch` frames per round but shrinks its budget toward
+//     `batch_min` when rounds come up near-empty (cutting p50) and grows
+//     it back under sustained depth (cutting syscalls per frame).
+//   * Responses for a drain round coalesce into one writev/sendmsg per
+//     connection.  Writes never block an event loop: a short write parks
+//     the unsent tail in the connection's backlog buffer and resumes via
+//     EPOLLOUT (scatter-gathering backlog + fresh frames in one call)
+//     when the socket drains.  A peer whose backlog exceeds
+//     max_response_backlog is declared dead — a slow reader costs bounded
+//     memory and never wedges a loop.
 //
-// Response writes happen on shard threads under a per-connection mutex
-// (the event loop writes only kRetryLater / kBadShard rejections), each
-// frame in one send(), so frames never interleave mid-frame.  Per shard
-// and connection, responses preserve request order; requests to different
-// shards are answered in whatever order the shards reach them — clients
-// match on request_id.
+// The decision stream per shard is still processed single-threaded (by
+// the owning loop) in arrival order, so served decisions remain
+// bit-identical to `hetsched_cli replay` of the same trace
+// (tests/net_test.cpp and bench_net_loadgen prove it with FNV-1a
+// checksums in both single- and multi-loop modes).
 //
-// Shutdown (request_stop or SIGTERM via the CLI): stop accepting, stop
-// reading, close the shard queues, drain every queued request, flush its
-// response, join the shards, then close the sockets — so a clean stop
+// Ordering: per connection and shard, responses preserve request order
+// (inline frames and queued frames cannot reorder: a frame is queued
+// whenever its shard has queued work pending).  Requests to different
+// shards are answered in whatever order their owning loops reach them —
+// clients match on request_id.
+//
+// Shutdown (request_stop or SIGTERM via the CLI): every loop stops
+// accepting and reading, then — once all loops have stopped producing —
+// drains its shards' queues, answers everything queued, flushes response
+// backlogs (bounded by write_timeout_ms), and exits.  A clean stop
 // answers everything it has accepted responsibility for.
 //
 // Observability (compiled with -DHETSCHED_METRICS=ON): per-shard
-// queue-depth gauges (hetsched_net_queue_depth_shard<i>), admit / reject /
-// retry / depart counters, and a sampled enqueue-to-response latency
-// histogram; README "Observability" lists the full net_* catalog.
-// ServerStats mirrors the decision counters as plain atomics so tests and
-// the load generator work in metrics-off builds too.
+// queue-depth gauges, per-loop open-connection gauges, a batch-size
+// histogram (frames per drain round), admit / reject / retry / depart
+// counters, and a sampled request latency histogram; README
+// "Observability" lists the full net_* catalog.  ServerStats mirrors the
+// decision counters as plain atomics so tests and the load generator
+// work in metrics-off builds too.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -53,6 +70,7 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "net/adaptive_batch.h"
 #include "net/bounded_queue.h"
 #include "net/protocol.h"
 #include "online/online_partitioner.h"
@@ -63,20 +81,38 @@ namespace hetsched::net {
 
 // Per-shard queue-depth gauges are registered up front, so the shard count
 // is capped well below the obs registry's gauge capacity.
-inline constexpr std::size_t kMaxShards = 16;
+inline constexpr std::size_t kMaxShards = 32;
+// Event-loop threads (acceptors).  More loops than cores never helps, and
+// the cap keeps the per-loop connection gauges within registry capacity.
+inline constexpr std::size_t kMaxLoops = 8;
 
 struct ServerOptions {
   std::string listen_addr = "127.0.0.1:0";  // "host:port"; port 0 = ephemeral
   std::size_t shards = 1;
+  // Event-loop threads.  0 = auto: min(shards, hardware_concurrency,
+  // kMaxLoops).  Shard s is owned by loop s % loops.
+  std::size_t loops = 0;
   AdmissionKind kind = AdmissionKind::kEdf;
   double alpha = 1.0;
   PartitionEngine engine = PartitionEngine::kAuto;
   std::size_t queue_depth = 1024;  // bounded per-shard request queue
-  std::size_t batch = 64;          // frames drained per shard wakeup
-  int write_timeout_ms = 5000;     // per-send stall budget before a
-                                   // connection is declared dead
-  // Test hook: shard threads start idle until resume_shards() — lets tests
-  // fill a queue deterministically to observe kRetryLater backpressure.
+  std::size_t batch = 64;          // adaptive batch upper bound (frames)
+  std::size_t batch_min = 1;       // adaptive batch lower bound (frames)
+  // One listen socket per loop via SO_REUSEPORT (kernel load-balances
+  // accepts).  false — or an OS without the option — falls back to a
+  // single acceptor on loop 0 that hands fds to loops round-robin.
+  bool reuseport = true;
+  int write_timeout_ms = 5000;  // no-progress budget for a blocked peer
+                                // (shutdown flush deadline)
+  // A connection whose unsent response backlog exceeds this many bytes is
+  // dropped: the slow-reader memory bound of the response path.
+  std::size_t max_response_backlog = std::size_t{1} << 20;
+  // Test hook: SO_SNDBUF for accepted sockets (0 = kernel default).  Tiny
+  // values force short writes, exercising the backlog/EPOLLOUT path.
+  int sndbuf_bytes = 0;
+  // Test hook: shard processing starts suspended until resume_shards() —
+  // every frame is queued (or bounced kRetryLater when the queue fills),
+  // letting tests observe backpressure deterministically.
   bool start_paused = false;
 };
 
@@ -86,15 +122,17 @@ struct ServerOptions {
 struct ServerStats {
   std::uint64_t connections = 0;
   std::uint64_t frames_rx = 0;
-  std::uint64_t enqueued = 0;
+  std::uint64_t enqueued = 0;       // frames routed through a shard queue
+  std::uint64_t frames_inline = 0;  // frames decided with zero queue hops
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
-  std::uint64_t retried = 0;   // kRetryLater answers (queue full)
+  std::uint64_t retried = 0;  // kRetryLater answers (queue full)
   std::uint64_t departed = 0;
   std::uint64_t stale = 0;
   std::uint64_t rebalances = 0;
-  std::uint64_t bad = 0;       // bad frames / bad shard / bad request
-  std::uint64_t batches = 0;   // shard wakeups that processed >= 1 frame
+  std::uint64_t bad = 0;      // bad frames / bad shard / bad request
+  std::uint64_t batches = 0;  // drain rounds that processed >= 1 frame
+  std::uint64_t partial_writes = 0;  // short writes parked in a backlog
 };
 
 class Server {
@@ -106,14 +144,22 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, and spawns the event loop + shard threads.  False on
-  // socket errors (*error describes the failure; server is not running).
+  // Binds, listens, and spawns the event-loop threads.  False on socket
+  // errors (*error describes the failure; server is not running).
   bool start(std::string* error);
 
   // Bound TCP port (after start) — useful with an ephemeral listen port.
   std::uint16_t port() const { return port_; }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Resolved loop count (after start).
+  std::size_t loop_count() const { return loops_.size(); }
+  // Whether the listen sockets actually use SO_REUSEPORT (after start) —
+  // false when disabled by options or unsupported by the OS.
+  bool reuseport_active() const { return reuseport_active_; }
+  // Connections accepted by loop `i` — the reuseport distribution probe.
+  std::uint64_t loop_connections(std::size_t i) const;
 
   // Releases shards started with ServerOptions::start_paused.
   void resume_shards();
@@ -135,40 +181,57 @@ class Server {
  private:
   struct Connection;
   struct Shard;
+  struct Loop;
 
-  void event_loop();
-  void shard_loop(std::size_t shard_index);
+  void loop_main(Loop& lp);
+  void loop_accept(Loop& lp);
+  void adopt_connection(Loop& lp, int fd);
+  void loop_service_control(Loop& lp);
+  void drain_shard_queues(Loop& lp);
   // Decodes and routes every complete frame in `conn`'s read buffer.
   // Returns false when the connection must be closed (EOF, error, or a
   // malformed frame — a desynced byte stream cannot be re-synced).
-  bool drain_readable(const std::shared_ptr<Connection>& conn);
-  void route_frame(const std::shared_ptr<Connection>& conn, const Request& req);
-  void respond_inline(const std::shared_ptr<Connection>& conn,
-                      const Request& req, Status status);
+  bool drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn);
+  void close_connection(Loop& lp, int fd);
+  // Appends `len` staged bytes to `conn`, arming EPOLLOUT on its home
+  // loop if a short write parks a backlog.  `lp` is the calling loop.
+  void send_to_connection(Loop& lp, const std::shared_ptr<Connection>& conn,
+                          const unsigned char* data, std::size_t len);
+  void handle_writable(Loop& lp, const std::shared_ptr<Connection>& conn);
+  void request_write_interest(Loop& lp,
+                              const std::shared_ptr<Connection>& conn);
+  void wake_loop(Loop& lp);
   Response process_request(Shard& shard, const Request& req);
+  void count_response(const Response& resp);
+  bool start_listen_sockets(std::string* error);
+  void stop_phase(Loop& lp);
 
   Platform platform_;
   ServerOptions options_;
 
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: request_stop -> event loop
   std::uint16_t port_ = 0;
+  bool reuseport_active_ = false;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::thread loop_thread_;
+  std::vector<std::unique_ptr<Loop>> loops_;
   std::mutex join_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> paused_{false};
+  std::size_t accept_rr_ = 0;  // fd handoff cursor (fallback acceptor)
 
-  std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
+  // Shutdown barrier: loops that may still produce into shard queues /
+  // connection backlogs.  Queues close only once reading stops globally;
+  // backlogs flush only once every queue has drained.
+  std::atomic<int> loops_reading_{0};
+  std::atomic<int> loops_draining_{0};
+  std::atomic<int> loops_alive_{0};
 
   // ServerStats source (relaxed; summed snapshot under stats()).
   struct Counters {
     std::atomic<std::uint64_t> connections{0}, frames_rx{0}, enqueued{0},
-        admitted{0}, rejected{0}, retried{0}, departed{0}, stale{0},
-        rebalances{0}, bad{0}, batches{0};
+        frames_inline{0}, admitted{0}, rejected{0}, retried{0}, departed{0},
+        stale{0}, rebalances{0}, bad{0}, batches{0}, partial_writes{0};
   };
   Counters counters_;
 };

@@ -1,8 +1,10 @@
 #include "net/trace_replay.h"
 
+#include <poll.h>
+
 #include <bit>
+#include <cerrno>
 #include <chrono>
-#include <deque>
 
 #include "online/online_partitioner.h"
 #include "util/check.h"
@@ -17,24 +19,6 @@ std::uint64_t steady_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
-
-// Per-arrival outcome as the replay driver learns it from responses.
-enum class Outcome : std::uint8_t {
-  kPending,  // admit request sent, response not yet seen
-  kAdmitted,
-  kLost,  // rejected, retried, or errored — no server-side id exists
-};
-
-struct TaskState {
-  Outcome outcome = Outcome::kPending;
-  std::uint64_t server_id = 0;
-};
-
-struct Pending {
-  ChurnEvent::Kind kind = ChurnEvent::Kind::kArrival;
-  std::uint64_t task = 0;     // trace-local task number
-  std::uint64_t send_ns = 0;  // nonzero when latency collection is on
-};
 
 // Generated traces number tasks densely from 0, but hand-written parsed
 // traces may skip numbers — size the per-task table by the largest one.
@@ -56,131 +40,169 @@ std::uint64_t offline_decision_checksum(const Platform& platform,
   OnlinePartitioner ctl(platform, kind, alpha, engine);
   ctl.reserve(trace.arrivals);
   std::uint64_t h = kFnv1aSeed;
-  std::vector<TaskState> tasks(task_slot_count(trace));
+  struct Slot {
+    bool admitted = false;
+    std::uint64_t server_id = 0;
+  };
+  std::vector<Slot> tasks(task_slot_count(trace));
   for (const ChurnEvent& ev : trace.events) {
-    TaskState& st = tasks[ev.task];
+    Slot& st = tasks[ev.task];
     if (ev.kind == ChurnEvent::Kind::kArrival) {
       const AdmitDecision d = ctl.admit(ev.params);
       h = fnv1a(h, d.admitted ? 1 : 0);
       h = fnv1a(h, d.admitted ? d.machine : 0);
       h = fnv1a(h, std::bit_cast<std::uint64_t>(d.utilization));
-      st.outcome = d.admitted ? Outcome::kAdmitted : Outcome::kLost;
+      st.admitted = d.admitted;
       st.server_id = d.id;
-    } else if (st.outcome == Outcome::kAdmitted) {
+    } else if (st.admitted) {
       h = fnv1a(h, ctl.depart(st.server_id) ? 1 : 0);
-      st.outcome = Outcome::kLost;
+      st.admitted = false;
     }
     // Departures of rejected arrivals fold nothing (see the header).
   }
   return h;
 }
 
-namespace {
+PipelinedReplay::PipelinedReplay(const ChurnTrace& trace, std::uint16_t shard,
+                                 std::size_t window, bool collect_latency)
+    : trace_(trace), shard_(shard), window_(window),
+      collect_latency_(collect_latency), tasks_(task_slot_count(trace)) {
+  HETSCHED_CHECK(window >= 1);
+  if (collect_latency) sum_.latencies_ns.reserve(trace.events.size());
+}
 
-// Receives exactly one response, folds it into the summary, and resolves
-// the pending-request FIFO entry it answers.  Returns false on transport
-// failure or a response that does not match the FIFO head.
-bool drain_one(Client& client, std::deque<Pending>& pending,
-               std::vector<TaskState>& tasks, ReplaySummary& sum,
-               int timeout_ms) {
-  Response resp;
-  if (!client.recv_response(&resp, timeout_ms)) return false;
-  if (pending.empty()) return false;
-  const Pending p = pending.front();
-  pending.pop_front();
-  if (p.send_ns != 0) sum.latencies_ns.push_back(steady_ns() - p.send_ns);
+// Folds the response for the pending-request FIFO head into the summary.
+bool PipelinedReplay::resolve(const Response& resp) {
+  if (pending_.empty()) return false;  // a response nothing asked for
+  const Pending p = pending_.front();
+  pending_.pop_front();
+  if (p.send_ns != 0) sum_.latencies_ns.push_back(steady_ns() - p.send_ns);
   if (resp.status == Status::kRetryLater) {
-    ++sum.retried;
-    if (p.kind == ChurnEvent::Kind::kArrival) {
-      tasks[p.task].outcome = Outcome::kLost;
-    }
+    ++sum_.retried;
+    if (p.arrival) tasks_[p.task].outcome = Outcome::kLost;
     return true;
   }
-  if (p.kind == ChurnEvent::Kind::kArrival) {
-    sum.checksum = fnv1a(sum.checksum, resp.status == Status::kAdmitted ? 1 : 0);
-    sum.checksum = fnv1a(sum.checksum,
-                         resp.status == Status::kAdmitted ? resp.machine : 0);
-    sum.checksum = fnv1a(sum.checksum, resp.value);
-    TaskState& st = tasks[p.task];
+  if (p.arrival) {
+    sum_.checksum =
+        fnv1a(sum_.checksum, resp.status == Status::kAdmitted ? 1 : 0);
+    sum_.checksum = fnv1a(sum_.checksum,
+                          resp.status == Status::kAdmitted ? resp.machine : 0);
+    sum_.checksum = fnv1a(sum_.checksum, resp.value);
+    TaskState& st = tasks_[p.task];
     if (resp.status == Status::kAdmitted) {
-      ++sum.admitted;
+      ++sum_.admitted;
       st.outcome = Outcome::kAdmitted;
       st.server_id = resp.task_id;
     } else {
       if (resp.status == Status::kRejected) {
-        ++sum.rejected;
+        ++sum_.rejected;
       } else {
-        ++sum.bad;
+        ++sum_.bad;
       }
       st.outcome = Outcome::kLost;
     }
   } else {
-    sum.checksum =
-        fnv1a(sum.checksum, resp.status == Status::kDeparted ? 1 : 0);
+    sum_.checksum =
+        fnv1a(sum_.checksum, resp.status == Status::kDeparted ? 1 : 0);
     if (resp.status == Status::kDeparted) {
-      ++sum.departed;
+      ++sum_.departed;
     } else if (resp.status == Status::kStaleId) {
-      ++sum.stale;
+      ++sum_.stale;
     } else {
-      ++sum.bad;
+      ++sum_.bad;
     }
   }
   return true;
 }
 
-}  // namespace
+PipelinedReplay::State PipelinedReplay::step(Client& client) {
+  if (state_ != State::kRunning) return state_;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Submit due events while the window has room — but at most
+    // kSubmitQuantum per pass, so a refill after a departure-blocked
+    // stall interleaves with flush/drain below instead of committing a
+    // full window in one burst (burst refills are what a pipelined
+    // client's latency tail is made of).  A departure waits until its
+    // arrival's response has assigned a server-side task id (responses
+    // arrive in request order, so the wait terminates).
+    constexpr std::size_t kSubmitQuantum = 64;
+    std::size_t submitted = 0;
+    while (next_event_ < trace_.events.size() && pending_.size() < window_ &&
+           submitted < kSubmitQuantum) {
+      const ChurnEvent& ev = trace_.events[next_event_];
+      if (ev.kind == ChurnEvent::Kind::kArrival) {
+        client.queue_request(Request::admit(shard_, next_request_id_++,
+                                            ev.params.exec, ev.params.period));
+        pending_.push_back(Pending{true, ev.task,
+                                   collect_latency_ ? steady_ns() : 0});
+      } else {
+        TaskState& st = tasks_[ev.task];
+        if (st.outcome == Outcome::kPending) break;
+        ++next_event_;
+        if (st.outcome != Outcome::kAdmitted) continue;  // nothing to depart
+        client.queue_request(
+            Request::depart(shard_, next_request_id_++, st.server_id));
+        pending_.push_back(Pending{false, ev.task,
+                                   collect_latency_ ? steady_ns() : 0});
+        st.outcome = Outcome::kLost;  // at most one depart per task
+        ++sum_.requests;
+        ++progress_;
+        ++submitted;
+        unflushed_ = true;
+        progressed = true;
+        continue;
+      }
+      ++next_event_;
+      ++sum_.requests;
+      ++progress_;
+      ++submitted;
+      unflushed_ = true;
+      progressed = true;
+    }
+    // Push queued frames as far as the socket accepts right now.
+    if (unflushed_) {
+      if (!client.try_flush()) {
+        state_ = State::kError;
+        return state_;
+      }
+      unflushed_ = client.pending_bytes() > 0;
+    }
+    // Drain every response already buffered or readable.
+    while (!pending_.empty()) {
+      Response resp;
+      const int r = client.try_recv_response(&resp);
+      if (r < 0 || (r > 0 && !resolve(resp))) {
+        state_ = State::kError;
+        return state_;
+      }
+      if (r == 0) break;
+      ++progress_;
+      progressed = true;
+    }
+  }
+  if (next_event_ >= trace_.events.size() && pending_.empty() && !unflushed_) {
+    sum_.ok = true;
+    state_ = State::kDone;
+  }
+  return state_;
+}
 
 ReplaySummary replay_trace_over_client(Client& client, const ChurnTrace& trace,
                                        std::uint16_t shard, std::size_t window,
                                        int timeout_ms, bool collect_latency) {
-  HETSCHED_CHECK(window >= 1);
-  ReplaySummary sum;
-  std::vector<TaskState> tasks(task_slot_count(trace));
-  std::deque<Pending> pending;
-  if (collect_latency) sum.latencies_ns.reserve(trace.events.size());
-  std::uint64_t next_request_id = 0;
-
-  const auto submit = [&](const Request& req, ChurnEvent::Kind kind,
-                          std::uint64_t task) {
-    client.queue_request(req);
-    pending.push_back(
-        Pending{kind, task, collect_latency ? steady_ns() : 0});
-    ++sum.requests;
-  };
-
-  for (const ChurnEvent& ev : trace.events) {
-    if (ev.kind == ChurnEvent::Kind::kArrival) {
-      submit(Request::admit(shard, next_request_id++, ev.params.exec,
-                            ev.params.period),
-             ev.kind, ev.task);
-    } else {
-      // A departure needs the server id its arrival was assigned; drain
-      // responses (they arrive in request order) until it is resolved.
-      while (tasks[ev.task].outcome == Outcome::kPending) {
-        if (!client.flush(timeout_ms) ||
-            !drain_one(client, pending, tasks, sum, timeout_ms)) {
-          return sum;
-        }
-      }
-      if (tasks[ev.task].outcome != Outcome::kAdmitted) continue;
-      submit(Request::depart(shard, next_request_id++,
-                             tasks[ev.task].server_id),
-             ev.kind, ev.task);
-      tasks[ev.task].outcome = Outcome::kLost;  // at most one depart
-    }
-    if (pending.size() >= window) {
-      if (!client.flush(timeout_ms)) return sum;
-      while (pending.size() >= window) {
-        if (!drain_one(client, pending, tasks, sum, timeout_ms)) return sum;
-      }
-    }
+  PipelinedReplay rp(trace, shard, window, collect_latency);
+  while (rp.step(client) == PipelinedReplay::State::kRunning) {
+    pollfd p{client.fd(), 0, 0};
+    if (rp.want_read()) p.events |= POLLIN;
+    if (rp.want_write()) p.events |= POLLOUT;
+    if (p.events == 0) p.events = POLLIN;
+    const int n = ::poll(&p, 1, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // no server progress within the budget
   }
-  if (!client.flush(timeout_ms)) return sum;
-  while (!pending.empty()) {
-    if (!drain_one(client, pending, tasks, sum, timeout_ms)) return sum;
-  }
-  sum.ok = true;
-  return sum;
+  return rp.summary();
 }
 
 }  // namespace hetsched::net

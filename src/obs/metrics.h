@@ -64,7 +64,7 @@ inline constexpr bool kMetricsCompiled = HETSCHED_METRICS_ENABLED != 0;
 // constant — the point is that capacity is a compile-time decision, not a
 // runtime reallocation under concurrent readers).
 inline constexpr std::size_t kMaxCounters = 128;
-inline constexpr std::size_t kMaxGauges = 32;
+inline constexpr std::size_t kMaxGauges = 64;
 inline constexpr std::size_t kMaxHistograms = 16;
 // One bucket per power of two of nanoseconds: bucket b counts
 // [2^b, 2^{b+1}) ns; bucket 0 also absorbs 0 ns; bucket 63 is open-ended.

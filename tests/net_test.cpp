@@ -19,6 +19,7 @@
 #include "gen/churn_gen.h"
 #include "gen/platform_gen.h"
 #include "net/addr.h"
+#include "net/adaptive_batch.h"
 #include "net/bounded_queue.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -245,6 +246,77 @@ TEST(BoundedQueue, ManyProducersOneConsumer) {
   }
   for (std::thread& t : producers) t.join();
   EXPECT_EQ(popped_sum, pushed_sum.load());
+}
+
+TEST(BoundedQueue, TryPopBatchDoesNotBlock) {
+  BoundedMpscQueue<int> q(8);
+  int out[4];
+  EXPECT_EQ(q.try_pop_batch(out, 4), 0u);  // empty: returns immediately
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_TRUE(q.try_push(8));
+  EXPECT_TRUE(q.try_push(9));
+  EXPECT_EQ(q.try_pop_batch(out, 2), 2u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 8);
+  EXPECT_EQ(q.try_pop_batch(out, 4), 1u);
+  EXPECT_EQ(out[0], 9);
+  q.close();
+  EXPECT_EQ(q.try_pop_batch(out, 4), 0u);
+}
+
+// ---------------------------------------------------------------------
+// adaptive batch sizing
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveBatch, GrowsWhenRoundsUseTheFullBudget) {
+  AdaptiveBatch b(1, 64);
+  EXPECT_EQ(b.limit(), 1u);  // starts at the latency-optimal floor
+  b.observe(1);              // a full round doubles immediately
+  EXPECT_EQ(b.limit(), 2u);
+  b.observe(2);
+  EXPECT_EQ(b.limit(), 4u);
+  b.observe(4);
+  b.observe(8);
+  b.observe(16);
+  b.observe(32);
+  EXPECT_EQ(b.limit(), 64u);
+  b.observe(64);
+  EXPECT_EQ(b.limit(), 64u);  // capped at max
+}
+
+TEST(AdaptiveBatch, ShrinksOnlyAfterSustainedIdleRounds) {
+  AdaptiveBatch b(2, 64);
+  while (b.limit() < 64) b.observe(b.limit());
+  // Idle rounds (depth <= kShrinkDepth) must persist for kShrinkPatience
+  // consecutive rounds before the budget halves.
+  for (std::size_t i = 0; i < AdaptiveBatch::kShrinkPatience; ++i) {
+    EXPECT_EQ(b.limit(), 64u);
+    b.observe(1);
+  }
+  EXPECT_EQ(b.limit(), 32u);
+  // Sustained idleness walks the budget down to the floor, never below.
+  for (int halvings = 0; halvings < 10; ++halvings) {
+    for (std::size_t i = 0; i < AdaptiveBatch::kShrinkPatience; ++i) {
+      b.observe(0);
+    }
+  }
+  EXPECT_EQ(b.limit(), b.min_limit());
+  EXPECT_EQ(b.limit(), 2u);
+}
+
+TEST(AdaptiveBatch, PartialRoundsResetShrinkPatience) {
+  AdaptiveBatch b(1, 64);
+  while (b.limit() < 64) b.observe(b.limit());
+  // One idle gap short of patience, then a healthy partial round: the
+  // budget must hold (a busy stream with occasional gaps keeps its
+  // syscall amortization).
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i + 1 < AdaptiveBatch::kShrinkPatience; ++i) {
+      b.observe(1);
+    }
+    b.observe(32);
+  }
+  EXPECT_EQ(b.limit(), 64u);
 }
 
 // ---------------------------------------------------------------------
@@ -526,6 +598,227 @@ TEST(NetServer, StartRejectsBadOptions) {
     Server server(pf, opts);
     EXPECT_FALSE(server.start(&err));
   }
+  {
+    ServerOptions opts;
+    opts.loops = kMaxLoops + 1;
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+  {
+    ServerOptions opts;
+    opts.batch_min = 0;
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+  {
+    ServerOptions opts;
+    opts.batch = 8;
+    opts.batch_min = 16;  // floor above ceiling
+    Server server(pf, opts);
+    EXPECT_FALSE(server.start(&err));
+  }
+}
+
+// ---------------------------------------------------------------------
+// thread-per-core: acceptor distribution, cross-loop routing, backlogs
+// ---------------------------------------------------------------------
+
+TEST(NetLoopback, ReuseportSpreadsConnectionsAcrossLoops) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  opts.shards = 4;
+  opts.loops = 4;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  if (!server.reuseport_active()) GTEST_SKIP() << "no SO_REUSEPORT here";
+  ASSERT_EQ(server.loop_count(), 4u);
+
+  constexpr std::size_t kClients = 64;
+  std::vector<Client> clients(kClients);
+  for (Client& c : clients) {
+    ASSERT_TRUE(c.connect(loopback_addr(server), 2000, &err)) << err;
+  }
+  ASSERT_TRUE(eventually([&] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < server.loop_count(); ++i) {
+      total += server.loop_connections(i);
+    }
+    return total == kClients;
+  }));
+  // The kernel hashes 64 distinct source ports over 4 listen sockets:
+  // every loop must end up accepting at least one connection.
+  for (std::size_t i = 0; i < server.loop_count(); ++i) {
+    EXPECT_GE(server.loop_connections(i), 1u) << "loop " << i;
+  }
+}
+
+// With reuseport off, loop 0's single acceptor hands fds round-robin.
+// Each client below then replays the shard the OTHER loop owns, forcing
+// the cross-loop queue path for every frame — checksums must still hold.
+TEST(NetLoopback, FallbackAcceptorRoutesAcrossLoops) {
+  const Platform pf = geometric_platform(4, 1.5);
+  const ChurnTrace traces[2] = {make_trace(11, 200), make_trace(12, 200)};
+  std::uint64_t offline[2];
+  for (int i = 0; i < 2; ++i) {
+    offline[i] =
+        offline_decision_checksum(pf, traces[i], AdmissionKind::kEdf, 1.0);
+  }
+
+  ServerOptions opts;
+  opts.shards = 2;
+  opts.loops = 2;
+  opts.reuseport = false;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  EXPECT_FALSE(server.reuseport_active());
+
+  // Connect sequentially so the handoff is deterministic: client 0 lands
+  // on loop 0, client 1 on loop 1 (round-robin from loop 0's acceptor).
+  Client clients[2];
+  ASSERT_TRUE(clients[0].connect(loopback_addr(server), 2000, &err)) << err;
+  ASSERT_TRUE(eventually([&] { return server.stats().connections == 1; }));
+  ASSERT_TRUE(clients[1].connect(loopback_addr(server), 2000, &err)) << err;
+  ASSERT_TRUE(eventually([&] { return server.stats().connections == 2; }));
+  EXPECT_EQ(server.loop_connections(0), 1u);
+  EXPECT_EQ(server.loop_connections(1), 1u);
+
+  ReplaySummary sums[2];
+  std::thread workers[2];
+  for (int i = 0; i < 2; ++i) {
+    workers[i] = std::thread([&, i] {
+      // Client i sits on loop i; shard 1 - i is owned by loop 1 - i.
+      sums[i] = replay_trace_over_client(clients[i], traces[1 - i],
+                                         static_cast<std::uint16_t>(1 - i), 32,
+                                         5000);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(sums[i].ok) << clients[i].last_error();
+    ASSERT_EQ(sums[i].retried, 0u);
+    EXPECT_EQ(sums[i].checksum, offline[1 - i]) << "connection " << i;
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.frames_inline, 0u);  // every frame crossed loops
+  EXPECT_EQ(s.enqueued, s.frames_rx);
+}
+
+// The correctness anchor in thread-per-core mode: with 4 loops accepting
+// via SO_REUSEPORT, concurrent per-shard replays stay bit-identical to
+// offline no matter which loop each connection lands on (frames run
+// inline when the loop owns the shard and cross a queue otherwise).
+TEST(NetLoopback, MultiLoopServeMatchesOfflineChecksums) {
+  constexpr int kShards = 4;
+  const Platform pf = geometric_platform(4, 1.5);
+  ChurnTrace traces[kShards];
+  std::uint64_t offline[kShards];
+  for (int i = 0; i < kShards; ++i) {
+    traces[i] = make_trace(100 + static_cast<std::uint64_t>(i), 200);
+    offline[i] =
+        offline_decision_checksum(pf, traces[i], AdmissionKind::kEdf, 1.0);
+  }
+
+  ServerOptions opts;
+  opts.shards = kShards;
+  opts.loops = 4;
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_EQ(server.loop_count(), 4u);
+
+  ReplaySummary sums[kShards];
+  std::string errs[kShards];
+  std::thread workers[kShards];
+  for (int i = 0; i < kShards; ++i) {
+    workers[i] = std::thread([&, i] {
+      Client client;
+      std::string cerr;
+      if (!client.connect(loopback_addr(server), 2000, &cerr)) {
+        errs[i] = cerr;
+        return;
+      }
+      sums[i] = replay_trace_over_client(
+          client, traces[i], static_cast<std::uint16_t>(i), 32, 5000);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int i = 0; i < kShards; ++i) {
+    ASSERT_TRUE(sums[i].ok) << errs[i];
+    ASSERT_EQ(sums[i].retried, 0u);
+    EXPECT_EQ(sums[i].checksum, offline[i]) << "shard " << i;
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.frames_inline + s.enqueued, s.frames_rx);
+}
+
+// Partial-write regression: a tiny server-side SO_SNDBUF plus a client
+// that reads nothing until it has sent everything forces EAGAIN on the
+// response path.  Every response must still arrive, in order, and the
+// partial_writes counter proves the backlog/EPOLLOUT resumption ran.
+TEST(NetLoopback, TinySndbufPartialWritesResumeInOrder) {
+  const Platform pf = geometric_platform(2, 1.5);
+  ServerOptions opts;
+  opts.sndbuf_bytes = 4096;  // clamped to the kernel floor; still tiny
+  Server server(pf, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcv = 2048;  // tiny client receive window, set before connect
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof(rcv)), 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)),
+            0);
+
+  // 2000 responses (72 KB) cannot fit in the server's send buffer plus
+  // our receive window, so the server must park response backlogs while
+  // we send and can only finish once we start reading.
+  constexpr std::uint64_t kRequests = 2000;
+  std::vector<unsigned char> wire(kRequests * kFrameSize);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    encode_request(Request::admit(0, i, 1, 1000000),
+                   wire.data() + i * kFrameSize);
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(w);
+  }
+
+  std::vector<unsigned char> in;
+  in.reserve(wire.size());
+  unsigned char chunk[4096];
+  std::uint64_t got = 0;
+  std::size_t off = 0;
+  while (got < kRequests) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    in.insert(in.end(), chunk, chunk + n);
+    while (true) {
+      Response r;
+      std::size_t consumed = 0;
+      const DecodeResult d =
+          decode_response(in.data() + off, in.size() - off, &r, &consumed);
+      ASSERT_NE(d, DecodeResult::kBad);
+      if (d != DecodeResult::kOk) break;
+      off += consumed;
+      EXPECT_EQ(r.request_id, got);  // order preserved across resumptions
+      ++got;
+    }
+  }
+  ::close(fd);
+  EXPECT_GT(server.stats().partial_writes, 0u);
+  server.request_stop();
+  server.wait();
+  EXPECT_EQ(server.stats().frames_rx, kRequests);
 }
 
 TEST(NetReplay, OfflineChecksumIsDeterministic) {

@@ -36,15 +36,21 @@
 //       N processed directives.  SIGINT/SIGTERM stop the stream cleanly:
 //       the final snapshot (and --trace-out ring) is flushed and the
 //       process exits 0.
-//   hetsched_cli serve --listen <host:port> [--shards N] [--admission KIND]
-//       [--alpha X] [--engine E] [--queue-depth D] [--batch K]
+//   hetsched_cli serve --listen <host:port> [--shards N] [--loops L]
+//       [--admission KIND] [--alpha X] [--engine E] [--queue-depth D]
+//       [--batch K] [--batch-min K] [--no-reuseport]
 //       [--machines M] [--ratio R | --platform FILE] [--port-file FILE]
 //       [--stats-interval SECONDS] [--trace-out FILE]
 //       Network mode: run the sharded TCP admission service (src/net/) on
 //       the given address (port 0 picks an ephemeral port, written to
 //       --port-file for scripts).  Each shard serves an independent copy
 //       of the platform (--platform takes an instance file; otherwise a
-//       geometric platform of --machines M and --ratio R).  In this mode
+//       geometric platform of --machines M and --ratio R).  --loops sets
+//       the event-loop (acceptor) thread count; 0 = one per core, capped
+//       by the shard count.  Each loop normally has its own SO_REUSEPORT
+//       listen socket; --no-reuseport forces the single-acceptor fallback
+//       (loop 0 hands fds round-robin).  The per-round drain budget
+//       adapts between --batch-min and --batch frames.  In this mode
 //       --stats-interval is in seconds.  SIGINT/SIGTERM drain the shard
 //       queues, flush responses and the final snapshot, and exit 0.
 //
@@ -100,7 +106,7 @@ struct Args {
   std::map<std::string, std::string> flags;
 
   static bool boolean_flag(const std::string& key) {
-    return key == "stats" || key == "quick";
+    return key == "stats" || key == "quick" || key == "no-reuseport";
   }
 
   static Args parse(int argc, char** argv, int from) {
@@ -474,9 +480,12 @@ int cmd_serve_net(const Args& args) {
   options.kind = *kind;
   options.alpha = args.get_double("alpha", 1.0);
   options.engine = *engine;
+  options.loops = static_cast<std::size_t>(args.get_long("loops", 0));
   options.queue_depth =
       static_cast<std::size_t>(args.get_long("queue-depth", 1024));
   options.batch = static_cast<std::size_t>(args.get_long("batch", 64));
+  options.batch_min = static_cast<std::size_t>(args.get_long("batch-min", 1));
+  options.reuseport = !args.has("no-reuseport");
   const auto stats_interval = args.get_long("stats-interval", 0);
   const std::string trace_out = args.get("trace-out", "");
   if ((stats_interval > 0 || !trace_out.empty()) && !obs::kMetricsCompiled) {
@@ -501,10 +510,11 @@ int cmd_serve_net(const Args& args) {
     return 1;
   }
   std::printf("listening on port %u: %zu shard(s) of %s alpha=%.3f on %zu "
-              "machines (queue %zu, batch %zu)\n",
+              "machines (%zu loop(s), %s, queue %zu, batch %zu-%zu)\n",
               server.port(), options.shards, to_string(*kind).c_str(),
-              options.alpha, platform.size(), options.queue_depth,
-              options.batch);
+              options.alpha, platform.size(), server.loop_count(),
+              server.reuseport_active() ? "reuseport" : "single-acceptor",
+              options.queue_depth, options.batch_min, options.batch);
   std::fflush(stdout);
 
   const std::string port_file = args.get("port-file", "");
