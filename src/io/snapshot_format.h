@@ -1,0 +1,101 @@
+// Binary snapshot files for shard controllers.
+//
+// The controller state itself is serialized by
+// OnlinePartitioner::serialize_snapshot(); this layer treats those bytes as
+// an opaque payload and adds the file-level concerns: magic/version, shard
+// identity, recovery epoch, the decision (seq, checksum) cut point the
+// snapshot represents, the shard's service flags (active + forwarding table
+// for tenants migrated to other shards), a whole-file CRC-32, atomic
+// publication (write to a temp file, fsync, rename, fsync the directory),
+// and newest-valid discovery with fallback past corrupt files.
+//
+// File layout (little-endian):
+//
+//   u32 magic 'HSNP'   u32 version   u32 shard   u32 epoch
+//   u64 decision_seq   u64 decision_checksum
+//   u8  active         u32 forward_count
+//     forward_count x { u64 old_id, u32 peer_shard, u64 new_id }
+//   u32 payload_len    payload bytes
+//   u32 crc            CRC-32 over every preceding byte
+//
+// Naming: <dir>/shard-NNN-SSSSSSSSSSSSSSSSSSSS.snap (shard index, zero-
+// padded decision_seq so lexicographic order is recovery order), WALs are
+// <dir>/shard-NNN.wal.  Recovery tries snapshots newest-first and falls
+// back to the previous one if the newest fails validation — the WAL is
+// never truncated mid-run, so an older snapshot just means a longer replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hetsched::io {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x504E5348;  // "HSNP"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+// A tenant that migrated to another shard: departs naming old_id are
+// rewritten to (peer_shard, new_id) and re-routed.
+struct SnapshotForward {
+  std::uint64_t old_id = 0;
+  std::uint32_t peer_shard = 0;
+  std::uint64_t new_id = 0;
+};
+
+struct SnapshotFileMeta {
+  std::uint32_t shard = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t decision_seq = 0;
+  std::uint64_t decision_checksum = 0;
+  bool active = true;  // false once the shard was merged away
+  std::vector<SnapshotForward> forwards;
+};
+
+// Path helpers.
+std::string wal_path(const std::string& dir, std::uint32_t shard);
+std::string snapshot_path(const std::string& dir, std::uint32_t shard,
+                          std::uint64_t decision_seq);
+
+// mkdir -p for a single level; true if the directory exists afterwards.
+bool ensure_dir(const std::string& dir);
+
+// Writes atomically (temp + rename) and prunes older snapshots of this
+// shard down to `keep` files.  `durable` adds an fsync of the file and
+// the directory before returning: required when the caller is about to
+// truncate the WAL the snapshot supersedes (recovery rotation), optional
+// for runtime snapshots where the full log is retained — losing an
+// unsynced snapshot to a power cut only lengthens the next replay, the
+// CRC rejects a torn one, and recovery falls back to an older snapshot
+// or the log itself.  Returns the final path, or "" on error (with
+// *error set).
+std::string write_snapshot_file(const std::string& dir,
+                                const SnapshotFileMeta& meta,
+                                std::span<const std::uint8_t> payload,
+                                std::size_t keep, bool durable,
+                                std::string* error);
+
+// Validates framing and CRC; returns false on any corruption or version
+// mismatch without touching the file.
+bool read_snapshot_file(const std::string& path, SnapshotFileMeta* meta,
+                        std::vector<std::uint8_t>* payload,
+                        std::string* error);
+
+// Snapshot files for one shard, newest (highest decision_seq) first.
+std::vector<std::string> list_snapshots(const std::string& dir,
+                                        std::uint32_t shard);
+
+// Deletes all snapshot files for the shard except the given path ("" keeps
+// none).  Used after recovery rotates the WAL: older snapshots reference
+// replay history the rotation discarded.
+void prune_snapshots_except(const std::string& dir, std::uint32_t shard,
+                            const std::string& keep_path);
+
+// Highest shard index + 1 for which a WAL or snapshot file exists in
+// `dir`; 0 for an empty or missing directory.  A server recovering with
+// fewer --shards than the directory holds adopts the larger count, so
+// shards created by live splits survive restarts.
+std::size_t discover_shard_count(const std::string& dir);
+
+}  // namespace hetsched::io

@@ -1,0 +1,195 @@
+// Per-shard binary write-ahead log for the admission service.
+//
+// Every request a shard controller processes — admits (including rejects),
+// departs (including stale ones), rebalances, and resize migrations —
+// becomes one length-prefixed record carrying the controller's decision
+// sequence number and FNV-1a decision checksum *after* the operation.
+// Because the controller is deterministic, replaying the operation stream
+// from a snapshot reproduces every decision bit-exactly, and the per-record
+// (seq, checksum) pair lets recovery assert that parity record by record
+// instead of only at the end.
+//
+// On-disk framing (all integers little-endian):
+//
+//   u32 len      payload length in bytes (>= 24)
+//   u32 crc      CRC-32 (IEEE) over the payload
+//   payload:
+//     u8  type       WalRecordType
+//     u8  flags      kWalFlagDeactivate on the MoveOut of a merge
+//     u16 reserved   0
+//     u32 epoch      recovery generation (bumped per recovered start)
+//     u64 seq        controller decision_seq after applying
+//     u64 checksum   controller decision_checksum after applying
+//     type-specific:
+//       kAdmit      i64 exec, i64 period
+//       kDepart     u64 task_id
+//       kRebalance  (nothing)
+//       kMoveOut /  u16 peer shard, u16 reserved, u32 count,
+//       kMoveIn       count x { u64 old_id, u64 new_id, i64 exec, i64 period }
+//
+// A torn or corrupt tail (partial write, CRC mismatch, nonsense length) is
+// truncated on recovery: records before the tear are kept, everything from
+// the first bad byte on is discarded — exactly the prefix the server could
+// have acknowledged.
+//
+// WalWriter buffers appends in a fixed-size arena (the append path is
+// allocation-free, enforced by the noalloc lint rule on the definitions)
+// and group-commits: the event loop appends one record
+// per frame and calls commit() once per drain batch, so the warm path pays
+// one write(2) — and, under --wal-sync=always, one fsync(2) — per batch,
+// not per frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hetsched::io {
+
+// --wal-sync policy.
+//   kAlways  fsync on every commit(): an acknowledged decision survives
+//            power loss.
+//   kBatch   write(2) on every commit(), fsync at most every few ms: an
+//            acknowledged decision survives process death (kill -9) always,
+//            power loss up to the sync interval.
+//   kOff     write(2) on every commit(), never fsync: survives process
+//            death via the page cache; no power-loss guarantee.
+enum class WalSync { kAlways, kBatch, kOff };
+
+// "always" / "batch" / "off" -> mode.  Returns false on anything else.
+bool parse_wal_sync(const std::string& text, WalSync* out);
+const char* to_string(WalSync sync);
+
+enum class WalRecordType : std::uint8_t {
+  kAdmit = 1,
+  kDepart = 2,
+  kRebalance = 3,
+  kMoveOut = 4,  // tenants migrated to the peer shard (resize source)
+  kMoveIn = 5,   // tenants migrated from the peer shard (resize target)
+};
+
+// MoveOut of a merge: the source shard leaves service after the move.
+inline constexpr std::uint8_t kWalFlagDeactivate = 0x1;
+
+struct WalMovedTask {
+  std::uint64_t old_id = 0;  // id on the source shard
+  std::uint64_t new_id = 0;  // id assigned by the target shard
+  std::int64_t exec = 0;
+  std::int64_t period = 0;
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAdmit;
+  std::uint8_t flags = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
+  // kAdmit
+  std::int64_t exec = 0;
+  std::int64_t period = 0;
+  // kDepart
+  std::uint64_t task_id = 0;
+  // kMoveOut / kMoveIn
+  std::uint16_t peer = 0;
+  std::vector<WalMovedTask> moved;
+};
+
+// Append-only writer.  The append/commit paths are not thread-safe: each
+// shard's WAL is written only by the shard's owner loop (and by the
+// single-threaded recovery path).  pace_sync() is the one exception — a
+// background pacer thread may call it concurrently with the owner's
+// appends to take the periodic kBatch fsync off the event loop (fsync of
+// an O_APPEND fd is safe against concurrent writes; it merely may miss
+// the very newest bytes, which the next pacing tick picks up).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens (creating or appending) and fixes the epoch stamped into every
+  // subsequent record.  Returns false on I/O errors.
+  bool open(const std::string& path, std::uint32_t epoch, WalSync sync);
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Allocation-free append paths: encode into the preallocated arena,
+  // flushing early (write(2), no fsync) only if the arena fills mid-batch.
+  void append_admit(std::int64_t exec, std::int64_t period, std::uint64_t seq,
+                    std::uint64_t checksum);
+  void append_depart(std::uint64_t task_id, std::uint64_t seq,
+                     std::uint64_t checksum);
+  void append_rebalance(std::uint64_t seq, std::uint64_t checksum);
+
+  // Resize records (cold path, may allocate).  The caller force-syncs via
+  // commit(true): the MoveIn landing durably is the resize commit point.
+  void append_move(WalRecordType type, std::uint16_t peer, std::uint8_t flags,
+                   std::span<const WalMovedTask> moved, std::uint64_t seq,
+                   std::uint64_t checksum);
+
+  // Group commit: writes all buffered records, then fsyncs per the sync
+  // policy (force_sync overrides kBatch/kOff — used by resize and
+  // snapshot barriers).  Returns false if any write or fsync failed.
+  bool commit(bool force_sync = false);
+  bool dirty() const { return used_ > 0; }
+
+  // Background pacing tick (the only thread-safe entry point): fsyncs if
+  // any written bytes are unsynced, so a server-side pacer thread can
+  // honor the kBatch interval without ever blocking the event loop.
+  // commit()'s own interval check stays as the fallback when no pacer
+  // runs.  Returns false if the fsync failed.
+  bool pace_sync();
+
+  // Declares that pace_sync() ticks own the kBatch interval: commit()
+  // stops doing time-based fsyncs inline (the event loop would always
+  // reach the deadline before the pacer's next tick and eat the fsync
+  // latency itself).  The bytes threshold stays armed as a backstop.
+  void set_paced(bool paced) { paced_ = paced; }
+
+  std::uint64_t records_appended() const { return records_; }
+  std::uint64_t commits() const { return commits_; }
+
+  // Truncates to empty and restamps the epoch — log rotation after a
+  // fresh recovery snapshot made the old tail redundant.
+  bool truncate_restart(std::uint32_t epoch);
+
+  void close();
+
+ private:
+  void put_header(std::size_t payload_len, WalRecordType type,
+                  std::uint8_t flags, std::uint64_t seq,
+                  std::uint64_t checksum);
+  void reserve_for(std::size_t bytes);  // flush early if the arena is full
+  bool write_all(const std::uint8_t* data, std::size_t n);
+  bool sync_now();
+
+  std::string path_;
+  int fd_ = -1;
+  WalSync sync_ = WalSync::kBatch;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint8_t> buf_;  // fixed arena, filled to used_
+  std::size_t used_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t commits_ = 0;
+  // Shared with pace_sync(): the owner adds after each write(2), the
+  // pacer subtracts what its fsync covered and restamps the sync time.
+  std::atomic<std::uint64_t> unsynced_bytes_{0};
+  std::atomic<std::uint64_t> last_sync_ns_{0};
+  std::atomic<bool> failed_{false};
+  bool paced_ = false;  // a pacer thread owns the kBatch interval
+};
+
+// Reads every valid record and truncates a torn tail in place (the file is
+// opened read-write).  A missing file yields ok with zero records.  Returns
+// false only on I/O errors or a corrupt *prefix* that cannot be trusted at
+// all (the first record already bad counts as an empty, truncated log, not
+// an error).  `truncated_bytes`, when non-null, reports how many tail bytes
+// were discarded.
+bool wal_load(const std::string& path, std::vector<WalRecord>* out,
+              std::uint64_t* truncated_bytes, std::string* error);
+
+}  // namespace hetsched::io

@@ -49,13 +49,12 @@ std::uint64_t get_u64(const unsigned char* p) {
 }
 
 bool known_request_type(std::uint8_t t) {
-  return t == static_cast<std::uint8_t>(MsgType::kAdmit) ||
-         t == static_cast<std::uint8_t>(MsgType::kDepart) ||
-         t == static_cast<std::uint8_t>(MsgType::kRebalance);
+  return t >= static_cast<std::uint8_t>(MsgType::kAdmit) &&
+         t <= static_cast<std::uint8_t>(MsgType::kMergeShards);
 }
 
 bool known_status(std::uint8_t s) {
-  return s <= static_cast<std::uint8_t>(Status::kBadShard);
+  return s <= static_cast<std::uint8_t>(Status::kResizeFailed);
 }
 
 }  // namespace
@@ -68,6 +67,10 @@ const char* to_string(MsgType t) {
       return "depart";
     case MsgType::kRebalance:
       return "rebalance";
+    case MsgType::kSplitShard:
+      return "split-shard";
+    case MsgType::kMergeShards:
+      return "merge-shards";
   }
   return "?";
 }
@@ -92,6 +95,10 @@ const char* to_string(Status s) {
       return "bad-request";
     case Status::kBadShard:
       return "bad-shard";
+    case Status::kResized:
+      return "resized";
+    case Status::kResizeFailed:
+      return "resize-failed";
   }
   return "?";
 }
@@ -122,6 +129,24 @@ Request Request::rebalance(std::uint16_t shard, std::uint64_t request_id) {
   r.type = MsgType::kRebalance;
   r.shard = shard;
   r.request_id = request_id;
+  return r;
+}
+
+Request Request::split(std::uint16_t shard, std::uint64_t request_id) {
+  Request r;
+  r.type = MsgType::kSplitShard;
+  r.shard = shard;
+  r.request_id = request_id;
+  return r;
+}
+
+Request Request::merge(std::uint16_t source_shard, std::uint16_t target_shard,
+                       std::uint64_t request_id) {
+  Request r;
+  r.type = MsgType::kMergeShards;
+  r.shard = source_shard;
+  r.request_id = request_id;
+  r.a = target_shard;
   return r;
 }
 

@@ -15,11 +15,12 @@
 // Request payload (kPayloadSize = 32 bytes):
 //   off  field
 //    0   u8  version
-//    1   u8  type        (kAdmit / kDepart / kRebalance)
+//    1   u8  type        (MsgType)
 //    2   u16 shard       (tenant shard the request is routed to)
 //    4   u32 reserved    (must be zero)
 //    8   u64 request_id  (echoed verbatim in the response)
-//   16   u64 a           (admit: task exec; depart: OnlineTaskId)
+//   16   u64 a           (admit: task exec; depart: OnlineTaskId;
+//                         merge: target shard index)
 //   24   u64 b           (admit: task period; otherwise zero)
 //
 // Response payload (kPayloadSize = 32 bytes):
@@ -55,6 +56,13 @@
 namespace hetsched::net {
 
 inline constexpr std::uint8_t kProtocolVersion = 1;
+// Additive revision within version 1: minor 1 adds the kSplitShard /
+// kMergeShards control frames and the kResized / kResizeFailed statuses.
+// The version byte is unchanged — a minor-0 client never sends the new
+// types and never receives the new statuses, so old clients are
+// unaffected; a minor-0 *server* answers the new types kBad (dropping the
+// connection), which a resize-aware client treats as "server too old".
+inline constexpr std::uint8_t kProtocolMinor = 1;
 inline constexpr std::size_t kHeaderSize = 4;
 inline constexpr std::size_t kPayloadSize = 32;
 inline constexpr std::size_t kFrameSize = kHeaderSize + kPayloadSize;
@@ -66,6 +74,12 @@ enum class MsgType : std::uint8_t {
   kAdmit = 1,
   kDepart = 2,
   kRebalance = 3,
+  // Elastic-resize control frames (protocol minor 1).  Both are answered
+  // kResized on success and kResizeFailed / kRetryLater otherwise; while a
+  // resize is migrating tenants, data frames naming an involved shard get
+  // kRetryLater — never a silent drop or a double-admit.
+  kSplitShard = 4,   // split `shard`: move ~half its tenants to a new shard
+  kMergeShards = 5,  // merge `shard` into shard `a`; source leaves service
 };
 
 enum class Status : std::uint8_t {
@@ -78,6 +92,10 @@ enum class Status : std::uint8_t {
   kRebalanceSkipped = 6,  // rebalance: canonical re-pack did not fit
   kBadRequest = 7,        // malformed parameters (e.g. non-positive task)
   kBadShard = 8,          // shard index out of range
+  kResized = 9,           // split/merge applied; machine = target shard,
+                          // task_id = tenants migrated (minor 1)
+  kResizeFailed = 10,     // split/merge could not place the tenants; the
+                          // source shard is untouched (minor 1)
 };
 
 const char* to_string(MsgType t);
@@ -101,6 +119,11 @@ struct Request {
   static Request depart(std::uint16_t shard, std::uint64_t request_id,
                         std::uint64_t task_id);
   static Request rebalance(std::uint16_t shard, std::uint64_t request_id);
+  static Request split(std::uint16_t shard, std::uint64_t request_id);
+  static Request merge(std::uint16_t source_shard, std::uint16_t target_shard,
+                       std::uint64_t request_id);
+
+  std::uint16_t merge_target() const { return static_cast<std::uint16_t>(a); }
 };
 
 // Decoded response frame.  `value` holds the admit utilization bits

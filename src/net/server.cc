@@ -15,7 +15,9 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "io/snapshot_format.h"
 #include "net/addr.h"
+#include "net/shard_store.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -65,6 +67,17 @@ struct NetMetrics {
   obs::Counter partial_writes = obs::registry().counter(
       "hetsched_net_partial_write_total",
       "Short response writes parked in a connection backlog");
+  obs::Counter resizes = obs::registry().counter(
+      "hetsched_net_resize_total", "Shard splits and merges applied");
+  obs::Counter resize_failures = obs::registry().counter(
+      "hetsched_net_resize_failed_total",
+      "Split/merge requests answered resize-failed");
+  obs::Counter forwards = obs::registry().counter(
+      "hetsched_net_forwarded_depart_total",
+      "Departs rewritten through a forwarding entry to a migrated tenant");
+  obs::LatencyHistogram resize_pause = obs::registry().histogram(
+      "hetsched_net_resize_pause_ns",
+      "Time the involved shards were quiesced, per resize");
   obs::LatencyHistogram latency = obs::registry().histogram(
       "hetsched_net_request_latency_ns",
       "Decode-to-response latency, sampled 1 in kLatencySamplePeriod");
@@ -332,11 +345,25 @@ struct Server::Connection {
 // One tenant shard: a single-threaded controller owned by one loop.  The
 // bounded queue carries the off-loop cases only (frames arriving on other
 // loops' connections, and everything while paused).
+//
+// Concurrency of the durable/elastic state: controller, wal, and
+// ops_since_snapshot are touched only by the owner loop — except during a
+// resize, when the coordinator loop takes them over after the quiesce
+// handshake below.  The handshake uses a generation counter, not a bool:
+// the owner acks by copying quiesce_gen into quiesce_ack at a safe point
+// (a point where it holds no uncommitted WAL records), so a stale ack from
+// an earlier resize can never satisfy a later one.
 struct Server::Shard {
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     Request req;
     std::uint64_t enq_ns = 0;  // nonzero only for latency-sampled items
+  };
+
+  // Departs naming a tenant migrated away are rewritten to this target.
+  struct Forward {
+    std::uint32_t peer = 0;     // shard the tenant moved to
+    std::uint64_t new_id = 0;   // its id there
   };
 
   Shard(const Platform& platform, const ServerOptions& o)
@@ -349,6 +376,29 @@ struct Server::Shard {
   OnlinePartitioner controller;
   BoundedMpscQueue<WorkItem> queue;
   std::size_t owner_loop = 0;
+  std::uint32_t index = 0;
+
+  // Durability plane (owner loop only, or resize coordinator under
+  // quiesce).
+  io::WalWriter wal;
+  std::uint64_t ops_since_snapshot = 0;
+
+  // false once merged away: admits/rebalances answer kBadShard, departs
+  // still resolve through the forwarding table.
+  std::atomic<bool> active{true};
+
+  // Resize quiesce handshake (see the struct comment).
+  std::atomic<bool> moving{false};
+  std::atomic<std::uint64_t> quiesce_gen{0};
+  std::atomic<std::uint64_t> quiesce_ack{0};
+
+  // Forwarding table.  The flag makes the common case (no tenant of this
+  // shard ever migrated) one relaxed load on the depart path; the map is
+  // read under the mutex only when the flag is set.
+  std::atomic<bool> has_forwards{false};
+  std::mutex forward_mu;
+  std::unordered_map<std::uint64_t, Forward> forwards;
+
 #if HETSCHED_METRICS_ENABLED
   obs::Gauge depth_gauge;
   std::atomic<std::uint32_t> push_tick{0};  // latency sampling (any loop)
@@ -360,7 +410,9 @@ struct Server::Shard {
 struct Server::Loop {
   explicit Loop(const ServerOptions& o)
       : items(o.batch), outbuf(o.batch * kFrameSize),
-        batcher(o.batch_min, o.batch) {}
+        batcher(o.batch_min, o.batch) {
+    runs.reserve(o.batch);
+  }
   ~Loop() {
     for (int fd : {listen_fd, wake_fds[0], wake_fds[1]}) {
       if (fd >= 0) ::close(fd);
@@ -377,17 +429,29 @@ struct Server::Loop {
   std::vector<Shard*> shards;   // shards this loop owns
   std::vector<Shard::WorkItem> items;   // queue drain destination
   std::vector<unsigned char> outbuf;    // response staging, one drain round
+  // Per-connection response runs of one queue-drain batch, recorded in
+  // pass 1 and sent in pass 2 — after the batch's WAL group commit, so no
+  // response escapes before its decision is logged.
+  struct Run {
+    std::size_t item = 0;  // index of the run's first item (for the conn)
+    std::size_t off = 0;   // byte range in outbuf
+    std::size_t len = 0;
+  };
+  std::vector<Run> runs;
   AdaptiveBatch batcher;
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<bool> wake_pending{false};
 
   // Cross-loop control plane, serviced on wakeup: write-interest requests
-  // for connections this loop homes, and accepted fds handed off by the
-  // fallback acceptor.
+  // for connections this loop homes, accepted fds handed off by the
+  // fallback acceptor, and freshly split shards awaiting adoption (they
+  // stay `moving` — answering kRetryLater — until this loop adds them to
+  // `shards`, because only adopted shards join the WAL group commit).
   std::mutex control_mu;
   std::vector<std::shared_ptr<Connection>> pending_arms;
   std::vector<int> pending_fds;
+  std::vector<Shard*> pending_shards;
 
 #if HETSCHED_METRICS_ENABLED
   obs::Gauge conn_gauge;
@@ -513,10 +577,26 @@ bool Server::start(std::string* error) {
     return false;
   }
 
+  // --shards is a starting value: a recovered --wal-dir that holds more
+  // shards (live splits from an earlier run) adopts the larger count.
+  std::size_t shard_count = options_.shards;
+  if (!options_.wal_dir.empty()) {
+    if (!io::ensure_dir(options_.wal_dir)) {
+      *error = "wal-dir is not a usable directory: " + options_.wal_dir;
+      return false;
+    }
+    const std::size_t discovered = io::discover_shard_count(options_.wal_dir);
+    if (discovered > kMaxShards) {
+      *error = "wal-dir holds more shards than kMaxShards";
+      return false;
+    }
+    if (discovered > shard_count) shard_count = discovered;
+  }
+
   std::size_t loop_count = options_.loops;
   if (loop_count == 0) {
-    loop_count = options_.shards < hardware_loops() ? options_.shards
-                                                    : hardware_loops();
+    loop_count =
+        shard_count < hardware_loops() ? shard_count : hardware_loops();
     if (loop_count > kMaxLoops) loop_count = kMaxLoops;
   }
 
@@ -544,10 +624,14 @@ bool Server::start(std::string* error) {
   }
 
   shards_.clear();
-  shards_.reserve(options_.shards);
-  for (std::size_t i = 0; i < options_.shards; ++i) {
+  // Reserve the cap, not the count: live splits push_back while other
+  // loops read existing elements, which is only safe if the vector never
+  // reallocates.
+  shards_.reserve(kMaxShards);
+  for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>(platform_, options_));
     Shard& sh = *shards_.back();
+    sh.index = static_cast<std::uint32_t>(i);
     sh.owner_loop = i % loop_count;
     loops_[sh.owner_loop]->shards.push_back(&sh);
 #if HETSCHED_METRICS_ENABLED
@@ -555,6 +639,13 @@ bool Server::start(std::string* error) {
         "hetsched_net_queue_depth_shard" + std::to_string(i),
         "Requests queued for shard " + std::to_string(i));
 #endif
+  }
+  shard_count_.store(shard_count, std::memory_order_release);
+
+  if (!options_.wal_dir.empty() && !recover_and_open_wals(error)) {
+    loops_.clear();
+    shards_.clear();
+    return false;
   }
 
   if (!start_listen_sockets(error)) {
@@ -585,6 +676,66 @@ bool Server::start(std::string* error) {
     Loop* raw = lp.get();
     lp->thread = std::thread([this, raw] { loop_main(*raw); });
   }
+  if (!options_.wal_dir.empty() && options_.wal_sync == io::WalSync::kBatch) {
+    pacer_thread_ = std::thread([this] { pacer_main(); });
+  }
+  return true;
+}
+
+// kBatch fsync pacing, off the event loops: tick every few ms and fsync
+// whatever the loops have written since the last tick.  Served WALs are
+// set_paced(), so the loops skip the time-based inline fsync entirely;
+// the bytes threshold in commit() stays armed as the backstop if this
+// thread stalls.
+void Server::pacer_main() {
+  constexpr auto kTick = std::chrono::milliseconds(10);
+  std::unique_lock<std::mutex> lock(pacer_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pacer_cv_.wait_for(lock, kTick);
+    const std::size_t count = shard_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+      shards_[i]->wal.pace_sync();
+    }
+  }
+}
+
+// Pre-thread recovery: rebuild every controller from the wal-dir, verify
+// decision-stream parity, rotate the logs (fresh snapshot + truncated WAL
+// at epoch+1), install active flags and forwarding tables, and open the
+// WALs for appending.  Single-threaded — runs before any loop exists.
+bool Server::recover_and_open_wals(std::string* error) {
+  std::vector<OnlinePartitioner*> ctrls;
+  ctrls.reserve(shards_.size());
+  for (auto& sh : shards_) ctrls.push_back(&sh->controller);
+  const ShardSetRecovery rec = recover_shard_set(
+      options_.wal_dir, ctrls, /*rotate=*/true, options_.wal_sync);
+  if (!rec.ok) {
+    *error = "recovery: " + rec.error;
+    return false;
+  }
+  epoch_ = rec.next_epoch;
+  std::uint64_t replayed = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    const ShardRecoveryInfo& info = rec.shards[i];
+    sh.active.store(info.active, std::memory_order_relaxed);
+    for (const io::SnapshotForward& f : info.forwards) {
+      sh.forwards[f.old_id] = Shard::Forward{f.peer_shard, f.new_id};
+    }
+    if (!sh.forwards.empty()) {
+      sh.has_forwards.store(true, std::memory_order_relaxed);
+    }
+    replayed += info.replayed;
+    if (!sh.wal.open(io::wal_path(options_.wal_dir, sh.index), epoch_,
+                     options_.wal_sync)) {
+      *error = "cannot open WAL for shard " + std::to_string(i);
+      return false;
+    }
+    // start() spawns the pacer under kBatch, so the loops never pay the
+    // time-based fsync inline.
+    if (options_.wal_sync == io::WalSync::kBatch) sh.wal.set_paced(true);
+  }
+  counters_.recovered.store(replayed, std::memory_order_relaxed);
   return true;
 }
 
@@ -596,6 +747,7 @@ void Server::resume_shards() {
 void Server::request_stop() {
   stopping_.store(true, std::memory_order_release);
   resume_shards();  // paused shard queues must still drain
+  pacer_cv_.notify_all();
 }
 
 void Server::wait() {
@@ -603,6 +755,9 @@ void Server::wait() {
   for (auto& lp : loops_) {
     if (lp->thread.joinable()) lp->thread.join();
   }
+  // After the pacer: the loops' stop_phase force-syncs every WAL, so the
+  // pacer adds nothing here — but it must not outlive shards_.
+  if (pacer_thread_.joinable()) pacer_thread_.join();
 }
 
 ServerStats Server::stats() const {
@@ -620,6 +775,14 @@ ServerStats Server::stats() const {
   s.bad = counters_.bad.load(std::memory_order_relaxed);
   s.batches = counters_.batches.load(std::memory_order_relaxed);
   s.partial_writes = counters_.partial_writes.load(std::memory_order_relaxed);
+  s.resizes = counters_.resizes.load(std::memory_order_relaxed);
+  s.resize_failures =
+      counters_.resize_failures.load(std::memory_order_relaxed);
+  s.forwarded = counters_.forwarded.load(std::memory_order_relaxed);
+  s.wal_records = counters_.wal_records.load(std::memory_order_relaxed);
+  s.wal_commits = counters_.wal_commits.load(std::memory_order_relaxed);
+  s.snapshots = counters_.snapshots.load(std::memory_order_relaxed);
+  s.recovered = counters_.recovered.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -629,8 +792,23 @@ std::uint64_t Server::loop_connections(std::size_t i) const {
 }
 
 std::size_t Server::shard_resident_count(std::size_t shard) const {
-  HETSCHED_CHECK(shard < shards_.size());
+  HETSCHED_CHECK(shard < shard_count());
   return shards_[shard]->controller.resident_count();
+}
+
+bool Server::shard_active(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shard_count());
+  return shards_[shard]->active.load(std::memory_order_acquire);
+}
+
+std::uint64_t Server::shard_decision_seq(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shard_count());
+  return shards_[shard]->controller.decision_seq();
+}
+
+std::uint64_t Server::shard_decision_checksum(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shard_count());
+  return shards_[shard]->controller.decision_checksum();
 }
 
 void Server::wake_loop(Loop& lp) {
@@ -641,15 +819,25 @@ void Server::wake_loop(Loop& lp) {
 }
 
 // HETSCHED_NOALLOC (per-frame decision on the loop hot path: warm admits
-// and departs run the controller's allocation-free paths)
+// and departs run the controller's allocation-free paths, and the WAL
+// append encodes into a preallocated arena)
 Response Server::process_request(Shard& shard, const Request& req) {
   Response resp;
   resp.type = req.type;
   resp.request_id = req.request_id;
+  // Every branch that touches the controller logs the decision; responses
+  // that never reached the controller (bad request, inactive shard) fold
+  // nothing and log nothing.
+  bool logged = false;
   switch (req.type) {
     case MsgType::kAdmit: {
       if (req.exec() <= 0 || req.period() <= 0) {
         resp.status = Status::kBadRequest;
+        break;
+      }
+      if (!shard.active.load(std::memory_order_relaxed)) {
+        // Merged away: the shard no longer accepts tenants.
+        resp.status = Status::kBadShard;
         break;
       }
       const Task t{req.exec(), req.period()};
@@ -662,19 +850,52 @@ Response Server::process_request(Shard& shard, const Request& req) {
       } else {
         resp.status = Status::kRejected;
       }
+      if (shard.wal.is_open()) {
+        shard.wal.append_admit(req.exec(), req.period(),
+                               shard.controller.decision_seq(),
+                               shard.controller.decision_checksum());
+        logged = true;
+      }
       break;
     }
     case MsgType::kDepart: {
+      // Stale departs are decisions too: the outcome is checksum-folded,
+      // so they must reach the log for replay to stay bit-exact.
       resp.status = shard.controller.depart(req.task_id()) ? Status::kDeparted
                                                            : Status::kStaleId;
+      if (shard.wal.is_open()) {
+        shard.wal.append_depart(req.task_id(),
+                                shard.controller.decision_seq(),
+                                shard.controller.decision_checksum());
+        logged = true;
+      }
       break;
     }
     case MsgType::kRebalance: {
+      if (!shard.active.load(std::memory_order_relaxed)) {
+        resp.status = Status::kBadShard;
+        break;
+      }
       const RebalanceReport r = shard.controller.rebalance();
       resp.status = r.applied ? Status::kRebalanced : Status::kRebalanceSkipped;
       resp.task_id = r.migrations;
+      if (shard.wal.is_open()) {
+        shard.wal.append_rebalance(shard.controller.decision_seq(),
+                                   shard.controller.decision_checksum());
+        logged = true;
+      }
       break;
     }
+    case MsgType::kSplitShard:
+    case MsgType::kMergeShards:
+      // Resize frames are handled inline by handle_resize and never reach
+      // a shard controller.
+      resp.status = Status::kBadRequest;
+      break;
+  }
+  if (logged) {
+    ++shard.ops_since_snapshot;
+    bump(counters_.wal_records);
   }
   return resp;
 }
@@ -711,6 +932,14 @@ void Server::count_response(const Response& resp) {
     case Status::kRetryLater:
       bump(counters_.retried);
       HETSCHED_COUNT(g_metrics.retries);
+      break;
+    case Status::kResized:
+      bump(counters_.resizes);
+      HETSCHED_COUNT(g_metrics.resizes);
+      break;
+    case Status::kResizeFailed:
+      bump(counters_.resize_failures);
+      HETSCHED_COUNT(g_metrics.resize_failures);
       break;
   }
 }
@@ -818,10 +1047,16 @@ void Server::loop_accept(Loop& lp) {
 void Server::loop_service_control(Loop& lp) {
   std::vector<std::shared_ptr<Connection>> arms;
   std::vector<int> fds;
+  std::vector<Shard*> new_shards;
   {
     std::lock_guard<std::mutex> lock(lp.control_mu);
     arms.swap(lp.pending_arms);
     fds.swap(lp.pending_fds);
+    new_shards.swap(lp.pending_shards);
+  }
+  for (Shard* sh : new_shards) {
+    lp.shards.push_back(sh);
+    sh->moving.store(false, std::memory_order_release);  // open for business
   }
   for (const int fd : fds) {
     if (stopping_.load(std::memory_order_acquire)) {
@@ -847,9 +1082,373 @@ void Server::loop_service_control(Loop& lp) {
   }
 }
 
+// Rewrites a depart naming a migrated tenant to the shard it lives on
+// now, following chains (split then merge composes two hops).  One
+// relaxed flag load on the common no-forwards path.
+bool Server::resolve_forward(Request& req) {
+  if (req.type != MsgType::kDepart) return false;
+  bool rewritten = false;
+  const std::size_t count = shard_count_.load(std::memory_order_acquire);
+  while (req.shard < count) {
+    Shard& sh = *shards_[req.shard];
+    if (!sh.has_forwards.load(std::memory_order_acquire)) break;
+    std::lock_guard<std::mutex> lock(sh.forward_mu);
+    const auto it = sh.forwards.find(req.a);
+    if (it == sh.forwards.end()) break;
+    req.shard = static_cast<std::uint16_t>(it->second.peer);
+    req.a = it->second.new_id;
+    rewritten = true;
+  }
+  if (rewritten) {
+    bump(counters_.forwarded);
+    HETSCHED_COUNT(g_metrics.forwards);
+  }
+  return rewritten;
+}
+
+// Group commit for the WALs this loop owns.  Called after a decision
+// batch is processed and before its responses are sent: the write(2) —
+// and, under --wal-sync=always, the fsync — happen once per batch, not
+// once per frame.
+void Server::commit_owned_wals(Loop& lp) {
+  for (Shard* sh : lp.shards) {
+    if (sh->moving.load(std::memory_order_acquire)) continue;  // coordinator's
+    if (sh->wal.dirty()) {
+      sh->wal.commit();
+      bump(counters_.wal_commits);
+    }
+  }
+}
+
+// Snapshots any owned shard whose logged-decision count crossed the
+// threshold.  Runs between drain rounds on the owner loop, so the
+// controller is quiescent and the WAL holds only committed records.
+void Server::maybe_snapshot_shards(Loop& lp) {
+  if (options_.snapshot_every == 0) return;
+  for (Shard* sh : lp.shards) {
+    if (sh->moving.load(std::memory_order_acquire)) continue;
+    if (!sh->wal.is_open()) continue;
+    if (sh->ops_since_snapshot < options_.snapshot_every) continue;
+    write_shard_snapshot(*sh);
+  }
+}
+
+// One snapshot file at the shard's current decision cut.  The WAL commits
+// first (write(2), no forced fsync) so the log holds every decision the
+// snapshot claims at least as far as the page cache; neither the WAL nor
+// the snapshot file is fsynced here — the log is never truncated at
+// runtime, so an unsynced snapshot lost to a power cut only lengthens
+// the next replay, and a torn one fails its CRC and recovery falls back.
+// Forcing syncs on the owner loop measured ~30-40% off sustained
+// throughput (megabytes of unsynced kOff/kBatch log per threshold).
+// On any failure the shard simply keeps replay-from-WAL as its recovery
+// story and tries again a threshold later.
+void Server::write_shard_snapshot(Shard& sh) {
+  sh.ops_since_snapshot = 0;
+  if (!sh.wal.commit()) return;
+  io::SnapshotFileMeta meta;
+  meta.shard = sh.index;
+  meta.epoch = epoch_;
+  meta.decision_seq = sh.controller.decision_seq();
+  meta.decision_checksum = sh.controller.decision_checksum();
+  meta.active = sh.active.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sh.forward_mu);
+    meta.forwards.reserve(sh.forwards.size());
+    for (const auto& [old_id, f] : sh.forwards) {
+      meta.forwards.push_back({old_id, f.peer, f.new_id});
+    }
+  }
+  const std::vector<std::uint8_t> payload = sh.controller.serialize_snapshot();
+  std::string err;
+  if (!io::write_snapshot_file(options_.wal_dir, meta, payload, /*keep=*/2,
+                               /*durable=*/false, &err)
+           .empty()) {
+    bump(counters_.snapshots);
+  }
+}
+
+// Coordinates a split or merge inline on the loop that decoded the frame.
+// One resize at a time globally; contention, shutdown, and quiesce
+// timeouts all answer kRetryLater (nothing changed — the client may
+// simply resend).
+Response Server::handle_resize(Loop& lp, const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  resp.request_id = req.request_id;
+  resp.status = Status::kRetryLater;
+  if (stopping_.load(std::memory_order_acquire)) return resp;
+  if (resize_busy_.exchange(true, std::memory_order_acq_rel)) return resp;
+  const std::size_t count = shard_count_.load(std::memory_order_acquire);
+  Shard* src = req.shard < count ? shards_[req.shard].get() : nullptr;
+  Shard* dst = nullptr;
+  bool ok = src != nullptr && src->active.load(std::memory_order_acquire);
+  if (req.type == MsgType::kMergeShards) {
+    const std::uint16_t target = req.merge_target();
+    ok = ok && target < count && target != req.shard;
+    if (ok) {
+      dst = shards_[target].get();
+      ok = dst->active.load(std::memory_order_acquire);
+    }
+  }
+  if (!ok) {
+    resize_busy_.store(false, std::memory_order_release);
+    resp.status = Status::kBadShard;
+    return resp;
+  }
+  if (req.type == MsgType::kSplitShard && count >= kMaxShards) {
+    resize_busy_.store(false, std::memory_order_release);
+    resp.status = Status::kResizeFailed;
+    return resp;
+  }
+#if HETSCHED_METRICS_ENABLED
+  const std::uint64_t pause_t0 = obs::now_ns();
+#endif
+  const bool quiesced =
+      quiesce_shard(lp, *src) && (dst == nullptr || quiesce_shard(lp, *dst));
+  if (quiesced) {
+    const Response r = req.type == MsgType::kSplitShard
+                           ? do_split(lp, *src)
+                           : do_merge(lp, *src, *dst);
+    resp.status = r.status;
+    resp.machine = r.machine;
+    resp.task_id = r.task_id;
+  }
+  release_shard(*src);
+  if (dst != nullptr) release_shard(*dst);
+#if HETSCHED_METRICS_ENABLED
+  g_metrics.resize_pause.record_ns(obs::now_ns() - pause_t0);
+#endif
+  resize_busy_.store(false, std::memory_order_release);
+  return resp;
+}
+
+// Takes a shard out of service for a resize: bump the quiesce generation,
+// mark it moving, and wait for the owner loop to ack at a safe point — or
+// self-ack if this loop owns it (the caller flushed, so this loop holds
+// no uncommitted WAL records).  The wait is bounded: shutdown or a stuck
+// owner fails the resize instead of wedging the coordinator.
+bool Server::quiesce_shard(Loop& lp, Shard& sh) {
+  const std::uint64_t gen =
+      sh.quiesce_gen.fetch_add(1, std::memory_order_relaxed) + 1;
+  sh.moving.store(true, std::memory_order_release);
+  if (sh.owner_loop == lp.index) {
+    sh.quiesce_ack.store(gen, std::memory_order_release);
+    return true;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sh.quiesce_ack.load(std::memory_order_acquire) < gen) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    wake_loop(*loops_[sh.owner_loop]);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return true;
+}
+
+void Server::release_shard(Shard& sh) {
+  sh.moving.store(false, std::memory_order_release);
+  wake_loop(*loops_[sh.owner_loop]);  // queued frames may be waiting
+}
+
+// Split: move every second tenant of src's canonical order (utilization
+// descending — so the halves are roughly balanced) to a brand-new shard.
+// Crash atomicity: the new shard's kMoveIn is fsynced before src's
+// kMoveOut; recovery reconciles a crash between the two from the MoveIn
+// (net/shard_store.h).  Any admission failure discards the new shard
+// wholesale with src untouched.
+Response Server::do_split(Loop& lp, Shard& src) {
+  Response resp;
+  resp.status = Status::kResizeFailed;
+  const std::size_t count = shard_count_.load(std::memory_order_acquire);
+  if (count >= kMaxShards) return resp;
+
+  // Canonical enumeration of the residents.  The migration plan's order is
+  // preferred (utilization descending); churn-stranded states the canonical
+  // re-pack cannot reproduce fall back to slot order.
+  std::vector<std::pair<OnlineTaskId, Task>> order;
+  const MigrationPlan plan = src.controller.migration_plan();
+  if (plan.feasible) {
+    order.reserve(plan.moves.size());
+    for (const MigrationPlan::Move& mv : plan.moves) {
+      order.emplace_back(mv.id, mv.task);
+    }
+  } else {
+    order = src.controller.residents();
+  }
+
+  auto holder = std::make_unique<Shard>(platform_, options_);
+  Shard& ns = *holder;
+  ns.index = static_cast<std::uint32_t>(count);
+  ns.owner_loop = count % loops_.size();
+  std::vector<io::WalMovedTask> moved;
+  moved.reserve(order.size() / 2);
+  for (std::size_t i = 1; i < order.size(); i += 2) {
+    const AdmitDecision d = ns.controller.admit_migrated(order[i].second);
+    if (!d.admitted) return resp;  // fresh shard discarded, src untouched
+    moved.push_back({order[i].first, d.id, order[i].second.exec,
+                     order[i].second.period});
+  }
+
+  if (!options_.wal_dir.empty()) {
+    const std::string path = io::wal_path(options_.wal_dir, ns.index);
+    if (!ns.wal.open(path, epoch_, options_.wal_sync)) return resp;
+    if (options_.wal_sync == io::WalSync::kBatch) ns.wal.set_paced(true);
+    if (!moved.empty()) {
+      ns.wal.append_move(io::WalRecordType::kMoveIn,
+                         static_cast<std::uint16_t>(src.index), 0, moved,
+                         ns.controller.decision_seq(),
+                         ns.controller.decision_checksum());
+    }
+    // The commit point: once the MoveIn is durable the split survives any
+    // crash.  On failure the record may or may not be on disk — but the
+    // new shard has no other history, so deleting its WAL makes the
+    // aborted split invisible to recovery.
+    if (!ns.wal.commit(true)) {
+      ns.wal.close();
+      ::unlink(path.c_str());
+      return resp;
+    }
+  }
+
+  for (const io::WalMovedTask& mt : moved) {
+    HETSCHED_CHECK(src.controller.depart_migrated(mt.old_id));
+  }
+  if (src.wal.is_open() && !moved.empty()) {
+    src.wal.append_move(io::WalRecordType::kMoveOut,
+                        static_cast<std::uint16_t>(ns.index), 0, moved,
+                        src.controller.decision_seq(),
+                        src.controller.decision_checksum());
+    // Failure tolerated: recovery reconciles the missing MoveOut from the
+    // durable MoveIn.
+    src.wal.commit(true);
+  }
+  if (!moved.empty()) {
+    std::lock_guard<std::mutex> lock(src.forward_mu);
+    for (const io::WalMovedTask& mt : moved) {
+      src.forwards[mt.old_id] = Shard::Forward{ns.index, mt.new_id};
+    }
+    src.has_forwards.store(true, std::memory_order_release);
+  }
+
+#if HETSCHED_METRICS_ENABLED
+  ns.depth_gauge = obs::registry().gauge(
+      "hetsched_net_queue_depth_shard" + std::to_string(ns.index),
+      "Requests queued for shard " + std::to_string(ns.index));
+#endif
+  // Publish: construction is complete, so the release store makes the
+  // shard routable.  It stays `moving` (kRetryLater) until its owner loop
+  // adopts it — only adopted shards join the owner's WAL group commit.
+  ns.moving.store(true, std::memory_order_release);
+  Shard* pub = holder.get();
+  shards_.push_back(std::move(holder));
+  shard_count_.store(count + 1, std::memory_order_release);
+  Loop& owner = *loops_[pub->owner_loop];
+  if (owner.index == lp.index) {
+    lp.shards.push_back(pub);
+    pub->moving.store(false, std::memory_order_release);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(owner.control_mu);
+      owner.pending_shards.push_back(pub);
+    }
+    wake_loop(owner);
+  }
+
+  resp.status = Status::kResized;
+  resp.machine = pub->index;
+  resp.task_id = moved.size();
+  return resp;
+}
+
+// Merge: move every tenant of src into dst, then take src out of service
+// (it stays addressable for forwarding, but admits answer kBadShard).
+// Rollback on rejection restores dst's snapshot rather than departing the
+// movers — departs would advance dst's decision stream with no WAL trace,
+// which replay could never reproduce.  Both the MoveIn and the MoveOut
+// carry kWalFlagDeactivate so recovery deactivates src even when only the
+// first record landed.
+Response Server::do_merge(Loop& lp, Shard& src, Shard& dst) {
+  (void)lp;
+  Response resp;
+  resp.status = Status::kResizeFailed;
+  const std::vector<std::pair<OnlineTaskId, Task>> movers =
+      src.controller.residents();
+  const OnlinePartitioner::Snapshot undo = dst.controller.snapshot();
+  std::vector<io::WalMovedTask> moved;
+  moved.reserve(movers.size());
+  for (const auto& [old_id, task] : movers) {
+    const AdmitDecision d = dst.controller.admit_migrated(task);
+    if (!d.admitted) {
+      HETSCHED_CHECK(dst.controller.restore(undo));
+      return resp;
+    }
+    moved.push_back({old_id, d.id, task.exec, task.period});
+  }
+  if (dst.wal.is_open() && !moved.empty()) {
+    dst.wal.append_move(io::WalRecordType::kMoveIn,
+                        static_cast<std::uint16_t>(src.index),
+                        io::kWalFlagDeactivate, moved,
+                        dst.controller.decision_seq(),
+                        dst.controller.decision_checksum());
+    if (!dst.wal.commit(true)) {
+      // The MoveIn may already be durable while the live server rolls
+      // back.  A crash before dst's next rotation would then fail
+      // recovery loudly (decision-sequence gap) instead of silently
+      // diverging — the accepted double-fault (I/O error + crash) story.
+      HETSCHED_CHECK(dst.controller.restore(undo));
+      return resp;
+    }
+  }
+  for (const io::WalMovedTask& mt : moved) {
+    HETSCHED_CHECK(src.controller.depart_migrated(mt.old_id));
+  }
+  src.active.store(false, std::memory_order_release);
+  if (src.wal.is_open()) {
+    if (!moved.empty()) {
+      src.wal.append_move(io::WalRecordType::kMoveOut,
+                          static_cast<std::uint16_t>(dst.index),
+                          io::kWalFlagDeactivate, moved,
+                          src.controller.decision_seq(),
+                          src.controller.decision_checksum());
+      // Failure tolerated: the durable MoveIn carries the deactivate flag
+      // and recovery reconciles the rest.
+      src.wal.commit(true);
+    } else {
+      // Zero residents: nothing moves, so src's deactivation rides the
+      // next snapshot instead of a WAL record (an empty move would carry
+      // no sequence step for replay to anchor on).
+      write_shard_snapshot(src);
+    }
+  }
+  if (!moved.empty()) {
+    std::lock_guard<std::mutex> lock(src.forward_mu);
+    for (const io::WalMovedTask& mt : moved) {
+      src.forwards[mt.old_id] = Shard::Forward{dst.index, mt.new_id};
+    }
+    src.has_forwards.store(true, std::memory_order_release);
+  }
+  resp.status = Status::kResized;
+  resp.machine = dst.index;
+  resp.task_id = moved.size();
+  return resp;
+}
+
 void Server::drain_shard_queues(Loop& lp) {
+  // Quiesce ack point: the previous drain/flush committed every owned
+  // WAL, so acking here hands the coordinator a shard with no buffered
+  // state.  Moving shards are skipped below until the coordinator
+  // releases them.
+  for (Shard* sh : lp.shards) {
+    if (sh->moving.load(std::memory_order_acquire)) {
+      sh->quiesce_ack.store(sh->quiesce_gen.load(std::memory_order_acquire),
+                            std::memory_order_release);
+    }
+  }
   if (paused_.load(std::memory_order_acquire)) return;
   for (Shard* sh : lp.shards) {
+    if (sh->moving.load(std::memory_order_acquire)) continue;
     while (true) {
       const std::size_t n =
           sh->queue.try_pop_batch(lp.items.data(), lp.batcher.limit());
@@ -857,32 +1456,66 @@ void Server::drain_shard_queues(Loop& lp) {
       if (n == 0) break;
       bump(counters_.batches);
       HETSCHED_COUNT(g_metrics.batches);
-      // Decide every item, coalescing consecutive responses to the same
-      // connection into one scatter-gather write.
+      // Pass 1: decide every item, staging responses in outbuf and
+      // recording per-connection runs.  Nothing is sent yet — the WAL
+      // group commit below must land first.
+      lp.runs.clear();
       Connection* run_conn = nullptr;
       std::size_t run_first = 0;
+      std::size_t run_off = 0;
       std::size_t out_len = 0;
       for (std::size_t i = 0; i < n; ++i) {
         Shard::WorkItem& item = lp.items[i];
-        const Response resp = process_request(*sh, item.req);
-        count_response(resp);
+        Request req = item.req;
+        resolve_forward(req);
+        Response resp;
+        bool have_resp = true;
+        if (req.shard != sh->index) {
+          // A forward rewrote the shard: the decision belongs to another
+          // controller.  Process directly if this loop owns it and it is
+          // not mid-resize; otherwise re-route through its queue.
+          Shard& th = *shards_[req.shard];
+          if (th.owner_loop == lp.index &&
+              !th.moving.load(std::memory_order_acquire)) {
+            resp = process_request(th, req);
+          } else if (th.queue.try_push(
+                         Shard::WorkItem{item.conn, req, 0})) {
+            bump(counters_.enqueued);
+            if (th.owner_loop != lp.index) wake_loop(*loops_[th.owner_loop]);
+            have_resp = false;  // the target shard's drain answers it
+          } else {
+            resp.type = req.type;
+            resp.status = Status::kRetryLater;
+            resp.request_id = req.request_id;
+          }
+        } else {
+          resp = process_request(*sh, req);
+        }
 #if HETSCHED_METRICS_ENABLED
         if (item.enq_ns != 0) {
           g_metrics.latency.record_ns(obs::now_ns() - item.enq_ns);
         }
 #endif
+        if (!have_resp) continue;
+        count_response(resp);
         if (run_conn != nullptr && item.conn.get() != run_conn) {
-          send_to_connection(lp, lp.items[run_first].conn, lp.outbuf.data(),
-                             out_len);
-          out_len = 0;
+          lp.runs.push_back(Loop::Run{run_first, run_off, out_len - run_off});
+          run_off = out_len;
           run_first = i;
         }
+        if (run_conn == nullptr) run_first = i;
         run_conn = item.conn.get();
         out_len += encode_response(resp, lp.outbuf.data() + out_len);
       }
-      if (run_conn != nullptr && out_len > 0) {
-        send_to_connection(lp, lp.items[run_first].conn, lp.outbuf.data(),
-                           out_len);
+      if (run_conn != nullptr && out_len > run_off) {
+        lp.runs.push_back(Loop::Run{run_first, run_off, out_len - run_off});
+      }
+      // Pass 2: the batch's decisions become durable (per the sync
+      // policy), then — and only then — the responses go out.
+      commit_owned_wals(lp);
+      for (const Loop::Run& run : lp.runs) {
+        send_to_connection(lp, lp.items[run.item].conn,
+                           lp.outbuf.data() + run.off, run.len);
       }
       // Drop connection refs so closed peers release their fds promptly.
       for (std::size_t i = 0; i < n; ++i) lp.items[i].conn.reset();
@@ -907,6 +1540,10 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
 #if HETSCHED_METRICS_ENABLED
     g_metrics.batch_frames.record_ns(staged_frames);
 #endif
+    // WAL before reply: inline decisions staged their records in the
+    // owning shards' arenas; the group commit lands them before the
+    // responses can reach the wire.
+    commit_owned_wals(lp);
     send_to_connection(lp, conn, lp.outbuf.data(), staged);
     staged = 0;
     staged_frames = 0;
@@ -944,50 +1581,69 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
       HETSCHED_COUNT(g_metrics.frames_rx);
       Response resp;
       bool respond_now = false;
-      if (req.shard >= shards_.size()) {
+      if (req.type == MsgType::kSplitShard ||
+          req.type == MsgType::kMergeShards) {
+        // Resize frames run inline on the decoding loop (the coordinator)
+        // and are never queued.  Flush first: quiescing a shard this loop
+        // itself owns self-acks, which is only sound once every staged WAL
+        // record is committed.
+        flush_staged();
+        resp = handle_resize(lp, req);
+        respond_now = true;
+      } else if (resolve_forward(req);
+                 req.shard >= shard_count_.load(std::memory_order_acquire)) {
         resp.type = req.type;
         resp.status = Status::kBadShard;
         resp.request_id = req.request_id;
         respond_now = true;
       } else {
         Shard& sh = *shards_[req.shard];
-        const bool local = sh.owner_loop == lp.index;
-        if (local && sh.queue.depth() == 0 &&
-            !paused_.load(std::memory_order_acquire)) {
-          // The common case: decode -> warm admit -> encode on this core,
-          // zero cross-thread hops.
-#if HETSCHED_METRICS_ENABLED
-          std::uint64_t t0 = 0;
-          if ((++lp.sample_tick & (obs::kLatencySamplePeriod - 1)) == 0) {
-            t0 = obs::now_ns();
-          }
-#endif
-          resp = process_request(sh, req);
-          bump(counters_.frames_inline);
-          HETSCHED_COUNT(g_metrics.frames_inline);
-#if HETSCHED_METRICS_ENABLED
-          if (t0 != 0) g_metrics.latency.record_ns(obs::now_ns() - t0);
-#endif
+        if (sh.moving.load(std::memory_order_acquire)) {
+          // Mid-resize: a bounded kRetryLater pause, never a silent drop
+          // (and never a double-admit — the controller is untouched).
+          resp.type = req.type;
+          resp.status = Status::kRetryLater;
+          resp.request_id = req.request_id;
           respond_now = true;
         } else {
-          Shard::WorkItem item;
-          item.conn = conn;
-          item.req = req;
+          const bool local = sh.owner_loop == lp.index;
+          if (local && sh.queue.depth() == 0 &&
+              !paused_.load(std::memory_order_acquire)) {
+            // The common case: decode -> warm admit -> encode on this core,
+            // zero cross-thread hops.
 #if HETSCHED_METRICS_ENABLED
-          if ((sh.push_tick.fetch_add(1, std::memory_order_relaxed) &
-               (obs::kLatencySamplePeriod - 1)) == 0) {
-            item.enq_ns = obs::now_ns();
-          }
+            std::uint64_t t0 = 0;
+            if ((++lp.sample_tick & (obs::kLatencySamplePeriod - 1)) == 0) {
+              t0 = obs::now_ns();
+            }
 #endif
-          if (!sh.queue.try_push(std::move(item))) {
-            resp.type = req.type;
-            resp.status = Status::kRetryLater;
-            resp.request_id = req.request_id;
+            resp = process_request(sh, req);
+            bump(counters_.frames_inline);
+            HETSCHED_COUNT(g_metrics.frames_inline);
+#if HETSCHED_METRICS_ENABLED
+            if (t0 != 0) g_metrics.latency.record_ns(obs::now_ns() - t0);
+#endif
             respond_now = true;
           } else {
-            bump(counters_.enqueued);
-            HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
-            if (!local) wake_loop(*loops_[sh.owner_loop]);
+            Shard::WorkItem item;
+            item.conn = conn;
+            item.req = req;
+#if HETSCHED_METRICS_ENABLED
+            if ((sh.push_tick.fetch_add(1, std::memory_order_relaxed) &
+                 (obs::kLatencySamplePeriod - 1)) == 0) {
+              item.enq_ns = obs::now_ns();
+            }
+#endif
+            if (!sh.queue.try_push(std::move(item))) {
+              resp.type = req.type;
+              resp.status = Status::kRetryLater;
+              resp.request_id = req.request_id;
+              respond_now = true;
+            } else {
+              bump(counters_.enqueued);
+              HETSCHED_GAUGE_SET(sh.depth_gauge, sh.queue.depth());
+              if (!local) wake_loop(*loops_[sh.owner_loop]);
+            }
           }
         }
       }
@@ -1056,6 +1712,9 @@ void Server::loop_main(Loop& lp) {
     // Answer work our own reads just queued before sleeping (local pushes
     // do not signal the wake pipe).
     drain_shard_queues(lp);
+    // Snapshot between drain rounds: the controllers are quiescent and
+    // every acknowledged decision is committed to the WAL.
+    maybe_snapshot_shards(lp);
   }
   stop_phase(lp);
   if (loops_alive_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -1099,9 +1758,28 @@ void Server::stop_phase(Loop& lp) {
     loop_service_control(lp);
   };
 
-  while (loops_reading_.load(std::memory_order_acquire) > 0) service_io(2);
+  while (loops_reading_.load(std::memory_order_acquire) > 0) {
+    // A resize coordinator still inside its read phase may be waiting on
+    // our quiesce ack; keep acking (safe here — everything this loop
+    // staged is committed) so it can finish and reach its own stop phase.
+    for (Shard* sh : lp.shards) {
+      if (sh->moving.load(std::memory_order_acquire)) {
+        sh->quiesce_ack.store(sh->quiesce_gen.load(std::memory_order_acquire),
+                              std::memory_order_release);
+      }
+    }
+    service_io(2);
+  }
+  // All loops are past their read phase: no resize is in flight (resizes
+  // run inside drain_readable) and none will start, so every shard is
+  // released and the final drain below covers them all.
   for (Shard* sh : lp.shards) sh->queue.close();
   drain_shard_queues(lp);
+  // Final durability point of a graceful stop: force-fsync whatever the
+  // batch policy left unsynced.
+  for (Shard* sh : lp.shards) {
+    if (sh->wal.is_open()) sh->wal.commit(true);
+  }
   loops_draining_.fetch_sub(1, std::memory_order_acq_rel);
   while (loops_draining_.load(std::memory_order_acquire) > 0) service_io(2);
 

@@ -46,6 +46,30 @@
 // shards are answered in whatever order their owning loops reach them —
 // clients match on request_id.
 //
+// Durability (ServerOptions::wal_dir): each shard appends every decision
+// it makes — admits including rejects, departs including stale ones,
+// rebalances, and resize migrations — to a per-shard binary WAL (io/wal.h)
+// *before* the response reaches the socket, group-committing once per
+// drain batch so the warm path stays allocation-free and pays one write(2)
+// per batch.  Periodic snapshots (io/snapshot_format.h) bound replay;
+// start() recovers from the newest valid snapshot plus the WAL tail and
+// verifies bit-exact parity via the per-record decision checksum
+// (net/shard_store.h).  With wal_dir empty the serve path is bit-identical
+// to the pre-durability behavior.
+//
+// Elastic resize (protocol minor 1): kSplitShard moves roughly half a
+// shard's tenants to a new shard; kMergeShards folds one shard into
+// another and takes the source out of service.  The coordinator is the
+// loop that decodes the frame: it quiesces the involved shards (their
+// owner loops ack at safe points and the shards answer kRetryLater
+// meanwhile — a bounded pause, never a silent drop), admits the movers
+// into the target first (any rejection rolls back with the source
+// untouched), then logs MoveIn (target, fsync) before MoveOut (source,
+// fsync) so a crash between the two is reconciled on recovery.  Departs
+// naming a moved tenant are rewritten through per-shard forwarding tables
+// and re-routed; merged-away shards stay addressable for forwarding but
+// answer admits kBadShard.
+//
 // Shutdown (request_stop or SIGTERM via the CLI): every loop stops
 // accepting and reading, then — once all loops have stopped producing —
 // drains its shards' queues, answers everything queued, flushes response
@@ -62,6 +86,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,6 +95,7 @@
 #include <vector>
 
 #include "core/platform.h"
+#include "io/wal.h"
 #include "net/adaptive_batch.h"
 #include "net/bounded_queue.h"
 #include "net/protocol.h"
@@ -88,6 +114,9 @@ inline constexpr std::size_t kMaxLoops = 8;
 
 struct ServerOptions {
   std::string listen_addr = "127.0.0.1:0";  // "host:port"; port 0 = ephemeral
+  // STARTING shard count: live splits grow it (up to kMaxShards) and a
+  // recovered --wal-dir that holds more shards than this adopts the larger
+  // count, so shards created by splits survive restarts.
   std::size_t shards = 1;
   // Event-loop threads.  0 = auto: min(shards, hardware_concurrency,
   // kMaxLoops).  Shard s is owned by loop s % loops.
@@ -114,6 +143,16 @@ struct ServerOptions {
   // every frame is queued (or bounced kRetryLater when the queue fills),
   // letting tests observe backpressure deterministically.
   bool start_paused = false;
+  // Durability plane.  Empty wal_dir = off: the serve path is bit-identical
+  // to a build without the WAL layer.  Non-empty: every controller decision
+  // is appended to <wal_dir>/shard-NNN.wal before its response is sent
+  // (group-committed per drain batch), periodic snapshots bound replay, and
+  // start() recovers from whatever the directory holds.
+  std::string wal_dir;
+  io::WalSync wal_sync = io::WalSync::kBatch;
+  // Snapshot a shard after this many logged decisions (0 = never mid-run;
+  // recovery then replays the whole WAL).
+  std::size_t snapshot_every = 65536;
 };
 
 // Decision counters, independent of the obs layer so they exist in
@@ -133,6 +172,13 @@ struct ServerStats {
   std::uint64_t bad = 0;      // bad frames / bad shard / bad request
   std::uint64_t batches = 0;  // drain rounds that processed >= 1 frame
   std::uint64_t partial_writes = 0;  // short writes parked in a backlog
+  std::uint64_t resizes = 0;         // kResized answers (splits + merges)
+  std::uint64_t resize_failures = 0;  // kResizeFailed answers
+  std::uint64_t forwarded = 0;  // departs re-routed via a forwarding entry
+  std::uint64_t wal_records = 0;   // decisions appended to a WAL
+  std::uint64_t wal_commits = 0;   // group commits that wrote >= 1 record
+  std::uint64_t snapshots = 0;     // mid-run snapshot files written
+  std::uint64_t recovered = 0;     // WAL records replayed by start()
 };
 
 class Server {
@@ -174,9 +220,18 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  // Live shard count (grows under kSplitShard; merged-away shards keep
+  // their index but answer admits kBadShard).  Safe from any thread.
+  std::size_t shard_count() const {
+    return shard_count_.load(std::memory_order_acquire);
+  }
+
   // Shard controller observers for tests (call only while that shard is
   // quiescent: paused, stopped, or provably idle).
   std::size_t shard_resident_count(std::size_t shard) const;
+  bool shard_active(std::size_t shard) const;
+  std::uint64_t shard_decision_seq(std::size_t shard) const;
+  std::uint64_t shard_decision_checksum(std::size_t shard) const;
 
  private:
   struct Connection;
@@ -187,6 +242,7 @@ class Server {
   void loop_accept(Loop& lp);
   void adopt_connection(Loop& lp, int fd);
   void loop_service_control(Loop& lp);
+  void pacer_main();
   void drain_shard_queues(Loop& lp);
   // Decodes and routes every complete frame in `conn`'s read buffer.
   // Returns false when the connection must be closed (EOF, error, or a
@@ -206,18 +262,53 @@ class Server {
   bool start_listen_sockets(std::string* error);
   void stop_phase(Loop& lp);
 
+  // Durability plane.
+  bool recover_and_open_wals(std::string* error);
+  void commit_owned_wals(Loop& lp);
+  void maybe_snapshot_shards(Loop& lp);
+  void write_shard_snapshot(Shard& sh);
+
+  // Forwarding: rewrites a depart naming a migrated tenant to the target
+  // shard's id, following chains.  Returns true if the request was
+  // rewritten (counted once per request).
+  bool resolve_forward(Request& req);
+
+  // Elastic resize (kSplitShard / kMergeShards), run inline on the loop
+  // that decoded the frame — resize frames are never queued.
+  Response handle_resize(Loop& lp, const Request& req);
+  bool quiesce_shard(Loop& lp, Shard& sh);
+  void release_shard(Shard& sh);
+  Response do_split(Loop& lp, Shard& src);
+  Response do_merge(Loop& lp, Shard& src, Shard& dst);
+
   Platform platform_;
   ServerOptions options_;
 
   std::uint16_t port_ = 0;
   bool reuseport_active_ = false;
 
+  // shards_ is reserved to kMaxShards at start and only ever grows (by
+  // push_back from a resize coordinator), so element addresses are stable
+  // and readers never see a reallocation.  Loop threads must size-check
+  // against shard_count_ (acquire), never shards_.size(): the release
+  // store below publishes the fully constructed shard.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> shard_count_{0};
   std::vector<std::unique_ptr<Loop>> loops_;
   std::mutex join_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> paused_{false};
+  std::atomic<bool> resize_busy_{false};  // one resize at a time, globally
+  std::uint32_t epoch_ = 1;  // recovery generation stamped into WAL records
+
+  // --wal-sync=batch fsync pacer: a background thread ticks every few ms
+  // and pace_sync()s every published shard's WAL, so the kBatch interval
+  // guarantee is honored without the event loops ever blocking in
+  // fsync(2).  Joined in wait() after the loops exit.
+  std::thread pacer_thread_;
+  std::mutex pacer_mu_;
+  std::condition_variable pacer_cv_;
   std::size_t accept_rr_ = 0;  // fd handoff cursor (fallback acceptor)
 
   // Shutdown barrier: loops that may still produce into shard queues /
@@ -231,7 +322,9 @@ class Server {
   struct Counters {
     std::atomic<std::uint64_t> connections{0}, frames_rx{0}, enqueued{0},
         frames_inline{0}, admitted{0}, rejected{0}, retried{0}, departed{0},
-        stale{0}, rebalances{0}, bad{0}, batches{0}, partial_writes{0};
+        stale{0}, rebalances{0}, bad{0}, batches{0}, partial_writes{0},
+        resizes{0}, resize_failures{0}, forwarded{0}, wal_records{0},
+        wal_commits{0}, snapshots{0}, recovered{0};
   };
   Counters counters_;
 };

@@ -1,0 +1,86 @@
+// Crash recovery for a set of shard controllers: snapshot + WAL replay.
+//
+// recover_shard_set() rebuilds every shard controller of a --wal-dir from
+// the newest valid snapshot plus a replay of the WAL tail, asserting the
+// controller's decision (seq, checksum) pair against the values each WAL
+// record stored — bit-exact recovery is *verified* record by record, not
+// assumed.  It is shared by Server::start() (recover-then-serve) and the
+// `hetsched_cli recover` subcommand (recover-then-exit), and is strictly
+// single-threaded: call it before any event loop runs.
+//
+// Per shard:
+//   1. Try snapshots newest-first (list_snapshots); the first one whose
+//      file CRC validates AND whose payload restore_bytes() accepts wins.
+//      A corrupt newest snapshot falls back to the previous one — the WAL
+//      is never truncated mid-run, so an older base just replays more.
+//      No valid snapshot at all means a fresh controller (full replay),
+//      which is only sound if the WAL actually starts at seq 1; a WAL
+//      whose first record's seq is beyond that proves lost history and
+//      fails recovery.
+//   2. wal_load() the shard's WAL (truncating a torn tail in place) and
+//      re-apply every record with seq > the base snapshot's seq:
+//      admit/depart/rebalance re-run the controller op and assert the
+//      resulting (decision_seq, decision_checksum) equal the record's;
+//      kMoveIn re-runs admit_migrated per moved task and asserts the
+//      assigned ids match the record (structural parity — migrations do
+//      not fold the checksum); kMoveOut re-runs depart_migrated, installs
+//      the forwarding entries, and applies kWalFlagDeactivate.
+//   3. Cross-shard reconciliation: a crash between the target's kMoveIn
+//      fsync and the source's kMoveOut fsync leaves the move applied on
+//      one side only.  Both shards are quiesced for the whole resize, so
+//      the missing kMoveOut is necessarily *after* everything in the
+//      source's log: applying the move-out effects at the end of the
+//      source's replay reproduces the pre-crash state exactly.  A MoveIn
+//      whose source old_ids are no longer live was already reconciled by
+//      the source's own log.
+//   4. With `rotate` set, write a fresh snapshot per shard (the recovered
+//      cut), truncate-restart each WAL at epoch+1, and prune snapshots
+//      older than the new one — so the next crash replays from here, not
+//      from the beginning of time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/snapshot_format.h"
+#include "io/wal.h"
+#include "online/online_partitioner.h"
+
+namespace hetsched::net {
+
+// Per-shard outcome of recover_shard_set.
+struct ShardRecoveryInfo {
+  bool active = true;  // false: merged away before the crash
+  std::vector<io::SnapshotForward> forwards;
+  std::uint64_t decision_seq = 0;
+  std::uint64_t decision_checksum = 0;
+  std::uint64_t snapshot_seq = 0;     // base snapshot cut (0 = fresh start)
+  std::uint64_t replayed = 0;         // WAL records re-applied
+  std::uint64_t truncated_bytes = 0;  // torn tail discarded from the WAL
+  std::uint64_t reconciled = 0;       // move-outs applied by reconciliation
+};
+
+struct ShardSetRecovery {
+  bool ok = false;
+  std::string error;
+  // Epoch every recovered WAL/snapshot is (re)stamped with: one past the
+  // largest epoch seen anywhere in the directory.
+  std::uint32_t next_epoch = 1;
+  std::vector<ShardRecoveryInfo> shards;
+};
+
+// Rebuilds controllers[0..n) in place from `dir` (controllers must be
+// freshly constructed with the same platform/kind/alpha/engine the logs
+// were written under — a snapshot from a different configuration fails
+// validation).  On failure, returns ok=false with `error` set; controller
+// states are unspecified and must be discarded.
+ShardSetRecovery recover_shard_set(const std::string& dir,
+                                   std::span<OnlinePartitioner* const>
+                                       controllers,
+                                   bool rotate, io::WalSync sync);
+
+}  // namespace hetsched::net

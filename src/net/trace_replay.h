@@ -29,20 +29,18 @@
 #include "net/client.h"
 #include "partition/admission.h"
 #include "partition/engine.h"
+#include "util/fnv.h"
 
 namespace hetsched::net {
 
-// FNV-1a over the 8 bytes of `v`, little-endian byte order — identical to
-// the fold in bench_obs_overhead so checksums stay comparable repo-wide.
+// FNV-1a over the 8 bytes of `v`, little-endian byte order — the shared
+// util/fnv.h fold, so checksums stay comparable repo-wide (bench, WAL,
+// controller decision checksum).
 inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  return ::hetsched::fnv1a_u64(h, v);
 }
 
-inline constexpr std::uint64_t kFnv1aSeed = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aSeed = kFnv1aOffsetBasis;
 
 // Replays the trace through a local OnlinePartitioner and returns the
 // decision checksum — the reference value a served replay must reproduce.

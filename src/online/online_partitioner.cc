@@ -1,6 +1,7 @@
 #include "online/online_partitioner.h"
 
 #include <algorithm>
+#include <bit>
 #include <iomanip>
 #include <sstream>
 
@@ -120,12 +121,33 @@ void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
 
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 AdmitDecision OnlinePartitioner::admit(const Task& t) {
+  return admit_impl(t, /*fold_checksum=*/true);
+}
+
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
+AdmitDecision OnlinePartitioner::admit_migrated(const Task& t) {
+  return admit_impl(t, /*fold_checksum=*/false);
+}
+
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
+AdmitDecision OnlinePartitioner::admit_impl(const Task& t,
+                                            bool fold_checksum) {
   HETSCHED_TIMED_SAMPLED(g_metrics.admit_ns);
   HETSCHED_CHECK(t.valid());
   AdmitDecision d;
   d.utilization = t.utilization();
   const std::size_t j = find_machine(t, d.utilization);
   if (j == kNoMachine) {
+    ++st_.decision_seq;
+    if (fold_checksum) {
+      std::uint64_t h = st_.decision_checksum;
+      h = fnv1a_u64(h, 1);  // op tag: admit
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(t.exec));
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(t.period));
+      h = fnv1a_u64(h, 0);  // rejected
+      h = fnv1a_u64(h, ~std::uint64_t{0});
+      st_.decision_checksum = h;
+    }
     HETSCHED_COUNT(g_metrics.admits_rejected);
     HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, false, 0, 0);
     HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, kNoMachine));
@@ -156,6 +178,16 @@ AdmitDecision OnlinePartitioner::admit(const Task& t) {
   d.admitted = true;
   d.id = make_id(slot, s.gen);
   d.machine = j;
+  ++st_.decision_seq;
+  if (fold_checksum) {
+    std::uint64_t h = st_.decision_checksum;
+    h = fnv1a_u64(h, 1);  // op tag: admit
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.exec));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.period));
+    h = fnv1a_u64(h, 1);  // admitted
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(j));
+    st_.decision_checksum = h;
+  }
   HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, true, j, slot);
   HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, j);
                       audit_verify_machine(j));
@@ -188,15 +220,37 @@ void OnlinePartitioner::recompute_machine(std::size_t j) {
 
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 bool OnlinePartitioner::depart(OnlineTaskId id) {
+  return depart_impl(id, /*fold_checksum=*/true);
+}
+
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
+bool OnlinePartitioner::depart_migrated(OnlineTaskId id) {
+  return depart_impl(id, /*fold_checksum=*/false);
+}
+
+// HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
+bool OnlinePartitioner::depart_impl(OnlineTaskId id, bool fold_checksum) {
   HETSCHED_TIMED_SAMPLED(g_metrics.depart_ns);
+  const auto fold_depart = [&](bool ok) {
+    ++st_.decision_seq;
+    if (fold_checksum) {
+      std::uint64_t h = st_.decision_checksum;
+      h = fnv1a_u64(h, 2);  // op tag: depart
+      h = fnv1a_u64(h, id);
+      h = fnv1a_u64(h, ok ? 1 : 0);
+      st_.decision_checksum = h;
+    }
+  };
   const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   if (slot >= st_.slots.size()) {
+    fold_depart(false);
     HETSCHED_COUNT(g_metrics.departs_stale);
     return false;
   }
   Slot& s = st_.slots[slot];
   if (!s.live || s.gen != gen) {
+    fold_depart(false);
     HETSCHED_COUNT(g_metrics.departs_stale);
     return false;
   }
@@ -210,21 +264,19 @@ bool OnlinePartitioner::depart(OnlineTaskId id) {
   st_.free_slots.push_back(slot);
   --st_.resident;
   recompute_machine(j);
+  fold_depart(true);
   HETSCHED_COUNT(g_metrics.departs);
   HETSCHED_TRACE_EVENT(obs::TraceKind::kDepart, true, j, slot);
   HETSCHED_AUDIT_HOOK(audit_verify_full());
   return true;
 }
 
-RebalanceReport OnlinePartitioner::rebalance() {
-  HETSCHED_TIMED(g_metrics.rebalance_ns);
-  RebalanceReport rep;
-  rep.resident = st_.resident;
+MigrationPlan OnlinePartitioner::migration_plan() {
+  MigrationPlan plan;
+  plan.resident = st_.resident;
   if (st_.resident == 0) {
-    rep.applied = true;
-    HETSCHED_COUNT(g_metrics.rebalances_applied);
-    HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, true, 0, 0);
-    return rep;
+    plan.feasible = true;
+    return plan;
   }
 
   // Canonical order: utilization descending, ties by admission sequence —
@@ -244,10 +296,8 @@ RebalanceReport OnlinePartitioner::rebalance() {
               return st_.slots[a].seq < st_.slots[b].seq;
             });
 
-  // Trial pass on scratch state; the live assignment is untouched until
-  // the whole re-pack is known to fit.
+  // Trial pass on scratch state; the live assignment is untouched.
   const std::size_t m = platform_.size();
-  rb_machine_.resize(rb_order_.size());
   std::vector<MachineLoad> trial_loads;  // kRmsResponseTime only
   if (slack_form_) {
     rb_util_sum_.assign(m, 0.0);
@@ -263,8 +313,10 @@ RebalanceReport OnlinePartitioner::rebalance() {
       trial_loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
     }
   }
+  plan.moves.reserve(rb_order_.size());
   for (std::size_t pos = 0; pos < rb_order_.size(); ++pos) {
-    const Slot& s = st_.slots[rb_order_[pos]];
+    const std::uint32_t idx = rb_order_[pos];
+    const Slot& s = st_.slots[idx];
     std::size_t placed = kNoMachine;
     for (std::size_t j = 0; j < m; ++j) {
       const bool fits = slack_form_ ? s.util <= rb_slack_[j]
@@ -274,10 +326,9 @@ RebalanceReport OnlinePartitioner::rebalance() {
         break;
       }
     }
-    if (placed == kNoMachine) {  // applied = false, state intact
-      HETSCHED_COUNT(g_metrics.rebalances_failed);
-      HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, false, 0, 0);
-      return rep;
+    if (placed == kNoMachine) {  // infeasible: report, no partial plan
+      plan.moves.clear();
+      return plan;
     }
     if (slack_form_) {
       admission_fold_step(kind_, s.util, capacity_[placed],
@@ -286,17 +337,72 @@ RebalanceReport OnlinePartitioner::rebalance() {
     } else {
       trial_loads[placed].admit(s.task);
     }
-    rb_machine_[pos] = static_cast<std::uint32_t>(placed);
+    MigrationPlan::Move mv;
+    mv.id = make_id(idx, s.gen);
+    mv.task = s.task;
+    mv.util = s.util;
+    mv.from = s.machine;
+    mv.to = static_cast<std::uint32_t>(placed);
+    if (mv.from != mv.to) ++plan.migrations;
+    plan.moves.push_back(mv);
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+RebalanceReport OnlinePartitioner::apply_plan(const MigrationPlan& plan) {
+  RebalanceReport rep;
+  rep.resident = st_.resident;
+  if (!plan.feasible || plan.resident != st_.resident) return rep;
+  if (st_.resident == 0) {
+    rep.applied = true;
+    return rep;
+  }
+  // Stale-plan guard: every move must still name a live slot.  (A fresh
+  // plan from migration_plan() always passes; a plan applied after the
+  // resident set changed is rejected with the state untouched.)
+  for (const MigrationPlan::Move& mv : plan.moves) {
+    const auto slot = static_cast<std::uint32_t>(mv.id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(mv.id >> 32);
+    if (slot >= st_.slots.size() || !st_.slots[slot].live ||
+        st_.slots[slot].gen != gen) {
+      return rep;
+    }
   }
 
-  // Commit: rebuild resident lists in canonical admission order.
+  // Commit: replay the exact fold-step sequence of the trial pass (same
+  // FP operations in the same order, so the committed state is
+  // bit-identical to what the plan computed), then rebuild the resident
+  // lists in canonical admission order.
+  const std::size_t m = platform_.size();
+  std::vector<MachineLoad> trial_loads;  // kRmsResponseTime only
+  if (slack_form_) {
+    rb_util_sum_.assign(m, 0.0);
+    rb_hyper_.assign(m, 1.0);
+    rb_count_.assign(m, 0);
+    rb_slack_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      rb_slack_[j] = admission_slack(kind_, capacity_[j], 0.0, 0, 1.0);
+    }
+  } else {
+    trial_loads.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      trial_loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
+    }
+  }
   for (std::size_t j = 0; j < m; ++j) st_.residents[j].clear();
-  for (std::size_t pos = 0; pos < rb_order_.size(); ++pos) {
-    const std::uint32_t idx = rb_order_[pos];
-    const std::uint32_t j = rb_machine_[pos];
-    if (st_.slots[idx].machine != j) ++rep.migrations;
-    st_.slots[idx].machine = j;
-    st_.residents[j].push_back(idx);
+  for (const MigrationPlan::Move& mv : plan.moves) {
+    const auto slot = static_cast<std::uint32_t>(mv.id & 0xffffffffu);
+    if (slack_form_) {
+      admission_fold_step(kind_, mv.util, capacity_[mv.to],
+                          rb_util_sum_[mv.to], rb_hyper_[mv.to],
+                          rb_count_[mv.to], rb_slack_[mv.to]);
+    } else {
+      trial_loads[mv.to].admit(mv.task);
+    }
+    if (st_.slots[slot].machine != mv.to) ++rep.migrations;
+    st_.slots[slot].machine = mv.to;
+    st_.residents[mv.to].push_back(slot);
   }
   if (slack_form_) {
     st_.util_sum = rb_util_sum_;
@@ -308,10 +414,30 @@ RebalanceReport OnlinePartitioner::rebalance() {
     st_.loads = std::move(trial_loads);
   }
   rep.applied = true;
-  HETSCHED_COUNT(g_metrics.rebalances_applied);
-  HETSCHED_COUNT_ADD(g_metrics.migrations, rep.migrations);
-  HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, true, 0, rep.migrations);
   HETSCHED_AUDIT_HOOK(audit_verify_full(); audit_verify_canonical());
+  return rep;
+}
+
+RebalanceReport OnlinePartitioner::rebalance() {
+  HETSCHED_TIMED(g_metrics.rebalance_ns);
+  const MigrationPlan plan = migration_plan();
+  RebalanceReport rep;
+  rep.resident = plan.resident;
+  if (plan.feasible) {
+    rep = apply_plan(plan);
+    HETSCHED_COUNT(g_metrics.rebalances_applied);
+    HETSCHED_COUNT_ADD(g_metrics.migrations, rep.migrations);
+    HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, true, 0, rep.migrations);
+  } else {
+    HETSCHED_COUNT(g_metrics.rebalances_failed);
+    HETSCHED_TRACE_EVENT(obs::TraceKind::kRebalance, false, 0, 0);
+  }
+  ++st_.decision_seq;
+  std::uint64_t h = st_.decision_checksum;
+  h = fnv1a_u64(h, 3);  // op tag: rebalance
+  h = fnv1a_u64(h, rep.applied ? 1 : 0);
+  h = fnv1a_u64(h, rep.migrations);
+  st_.decision_checksum = h;
   return rep;
 }
 
@@ -319,11 +445,182 @@ OnlinePartitioner::Snapshot OnlinePartitioner::snapshot() const {
   return Snapshot{st_};
 }
 
-void OnlinePartitioner::restore(const Snapshot& snap) {
-  HETSCHED_CHECK(snap.state.residents.size() == platform_.size());
+bool OnlinePartitioner::restore(const Snapshot& snap) {
+  if (snap.state.residents.size() != platform_.size()) return false;
   st_ = snap.state;
   if (slack_form_ && use_tree_) tree_.build(st_.slack);
   HETSCHED_AUDIT_HOOK(audit_verify_full());
+  return true;
+}
+
+namespace {
+
+// Little-endian byte helpers for the snapshot payload.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+struct ByteCursor {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+  std::uint8_t u8() {
+    if (left < 1) {
+      ok = false;
+      return 0;
+    }
+    --left;
+    return *p++;
+  }
+  std::uint32_t u32() {
+    if (left < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (left < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+};
+
+constexpr std::uint32_t kSnapshotPayloadMagic = 0x53504F48;  // "HOPS"
+constexpr std::uint32_t kSnapshotPayloadVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> OnlinePartitioner::serialize_snapshot() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + st_.slots.size() * 29 + st_.free_slots.size() * 4 +
+              (st_.resident + platform_.size()) * 4);
+  put_u32(out, kSnapshotPayloadMagic);
+  put_u32(out, kSnapshotPayloadVersion);
+  put_u32(out, static_cast<std::uint32_t>(kind_));
+  put_u32(out, static_cast<std::uint32_t>(platform_.size()));
+  put_u64(out, std::bit_cast<std::uint64_t>(alpha_));
+  put_u64(out, st_.next_seq);
+  put_u64(out, st_.decision_seq);
+  put_u64(out, st_.decision_checksum);
+  put_u64(out, static_cast<std::uint64_t>(st_.resident));
+  put_u32(out, static_cast<std::uint32_t>(st_.slots.size()));
+  for (const Slot& s : st_.slots) {
+    out.push_back(s.live ? 1 : 0);
+    put_u32(out, s.gen);
+    put_u32(out, s.machine);
+    put_u64(out, s.seq);
+    put_u64(out, static_cast<std::uint64_t>(s.task.exec));
+    put_u64(out, static_cast<std::uint64_t>(s.task.period));
+  }
+  put_u32(out, static_cast<std::uint32_t>(st_.free_slots.size()));
+  for (const std::uint32_t idx : st_.free_slots) put_u32(out, idx);
+  for (const auto& res : st_.residents) {
+    put_u32(out, static_cast<std::uint32_t>(res.size()));
+    for (const std::uint32_t idx : res) put_u32(out, idx);
+  }
+  return out;
+}
+
+bool OnlinePartitioner::restore_bytes(const std::uint8_t* data,
+                                      std::size_t size) {
+  ByteCursor c{data, size};
+  if (c.u32() != kSnapshotPayloadMagic) return false;
+  if (c.u32() != kSnapshotPayloadVersion) return false;
+  if (c.u32() != static_cast<std::uint32_t>(kind_)) return false;
+  if (c.u32() != static_cast<std::uint32_t>(platform_.size())) return false;
+  if (c.u64() != std::bit_cast<std::uint64_t>(alpha_)) return false;
+  const std::size_t m = platform_.size();
+  State ns;
+  ns.next_seq = c.u64();
+  ns.decision_seq = c.u64();
+  ns.decision_checksum = c.u64();
+  ns.resident = static_cast<std::size_t>(c.u64());
+  const std::uint32_t slot_count = c.u32();
+  if (!c.ok || slot_count > size) return false;  // cheap sanity bound
+  ns.slots.resize(slot_count);
+  std::size_t live = 0;
+  for (Slot& s : ns.slots) {
+    s.live = c.u8() != 0;
+    s.gen = c.u32();
+    s.machine = c.u32();
+    s.seq = c.u64();
+    s.task.exec = static_cast<std::int64_t>(c.u64());
+    s.task.period = static_cast<std::int64_t>(c.u64());
+    if (!c.ok) return false;
+    if (s.live) {
+      if (!s.task.valid() || s.machine >= m || s.seq >= ns.next_seq) {
+        return false;
+      }
+      // Same computation admit() performed, so the cached value is
+      // bit-identical to the live controller's.
+      s.util = s.task.utilization();
+      ++live;
+    }
+  }
+  if (live != ns.resident) return false;
+  const std::uint32_t free_count = c.u32();
+  if (!c.ok || live + free_count != slot_count) return false;
+  ns.free_slots.resize(free_count);
+  std::vector<bool> seen(slot_count, false);
+  for (std::uint32_t& idx : ns.free_slots) {
+    idx = c.u32();
+    if (!c.ok || idx >= slot_count || ns.slots[idx].live || seen[idx]) {
+      return false;
+    }
+    seen[idx] = true;
+  }
+  ns.residents.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t count = c.u32();
+    if (!c.ok || count > slot_count) return false;
+    ns.residents[j].resize(count);
+    for (std::uint32_t& idx : ns.residents[j]) {
+      idx = c.u32();
+      if (!c.ok || idx >= slot_count || !ns.slots[idx].live ||
+          ns.slots[idx].machine != j || seen[idx]) {
+        return false;
+      }
+      seen[idx] = true;
+    }
+  }
+  if (!c.ok || c.left != 0) return false;
+  for (std::uint32_t i = 0; i < slot_count; ++i) {
+    if (!seen[i]) return false;  // a live slot missing from its machine list
+  }
+
+  // Structure validated: install, then recompute the per-machine folds as
+  // the canonical left fold over each resident list — bit-identical to the
+  // incrementally maintained values (the audit layer proves this), so no
+  // floating-point accumulator ever round-trips through the file.
+  if (slack_form_) {
+    ns.util_sum.assign(m, 0.0);
+    ns.hyper.assign(m, 1.0);
+    ns.count.assign(m, 0);
+    ns.slack.resize(m);
+  } else {
+    ns.loads.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      ns.loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
+    }
+  }
+  st_ = std::move(ns);
+  for (std::size_t j = 0; j < m; ++j) recompute_machine(j);
+  HETSCHED_AUDIT_HOOK(audit_verify_full());
+  return true;
 }
 
 void OnlinePartitioner::reserve(std::size_t tasks) {
@@ -366,6 +663,19 @@ std::vector<Task> OnlinePartitioner::machine_tasks(std::size_t j) const {
   out.reserve(st_.residents[j].size());
   for (const std::uint32_t idx : st_.residents[j]) {
     out.push_back(st_.slots[idx].task);
+  }
+  return out;
+}
+
+std::vector<std::pair<OnlineTaskId, Task>> OnlinePartitioner::residents()
+    const {
+  std::vector<std::pair<OnlineTaskId, Task>> out;
+  out.reserve(st_.resident);
+  for (std::size_t i = 0; i < st_.slots.size(); ++i) {
+    const Slot& s = st_.slots[i];
+    if (s.live) {
+      out.emplace_back(make_id(static_cast<std::uint32_t>(i), s.gen), s.task);
+    }
   }
   return out;
 }

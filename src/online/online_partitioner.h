@@ -44,12 +44,14 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/platform.h"
 #include "core/task.h"
 #include "partition/admission.h"
 #include "partition/engine.h"
+#include "util/fnv.h"
 
 namespace hetsched {
 
@@ -78,6 +80,25 @@ struct RebalanceReport {
   std::size_t migrations = 0;  // tasks whose machine changed
 };
 
+// The canonical re-pack as data: every resident in canonical order
+// (utilization descending, ties by admission sequence) with its current
+// and target machine.  Both rebalance() and the shard split/merge path
+// consume plans — rebalance applies the whole plan in place, resize uses
+// the canonical order to pick which tenants migrate to another shard.
+struct MigrationPlan {
+  bool feasible = false;       // every resident placed by the re-pack
+  std::size_t resident = 0;    // tasks considered (== moves.size() if feasible)
+  std::size_t migrations = 0;  // moves whose machine would change
+  struct Move {
+    OnlineTaskId id = kInvalidOnlineTaskId;
+    Task task;
+    double util = 0.0;
+    std::uint32_t from = 0;  // current machine
+    std::uint32_t to = 0;    // canonical first-fit machine
+  };
+  std::vector<Move> moves;  // canonical order; empty when !feasible
+};
+
 class OnlinePartitioner {
  public:
   static constexpr std::size_t kNoMachine = static_cast<std::size_t>(-1);
@@ -101,13 +122,46 @@ class OnlinePartitioner {
   // Re-runs the canonical first fit (utilization descending, ties by
   // admission sequence) over all residents.  On success applies the new
   // assignment; existing OnlineTaskIds remain valid and follow their tasks.
+  // Equivalent to apply_plan(migration_plan()) plus the decision-stream
+  // bookkeeping below.
   RebalanceReport rebalance();
 
-  // Opaque copy of the mutable state.  restore() aborts if the snapshot
-  // came from a controller with a different machine count.
+  // Computes the canonical re-pack without touching the live assignment.
+  MigrationPlan migration_plan();
+
+  // Commits a plan produced by migration_plan().  Returns applied=false
+  // (state untouched) if the plan is infeasible or stale — i.e. the
+  // resident set changed since the plan was computed.  Does NOT advance
+  // the decision stream; rebalance() is the client-facing wrapper.
+  RebalanceReport apply_plan(const MigrationPlan& plan);
+
+  // Migration variants for shard resize and crash recovery: identical
+  // placement decisions and decision-sequence bump as admit()/depart(),
+  // but the decision checksum is NOT folded — a tenant moved between
+  // shards is not a client-visible decision, and a resize that aborts
+  // half-way must leave the durable checksum stream untouched.
+  AdmitDecision admit_migrated(const Task& t);
+  bool depart_migrated(OnlineTaskId id);
+
+  // Opaque copy of the mutable state.  restore() returns false (and
+  // changes nothing) if the snapshot came from a controller with a
+  // different machine count, so recovery can fall back to an older
+  // snapshot instead of killing the server.
   struct Snapshot;
   Snapshot snapshot() const;
-  void restore(const Snapshot& snap);
+  bool restore(const Snapshot& snap);
+
+  // Binary round-trip of the snapshot state for the durability layer.
+  // The byte format stores only the discrete state (slots, free list,
+  // resident lists, sequence numbers); per-machine folds are recomputed
+  // on restore as the canonical left fold over each resident list, which
+  // the audit layer proves bit-identical to the incrementally maintained
+  // values — so a restored controller is bit-exact without ever writing
+  // floating-point accumulator state to disk.
+  std::vector<std::uint8_t> serialize_snapshot() const;
+  // Validates structure (magic, version, kind, machine count, alpha, slot
+  // cross-references) and returns false without mutating on any mismatch.
+  bool restore_bytes(const std::uint8_t* data, std::size_t size);
 
   // Pre-grows the slot arena so the next `tasks` admissions need no arena
   // growth (per-machine resident lists still warm up on first use).
@@ -120,6 +174,14 @@ class OnlinePartitioner {
   std::size_t machine_count() const { return platform_.size(); }
   std::size_t resident_count() const { return st_.resident; }
 
+  // Decision stream: every admit/depart/rebalance — including the
+  // *_migrated variants — bumps the monotone sequence number; only
+  // client-facing ops fold the FNV-1a decision checksum.  Recovery
+  // replays the WAL and asserts both values record by record, so a
+  // restored controller is provably on the same decision stream.
+  std::uint64_t decision_seq() const { return st_.decision_seq; }
+  std::uint64_t decision_checksum() const { return st_.decision_checksum; }
+
   // Utilization admitted on machine j (unaugmented task utilizations).
   double machine_utilization(std::size_t j) const;
   std::size_t machine_task_count(std::size_t j) const;
@@ -131,6 +193,11 @@ class OnlinePartitioner {
 
   // Machine j's residents in admission order (copies the Task values).
   std::vector<Task> machine_tasks(std::size_t j) const;
+
+  // Every live (id, task) pair in slot-index order — a deterministic
+  // enumeration of the resident set, used by shard merge to move all
+  // tenants and by recovery verification.
+  std::vector<std::pair<OnlineTaskId, Task>> residents() const;
 
   double total_utilization() const;
 
@@ -162,11 +229,16 @@ class OnlinePartitioner {
     std::vector<MachineLoad> loads;
     std::uint64_t next_seq = 0;
     std::size_t resident = 0;
+    // Decision stream (see decision_seq()/decision_checksum()).
+    std::uint64_t decision_seq = 0;
+    std::uint64_t decision_checksum = kFnv1aOffsetBasis;
   };
 
   std::size_t find_machine(const Task& t, double w) const;
   void apply_admit(std::size_t j, double w, const Task& t);
   void recompute_machine(std::size_t j);
+  AdmitDecision admit_impl(const Task& t, bool fold_checksum);
+  bool depart_impl(OnlineTaskId id, bool fold_checksum);
 #if HETSCHED_AUDIT_ENABLED
   // Shadow-oracle checks (see partition/audit.h).  Machine-local fold
   // recomputation, first-fit decision replay, whole-state invariants, and
@@ -190,7 +262,6 @@ class OnlinePartitioner {
   SlackTree tree_;                     // mirrors st_.slack when use_tree_
   // Rebalance scratch (reused; rebalance itself may allocate on growth).
   std::vector<std::uint32_t> rb_order_;
-  std::vector<std::uint32_t> rb_machine_;
   std::vector<double> rb_util_sum_, rb_hyper_, rb_slack_;
   std::vector<std::size_t> rb_count_;
 };

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte range.
+// Used by the WAL record framing and the snapshot file format to detect
+// torn or corrupted bytes; the table is built at compile time so the
+// checksum of a record stays allocation-free on the append path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hetsched {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// checksum over discontiguous ranges; seed 0 starts a fresh checksum.
+// HETSCHED_NOALLOC
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,24 @@
+// FNV-1a folding over 64-bit words — the repo-wide decision-checksum
+// primitive.  One definition here; net/trace_replay.h and the durability
+// layer (online decision checksum, WAL records) all fold through it so
+// checksums stay comparable across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace hetsched {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+// FNV-1a over the 8 bytes of `v`, little-endian byte order.
+// HETSCHED_NOALLOC
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace hetsched

@@ -53,6 +53,21 @@
 //       adapts between --batch-min and --batch frames.  In this mode
 //       --stats-interval is in seconds.  SIGINT/SIGTERM drain the shard
 //       queues, flush responses and the final snapshot, and exit 0.
+//       Durability: --wal-dir DIR logs every decision to per-shard WALs
+//       before its response is sent and recovers from DIR on start;
+//       --wal-sync always|batch|off picks the fsync policy (default
+//       batch), --snapshot-every N bounds replay by snapshotting a shard
+//       after N logged decisions (default 65536, 0 = never mid-run).
+//   hetsched_cli recover --wal-dir DIR [--shards N] [--admission KIND]
+//       [--alpha X] [--engine E] [--machines M] [--ratio R |
+//       --platform FILE]
+//       Offline crash recovery: rebuild every shard controller found in
+//       DIR from its newest valid snapshot plus the WAL tail, verify the
+//       decision stream record by record (seq + FNV-1a checksum), rotate
+//       the logs (fresh snapshot, truncated WAL), and print a per-shard
+//       summary.  The admission configuration must match what the logs
+//       were written under — serve's corresponding flags, same defaults.
+//       Exits non-zero if any shard's log fails verification.
 //
 // Metrics snapshot format (README "Observability"): a line
 // "hetsched_metrics_enabled 0|1", then Prometheus-style text — # HELP /
@@ -81,9 +96,12 @@
 
 #include "hetsched/hetsched.h"
 #include "io/obs_jsonl.h"
+#include "io/snapshot_format.h"
 #include "io/text_format.h"
 #include "io/trace_format.h"
+#include "io/wal.h"
 #include "net/server.h"
+#include "net/shard_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -93,7 +111,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hetsched_cli <test|certify|augment|simulate|"
-               "sensitivity|generate|generate-trace|replay|serve> "
+               "sensitivity|generate|generate-trace|replay|serve|recover> "
                "[args]\n  see the header of tools/hetsched_cli.cpp\n");
   return 2;
 }
@@ -486,6 +504,13 @@ int cmd_serve_net(const Args& args) {
   options.batch = static_cast<std::size_t>(args.get_long("batch", 64));
   options.batch_min = static_cast<std::size_t>(args.get_long("batch-min", 1));
   options.reuseport = !args.has("no-reuseport");
+  options.wal_dir = args.get("wal-dir", "");
+  if (!io::parse_wal_sync(args.get("wal-sync", "batch"), &options.wal_sync)) {
+    std::fprintf(stderr, "error: --wal-sync must be always|batch|off\n");
+    return 2;
+  }
+  options.snapshot_every =
+      static_cast<std::size_t>(args.get_long("snapshot-every", 65536));
   const auto stats_interval = args.get_long("stats-interval", 0);
   const std::string trace_out = args.get("trace-out", "");
   if ((stats_interval > 0 || !trace_out.empty()) && !obs::kMetricsCompiled) {
@@ -511,10 +536,18 @@ int cmd_serve_net(const Args& args) {
   }
   std::printf("listening on port %u: %zu shard(s) of %s alpha=%.3f on %zu "
               "machines (%zu loop(s), %s, queue %zu, batch %zu-%zu)\n",
-              server.port(), options.shards, to_string(*kind).c_str(),
+              server.port(), server.shard_count(), to_string(*kind).c_str(),
               options.alpha, platform.size(), server.loop_count(),
               server.reuseport_active() ? "reuseport" : "single-acceptor",
               options.queue_depth, options.batch_min, options.batch);
+  if (!options.wal_dir.empty()) {
+    const net::ServerStats rs = server.stats();
+    std::printf("durability: wal-dir %s, sync %s, snapshot every %zu "
+                "(%llu record(s) replayed on start)\n",
+                options.wal_dir.c_str(), io::to_string(options.wal_sync),
+                options.snapshot_every,
+                static_cast<unsigned long long>(rs.recovered));
+  }
   std::fflush(stdout);
 
   const std::string port_file = args.get("port-file", "");
@@ -557,6 +590,17 @@ int cmd_serve_net(const Args& args) {
               static_cast<unsigned long long>(s.stale),
               static_cast<unsigned long long>(s.rebalances),
               static_cast<unsigned long long>(s.bad));
+  if (!options.wal_dir.empty() || s.resizes > 0 || s.resize_failures > 0) {
+    std::printf("durability: %llu wal record(s) in %llu commit(s), "
+                "%llu snapshot(s), %llu resize(s) (%llu failed), "
+                "%llu forwarded depart(s)\n",
+                static_cast<unsigned long long>(s.wal_records),
+                static_cast<unsigned long long>(s.wal_commits),
+                static_cast<unsigned long long>(s.snapshots),
+                static_cast<unsigned long long>(s.resizes),
+                static_cast<unsigned long long>(s.resize_failures),
+                static_cast<unsigned long long>(s.forwarded));
+  }
   if (stats_interval > 0) {
     std::printf("--- metrics snapshot (final) ---\n%s",
                 obs::registry().expose().c_str());
@@ -564,6 +608,81 @@ int cmd_serve_net(const Args& args) {
   const int trace_rc = flush_trace_ring(trace_out);
   std::fflush(stdout);
   return trace_rc;
+}
+
+// Offline crash recovery (recover-then-exit): rebuild every shard found
+// in --wal-dir, verify the decision stream record by record, rotate the
+// logs, and summarize.  Shares the recovery engine with serve's startup
+// path (net/shard_store.h), so "recover then serve" and "serve with
+// --wal-dir" land in bit-identical states.
+int cmd_recover(const Args& args) {
+  const auto kind = admission_from_name(args.get("admission", "edf"));
+  if (!kind) return usage();
+  const auto engine = engine_flag(args);
+  if (!engine) return usage();
+  const std::string dir = args.get("wal-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: recover requires --wal-dir DIR\n");
+    return 2;
+  }
+
+  Platform platform;
+  const std::string platform_file = args.get("platform", "");
+  if (!platform_file.empty()) {
+    const auto inst = load_or_complain(platform_file);
+    if (!inst) return 1;
+    platform = inst->platform;
+  } else {
+    const auto m = static_cast<std::size_t>(args.get_long("machines", 4));
+    const double ratio = args.get_double("ratio", 1.5);
+    if (m == 0 || ratio < 1.0) return usage();
+    platform = geometric_platform(m, ratio);
+  }
+  const double alpha = args.get_double("alpha", 1.0);
+
+  std::size_t shard_count =
+      static_cast<std::size_t>(args.get_long("shards", 0));
+  const std::size_t discovered = io::discover_shard_count(dir);
+  if (discovered > shard_count) shard_count = discovered;
+  if (shard_count == 0) {
+    std::printf("recover: %s holds no shard state\n", dir.c_str());
+    return 0;
+  }
+
+  std::vector<std::unique_ptr<OnlinePartitioner>> controllers;
+  std::vector<OnlinePartitioner*> ptrs;
+  controllers.reserve(shard_count);
+  ptrs.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    controllers.push_back(std::make_unique<OnlinePartitioner>(
+        platform, *kind, alpha, *engine));
+    ptrs.push_back(controllers.back().get());
+  }
+  const net::ShardSetRecovery rec = net::recover_shard_set(
+      dir, ptrs, /*rotate=*/true, io::WalSync::kBatch);
+  if (!rec.ok) {
+    std::fprintf(stderr, "recover: FAILED: %s\n", rec.error.c_str());
+    return 1;
+  }
+  std::printf("recover: %zu shard(s) from %s, next epoch %u\n", shard_count,
+              dir.c_str(), rec.next_epoch);
+  for (std::size_t i = 0; i < rec.shards.size(); ++i) {
+    const net::ShardRecoveryInfo& info = rec.shards[i];
+    std::printf(
+        "  shard %zu: %s, %zu resident, seq %llu, checksum %016llx "
+        "(snapshot cut %llu, %llu replayed, %llu reconciled, %llu "
+        "forward(s)%s)\n",
+        i, info.active ? "active" : "merged-away",
+        controllers[i]->resident_count(),
+        static_cast<unsigned long long>(info.decision_seq),
+        static_cast<unsigned long long>(info.decision_checksum),
+        static_cast<unsigned long long>(info.snapshot_seq),
+        static_cast<unsigned long long>(info.replayed),
+        static_cast<unsigned long long>(info.reconciled),
+        static_cast<unsigned long long>(info.forwards.size()),
+        info.truncated_bytes > 0 ? ", torn tail truncated" : "");
+  }
+  return 0;
 }
 
 // Streams trace directives from stdin through a live controller, answering
@@ -729,6 +848,7 @@ int run(int argc, char** argv) {
   if (cmd == "generate-trace") return cmd_generate_trace(args);
   if (cmd == "replay") return cmd_replay(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "recover") return cmd_recover(args);
   return usage();
 }
 

@@ -488,7 +488,8 @@ std::vector<NoallocBody> find_noalloc_bodies(const FileText& file) {
 void check_noalloc(const FileText& file, const SuppressionMap& sup,
                    std::vector<Violation>* out) {
   static const std::vector<std::string> kMemberCalls = {
-      "push_back", "emplace_back", "resize", "reserve", "shrink_to_fit"};
+      "push_back", "emplace_back", "resize", "reserve",
+      "shrink_to_fit", "insert", "append"};
   static const std::vector<std::string> kBannedWords = {
       "new",    "delete", "make_unique", "make_shared",
       "malloc", "calloc", "realloc",     "strdup"};
