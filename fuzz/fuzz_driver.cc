@@ -1,0 +1,223 @@
+// Standalone fuzzing driver: a gcc-friendly stand-in for libFuzzer.
+//
+// The container builds with g++, which has no -fsanitize=fuzzer runtime,
+// so this file supplies main() when CMake's flag probe says libFuzzer is
+// unavailable.  It speaks enough of the libFuzzer command line that CI
+// scripts and crash-repro instructions are identical either way:
+//
+//   fuzz_<target> [-runs=N] [-seed=S] [-max_len=M] [-max_total_time=T]
+//                 [dir-or-file ...]
+//
+//   - every regular file among the positional args, and every file inside
+//     each positional directory, is replayed verbatim first (so
+//     `fuzz_<target> crash-1234` reproduces a saved crash);
+//   - then N mutated inputs are generated from the corpus with a
+//     deterministic xorshift PRNG (same seed => same byte stream), so the
+//     ctest smoke budget of -runs=10000 -seed=1 is reproducible;
+//   - -runs=-1 means unlimited, bounded only by -max_total_time seconds.
+//
+// On SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL — a sanitizer report, a
+// fuzz::require failure, or a plain crash — the input being executed is
+// written to ./crash-<pid> before the default handler re-raises, matching
+// libFuzzer's crash-<hash> artifacts closely enough for the same repro
+// workflow.
+#include "fuzz_driver.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> g_current;  // input under execution, for the dump
+
+void dump_current_input(int sig) {
+  char name[64];
+  std::snprintf(name, sizeof name, "crash-%ld",
+                static_cast<long>(::getpid()));
+  // Not async-signal-safe, but the process is already doomed: best-effort
+  // stdio beats losing the reproducer.
+  if (std::FILE* f = std::fopen(name, "wb")) {
+    if (!g_current.empty()) {
+      std::fwrite(g_current.data(), 1, g_current.size(), f);
+    }
+    std::fclose(f);
+    std::fprintf(stderr, "fuzz_driver: wrote failing input to %s (%zu bytes)\n",
+                 name, g_current.size());
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+// Deterministic xorshift64*: cheap, seedable, and good enough for byte
+// mutation (this is a smoke fuzzer, not a coverage-guided one).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// One mutation step; returns false if the mutant would exceed max_len and
+// the caller should truncate.
+void mutate_once(std::vector<std::uint8_t>& buf, Rng& rng,
+                 const std::vector<std::vector<std::uint8_t>>& corpus) {
+  switch (rng.below(5)) {
+    case 0:  // flip one bit
+      if (!buf.empty()) {
+        buf[rng.below(buf.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // randomize one byte
+      if (!buf.empty()) {
+        buf[rng.below(buf.size())] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 2: {  // insert a short run of random bytes
+      const std::size_t n = 1 + rng.below(8);
+      const std::size_t at = rng.below(buf.size() + 1);
+      std::vector<std::uint8_t> run(n);
+      for (std::uint8_t& b : run) b = static_cast<std::uint8_t>(rng.next());
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                 run.end());
+      break;
+    }
+    case 3:  // erase a short range
+      if (!buf.empty()) {
+        const std::size_t at = rng.below(buf.size());
+        const std::size_t n = 1 + rng.below(buf.size() - at);
+        buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                  buf.begin() + static_cast<std::ptrdiff_t>(at + n));
+      }
+      break;
+    case 4:  // splice a chunk of another corpus unit over this position
+      if (!corpus.empty()) {
+        const std::vector<std::uint8_t>& other = corpus[rng.below(corpus.size())];
+        if (!other.empty()) {
+          const std::size_t from = rng.below(other.size());
+          const std::size_t n = 1 + rng.below(other.size() - from);
+          const std::size_t at = rng.below(buf.size() + 1);
+          buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                     other.begin() + static_cast<std::ptrdiff_t>(from),
+                     other.begin() + static_cast<std::ptrdiff_t>(from + n));
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void run_one(const std::vector<std::uint8_t>& input) {
+  g_current = input;
+  LLVMFuzzerTestOneInput(g_current.data(), g_current.size());
+}
+
+bool parse_flag(const std::string& arg, const char* name, long long* out) {
+  const std::size_t n = std::strlen(name);
+  if (arg.compare(0, n, name) != 0) return false;
+  *out = std::strtoll(arg.c_str() + n, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 10000;
+  long long seed = 1;
+  long long max_len = 4096;
+  long long max_total_time = 0;  // seconds; 0 = unbounded
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long ignored = 0;
+    if (parse_flag(arg, "-runs=", &runs) || parse_flag(arg, "-seed=", &seed) ||
+        parse_flag(arg, "-max_len=", &max_len) ||
+        parse_flag(arg, "-max_total_time=", &max_total_time)) {
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: accept and ignore so shared scripts work.
+      (void)parse_flag(arg, arg.c_str(), &ignored);
+      std::fprintf(stderr, "fuzz_driver: ignoring flag %s\n", arg.c_str());
+      continue;
+    }
+    paths.emplace_back(arg);
+  }
+  if (max_len <= 0) max_len = 4096;
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const fs::path& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> files;
+      for (const fs::directory_entry& e : fs::directory_iterator(p, ec)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const fs::path& f : files) corpus.push_back(read_file(f));
+    } else if (fs::is_regular_file(p, ec)) {
+      corpus.push_back(read_file(p));
+    } else {
+      // libFuzzer writes new units into the first (possibly fresh) dir;
+      // we only need it to exist so shared scripts can pass it.
+      fs::create_directories(p, ec);
+    }
+  }
+
+  for (const int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(sig, dump_current_input);
+  }
+
+  for (const std::vector<std::uint8_t>& unit : corpus) run_one(unit);
+  std::fprintf(stderr, "fuzz_driver: replayed %zu corpus unit(s)\n",
+               corpus.size());
+
+  Rng rng{seed > 0 ? static_cast<std::uint64_t>(seed) : 1};
+  const auto start = std::chrono::steady_clock::now();
+  long long done = 0;
+  while (runs < 0 || done < runs) {
+    if (max_total_time > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (elapsed >= max_total_time) break;
+    }
+    std::vector<std::uint8_t> mutant =
+        corpus.empty() ? std::vector<std::uint8_t>{}
+                       : corpus[rng.below(corpus.size())];
+    const std::size_t steps = 1 + rng.below(4);
+    for (std::size_t s = 0; s < steps; ++s) mutate_once(mutant, rng, corpus);
+    if (mutant.size() > static_cast<std::size_t>(max_len)) {
+      mutant.resize(static_cast<std::size_t>(max_len));
+    }
+    run_one(mutant);
+    ++done;
+  }
+  std::fprintf(stderr, "fuzz_driver: done, %lld mutated run(s), seed=%lld\n",
+               done, seed);
+  return 0;
+}

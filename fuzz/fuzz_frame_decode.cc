@@ -1,0 +1,90 @@
+// Fuzz target: wire-frame decode (net/protocol.h), both directions.
+//
+// Invariants checked on every input:
+//   - decode never reads past `len` (ASan enforces: the input buffer is
+//     exactly `size` bytes);
+//   - kOk implies consumed == kFrameSize and a perfect round trip:
+//     encode(decode(x)) reproduces the input frame byte for byte (decode
+//     validates version/type/status/reserved, so no don't-care bits
+//     survive to the struct), and re-decoding the re-encoded bytes yields
+//     identical fields;
+//   - kNeedMore is only ever returned for a buffer shorter than one frame.
+#include <cstring>
+
+#include "fuzz_driver.h"
+#include "net/protocol.h"
+
+namespace {
+
+using hetsched::fuzz::require;
+namespace net = hetsched::net;
+
+void check_request(const std::uint8_t* data, std::size_t size) {
+  net::Request req;
+  std::size_t consumed = 0;
+  switch (net::decode_request(data, size, &req, &consumed)) {
+    case net::DecodeResult::kOk: {
+      require(consumed == net::kFrameSize, "request consumed != kFrameSize");
+      unsigned char out[net::kFrameSize];
+      require(net::encode_request(req, out) == net::kFrameSize,
+              "encode_request returned wrong size");
+      require(std::memcmp(out, data, net::kFrameSize) == 0,
+              "request encode(decode(x)) != x");
+      net::Request again;
+      std::size_t c2 = 0;
+      require(net::decode_request(out, net::kFrameSize, &again, &c2) ==
+                  net::DecodeResult::kOk,
+              "re-encoded request failed to decode");
+      require(again.type == req.type && again.shard == req.shard &&
+                  again.request_id == req.request_id && again.a == req.a &&
+                  again.b == req.b,
+              "request fields changed across the round trip");
+      break;
+    }
+    case net::DecodeResult::kNeedMore:
+      require(size < net::kFrameSize, "kNeedMore with a whole frame buffered");
+      break;
+    case net::DecodeResult::kBad:
+      break;
+  }
+}
+
+void check_response(const std::uint8_t* data, std::size_t size) {
+  net::Response resp;
+  std::size_t consumed = 0;
+  switch (net::decode_response(data, size, &resp, &consumed)) {
+    case net::DecodeResult::kOk: {
+      require(consumed == net::kFrameSize, "response consumed != kFrameSize");
+      unsigned char out[net::kFrameSize];
+      require(net::encode_response(resp, out) == net::kFrameSize,
+              "encode_response returned wrong size");
+      require(std::memcmp(out, data, net::kFrameSize) == 0,
+              "response encode(decode(x)) != x");
+      net::Response again;
+      std::size_t c2 = 0;
+      require(net::decode_response(out, net::kFrameSize, &again, &c2) ==
+                  net::DecodeResult::kOk,
+              "re-encoded response failed to decode");
+      require(again.type == resp.type && again.status == resp.status &&
+                  again.machine == resp.machine &&
+                  again.request_id == resp.request_id &&
+                  again.task_id == resp.task_id && again.value == resp.value,
+              "response fields changed across the round trip");
+      break;
+    }
+    case net::DecodeResult::kNeedMore:
+      require(size < net::kFrameSize, "kNeedMore with a whole frame buffered");
+      break;
+    case net::DecodeResult::kBad:
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  check_request(data, size);
+  check_response(data, size);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fuzz target: snapshot files (io/snapshot_format.h) — validation,
+// rewrite round trip, and the directory-discovery name parsing.
+//
+// The input bytes become a candidate .snap file.  read_snapshot_file must
+// reject corruption (magic/version/CRC/framing) without crashing; when it
+// accepts, the decoded meta + payload are rewritten through the real
+// writer (temp + rename publication) and read back:
+//   - every meta field, the forwarding table, and the payload must
+//     round-trip exactly;
+//   - list_snapshots must surface the freshly published file for its
+//     shard (the zero-padded name grammar and the lister agree);
+//   - discover_shard_count runs over the scratch directory to fuzz the
+//     shard-NNN name parsing against arbitrary shard values.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.h"
+#include "io/snapshot_format.h"
+
+namespace {
+
+using hetsched::fuzz::require;
+namespace io = hetsched::io;
+
+const std::string& scratch_dir() {
+  static const std::string dir = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string d = std::string(tmp != nullptr ? tmp : "/tmp") +
+                    "/hetsched_fuzz_snap." + std::to_string(::getpid());
+    io::ensure_dir(d);
+    return d;
+  }();
+  return dir;
+}
+
+bool write_input(const std::string& path, const std::uint8_t* data,
+                 std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& dir = scratch_dir();
+  const std::string in_path = dir + "/input.snap.tmp";
+  if (!write_input(in_path, data, size)) return 0;
+
+  io::SnapshotFileMeta meta;
+  std::vector<std::uint8_t> payload;
+  std::string error;
+  const bool ok = io::read_snapshot_file(in_path, &meta, &payload, &error);
+  ::unlink(in_path.c_str());
+  if (!ok) {
+    require(!error.empty(), "rejected snapshot without an error message");
+    return 0;
+  }
+
+  // Rewrite through the real writer and read the published file back.
+  std::string write_error;
+  const std::string out_path =
+      io::write_snapshot_file(dir, meta, payload, 0, false, &write_error);
+  require(!out_path.empty(), "rewrite of a valid snapshot failed");
+
+  io::SnapshotFileMeta meta2;
+  std::vector<std::uint8_t> payload2;
+  require(io::read_snapshot_file(out_path, &meta2, &payload2, &error),
+          "published snapshot failed to read back");
+  require(meta2.shard == meta.shard && meta2.epoch == meta.epoch &&
+              meta2.decision_seq == meta.decision_seq &&
+              meta2.decision_checksum == meta.decision_checksum &&
+              meta2.active == meta.active,
+          "snapshot meta changed across the round trip");
+  require(meta2.forwards.size() == meta.forwards.size(),
+          "forwarding table size changed across the round trip");
+  for (std::size_t i = 0; i < meta.forwards.size(); ++i) {
+    require(meta2.forwards[i].old_id == meta.forwards[i].old_id &&
+                meta2.forwards[i].peer_shard == meta.forwards[i].peer_shard &&
+                meta2.forwards[i].new_id == meta.forwards[i].new_id,
+            "forwarding entry changed across the round trip");
+  }
+  require(payload2 == payload, "payload changed across the round trip");
+
+  // Discovery surfaces: the lister must see the published name, and the
+  // shard-count scan must parse whatever shard value the fuzzer chose.
+  const std::vector<std::string> listed = io::list_snapshots(dir, meta.shard);
+  require(std::find(listed.begin(), listed.end(), out_path) != listed.end(),
+          "list_snapshots missed the published snapshot");
+  (void)io::discover_shard_count(dir);
+
+  ::unlink(out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz target: text churn traces (io/trace_format.h).
+//
+// The input bytes are parsed as a trace.  parse_trace_string must reject
+// malformed text with an error (never crash, never accept an invalid
+// event stream), and for accepted traces serialization must be a fixed
+// point: format(parse(format(t))) == format(t).  Times are printed with
+// round-trip precision and speeds as exact rationals, so one format/parse
+// cycle must already converge.
+#include <string>
+
+#include "fuzz_driver.h"
+#include "io/trace_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using hetsched::fuzz::require;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = hetsched::parse_trace_string(text);
+  if (!parsed.ok()) {
+    require(parsed.error.has_value(), "failed parse without an error");
+    return 0;
+  }
+  const std::string once = hetsched::format_trace(*parsed.value);
+  const auto reparsed = hetsched::parse_trace_string(once);
+  require(reparsed.ok(), "formatted trace failed to reparse");
+  const std::string twice = hetsched::format_trace(*reparsed.value);
+  require(once == twice, "format/parse is not a fixed point");
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Regenerates the committed seed corpus under fuzz/corpus/ using the real
+// encoders — the same distillation of the dur_test/net_test fixtures the
+// harnesses round-trip against:
+//
+//   corpus/frame/     valid request/response frames (every MsgType), a
+//                     pipelined two-frame unit, and a truncated prefix
+//   corpus/wal/       a multi-record WAL (admit/depart/rebalance), a
+//                     resize WAL (MoveOut with the deactivate flag), and
+//                     a torn-tail copy recovery must truncate
+//   corpus/snapshot/  published snapshot files (with and without a
+//                     forwarding table) whose payload is a real
+//                     OnlinePartitioner::serialize_snapshot() image
+//   corpus/trace/     churn traces in the text grammar, validated by
+//                     parse_trace_string before they are written
+//
+// Usage: make_corpus [corpus-root]   (default: fuzz/corpus)
+// The output is deterministic, so regenerating after an encoder change
+// yields a reviewable diff of the seeds.
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+#include "io/snapshot_format.h"
+#include "io/trace_format.h"
+#include "io/wal.h"
+#include "net/protocol.h"
+#include "online/online_partitioner.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = hetsched::io;
+namespace net = hetsched::net;
+
+int g_failures = 0;
+
+void write_file(const fs::path& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: failed to write %s\n",
+                 path.string().c_str());
+    ++g_failures;
+  } else {
+    std::printf("  %-40s %zu bytes\n", path.string().c_str(), size);
+  }
+}
+
+void write_frames(const fs::path& dir) {
+  unsigned char buf[net::kFrameSize * 2];
+  const auto one = [&](const char* name, const net::Request& r) {
+    net::encode_request(r, buf);
+    write_file(dir / name, buf, net::kFrameSize);
+  };
+  one("admit.bin", net::Request::admit(0, 1, 2, 10));
+  one("depart.bin", net::Request::depart(1, 2, 7));
+  one("rebalance.bin", net::Request::rebalance(2, 3));
+  one("split.bin", net::Request::split(0, 4));
+  one("merge.bin", net::Request::merge(3, 1, 5));
+
+  net::Response resp;
+  resp.type = net::MsgType::kAdmit;
+  resp.status = net::Status::kAdmitted;
+  resp.machine = 2;
+  resp.request_id = 1;
+  resp.task_id = 7;
+  resp.value = std::bit_cast<std::uint64_t>(0.2);
+  net::encode_response(resp, buf);
+  write_file(dir / "resp_admitted.bin", buf, net::kFrameSize);
+
+  resp.status = net::Status::kRetryLater;
+  resp.machine = 0;
+  resp.task_id = 0;
+  resp.value = 0;
+  net::encode_response(resp, buf);
+  write_file(dir / "resp_retry.bin", buf, net::kFrameSize);
+
+  // Two frames back to back: the decoder's consumed-loop seed.
+  net::encode_request(net::Request::admit(0, 8, 3, 20), buf);
+  net::encode_request(net::Request::depart(0, 9, 1), buf + net::kFrameSize);
+  write_file(dir / "pipelined.bin", buf, sizeof buf);
+
+  // A header plus a payload prefix: the kNeedMore path.
+  net::encode_request(net::Request::admit(0, 10, 5, 25), buf);
+  write_file(dir / "truncated.bin", buf, net::kHeaderSize + 11);
+}
+
+void write_wals(const fs::path& dir) {
+  const std::string basic = (dir / "basic.bin").string();
+  {
+    io::WalWriter w;
+    if (!w.open(basic, 1, io::WalSync::kOff)) {
+      std::fprintf(stderr, "make_corpus: cannot open %s\n", basic.c_str());
+      ++g_failures;
+      return;
+    }
+    w.append_admit(2, 10, 1, 0x1111);
+    w.append_admit(9, 10, 2, 0x2222);
+    w.append_depart(1, 3, 0x3333);
+    w.append_rebalance(4, 0x4444);
+    w.commit(true);
+    w.close();
+    std::printf("  %-40s (WalWriter)\n", basic.c_str());
+  }
+  {
+    const std::string resize = (dir / "resize.bin").string();
+    io::WalWriter w;
+    if (!w.open(resize, 2, io::WalSync::kOff)) {
+      std::fprintf(stderr, "make_corpus: cannot open %s\n", resize.c_str());
+      ++g_failures;
+      return;
+    }
+    const io::WalMovedTask moved[] = {{1, 101, 2, 10}, {2, 102, 9, 10}};
+    w.append_move(io::WalRecordType::kMoveOut, 1, io::kWalFlagDeactivate,
+                  moved, 5, 0x5555);
+    w.commit(true);
+    w.close();
+    std::printf("  %-40s (WalWriter)\n", resize.c_str());
+  }
+  // Torn tail: the basic WAL minus its last 3 bytes; recovery keeps the
+  // whole-record prefix and truncates the rest.
+  std::ifstream in(basic, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.size() > 3) {
+    write_file(dir / "torn.bin", bytes.data(), bytes.size() - 3);
+  }
+}
+
+void write_snapshots(const fs::path& dir) {
+  // A real controller image as the opaque payload.
+  hetsched::Platform platform = hetsched::Platform::from_speeds({1.0, 2.0});
+  hetsched::OnlinePartitioner controller(platform,
+                                         hetsched::AdmissionKind::kEdf, 1.0);
+  (void)controller.admit(hetsched::Task{2, 10});
+  (void)controller.admit(hetsched::Task{9, 10});
+  const std::vector<std::uint8_t> payload = controller.serialize_snapshot();
+
+  std::string error;
+  io::SnapshotFileMeta meta;
+  meta.shard = 0;
+  meta.epoch = 1;
+  meta.decision_seq = 2;
+  meta.decision_checksum = 0xABCD;
+  const std::string plain =
+      io::write_snapshot_file(dir.string(), meta, payload, 0, false, &error);
+  if (plain.empty()) {
+    std::fprintf(stderr, "make_corpus: snapshot write failed: %s\n",
+                 error.c_str());
+    ++g_failures;
+  } else {
+    std::printf("  %-40s (write_snapshot_file)\n", plain.c_str());
+  }
+
+  meta.shard = 1;
+  meta.epoch = 3;
+  meta.decision_seq = 9;
+  meta.active = false;  // merged away: forwards route its former tenants
+  meta.forwards = {{7, 0, 70}, {8, 2, 80}};
+  const std::string merged =
+      io::write_snapshot_file(dir.string(), meta, payload, 0, false, &error);
+  if (merged.empty()) {
+    std::fprintf(stderr, "make_corpus: snapshot write failed: %s\n",
+                 error.c_str());
+    ++g_failures;
+  } else {
+    std::printf("  %-40s (write_snapshot_file)\n", merged.c_str());
+  }
+}
+
+void write_traces(const fs::path& dir) {
+  const auto one = [&](const char* name, const std::string& text) {
+    const auto parsed = hetsched::parse_trace_string(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "make_corpus: seed trace %s does not parse\n",
+                   name);
+      ++g_failures;
+      return;
+    }
+    write_file(dir / name, text.data(), text.size());
+  };
+  one("basic.trace",
+      "platform 1 1 2.5\n"
+      "arrive 0.5 0 2 10\n"
+      "arrive 1.25 1 9 10\n"
+      "depart 3.5 0\n");
+  one("rational.trace",
+      "# heterogeneous speeds as exact rationals\n"
+      "platform 3/2 1 7/4\n"
+      "arrive 0 0 1 4\n"
+      "arrive 0 1 3 8\n"
+      "depart 2 1\n"
+      "arrive 2 2 1 2\n");
+  one("empty_events.trace", "platform 1\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+  for (const char* sub : {"frame", "wal", "snapshot", "trace"}) {
+    std::error_code ec;
+    fs::create_directories(root / sub, ec);
+    if (ec) {
+      std::fprintf(stderr, "make_corpus: mkdir %s failed: %s\n",
+                   (root / sub).string().c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  std::printf("make_corpus: writing seeds under %s\n", root.string().c_str());
+  write_frames(root / "frame");
+  write_wals(root / "wal");
+  write_snapshots(root / "snapshot");
+  write_traces(root / "trace");
+  if (g_failures != 0) {
+    std::fprintf(stderr, "make_corpus: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

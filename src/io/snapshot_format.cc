@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/eintr.h"
 
 namespace hetsched::io {
 
@@ -53,9 +54,11 @@ bool write_file_all(int fd, const std::uint8_t* data, std::size_t n) {
 }
 
 void fsync_dir(const std::string& dir) {
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  const int dfd = util::retry_eintr([&] {
+    return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  });
   if (dfd >= 0) {
-    ::fsync(dfd);
+    util::retry_eintr([&] { return ::fsync(dfd); });
     ::close(dfd);
   }
 }
@@ -109,16 +112,24 @@ std::string write_snapshot_file(const std::string& dir,
   const std::string final_path =
       snapshot_path(dir, meta.shard, meta.decision_seq);
   const std::string tmp_path = final_path + ".tmp";
-  const int fd =
-      ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = util::retry_eintr([&] {
+    return ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                  0644);
+  });
   if (fd < 0) {
     if (error != nullptr) *error = tmp_path + ": " + std::strerror(errno);
     return "";
   }
-  const bool ok = write_file_all(fd, bytes.data(), bytes.size()) &&
-                  (!durable || ::fsync(fd) == 0);
+  // A signal between the temp write and the publish rename must not turn
+  // into a lost snapshot: retry the durability syscalls through EINTR and
+  // only then judge the publish.
+  const bool ok =
+      write_file_all(fd, bytes.data(), bytes.size()) &&
+      (!durable || util::retry_eintr([&] { return ::fsync(fd); }) == 0);
   ::close(fd);
-  if (!ok || ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+  if (!ok || util::retry_eintr([&] {
+        return ::rename(tmp_path.c_str(), final_path.c_str());
+      }) != 0) {
     if (error != nullptr) *error = final_path + ": " + std::strerror(errno);
     ::unlink(tmp_path.c_str());
     return "";
@@ -137,7 +148,8 @@ std::string write_snapshot_file(const std::string& dir,
 bool read_snapshot_file(const std::string& path, SnapshotFileMeta* meta,
                         std::vector<std::uint8_t>* payload,
                         std::string* error) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = util::retry_eintr(
+      [&] { return ::open(path.c_str(), O_RDONLY | O_CLOEXEC); });
   if (fd < 0) {
     if (error != nullptr) *error = path + ": " + std::strerror(errno);
     return false;

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/eintr.h"
 
 namespace hetsched::io {
 
@@ -99,7 +100,10 @@ WalWriter::~WalWriter() { close(); }
 bool WalWriter::open(const std::string& path, std::uint32_t epoch,
                      WalSync sync) {
   close();
-  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  fd_ = util::retry_eintr([&] {
+    return ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+                  0644);
+  });
   if (fd_ < 0) return false;
   path_ = path;
   sync_ = sync;
@@ -139,7 +143,7 @@ bool WalWriter::write_all(const std::uint8_t* data, std::size_t n) {
 bool WalWriter::sync_now() {
   HETSCHED_TIMED(g_wal_metrics.fsync_ns);
   HETSCHED_COUNT(g_wal_metrics.fsyncs);
-  if (::fsync(fd_) != 0) {
+  if (util::retry_eintr([this] { return ::fsync(fd_); }) != 0) {
     failed_.store(true, std::memory_order_relaxed);
     return false;
   }
@@ -157,7 +161,10 @@ bool WalWriter::pace_sync() {
   if (covered == 0) return true;
   HETSCHED_TIMED(g_wal_metrics.fsync_ns);
   HETSCHED_COUNT(g_wal_metrics.fsyncs);
-  if (::fsync(fd_) != 0) {
+  // A paced sync interrupted by a signal has simply not happened yet;
+  // reporting it as a commit failure would fail the whole shard, so retry
+  // until the kernel gives a real answer.
+  if (util::retry_eintr([this] { return ::fsync(fd_); }) != 0) {
     failed_.store(true, std::memory_order_relaxed);
     return false;
   }
@@ -304,7 +311,7 @@ bool WalWriter::commit(bool force_sync) {
 bool WalWriter::truncate_restart(std::uint32_t epoch) {
   if (fd_ < 0) return false;
   used_ = 0;
-  if (::ftruncate(fd_, 0) != 0) {
+  if (util::retry_eintr([this] { return ::ftruncate(fd_, 0); }) != 0) {
     failed_ = true;
     return false;
   }
@@ -317,7 +324,8 @@ bool wal_load(const std::string& path, std::vector<WalRecord>* out,
               std::uint64_t* truncated_bytes, std::string* error) {
   out->clear();
   if (truncated_bytes != nullptr) *truncated_bytes = 0;
-  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  const int fd = util::retry_eintr(
+      [&] { return ::open(path.c_str(), O_RDWR | O_CLOEXEC); });
   if (fd < 0) {
     if (errno == ENOENT) return true;  // no log yet: empty history
     if (error != nullptr) *error = path + ": " + std::strerror(errno);
@@ -403,7 +411,9 @@ bool wal_load(const std::string& path, std::vector<WalRecord>* out,
   bool ok = true;
   if (off < size) {
     if (truncated_bytes != nullptr) *truncated_bytes = size - off;
-    if (::ftruncate(fd, static_cast<off_t>(off)) != 0 || ::fsync(fd) != 0) {
+    if (util::retry_eintr(
+            [&] { return ::ftruncate(fd, static_cast<off_t>(off)); }) != 0 ||
+        util::retry_eintr([&] { return ::fsync(fd); }) != 0) {
       if (error != nullptr) *error = path + ": " + std::strerror(errno);
       ok = false;
     }

@@ -818,6 +818,8 @@ void Server::wake_loop(Loop& lp) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (per-frame decision: runs inline on the decoding
+// loop for same-loop shards and on the owner's drain pass otherwise)
 // HETSCHED_NOALLOC (per-frame decision on the loop hot path: warm admits
 // and departs run the controller's allocation-free paths, and the WAL
 // append encodes into a preallocated arena)
@@ -944,6 +946,8 @@ void Server::count_response(const Response& resp) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (stages response bytes; the nonblocking sendmsg
+// path must bail to the EPOLLOUT backlog rather than spin)
 void Server::send_to_connection(Loop& lp,
                                 const std::shared_ptr<Connection>& conn,
                                 const unsigned char* data, std::size_t len) {
@@ -1106,6 +1110,9 @@ bool Server::resolve_forward(Request& req) {
   return rewritten;
 }
 
+// HETSCHED_OWNER_LOOP (group commit runs on the owner loop; fsync stays
+// on the pacer thread except under the explicit --wal-sync=always opt-in,
+// where WalWriter::commit pays it cross-TU)
 // Group commit for the WALs this loop owns.  Called after a decision
 // batch is processed and before its responses are sent: the write(2) —
 // and, under --wal-sync=always, the fsync — happen once per batch, not
@@ -1168,6 +1175,8 @@ void Server::write_shard_snapshot(Shard& sh) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (the coordinator IS an owner loop while it resizes;
+// its helpers may only poll with bounded, documented waits)
 // Coordinates a split or merge inline on the loop that decoded the frame.
 // One resize at a time globally; contention, shutdown, and quiesce
 // timeouts all answer kRetryLater (nothing changed — the client may
@@ -1242,6 +1251,9 @@ bool Server::quiesce_shard(Loop& lp, Shard& sh) {
     if (stopping_.load(std::memory_order_acquire)) return false;
     if (std::chrono::steady_clock::now() > deadline) return false;
     wake_loop(*loops_[sh.owner_loop]);
+    // Bounded 50µs poll under a 5s deadline while the coordinator waits
+    // for the owner's quiesce ack; see DESIGN.md invariant #15.
+    // hetsched-lint: allow(owner-loop-blocking)
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   return true;
@@ -1435,6 +1447,8 @@ Response Server::do_merge(Loop& lp, Shard& src, Shard& dst) {
   return resp;
 }
 
+// HETSCHED_OWNER_LOOP (the per-tick drain: decode -> decide -> commit ->
+// stage; nothing here may park the thread)
 void Server::drain_shard_queues(Loop& lp) {
   // Quiesce ack point: the previous drain/flush committed every owned
   // WAL, so acking here hands the coordinator a shard with no buffered
@@ -1527,6 +1541,7 @@ void Server::drain_shard_queues(Loop& lp) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (per-connection read/decode/respond path)
 bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
   if (conn->dead.load(std::memory_order_relaxed)) return false;
   std::size_t staged = 0;        // response bytes staged for this conn
@@ -1576,6 +1591,9 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
         alive = false;
         break;
       }
+      // `consumed` is never larger than the `rbuf_len - off` bytes the
+      // decoder was handed, so the advance is bounded by decode_request's
+      // own length checks.  hetsched-lint: allow(parser-bounds)
       off += consumed;
       bump(counters_.frames_rx);
       HETSCHED_COUNT(g_metrics.frames_rx);
@@ -1670,6 +1688,8 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
   return alive && !conn->dead.load(std::memory_order_relaxed);
 }
 
+// HETSCHED_OWNER_LOOP (the loop itself: the only sanctioned wait is the
+// poller — everything else must be ready-triggered work)
 void Server::loop_main(Loop& lp) {
   std::vector<Poller::Ready> ready;
   bool poller_ok = true;

@@ -119,6 +119,8 @@ void OnlinePartitioner::apply_admit(std::size_t j, double w, const Task& t) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (warm admit is called per frame from the server's
+// owner loops; pure compute, no syscalls)
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 AdmitDecision OnlinePartitioner::admit(const Task& t) {
   return admit_impl(t, /*fold_checksum=*/true);
@@ -218,6 +220,7 @@ void OnlinePartitioner::recompute_machine(std::size_t j) {
   }
 }
 
+// HETSCHED_OWNER_LOOP (warm depart, same per-frame contract as admit)
 // HETSCHED_NOALLOC (slack-form kinds, warm arena; growth is amortized)
 bool OnlinePartitioner::depart(OnlineTaskId id) {
   return depart_impl(id, /*fold_checksum=*/true);
@@ -693,7 +696,7 @@ double OnlinePartitioner::total_utilization() const {
 // Audit checks compare recomputed floating-point state bitwise on purpose:
 // the incremental fold and the from-scratch fold execute the same FP
 // operations in the same order, so any difference at all is a divergence.
-// hetsched-lint: allow(float-compare) applies to this whole block.
+// Each comparison site below carries its own line-scoped allow.
 
 void OnlinePartitioner::audit_verify_machine(std::size_t j) const {
   HETSCHED_CHECK(j < platform_.size());

@@ -1,0 +1,27 @@
+// util/eintr.h — EINTR retry wrapper for the interruptible syscalls the
+// durability plane issues outside its write loops.  A signal landing
+// mid-fsync (a supervisor's forwarded SIGTERM, a profiler's SIGPROF) must
+// not surface as a commit or snapshot failure: POSIX allows fsync(2),
+// ftruncate(2), and open(2) to fail with EINTR, in which case the
+// operation has not happened and is safe to reissue.  The write(2) loops
+// in io/wal.cc and io/snapshot_format.cc already retry inline because
+// they must also resume partial writes; everything else funnels through
+// retry_eintr so the handling is uniform and visible.
+#pragma once
+
+#include <cerrno>
+
+namespace hetsched::util {
+
+// Re-invokes `call` (any int-returning callable wrapping one syscall)
+// while it fails with EINTR; returns the first other result.
+template <typename Call>
+int retry_eintr(Call&& call) {
+  int rc = 0;
+  do {
+    rc = call();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+}  // namespace hetsched::util
