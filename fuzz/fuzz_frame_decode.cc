@@ -3,13 +3,19 @@
 // Invariants checked on every input:
 //   - decode never reads past `len` (ASan enforces: the input buffer is
 //     exactly `size` bytes);
-//   - kOk implies consumed == kFrameSize and a perfect round trip:
-//     encode(decode(x)) reproduces the input frame byte for byte (decode
-//     validates version/type/status/reserved, so no don't-care bits
-//     survive to the struct), and re-decoding the re-encoded bytes yields
-//     identical fields;
-//   - kNeedMore is only ever returned for a buffer shorter than one frame.
+//   - kOk implies consumed == the frame the length prefix declared
+//     (kFrameSize for a compact request, kTracedFrameSize for a traced
+//     one — protocol minor 2) and a perfect round trip: encode(decode(x))
+//     reproduces the input frame byte for byte (decode validates
+//     version/type/status/reserved and rejects a zero trace id in the
+//     extended payload, so no don't-care bits survive to the struct),
+//     and re-decoding the re-encoded bytes yields identical fields;
+//   - kNeedMore is only ever returned for a buffer shorter than the
+//     frame its length prefix declares (or shorter than the header);
+//   - the info-response codec (GET_STATS / GET_TRACEZ replies) obeys the
+//     same discipline with its variable-length text payload.
 #include <cstring>
+#include <vector>
 
 #include "fuzz_driver.h"
 #include "net/protocol.h"
@@ -19,30 +25,48 @@ namespace {
 using hetsched::fuzz::require;
 namespace net = hetsched::net;
 
+// kNeedMore must mean "the bytes so far are a strict prefix of the frame
+// the length prefix declares"; with a whole (or overlong) frame buffered
+// the decoder has to commit to kOk or kBad.
+void check_need_more(const std::uint8_t* data, std::size_t size,
+                     const char* what) {
+  if (size < net::kHeaderSize) return;
+  const std::uint32_t payload =  // wire order: little-endian length prefix
+      static_cast<std::uint32_t>(data[0]) |
+      (static_cast<std::uint32_t>(data[1]) << 8) |
+      (static_cast<std::uint32_t>(data[2]) << 16) |
+      (static_cast<std::uint32_t>(data[3]) << 24);
+  require(size < net::kHeaderSize + payload, what);
+}
+
 void check_request(const std::uint8_t* data, std::size_t size) {
   net::Request req;
   std::size_t consumed = 0;
   switch (net::decode_request(data, size, &req, &consumed)) {
     case net::DecodeResult::kOk: {
-      require(consumed == net::kFrameSize, "request consumed != kFrameSize");
-      unsigned char out[net::kFrameSize];
-      require(net::encode_request(req, out) == net::kFrameSize,
+      require(consumed == net::kFrameSize ||
+                  consumed == net::kTracedFrameSize,
+              "request consumed is neither frame size");
+      require((req.trace_id != 0) == (consumed == net::kTracedFrameSize),
+              "trace id presence disagrees with the frame length");
+      unsigned char out[net::kTracedFrameSize];
+      require(net::encode_request(req, out) == consumed,
               "encode_request returned wrong size");
-      require(std::memcmp(out, data, net::kFrameSize) == 0,
+      require(std::memcmp(out, data, consumed) == 0,
               "request encode(decode(x)) != x");
       net::Request again;
       std::size_t c2 = 0;
-      require(net::decode_request(out, net::kFrameSize, &again, &c2) ==
+      require(net::decode_request(out, consumed, &again, &c2) ==
                   net::DecodeResult::kOk,
               "re-encoded request failed to decode");
       require(again.type == req.type && again.shard == req.shard &&
                   again.request_id == req.request_id && again.a == req.a &&
-                  again.b == req.b,
+                  again.b == req.b && again.trace_id == req.trace_id,
               "request fields changed across the round trip");
       break;
     }
     case net::DecodeResult::kNeedMore:
-      require(size < net::kFrameSize, "kNeedMore with a whole frame buffered");
+      check_need_more(data, size, "request kNeedMore with a frame buffered");
       break;
     case net::DecodeResult::kBad:
       break;
@@ -73,7 +97,42 @@ void check_response(const std::uint8_t* data, std::size_t size) {
       break;
     }
     case net::DecodeResult::kNeedMore:
-      require(size < net::kFrameSize, "kNeedMore with a whole frame buffered");
+      check_need_more(data, size, "response kNeedMore with a frame buffered");
+      break;
+    case net::DecodeResult::kBad:
+      break;
+  }
+}
+
+void check_info_response(const std::uint8_t* data, std::size_t size) {
+  net::InfoResponse info;
+  std::size_t consumed = 0;
+  switch (net::decode_info_response(data, size, &info, &consumed)) {
+    case net::DecodeResult::kOk: {
+      require(consumed ==
+                  net::kHeaderSize + net::kInfoPrefixSize + info.text.size(),
+              "info consumed disagrees with the text length");
+      require(info.text.size() <= net::kMaxInfoText,
+              "info text exceeds the wire cap");
+      std::vector<unsigned char> out;
+      net::encode_info_response(info, &out);
+      require(out.size() == consumed,
+              "encode_info_response returned wrong size");
+      require(std::memcmp(out.data(), data, consumed) == 0,
+              "info encode(decode(x)) != x");
+      net::InfoResponse again;
+      std::size_t c2 = 0;
+      require(net::decode_info_response(out.data(), out.size(), &again,
+                                        &c2) == net::DecodeResult::kOk,
+              "re-encoded info response failed to decode");
+      require(again.type == info.type &&
+                  again.request_id == info.request_id &&
+                  again.value == info.value && again.text == info.text,
+              "info fields changed across the round trip");
+      break;
+    }
+    case net::DecodeResult::kNeedMore:
+      check_need_more(data, size, "info kNeedMore with a frame buffered");
       break;
     case net::DecodeResult::kBad:
       break;
@@ -86,5 +145,6 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   check_request(data, size);
   check_response(data, size);
+  check_info_response(data, size);
   return 0;
 }

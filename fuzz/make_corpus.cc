@@ -2,8 +2,10 @@
 // encoders — the same distillation of the dur_test/net_test fixtures the
 // harnesses round-trip against:
 //
-//   corpus/frame/     valid request/response frames (every MsgType), a
-//                     pipelined two-frame unit, and a truncated prefix
+//   corpus/frame/     valid request/response frames (every MsgType,
+//                     compact and traced minor-2 images, an info reply),
+//                     a pipelined mixed-length unit, and truncated
+//                     prefixes for both frame sizes
 //   corpus/wal/       a multi-record WAL (admit/depart/rebalance), a
 //                     resize WAL (MoveOut with the deactivate flag), and
 //                     a torn-tail copy recovery must truncate
@@ -52,16 +54,24 @@ void write_file(const fs::path& path, const void* data, std::size_t size) {
 }
 
 void write_frames(const fs::path& dir) {
-  unsigned char buf[net::kFrameSize * 2];
+  unsigned char buf[net::kTracedFrameSize * 2];
   const auto one = [&](const char* name, const net::Request& r) {
-    net::encode_request(r, buf);
-    write_file(dir / name, buf, net::kFrameSize);
+    const std::size_t n = net::encode_request(r, buf);
+    write_file(dir / name, buf, n);
   };
   one("admit.bin", net::Request::admit(0, 1, 2, 10));
   one("depart.bin", net::Request::depart(1, 2, 7));
   one("rebalance.bin", net::Request::rebalance(2, 3));
   one("split.bin", net::Request::split(0, 4));
   one("merge.bin", net::Request::merge(3, 1, 5));
+
+  // Protocol minor 2: the traced 44-byte request image and the
+  // introspection request types.
+  net::Request traced = net::Request::admit(0, 6, 4, 15);
+  traced.trace_id = 0xF00DFACEULL;
+  one("admit_traced.bin", traced);
+  one("get_stats.bin", net::Request::get_stats(11));
+  one("get_tracez.bin", net::Request::get_tracez(12, 5));
 
   net::Response resp;
   resp.type = net::MsgType::kAdmit;
@@ -80,17 +90,43 @@ void write_frames(const fs::path& dir) {
   net::encode_response(resp, buf);
   write_file(dir / "resp_retry.bin", buf, net::kFrameSize);
 
-  // Two frames back to back: the decoder's consumed-loop seed.
-  net::encode_request(net::Request::admit(0, 8, 3, 20), buf);
-  net::encode_request(net::Request::depart(0, 9, 1), buf + net::kFrameSize);
-  write_file(dir / "pipelined.bin", buf, sizeof buf);
+  // An info response (GET_STATS reply) with a short Prometheus-style
+  // body: the variable-length codec's seed.
+  net::InfoResponse info;
+  info.type = net::MsgType::kGetStats;
+  info.request_id = 11;
+  info.value = 2;
+  info.text = "# TYPE hetsched_server_frames_rx_total counter\n";
+  std::vector<unsigned char> info_buf;
+  net::encode_info_response(info, &info_buf);
+  write_file(dir / "resp_info.bin", info_buf.data(), info_buf.size());
+
+  // Two frames back to back (traced then compact): the decoder's
+  // consumed-loop seed, now with mixed frame lengths.
+  net::Request first = net::Request::admit(0, 8, 3, 20);
+  first.trace_id = 0xBEEF;
+  const std::size_t n1 = net::encode_request(first, buf);
+  const std::size_t n2 =
+      net::encode_request(net::Request::depart(0, 9, 1), buf + n1);
+  write_file(dir / "pipelined.bin", buf, n1 + n2);
 
   // A header plus a payload prefix: the kNeedMore path.
   net::encode_request(net::Request::admit(0, 10, 5, 25), buf);
   write_file(dir / "truncated.bin", buf, net::kHeaderSize + 11);
+
+  // A compact frame's worth of bytes whose prefix promises the traced
+  // payload: kNeedMore even though kFrameSize bytes are buffered.
+  net::Request cut = net::Request::admit(0, 13, 6, 30);
+  cut.trace_id = 0xCAFE;
+  net::encode_request(cut, buf);
+  write_file(dir / "truncated_traced.bin", buf, net::kFrameSize);
 }
 
 void write_wals(const fs::path& dir) {
+  // WalWriter appends to an existing log (that is its job), so clear the
+  // previous seeds first or an in-place regeneration doubles the files.
+  fs::remove(dir / "basic.bin");
+  fs::remove(dir / "resize.bin");
   const std::string basic = (dir / "basic.bin").string();
   {
     io::WalWriter w;

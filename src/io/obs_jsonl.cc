@@ -33,4 +33,28 @@ bool save_trace_jsonl(std::span<const obs::TraceEvent> events,
   return static_cast<bool>(out);
 }
 
+std::string span_record_json(const obs::SpanRecord& sp) {
+  std::ostringstream out;
+  out << "{\"trace_id\":" << sp.trace_id << ",\"span_id\":" << sp.span_id
+      << ",\"parent_id\":" << sp.parent_id << ",\"stage\":\""
+      << obs::to_string(sp.stage) << "\",\"t0_ns\":" << sp.t0_ns
+      << ",\"t1_ns\":" << sp.t1_ns << "}";
+  return out.str();
+}
+
+std::string render_tracez_jsonl(const std::vector<obs::TraceSummary>& traces) {
+  std::ostringstream out;
+  for (const obs::TraceSummary& t : traces) {
+    out << "{\"trace_id\":" << t.trace_id
+        << ",\"duration_ns\":" << t.duration_ns() << ",\"t0_ns\":" << t.t0_ns
+        << ",\"spans\":[";
+    for (std::size_t i = 0; i < t.spans.size(); ++i) {
+      if (i != 0) out << ",";
+      out << span_record_json(t.spans[i]);
+    }
+    out << "]}\n";
+  }
+  return out.str();
+}
+
 }  // namespace hetsched

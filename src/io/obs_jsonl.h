@@ -1,4 +1,5 @@
-// JSONL serialization for the observability layer (obs/trace.h).
+// JSONL serialization for the observability layer (obs/trace.h,
+// obs/span.h).
 //
 // One trace event per line, e.g.:
 //
@@ -7,12 +8,19 @@
 // Field meanings follow obs::TraceEvent: `value` is the task id for
 // admit/depart events and the migration count for rebalance events.
 // Events are written in the order given (trace_drain returns seq order).
+//
+// Span records serialize the same way (one object per line), and a
+// reassembled trace (obs::TraceSummary) becomes one line holding its
+// nested span list — the `tracez` response body is exactly
+// render_tracez_jsonl over slowest_traces().
 #pragma once
 
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace hetsched {
@@ -27,5 +35,14 @@ std::size_t write_trace_jsonl(std::span<const obs::TraceEvent> events,
 // Writes to `path`, truncating; false on I/O failure.
 bool save_trace_jsonl(std::span<const obs::TraceEvent> events,
                       const std::string& path);
+
+// One span as a single-line JSON object (no trailing newline), e.g.:
+//   {"trace_id":7,"span_id":3,"parent_id":0,"stage":"warm-admit",
+//    "t0_ns":100,"t1_ns":180}
+std::string span_record_json(const obs::SpanRecord& sp);
+
+// One reassembled trace per line, slowest first (the GET_TRACEZ body):
+//   {"trace_id":7,"duration_ns":80,"t0_ns":100,"spans":[...]}
+std::string render_tracez_jsonl(const std::vector<obs::TraceSummary>& traces);
 
 }  // namespace hetsched

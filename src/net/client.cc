@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -105,8 +106,10 @@ bool Client::connect(const std::string& addr, int timeout_ms,
 }
 
 void Client::queue_request(const Request& r) {
+  // A traced request (nonzero trace id, protocol minor 2) encodes to the
+  // larger kTracedFrameSize frame; size for the actual image.
   const std::size_t off = sendbuf_.size();
-  sendbuf_.resize(off + kFrameSize);
+  sendbuf_.resize(off + (r.trace_id != 0 ? kTracedFrameSize : kFrameSize));
   encode_request(r, sendbuf_.data() + off);
 }
 
@@ -252,10 +255,48 @@ int Client::try_recv_response(Response* out) {
   }
 }
 
+bool Client::recv_info_response(InfoResponse* out, int timeout_ms) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  while (true) {
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_info_response(rbuf_.data() + rpos_,
+                                                rlen_ - rpos_, out, &consumed);
+    if (r == DecodeResult::kOk) {
+      rpos_ += consumed;
+      return true;
+    }
+    if (r == DecodeResult::kBad) {
+      fail("malformed info response frame");
+      return false;
+    }
+    // Info bodies (stats text, tracez JSONL) can exceed the fixed recv
+    // buffer sized for 36-byte data frames; grow up to the protocol cap.
+    if (rlen_ - rpos_ == rbuf_.size() ||
+        (rpos_ == 0 && rlen_ == rbuf_.size())) {
+      const std::size_t cap = kHeaderSize + kInfoPrefixSize + kMaxInfoText;
+      if (rbuf_.size() >= cap) {
+        fail("info response exceeds protocol cap");
+        return false;
+      }
+      rbuf_.resize(std::min(cap, rbuf_.size() * 2));
+    }
+    if (!fill_rbuf(timeout_ms)) return false;
+  }
+}
+
 bool Client::call(const Request& r, Response* out, int timeout_ms) {
   queue_request(r);
   if (!flush(timeout_ms)) return false;
   return recv_response(out, timeout_ms);
+}
+
+bool Client::call_info(const Request& r, InfoResponse* out, int timeout_ms) {
+  queue_request(r);
+  if (!flush(timeout_ms)) return false;
+  return recv_info_response(out, timeout_ms);
 }
 
 }  // namespace hetsched::net

@@ -73,6 +73,15 @@ class Client {
   // queue + flush + one recv.  Requires no other responses in flight.
   bool call(const Request& r, Response* out, int timeout_ms);
 
+  // --- introspection (protocol minor 2) ------------------------------
+  // Decodes the next variable-length info frame (kGetStats/kGetTracez
+  // answer), growing the receive buffer up to the protocol cap.  Only
+  // valid when the next frame in flight IS an info frame — data and info
+  // responses use different decoders and cannot be interleaved blindly.
+  bool recv_info_response(InfoResponse* out, int timeout_ms);
+  // queue + flush + one info recv.  Requires no other responses in flight.
+  bool call_info(const Request& r, InfoResponse* out, int timeout_ms);
+
   const std::string& last_error() const { return error_; }
 
  private:

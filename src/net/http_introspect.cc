@@ -1,0 +1,158 @@
+#include "net/http_introspect.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/addr.h"
+#include "net/server.h"
+
+namespace hetsched::net {
+
+namespace {
+
+// Reads until the end of the request head ("\r\n\r\n") or `timeout_ms`
+// elapses; a scraper that trickles headers is cut off, never waited on.
+bool read_request_head(int fd, std::string* head, int timeout_ms) {
+  char buf[2048];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > 16384) return false;  // absurd header volume
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    head->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out.append("HTTP/1.0 ").append(status).append("\r\n");
+  out.append("Content-Type: ").append(content_type).append("\r\n");
+  out.append("Content-Length: ")
+      .append(std::to_string(body.size()))
+      .append("\r\n");
+  out.append("Connection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+bool HttpIntrospect::start(const std::string& addr, std::string* error) {
+  HostPort hp;
+  if (!parse_host_port(addr, &hp, error)) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(hp.port);
+  ::inet_pton(AF_INET, hp.host.c_str(), &sa.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    *error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(stop_fds_) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void HttpIntrospect::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  const char b = 0;
+  [[maybe_unused]] const ssize_t w = ::write(stop_fds_[1], &b, 1);
+  thread_.join();
+  for (int* fd : {&listen_fd_, &stop_fds_[0], &stop_fds_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void HttpIntrospect::run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_fds_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    serve_one(cfd);
+    ::close(cfd);
+  }
+}
+
+void HttpIntrospect::serve_one(int fd) {
+  std::string head;
+  if (!read_request_head(fd, &head, /*timeout_ms=*/2000)) return;
+  // "GET <path> ..." — anything else is a 404; no other verb is served.
+  std::string path;
+  if (head.rfind("GET ", 0) == 0) {
+    const std::size_t end = head.find(' ', 4);
+    if (end != std::string::npos) path = head.substr(4, end - 4);
+  }
+  if (path == "/metrics") {
+    write_all(fd, http_response("200 OK", "text/plain; version=0.0.4",
+                                server_.stats_text()));
+  } else if (path == "/healthz") {
+    if (server_.running()) {
+      write_all(fd, http_response("200 OK", "text/plain", "ok\n"));
+    } else {
+      write_all(fd,
+                http_response("503 Service Unavailable", "text/plain",
+                              "stopping\n"));
+    }
+  } else {
+    write_all(fd, http_response("404 Not Found", "text/plain",
+                                "not found\n"));
+  }
+}
+
+}  // namespace hetsched::net

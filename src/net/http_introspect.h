@@ -1,0 +1,62 @@
+// HTTP side port for Prometheus scrapes and health probes.
+//
+// One background thread serves two endpoints over plain HTTP/1.0-style
+// request/response (Connection: close — no keep-alive, no chunking):
+//
+//   GET /metrics  -> 200 text/plain; version=0.0.4, Server::stats_text()
+//   GET /healthz  -> 200 "ok\n" while the server is running, 503 after
+//                    stop() begins (a draining process should fail its
+//                    readiness probe)
+//   anything else -> 404
+//
+// The port is intentionally OUT of the binary-protocol data plane: a
+// scraper needs no frame codec, and a curl typo can never desync a
+// frame stream.  Scrapes are rare and the responder does blocking
+// writes on its own thread, so nothing here touches the event loops.
+//
+// Lifecycle: start() binds and spawns the thread; stop() wakes it via a
+// self-pipe and joins.  The destructor stops.  Not tied to Server
+// shutdown — the CLI leaves the side port up through the drain, so
+// /healthz reports 503 while the server stops instead of vanishing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace hetsched::net {
+
+class Server;
+
+class HttpIntrospect {
+ public:
+  // `server` must outlive this object (the responder reads stats_text()).
+  explicit HttpIntrospect(const Server& server) : server_(server) {}
+  ~HttpIntrospect() { stop(); }
+  HttpIntrospect(const HttpIntrospect&) = delete;
+  HttpIntrospect& operator=(const HttpIntrospect&) = delete;
+
+  // Binds "host:port" (port 0 = ephemeral) and spawns the responder
+  // thread.  False on bind failure (*error describes it).
+  bool start(const std::string& addr, std::string* error);
+
+  // Bound TCP port (after start).
+  std::uint16_t port() const { return port_; }
+
+  // Stops accepting, joins the thread.  Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void serve_one(int fd);
+
+  const Server& server_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_fds_[2] = {-1, -1};  // self-pipe: stop() wakes the poll
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace hetsched::net

@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace hetsched::net {
@@ -50,11 +51,16 @@ std::uint64_t get_u64(const unsigned char* p) {
 
 bool known_request_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MsgType::kAdmit) &&
-         t <= static_cast<std::uint8_t>(MsgType::kMergeShards);
+         t <= static_cast<std::uint8_t>(MsgType::kGetTracez);
+}
+
+bool info_request_type(std::uint8_t t) {
+  return t == static_cast<std::uint8_t>(MsgType::kGetStats) ||
+         t == static_cast<std::uint8_t>(MsgType::kGetTracez);
 }
 
 bool known_status(std::uint8_t s) {
-  return s <= static_cast<std::uint8_t>(Status::kResizeFailed);
+  return s <= static_cast<std::uint8_t>(Status::kInfo);
 }
 
 }  // namespace
@@ -71,6 +77,10 @@ const char* to_string(MsgType t) {
       return "split-shard";
     case MsgType::kMergeShards:
       return "merge-shards";
+    case MsgType::kGetStats:
+      return "get-stats";
+    case MsgType::kGetTracez:
+      return "get-tracez";
   }
   return "?";
 }
@@ -99,6 +109,8 @@ const char* to_string(Status s) {
       return "resized";
     case Status::kResizeFailed:
       return "resize-failed";
+    case Status::kInfo:
+      return "info";
   }
   return "?";
 }
@@ -150,11 +162,28 @@ Request Request::merge(std::uint16_t source_shard, std::uint16_t target_shard,
   return r;
 }
 
+Request Request::get_stats(std::uint64_t request_id) {
+  Request r;
+  r.type = MsgType::kGetStats;
+  r.request_id = request_id;
+  return r;
+}
+
+Request Request::get_tracez(std::uint64_t request_id, std::uint64_t slowest) {
+  Request r;
+  r.type = MsgType::kGetTracez;
+  r.request_id = request_id;
+  r.a = slowest;
+  return r;
+}
+
 double Response::utilization() const { return std::bit_cast<double>(value); }
 
 // HETSCHED_NOALLOC (per-frame encode on the shard hot path)
 std::size_t encode_request(const Request& r, unsigned char* buf) {
-  put_u32(buf, static_cast<std::uint32_t>(kPayloadSize));
+  const bool traced = r.trace_id != 0;
+  put_u32(buf, static_cast<std::uint32_t>(traced ? kTracedPayloadSize
+                                                 : kPayloadSize));
   unsigned char* p = buf + kHeaderSize;
   p[0] = kProtocolVersion;
   p[1] = static_cast<unsigned char>(r.type);
@@ -163,7 +192,9 @@ std::size_t encode_request(const Request& r, unsigned char* buf) {
   put_u64(p + 8, r.request_id);
   put_u64(p + 16, r.a);
   put_u64(p + 24, r.b);
-  return kFrameSize;
+  if (!traced) return kFrameSize;
+  put_u64(p + 32, r.trace_id);
+  return kTracedFrameSize;
 }
 
 // HETSCHED_NOALLOC (per-frame encode on the shard hot path)
@@ -187,8 +218,11 @@ DecodeResult decode_request(const unsigned char* buf, std::size_t len,
                             Request* out, std::size_t* consumed) {
   if (len < kHeaderSize) return DecodeResult::kNeedMore;
   const std::uint32_t payload = get_u32(buf);
-  if (payload != kPayloadSize) return DecodeResult::kBad;
-  if (len < kFrameSize) return DecodeResult::kNeedMore;
+  if (payload != kPayloadSize && payload != kTracedPayloadSize) {
+    return DecodeResult::kBad;
+  }
+  const std::size_t frame = kHeaderSize + payload;
+  if (len < frame) return DecodeResult::kNeedMore;
   const unsigned char* p = buf + kHeaderSize;
   if (p[0] != kProtocolVersion) return DecodeResult::kBad;
   if (!known_request_type(p[1])) return DecodeResult::kBad;
@@ -198,7 +232,15 @@ DecodeResult decode_request(const unsigned char* buf, std::size_t len,
   out->request_id = get_u64(p + 8);
   out->a = get_u64(p + 16);
   out->b = get_u64(p + 24);
-  *consumed = kFrameSize;
+  out->trace_id = 0;
+  if (payload == kTracedPayloadSize) {
+    out->trace_id = get_u64(p + 32);
+    // A zero trace id in the extended payload is non-canonical (the
+    // compact frame is the untraced image), so reject it — this keeps
+    // encode(decode(x)) byte-exact for every accepted frame.
+    if (out->trace_id == 0) return DecodeResult::kBad;
+  }
+  *consumed = frame;
   return DecodeResult::kOk;
 }
 
@@ -224,6 +266,62 @@ DecodeResult decode_response(const unsigned char* buf, std::size_t len,
   out->task_id = get_u64(p + 16);
   out->value = get_u64(p + 24);
   *consumed = kFrameSize;
+  return DecodeResult::kOk;
+}
+
+// Cold path (introspection only): allocation is fine here.
+void encode_info_response(const InfoResponse& r,
+                          std::vector<unsigned char>* out) {
+  const std::size_t text_len = std::min(r.text.size(), kMaxInfoText);
+  const std::size_t payload = kInfoPrefixSize + text_len;
+  const std::size_t base = out->size();
+  out->resize(base + kHeaderSize + payload);
+  unsigned char* buf = out->data() + base;
+  put_u32(buf, static_cast<std::uint32_t>(payload));
+  unsigned char* p = buf + kHeaderSize;
+  p[0] = kProtocolVersion;
+  p[1] = static_cast<unsigned char>(static_cast<std::uint8_t>(r.type) |
+                                    kResponseBit);
+  p[2] = static_cast<unsigned char>(Status::kInfo);
+  p[3] = 0;
+  put_u32(p + 4, static_cast<std::uint32_t>(text_len));
+  put_u64(p + 8, r.request_id);
+  put_u64(p + 16, r.value);
+  put_u64(p + 24, 0);
+  if (text_len != 0) {
+    std::copy_n(reinterpret_cast<const unsigned char*>(r.text.data()),
+                text_len, p + kInfoPrefixSize);
+  }
+}
+
+DecodeResult decode_info_response(const unsigned char* buf, std::size_t len,
+                                  InfoResponse* out, std::size_t* consumed) {
+  if (len < kHeaderSize) return DecodeResult::kNeedMore;
+  const std::uint32_t payload = get_u32(buf);
+  if (payload < kInfoPrefixSize ||
+      payload > kInfoPrefixSize + kMaxInfoText) {
+    return DecodeResult::kBad;
+  }
+  const std::size_t frame = kHeaderSize + payload;
+  if (len < frame) return DecodeResult::kNeedMore;
+  const unsigned char* p = buf + kHeaderSize;
+  if (p[0] != kProtocolVersion) return DecodeResult::kBad;
+  const std::uint8_t raw = p[1];
+  if ((raw & kResponseBit) == 0 ||
+      !info_request_type(raw & static_cast<std::uint8_t>(~kResponseBit))) {
+    return DecodeResult::kBad;
+  }
+  if (p[2] != static_cast<std::uint8_t>(Status::kInfo) || p[3] != 0) {
+    return DecodeResult::kBad;
+  }
+  if (get_u32(p + 4) != payload - kInfoPrefixSize) return DecodeResult::kBad;
+  if (get_u64(p + 24) != 0) return DecodeResult::kBad;
+  out->type = static_cast<MsgType>(raw & static_cast<std::uint8_t>(~kResponseBit));
+  out->request_id = get_u64(p + 8);
+  out->value = get_u64(p + 16);
+  out->text.assign(reinterpret_cast<const char*>(p + kInfoPrefixSize),
+                   payload - kInfoPrefixSize);
+  *consumed = frame;
   return DecodeResult::kOk;
 }
 

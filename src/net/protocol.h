@@ -7,12 +7,14 @@
 //   u8   message type (MsgType)
 //   ...  fixed type-specific fields, little-endian, layouts below
 //
-// Both directions use a single fixed payload size, so a frame is always
-// kFrameSize bytes on the wire and encode/decode run without allocation —
-// the per-frame functions are on the shard hot path and carry the
-// noalloc annotation enforced by tools/lint/hetsched_lint.
+// Data frames use fixed payload sizes, so a frame is kFrameSize bytes on
+// the wire (kTracedFrameSize when the optional trace id rides along) and
+// encode/decode run without allocation — the per-frame functions are on
+// the shard hot path and carry the noalloc annotation enforced by
+// tools/lint/hetsched_lint.
 //
-// Request payload (kPayloadSize = 32 bytes):
+// Request payload (kPayloadSize = 32 bytes, or kTracedPayloadSize = 40
+// when the client stamps a trace id — protocol minor 2):
 //   off  field
 //    0   u8  version
 //    1   u8  type        (MsgType)
@@ -22,6 +24,9 @@
 //   16   u64 a           (admit: task exec; depart: OnlineTaskId;
 //                         merge: target shard index)
 //   24   u64 b           (admit: task period; otherwise zero)
+//   32   u64 trace_id    (traced frames only; must be nonzero — an
+//                         untraced request uses the 32-byte payload, so
+//                         each Request has exactly one wire image)
 //
 // Response payload (kPayloadSize = 32 bytes):
 //   off  field
@@ -52,6 +57,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace hetsched::net {
 
@@ -62,10 +69,27 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 // types and never receives the new statuses, so old clients are
 // unaffected; a minor-0 *server* answers the new types kBad (dropping the
 // connection), which a resize-aware client treats as "server too old".
-inline constexpr std::uint8_t kProtocolMinor = 1;
+//
+// Minor 2 adds (a) the optional traced request payload: a client that
+// wants a request traced appends a nonzero 8-byte trace id, growing the
+// payload to kTracedPayloadSize — an old client keeps sending 32-byte
+// payloads, which a minor-2 server decodes as trace id 0 (untraced), and
+// an old *server* rejects the 40-byte payload kBad exactly like an
+// unknown type ("server too old"); (b) the kGetStats / kGetTracez
+// introspection frames, answered with a variable-length kInfo response
+// (encode_info_response below) instead of the fixed 32-byte payload.
+inline constexpr std::uint8_t kProtocolMinor = 2;
 inline constexpr std::size_t kHeaderSize = 4;
 inline constexpr std::size_t kPayloadSize = 32;
 inline constexpr std::size_t kFrameSize = kHeaderSize + kPayloadSize;
+// Traced request frame (minor 2): the 32-byte payload plus the trace id.
+inline constexpr std::size_t kTracedPayloadSize = kPayloadSize + 8;
+inline constexpr std::size_t kTracedFrameSize =
+    kHeaderSize + kTracedPayloadSize;
+// Info responses (kGetStats/kGetTracez) carry a text body after a fixed
+// 32-byte prefix; bodies are capped so a client never buffers unbounded.
+inline constexpr std::size_t kInfoPrefixSize = 32;
+inline constexpr std::size_t kMaxInfoText = std::size_t{1} << 20;
 
 // High bit marks a response so request/response type pairs stay in sync.
 inline constexpr std::uint8_t kResponseBit = 0x80;
@@ -80,6 +104,12 @@ enum class MsgType : std::uint8_t {
   // kRetryLater — never a silent drop or a double-admit.
   kSplitShard = 4,   // split `shard`: move ~half its tenants to a new shard
   kMergeShards = 5,  // merge `shard` into shard `a`; source leaves service
+  // Introspection frames (protocol minor 2).  Both are answered with a
+  // variable-length kInfo response: kGetStats returns the Prometheus-style
+  // stats text (the same body the HTTP /metrics side port serves),
+  // kGetTracez returns the `a` slowest reassembled traces as JSONL.
+  kGetStats = 6,
+  kGetTracez = 7,  // a = how many traces (server caps at 64)
 };
 
 enum class Status : std::uint8_t {
@@ -96,6 +126,8 @@ enum class Status : std::uint8_t {
                           // task_id = tenants migrated (minor 1)
   kResizeFailed = 10,     // split/merge could not place the tenants; the
                           // source shard is untouched (minor 1)
+  kInfo = 11,             // kGetStats/kGetTracez answered; the frame is an
+                          // info response with a text body (minor 2)
 };
 
 const char* to_string(MsgType t);
@@ -109,6 +141,9 @@ struct Request {
   std::uint64_t request_id = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  // Nonzero marks the request traced (minor 2): the encoder emits the
+  // 40-byte payload and the server records a span per pipeline stage.
+  std::uint64_t trace_id = 0;
 
   std::int64_t exec() const { return static_cast<std::int64_t>(a); }
   std::int64_t period() const { return static_cast<std::int64_t>(b); }
@@ -122,8 +157,18 @@ struct Request {
   static Request split(std::uint16_t shard, std::uint64_t request_id);
   static Request merge(std::uint16_t source_shard, std::uint16_t target_shard,
                        std::uint64_t request_id);
+  static Request get_stats(std::uint64_t request_id);
+  static Request get_tracez(std::uint64_t request_id, std::uint64_t slowest);
+
+  // The same request stamped with a trace id (chainable on the factories).
+  Request traced(std::uint64_t id) const {
+    Request r = *this;
+    r.trace_id = id;
+    return r;
+  }
 
   std::uint16_t merge_target() const { return static_cast<std::uint16_t>(a); }
+  std::uint64_t tracez_slowest() const { return a; }
 };
 
 // Decoded response frame.  `value` holds the admit utilization bits
@@ -139,8 +184,10 @@ struct Response {
   double utilization() const;
 };
 
-// Serializes into `buf` (at least kFrameSize bytes); returns kFrameSize.
-// Allocation-free: the shard hot path encodes into preallocated buffers.
+// Serializes into `buf` (at least kTracedFrameSize bytes for requests —
+// a traced request is the larger frame — and kFrameSize for responses);
+// returns the frame size written.  Allocation-free: the shard hot path
+// encodes into preallocated buffers.
 std::size_t encode_request(const Request& r, unsigned char* buf);
 std::size_t encode_response(const Response& r, unsigned char* buf);
 
@@ -151,10 +198,40 @@ enum class DecodeResult : std::uint8_t {
 };
 
 // Decodes one frame from [buf, buf+len).  On kOk sets *out and *consumed
-// (= kFrameSize).  Both are allocation-free and never read past `len`.
+// (kFrameSize, or kTracedFrameSize for a traced request).  Both are
+// allocation-free and never read past `len`.
 DecodeResult decode_request(const unsigned char* buf, std::size_t len,
                             Request* out, std::size_t* consumed);
 DecodeResult decode_response(const unsigned char* buf, std::size_t len,
                              Response* out, std::size_t* consumed);
+
+// Variable-length introspection response (minor 2).  The payload is a
+// 32-byte prefix followed by `text`:
+//   off  field
+//    0   u8  version
+//    1   u8  type        (kGetStats/kGetTracez | kResponseBit)
+//    2   u8  status      (kInfo)
+//    3   u8  reserved    (zero)
+//    4   u32 text length (= payload length - kInfoPrefixSize)
+//    8   u64 request_id  (copied from the request)
+//   16   u64 value       (tracez: traces returned; stats: zero)
+//   24   u64 reserved    (zero)
+//   32   ... text        (UTF-8; /metrics exposition or tracez JSONL)
+//
+// decode_response stays strict (fixed 32-byte payloads only), so data
+// clients never confuse an info frame with a data response; info frames
+// use this dedicated pair.  Cold path: both may allocate.
+struct InfoResponse {
+  MsgType type = MsgType::kGetStats;
+  std::uint64_t request_id = 0;
+  std::uint64_t value = 0;
+  std::string text;
+};
+
+// Appends the encoded frame to `*out`.  Text beyond kMaxInfoText is
+// truncated at encode time so the frame always decodes.
+void encode_info_response(const InfoResponse& r, std::vector<unsigned char>* out);
+DecodeResult decode_info_response(const unsigned char* buf, std::size_t len,
+                                  InfoResponse* out, std::size_t* consumed);
 
 }  // namespace hetsched::net

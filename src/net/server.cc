@@ -15,10 +15,13 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "io/obs_jsonl.h"
 #include "io/snapshot_format.h"
 #include "net/addr.h"
 #include "net/shard_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 #if defined(__linux__)
@@ -75,6 +78,9 @@ struct NetMetrics {
   obs::Counter forwards = obs::registry().counter(
       "hetsched_net_forwarded_depart_total",
       "Departs rewritten through a forwarding entry to a migrated tenant");
+  obs::Counter introspect = obs::registry().counter(
+      "hetsched_net_introspect_total",
+      "GET_STATS / GET_TRACEZ frames answered");
   obs::LatencyHistogram resize_pause = obs::registry().histogram(
       "hetsched_net_resize_pause_ns",
       "Time the involved shards were quiesced, per resize");
@@ -358,6 +364,10 @@ struct Server::Shard {
     std::shared_ptr<Connection> conn;
     Request req;
     std::uint64_t enq_ns = 0;  // nonzero only for latency-sampled items
+    // Span plumbing (nonzero only for traced frames while spans are
+    // armed): the queue-hop span start and the decode span it parents to.
+    std::uint64_t trace_enq_ns = 0;
+    std::uint64_t trace_root = 0;
   };
 
   // Departs naming a tenant migrated away are rewritten to this target.
@@ -399,9 +409,20 @@ struct Server::Shard {
   std::mutex forward_mu;
   std::unordered_map<std::uint64_t, Forward> forwards;
 
+  // Last-decisions ring (obs/flight_recorder.h): one fixed-size record
+  // per answered frame, written by the owner loop, dumped on SIGUSR1 or
+  // a fatal signal.  The member exists in every build; recording is
+  // compiled out with the metrics kill switch.
+  obs::FlightRecorder flight;
+
 #if HETSCHED_METRICS_ENABLED
   obs::Gauge depth_gauge;
   std::atomic<std::uint32_t> push_tick{0};  // latency sampling (any loop)
+  // Latency-SLO burn counters, fed by the sampled-latency sites: a
+  // sampled request at or under ServerOptions::slo_ns lands in slo_ok,
+  // the rest in slo_breach (net_slo_* in /metrics and GET_STATS).
+  std::atomic<std::uint64_t> slo_ok{0};
+  std::atomic<std::uint64_t> slo_breach{0};
 #endif
 };
 
@@ -456,6 +477,38 @@ struct Server::Loop {
 #if HETSCHED_METRICS_ENABLED
   obs::Gauge conn_gauge;
   std::uint32_t sample_tick = 0;  // loop-thread-only (inline sampling)
+
+  // Traced frames staged in the current response batch.  Group commit and
+  // sendmsg are batch-level work, so every traced frame in the batch
+  // records the same [t0, t1] window for those stages.  Fixed capacity:
+  // overflow drops span records, never frames.
+  struct StagedTrace {
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent = 0;  // the frame's decode span
+  };
+  static constexpr std::size_t kMaxStagedTraces = 16;
+  StagedTrace staged_traces[kMaxStagedTraces];
+  std::size_t staged_trace_count = 0;  // loop-thread-only
+
+  void stage_trace(std::uint64_t trace_id, std::uint64_t parent) {
+    if (staged_trace_count < kMaxStagedTraces) {
+      staged_traces[staged_trace_count++] = StagedTrace{trace_id, parent};
+    }
+  }
+  // Emits the shared batch-level spans for every trace staged since the
+  // last call: group commit over [gc_t0, gc_t1], sendmsg over
+  // [gc_t1, send_t1].
+  void record_batch_spans(std::uint64_t gc_t0, std::uint64_t gc_t1,
+                          std::uint64_t send_t1) {
+    for (std::size_t i = 0; i < staged_trace_count; ++i) {
+      const StagedTrace& st = staged_traces[i];
+      obs::span_record(st.trace_id, obs::span_next_id(), st.parent,
+                       obs::SpanStage::kGroupCommit, gc_t0, gc_t1);
+      obs::span_record(st.trace_id, obs::span_next_id(), st.parent,
+                       obs::SpanStage::kSendmsg, gc_t1, send_t1);
+    }
+    staged_trace_count = 0;
+  }
 #endif
 };
 
@@ -633,6 +686,7 @@ bool Server::start(std::string* error) {
     Shard& sh = *shards_.back();
     sh.index = static_cast<std::uint32_t>(i);
     sh.owner_loop = i % loop_count;
+    sh.flight.set_shard(static_cast<std::uint16_t>(i));
     loops_[sh.owner_loop]->shards.push_back(&sh);
 #if HETSCHED_METRICS_ENABLED
     sh.depth_gauge = obs::registry().gauge(
@@ -783,12 +837,158 @@ ServerStats Server::stats() const {
   s.wal_commits = counters_.wal_commits.load(std::memory_order_relaxed);
   s.snapshots = counters_.snapshots.load(std::memory_order_relaxed);
   s.recovered = counters_.recovered.load(std::memory_order_relaxed);
+  s.introspect = counters_.introspect.load(std::memory_order_relaxed);
   return s;
 }
 
 std::uint64_t Server::loop_connections(std::size_t i) const {
   HETSCHED_CHECK(i < loops_.size());
   return loops_[i]->accepted.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// Prometheus exposition building blocks for stats_text.
+void append_family(std::string* out, const char* name, const char* type,
+                   const char* help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void append_sample(std::string* out, const char* name, std::uint64_t v) {
+  out->append(name).append(" ").append(std::to_string(v)).append("\n");
+}
+
+void append_shard_sample(std::string* out, const char* name, std::size_t shard,
+                         std::uint64_t v) {
+  out->append(name)
+      .append("{shard=\"")
+      .append(std::to_string(shard))
+      .append("\"} ")
+      .append(std::to_string(v))
+      .append("\n");
+}
+
+}  // namespace
+
+// Prometheus-style exposition: the body of both the GET_STATS info frame
+// and the HTTP /metrics side port.  ServerStats is rendered under
+// hetsched_server_* — the obs registry already owns the hetsched_net_*
+// names in metrics-ON builds, and one exposition must never carry a
+// family twice — so the decision counters stay scrapeable even in
+// metrics-off builds.
+std::string Server::stats_text() const {
+  const ServerStats s = stats();
+  std::string out;
+  out.reserve(4096);
+  struct Row {
+    const char* name;
+    const char* help;
+    std::uint64_t v;
+  };
+  const Row rows[] = {
+      {"hetsched_server_connections_total", "TCP connections accepted",
+       s.connections},
+      {"hetsched_server_frames_rx_total", "Request frames decoded",
+       s.frames_rx},
+      {"hetsched_server_enqueued_total",
+       "Frames routed through a shard queue", s.enqueued},
+      {"hetsched_server_frames_inline_total",
+       "Frames decided with zero queue hops", s.frames_inline},
+      {"hetsched_server_admitted_total", "Admits answered admitted",
+       s.admitted},
+      {"hetsched_server_rejected_total", "Admits answered rejected",
+       s.rejected},
+      {"hetsched_server_retried_total", "Requests answered retry-later",
+       s.retried},
+      {"hetsched_server_departed_total", "Departs answered departed",
+       s.departed},
+      {"hetsched_server_stale_total", "Departs naming a stale id", s.stale},
+      {"hetsched_server_rebalances_total", "Rebalance requests processed",
+       s.rebalances},
+      {"hetsched_server_bad_total",
+       "Malformed frames, bad shards, and invalid parameters", s.bad},
+      {"hetsched_server_batches_total",
+       "Drain rounds that handled at least one frame", s.batches},
+      {"hetsched_server_partial_writes_total",
+       "Short response writes parked in a backlog", s.partial_writes},
+      {"hetsched_server_resizes_total", "Shard splits and merges applied",
+       s.resizes},
+      {"hetsched_server_resize_failures_total",
+       "Split/merge requests answered resize-failed", s.resize_failures},
+      {"hetsched_server_forwarded_total",
+       "Departs re-routed via a forwarding entry", s.forwarded},
+      {"hetsched_server_wal_records_total", "Decisions appended to a WAL",
+       s.wal_records},
+      {"hetsched_server_wal_commits_total",
+       "Group commits that wrote at least one record", s.wal_commits},
+      {"hetsched_server_snapshots_total", "Mid-run snapshot files written",
+       s.snapshots},
+      {"hetsched_server_recovered_total", "WAL records replayed at startup",
+       s.recovered},
+      {"hetsched_server_introspect_total",
+       "GET_STATS / GET_TRACEZ frames answered", s.introspect},
+  };
+  for (const Row& r : rows) {
+    append_family(&out, r.name, "counter", r.help);
+    append_sample(&out, r.name, r.v);
+  }
+  // Per-shard latency-SLO burn counters.  The families are always
+  // present so scrapes keep a stable shape; the counters move only in
+  // metrics-ON builds (attribution rides the sampled-latency path).
+  const std::size_t count = shard_count();
+  append_family(&out, "hetsched_net_slo_ok_total", "counter",
+                "Sampled requests at or under the latency SLO");
+  for (std::size_t i = 0; i < count; ++i) {
+    append_shard_sample(&out, "hetsched_net_slo_ok_total", i, shard_slo_ok(i));
+  }
+  append_family(&out, "hetsched_net_slo_breach_total", "counter",
+                "Sampled requests over the latency SLO");
+  for (std::size_t i = 0; i < count; ++i) {
+    append_shard_sample(&out, "hetsched_net_slo_breach_total", i,
+                        shard_slo_breach(i));
+  }
+#if HETSCHED_METRICS_ENABLED
+  append_family(&out, "hetsched_span_dropped_total", "counter",
+                "Span records overwritten before a drain");
+  append_sample(&out, "hetsched_span_dropped_total", obs::span_dropped());
+  append_family(&out, "hetsched_span_enabled", "gauge",
+                "1 while span tracing is armed");
+  append_sample(&out, "hetsched_span_enabled", obs::span_enabled() ? 1 : 0);
+  // The full obs registry: hetsched_net_* counters, gauges, histograms.
+  out += obs::registry().expose();
+#endif
+  return out;
+}
+
+std::string Server::tracez_text(std::size_t k) const {
+#if HETSCHED_METRICS_ENABLED
+  // Drain without clearing: tracez is a window, not a consumer — repeated
+  // queries see the same recent traces until the rings wrap.
+  return render_tracez_jsonl(
+      obs::slowest_traces(obs::span_drain(/*clear=*/false), k));
+#else
+  (void)k;
+  return std::string();
+#endif
+}
+
+std::uint64_t Server::shard_slo_ok(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shard_count());
+#if HETSCHED_METRICS_ENABLED
+  return shards_[shard]->slo_ok.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t Server::shard_slo_breach(std::size_t shard) const {
+  HETSCHED_CHECK(shard < shard_count());
+#if HETSCHED_METRICS_ENABLED
+  return shards_[shard]->slo_breach.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
 }
 
 std::size_t Server::shard_resident_count(std::size_t shard) const {
@@ -823,10 +1023,21 @@ void Server::wake_loop(Loop& lp) {
 // HETSCHED_NOALLOC (per-frame decision on the loop hot path: warm admits
 // and departs run the controller's allocation-free paths, and the WAL
 // append encodes into a preallocated arena)
-Response Server::process_request(Shard& shard, const Request& req) {
+Response Server::process_request(Shard& shard, const Request& req,
+                                 [[maybe_unused]] std::uint64_t parent_span) {
   Response resp;
   resp.type = req.type;
   resp.request_id = req.request_id;
+#if HETSCHED_METRICS_ENABLED
+  // Warm-admit span: one clock read on entry and one on exit, paid only
+  // by traced frames while spans are armed.
+  std::uint64_t sp_t0 = 0;
+  std::uint64_t sp_id = 0;
+  if (req.trace_id != 0 && obs::span_enabled()) {
+    sp_t0 = obs::now_ns();
+    sp_id = obs::span_next_id();
+  }
+#endif
   // Every branch that touches the controller logs the decision; responses
   // that never reached the controller (bad request, inactive shard) fold
   // nothing and log nothing.
@@ -853,9 +1064,18 @@ Response Server::process_request(Shard& shard, const Request& req) {
         resp.status = Status::kRejected;
       }
       if (shard.wal.is_open()) {
+#if HETSCHED_METRICS_ENABLED
+        const std::uint64_t wal_t0 = sp_id != 0 ? obs::now_ns() : 0;
+#endif
         shard.wal.append_admit(req.exec(), req.period(),
                                shard.controller.decision_seq(),
                                shard.controller.decision_checksum());
+#if HETSCHED_METRICS_ENABLED
+        if (sp_id != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), sp_id,
+                           obs::SpanStage::kWalAppend, wal_t0, obs::now_ns());
+        }
+#endif
         logged = true;
       }
       break;
@@ -866,9 +1086,18 @@ Response Server::process_request(Shard& shard, const Request& req) {
       resp.status = shard.controller.depart(req.task_id()) ? Status::kDeparted
                                                            : Status::kStaleId;
       if (shard.wal.is_open()) {
+#if HETSCHED_METRICS_ENABLED
+        const std::uint64_t wal_t0 = sp_id != 0 ? obs::now_ns() : 0;
+#endif
         shard.wal.append_depart(req.task_id(),
                                 shard.controller.decision_seq(),
                                 shard.controller.decision_checksum());
+#if HETSCHED_METRICS_ENABLED
+        if (sp_id != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), sp_id,
+                           obs::SpanStage::kWalAppend, wal_t0, obs::now_ns());
+        }
+#endif
         logged = true;
       }
       break;
@@ -882,8 +1111,17 @@ Response Server::process_request(Shard& shard, const Request& req) {
       resp.status = r.applied ? Status::kRebalanced : Status::kRebalanceSkipped;
       resp.task_id = r.migrations;
       if (shard.wal.is_open()) {
+#if HETSCHED_METRICS_ENABLED
+        const std::uint64_t wal_t0 = sp_id != 0 ? obs::now_ns() : 0;
+#endif
         shard.wal.append_rebalance(shard.controller.decision_seq(),
                                    shard.controller.decision_checksum());
+#if HETSCHED_METRICS_ENABLED
+        if (sp_id != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), sp_id,
+                           obs::SpanStage::kWalAppend, wal_t0, obs::now_ns());
+        }
+#endif
         logged = true;
       }
       break;
@@ -894,11 +1132,27 @@ Response Server::process_request(Shard& shard, const Request& req) {
       // a shard controller.
       resp.status = Status::kBadRequest;
       break;
+    case MsgType::kGetStats:
+    case MsgType::kGetTracez:
+      // Introspection frames are handled inline by handle_introspect and
+      // never reach a shard controller.
+      resp.status = Status::kBadRequest;
+      break;
   }
   if (logged) {
     ++shard.ops_since_snapshot;
     bump(counters_.wal_records);
   }
+  // Flight recorder: every answered frame lands one fixed-size record in
+  // the shard's last-decisions ring (compiled out with the kill switch).
+  HETSCHED_FLIGHT_RECORD(shard.flight, resp.type, resp.status, resp.machine,
+                         resp.request_id, resp.value, req.trace_id);
+#if HETSCHED_METRICS_ENABLED
+  if (sp_id != 0) {
+    obs::span_record(req.trace_id, sp_id, parent_span,
+                     obs::SpanStage::kWarmAdmit, sp_t0, obs::now_ns());
+  }
+#endif
   return resp;
 }
 
@@ -943,7 +1197,38 @@ void Server::count_response(const Response& resp) {
       bump(counters_.resize_failures);
       HETSCHED_COUNT(g_metrics.resize_failures);
       break;
+    case Status::kInfo:
+      // Unreachable: info frames are built by handle_introspect, which
+      // does its own counting, and never pass through here.
+      break;
   }
+}
+
+// Answers a kGetStats / kGetTracez frame with a variable-length kInfo
+// response, inline on the decoding loop.  Cold path: introspection frames
+// are rare control-plane traffic, so allocation is fine here.
+void Server::handle_introspect(Loop& lp,
+                               const std::shared_ptr<Connection>& conn,
+                               const Request& req) {
+  InfoResponse info;
+  info.type = req.type;
+  info.request_id = req.request_id;
+  if (req.type == MsgType::kGetStats) {
+    info.text = stats_text();
+  } else {
+    std::uint64_t k = req.tracez_slowest();
+    if (k == 0) k = 10;  // a bare GET_TRACEZ means "the usual few"
+    if (k > 64) k = 64;  // server-side cap keeps the info frame bounded
+    info.text = tracez_text(static_cast<std::size_t>(k));
+    std::uint64_t traces = 0;
+    for (const char c : info.text) traces += c == '\n' ? 1 : 0;
+    info.value = traces;
+  }
+  bump(counters_.introspect);
+  HETSCHED_COUNT(g_metrics.introspect);
+  std::vector<unsigned char> frame;
+  encode_info_response(info, &frame);
+  send_to_connection(lp, conn, frame.data(), frame.size());
 }
 
 // HETSCHED_OWNER_LOOP (stages response bytes; the nonblocking sendmsg
@@ -1294,6 +1579,7 @@ Response Server::do_split(Loop& lp, Shard& src) {
   Shard& ns = *holder;
   ns.index = static_cast<std::uint32_t>(count);
   ns.owner_loop = count % loops_.size();
+  ns.flight.set_shard(static_cast<std::uint16_t>(ns.index));
   std::vector<io::WalMovedTask> moved;
   moved.reserve(order.size() / 2);
   for (std::size_t i = 1; i < order.size(); i += 2) {
@@ -1482,6 +1768,15 @@ void Server::drain_shard_queues(Loop& lp) {
         Shard::WorkItem& item = lp.items[i];
         Request req = item.req;
         resolve_forward(req);
+#if HETSCHED_METRICS_ENABLED
+        // Queue-hop span: the frame's cross-loop (or paused-shard) queue
+        // residency, parented to its decode span.
+        if (item.trace_root != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), item.trace_root,
+                           obs::SpanStage::kQueueHop, item.trace_enq_ns,
+                           obs::now_ns());
+        }
+#endif
         Response resp;
         bool have_resp = true;
         if (req.shard != sh->index) {
@@ -1491,9 +1786,10 @@ void Server::drain_shard_queues(Loop& lp) {
           Shard& th = *shards_[req.shard];
           if (th.owner_loop == lp.index &&
               !th.moving.load(std::memory_order_acquire)) {
-            resp = process_request(th, req);
-          } else if (th.queue.try_push(
-                         Shard::WorkItem{item.conn, req, 0})) {
+            resp = process_request(th, req, item.trace_root);
+          } else if (th.queue.try_push(Shard::WorkItem{
+                         item.conn, req, 0, item.trace_enq_ns,
+                         item.trace_root})) {
             bump(counters_.enqueued);
             if (th.owner_loop != lp.index) wake_loop(*loops_[th.owner_loop]);
             have_resp = false;  // the target shard's drain answers it
@@ -1503,11 +1799,13 @@ void Server::drain_shard_queues(Loop& lp) {
             resp.request_id = req.request_id;
           }
         } else {
-          resp = process_request(*sh, req);
+          resp = process_request(*sh, req, item.trace_root);
         }
 #if HETSCHED_METRICS_ENABLED
         if (item.enq_ns != 0) {
-          g_metrics.latency.record_ns(obs::now_ns() - item.enq_ns);
+          const std::uint64_t lat = obs::now_ns() - item.enq_ns;
+          g_metrics.latency.record_ns(lat);
+          bump(lat <= options_.slo_ns ? sh->slo_ok : sh->slo_breach);
         }
 #endif
         if (!have_resp) continue;
@@ -1519,18 +1817,42 @@ void Server::drain_shard_queues(Loop& lp) {
         }
         if (run_conn == nullptr) run_first = i;
         run_conn = item.conn.get();
+#if HETSCHED_METRICS_ENABLED
+        const std::uint64_t enc_t0 =
+            item.trace_root != 0 ? obs::now_ns() : 0;
+#endif
         out_len += encode_response(resp, lp.outbuf.data() + out_len);
+#if HETSCHED_METRICS_ENABLED
+        if (item.trace_root != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), item.trace_root,
+                           obs::SpanStage::kEncode, enc_t0, obs::now_ns());
+          lp.stage_trace(req.trace_id, item.trace_root);
+        }
+#endif
       }
       if (run_conn != nullptr && out_len > run_off) {
         lp.runs.push_back(Loop::Run{run_first, run_off, out_len - run_off});
       }
       // Pass 2: the batch's decisions become durable (per the sync
       // policy), then — and only then — the responses go out.
+#if HETSCHED_METRICS_ENABLED
+      const std::uint64_t gc_t0 =
+          lp.staged_trace_count != 0 ? obs::now_ns() : 0;
+#endif
       commit_owned_wals(lp);
+#if HETSCHED_METRICS_ENABLED
+      const std::uint64_t gc_t1 =
+          lp.staged_trace_count != 0 ? obs::now_ns() : 0;
+#endif
       for (const Loop::Run& run : lp.runs) {
         send_to_connection(lp, lp.items[run.item].conn,
                            lp.outbuf.data() + run.off, run.len);
       }
+#if HETSCHED_METRICS_ENABLED
+      if (lp.staged_trace_count != 0) {
+        lp.record_batch_spans(gc_t0, gc_t1, obs::now_ns());
+      }
+#endif
       // Drop connection refs so closed peers release their fds promptly.
       for (std::size_t i = 0; i < n; ++i) lp.items[i].conn.reset();
       lp.batcher.observe(n);
@@ -1554,12 +1876,23 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
     lp.batcher.observe(staged_frames);
 #if HETSCHED_METRICS_ENABLED
     g_metrics.batch_frames.record_ns(staged_frames);
+    const std::uint64_t gc_t0 =
+        lp.staged_trace_count != 0 ? obs::now_ns() : 0;
 #endif
     // WAL before reply: inline decisions staged their records in the
     // owning shards' arenas; the group commit lands them before the
     // responses can reach the wire.
     commit_owned_wals(lp);
+#if HETSCHED_METRICS_ENABLED
+    const std::uint64_t gc_t1 =
+        lp.staged_trace_count != 0 ? obs::now_ns() : 0;
+#endif
     send_to_connection(lp, conn, lp.outbuf.data(), staged);
+#if HETSCHED_METRICS_ENABLED
+    if (lp.staged_trace_count != 0) {
+      lp.record_batch_spans(gc_t0, gc_t1, obs::now_ns());
+    }
+#endif
     staged = 0;
     staged_frames = 0;
   };
@@ -1581,6 +1914,13 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
     while (alive) {
       Request req;
       std::size_t consumed = 0;
+      // Decode span start: one clock read per frame while spans are
+      // armed — the frame's trace id is unknown until after the decode.
+      std::uint64_t root_span = 0;
+#if HETSCHED_METRICS_ENABLED
+      std::uint64_t dec_t0 = 0;
+      if (obs::span_enabled()) dec_t0 = obs::now_ns();
+#endif
       const DecodeResult r = decode_request(
           conn->rbuf.data() + off, conn->rbuf_len - off, &req, &consumed);
       if (r == DecodeResult::kNeedMore) break;
@@ -1597,8 +1937,24 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
       off += consumed;
       bump(counters_.frames_rx);
       HETSCHED_COUNT(g_metrics.frames_rx);
+#if HETSCHED_METRICS_ENABLED
+      if (req.trace_id != 0 && dec_t0 != 0) {
+        root_span = obs::span_next_id();
+        obs::span_record(req.trace_id, root_span, 0, obs::SpanStage::kDecode,
+                         dec_t0, obs::now_ns());
+      }
+#endif
       Response resp;
       bool respond_now = false;
+      if (req.type == MsgType::kGetStats || req.type == MsgType::kGetTracez) {
+        // Introspection runs inline on the decoding loop, like resizes.
+        // The variable-length kInfo frame cannot share the fixed-size
+        // response staging, so flush what's staged, then send directly.
+        flush_staged();
+        handle_introspect(lp, conn, req);
+        if (conn->dead.load(std::memory_order_relaxed)) alive = false;
+        continue;
+      }
       if (req.type == MsgType::kSplitShard ||
           req.type == MsgType::kMergeShards) {
         // Resize frames run inline on the decoding loop (the coordinator)
@@ -1635,11 +1991,15 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
               t0 = obs::now_ns();
             }
 #endif
-            resp = process_request(sh, req);
+            resp = process_request(sh, req, root_span);
             bump(counters_.frames_inline);
             HETSCHED_COUNT(g_metrics.frames_inline);
 #if HETSCHED_METRICS_ENABLED
-            if (t0 != 0) g_metrics.latency.record_ns(obs::now_ns() - t0);
+            if (t0 != 0) {
+              const std::uint64_t lat = obs::now_ns() - t0;
+              g_metrics.latency.record_ns(lat);
+              bump(lat <= options_.slo_ns ? sh.slo_ok : sh.slo_breach);
+            }
 #endif
             respond_now = true;
           } else {
@@ -1650,6 +2010,10 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
             if ((sh.push_tick.fetch_add(1, std::memory_order_relaxed) &
                  (obs::kLatencySamplePeriod - 1)) == 0) {
               item.enq_ns = obs::now_ns();
+            }
+            if (root_span != 0) {
+              item.trace_root = root_span;
+              item.trace_enq_ns = obs::now_ns();
             }
 #endif
             if (!sh.queue.try_push(std::move(item))) {
@@ -1667,8 +2031,18 @@ bool Server::drain_readable(Loop& lp, const std::shared_ptr<Connection>& conn) {
       }
       if (respond_now) {
         count_response(resp);
+#if HETSCHED_METRICS_ENABLED
+        const std::uint64_t enc_t0 = root_span != 0 ? obs::now_ns() : 0;
+#endif
         staged += encode_response(resp, lp.outbuf.data() + staged);
         ++staged_frames;
+#if HETSCHED_METRICS_ENABLED
+        if (root_span != 0) {
+          obs::span_record(req.trace_id, obs::span_next_id(), root_span,
+                           obs::SpanStage::kEncode, enc_t0, obs::now_ns());
+          lp.stage_trace(req.trace_id, root_span);
+        }
+#endif
         if (staged_frames >= lp.batcher.limit() ||
             staged + kFrameSize > lp.outbuf.size()) {
           flush_staged();

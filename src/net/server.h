@@ -153,6 +153,11 @@ struct ServerOptions {
   // Snapshot a shard after this many logged decisions (0 = never mid-run;
   // recovery then replays the whole WAL).
   std::size_t snapshot_every = 65536;
+  // Per-request latency SLO: sampled request latencies at or under this
+  // land in the shard's slo_ok burn counter, the rest in slo_breach
+  // (net_slo_* in /metrics and GET_STATS).  Attribution needs the
+  // sampled latency path, so the counters move only in metrics-ON builds.
+  std::uint64_t slo_ns = 1'000'000;
 };
 
 // Decision counters, independent of the obs layer so they exist in
@@ -179,6 +184,7 @@ struct ServerStats {
   std::uint64_t wal_commits = 0;   // group commits that wrote >= 1 record
   std::uint64_t snapshots = 0;     // mid-run snapshot files written
   std::uint64_t recovered = 0;     // WAL records replayed by start()
+  std::uint64_t introspect = 0;    // kGetStats/kGetTracez frames answered
 };
 
 class Server {
@@ -217,6 +223,20 @@ class Server {
   void wait();
 
   ServerStats stats() const;
+
+  // Prometheus-style text exposition: ServerStats rendered as
+  // hetsched_net_* counters, per-shard net_slo_* burn counters, and (in
+  // metrics-ON builds) the full obs registry.  This is the body of both
+  // the GET_STATS info frame and the HTTP /metrics side port.
+  std::string stats_text() const;
+
+  // The `k` slowest reassembled traces as JSONL (the GET_TRACEZ body).
+  // Empty when spans are compiled out or disabled.
+  std::string tracez_text(std::size_t k) const;
+
+  // Per-shard SLO burn counters (metrics-ON builds; zero otherwise).
+  std::uint64_t shard_slo_ok(std::size_t shard) const;
+  std::uint64_t shard_slo_breach(std::size_t shard) const;
 
   const ServerOptions& options() const { return options_; }
 
@@ -257,8 +277,16 @@ class Server {
   void request_write_interest(Loop& lp,
                               const std::shared_ptr<Connection>& conn);
   void wake_loop(Loop& lp);
-  Response process_request(Shard& shard, const Request& req);
+  // `parent_span` is the frame's decode span id (0 when the frame is
+  // untraced or spans are disarmed); the warm-admit span parents to it.
+  Response process_request(Shard& shard, const Request& req,
+                           std::uint64_t parent_span = 0);
   void count_response(const Response& resp);
+  // Builds and sends the kInfo answer to a kGetStats/kGetTracez frame.
+  // Runs inline on the decoding loop (like handle_resize): introspection
+  // frames are rare and never enter a shard queue.
+  void handle_introspect(Loop& lp, const std::shared_ptr<Connection>& conn,
+                         const Request& req);
   bool start_listen_sockets(std::string* error);
   void stop_phase(Loop& lp);
 
@@ -324,7 +352,7 @@ class Server {
         frames_inline{0}, admitted{0}, rejected{0}, retried{0}, departed{0},
         stale{0}, rebalances{0}, bad{0}, batches{0}, partial_writes{0},
         resizes{0}, resize_failures{0}, forwarded{0}, wal_records{0},
-        wal_commits{0}, snapshots{0}, recovered{0};
+        wal_commits{0}, snapshots{0}, recovered{0}, introspect{0};
   };
   Counters counters_;
 };

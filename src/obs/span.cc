@@ -1,0 +1,195 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace hetsched::obs {
+
+const char* to_string(SpanStage s) {
+  switch (s) {
+    case SpanStage::kDecode:
+      return "decode";
+    case SpanStage::kQueueHop:
+      return "queue-hop";
+    case SpanStage::kWarmAdmit:
+      return "warm-admit";
+    case SpanStage::kWalAppend:
+      return "wal-append";
+    case SpanStage::kGroupCommit:
+      return "group-commit";
+    case SpanStage::kEncode:
+      return "encode";
+    case SpanStage::kSendmsg:
+      return "sendmsg";
+  }
+  return "?";
+}
+
+namespace {
+
+// Ring slot: [trace_id, span_id, parent_id, t0_ns, t1_ns, stage].
+// Parent ids are full 64-bit values, so nothing packs; the slot spends
+// six words.
+struct SpanRing {
+  std::atomic<std::uint64_t> words[kSpanCapacity][6] = {};
+  std::atomic<std::uint64_t> head{0};  // total spans ever written
+};
+
+struct SpanState {
+  std::mutex mu;
+  std::vector<SpanRing*> rings;
+  std::vector<SpanRecord> retired;  // folded rings of exited threads
+  std::uint64_t retired_dropped = 0;
+  std::atomic<std::uint64_t> next_id{1};
+};
+
+SpanState& state() {
+  static SpanState* s = new SpanState();  // leaky: outlives all threads
+  return *s;
+}
+
+SpanRecord unpack(const std::atomic<std::uint64_t> (&slot)[6]) {
+  SpanRecord r;
+  r.trace_id = slot[0].load(std::memory_order_relaxed);
+  r.span_id = slot[1].load(std::memory_order_relaxed);
+  r.parent_id = slot[2].load(std::memory_order_relaxed);
+  r.t0_ns = slot[3].load(std::memory_order_relaxed);
+  r.t1_ns = slot[4].load(std::memory_order_relaxed);
+  r.stage =
+      static_cast<SpanStage>(slot[5].load(std::memory_order_relaxed) & 0xff);
+  return r;
+}
+
+void collect_ring(const SpanRing& ring, std::vector<SpanRecord>* out,
+                  std::uint64_t* dropped) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t held = std::min<std::uint64_t>(head, kSpanCapacity);
+  *dropped += head - held;
+  for (std::uint64_t i = head - held; i < head; ++i) {
+    out->push_back(unpack(ring.words[i % kSpanCapacity]));
+  }
+}
+
+// Registers the thread's ring on first span and folds it into the
+// retired list at thread exit, so spans recorded by short-lived threads
+// (loop threads of a stopped server) survive to the next drain.
+struct SpanRingHolder {
+  SpanRingHolder() {
+    SpanState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rings.push_back(&ring);
+  }
+  ~SpanRingHolder() {
+    SpanState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = std::find(s.rings.begin(), s.rings.end(), &ring);
+    if (it == s.rings.end()) return;
+    s.rings.erase(it);
+    collect_ring(ring, &s.retired, &s.retired_dropped);
+  }
+  SpanRingHolder(const SpanRingHolder&) = delete;
+  SpanRingHolder& operator=(const SpanRingHolder&) = delete;
+  SpanRing ring;
+};
+
+SpanRing& local_ring() {
+  thread_local SpanRingHolder holder;
+  return holder.ring;
+}
+
+}  // namespace
+
+namespace detail {
+constinit std::atomic<bool> g_span_enabled{false};
+}  // namespace detail
+
+void set_span_enabled(bool on) {
+  detail::g_span_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t span_next_id() {
+  return state().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void span_record(std::uint64_t trace_id, std::uint64_t span_id,
+                 std::uint64_t parent_id, SpanStage stage, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) {
+  SpanRing& ring = local_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  auto& slot = ring.words[head % kSpanCapacity];
+  slot[0].store(trace_id, std::memory_order_relaxed);
+  slot[1].store(span_id, std::memory_order_relaxed);
+  slot[2].store(parent_id, std::memory_order_relaxed);
+  slot[3].store(t0_ns, std::memory_order_relaxed);
+  slot[4].store(t1_ns, std::memory_order_relaxed);
+  slot[5].store(static_cast<std::uint64_t>(stage), std::memory_order_relaxed);
+  // Release so a drainer that sees the new head also sees the slot words.
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> span_drain(bool clear) {
+  SpanState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<SpanRecord> out = s.retired;
+  std::uint64_t dropped = 0;
+  for (SpanRing* ring : s.rings) collect_ring(*ring, &out, &dropped);
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.t0_ns < b.t0_ns;
+            });
+  if (clear) {
+    s.retired.clear();
+    s.retired_dropped += dropped;
+    for (SpanRing* ring : s.rings) {
+      ring->head.store(0, std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t span_dropped() {
+  SpanState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t dropped = s.retired_dropped;
+  for (SpanRing* ring : s.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > kSpanCapacity) dropped += head - kSpanCapacity;
+  }
+  return dropped;
+}
+
+std::vector<TraceSummary> slowest_traces(std::vector<SpanRecord> spans,
+                                         std::size_t k) {
+  std::unordered_map<std::uint64_t, TraceSummary> by_trace;
+  for (const SpanRecord& sp : spans) {
+    if (sp.trace_id == 0 || sp.t1_ns < sp.t0_ns) continue;  // torn / untraced
+    TraceSummary& t = by_trace[sp.trace_id];
+    if (t.spans.empty()) {
+      t.trace_id = sp.trace_id;
+      t.t0_ns = sp.t0_ns;
+      t.t1_ns = sp.t1_ns;
+    } else {
+      t.t0_ns = std::min(t.t0_ns, sp.t0_ns);
+      t.t1_ns = std::max(t.t1_ns, sp.t1_ns);
+    }
+    t.spans.push_back(sp);
+  }
+  std::vector<TraceSummary> out;
+  out.reserve(by_trace.size());
+  for (auto& [id, t] : by_trace) {
+    std::sort(t.spans.begin(), t.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.t0_ns < b.t0_ns;
+              });
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return a.duration_ns() > b.duration_ns();
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace hetsched::obs

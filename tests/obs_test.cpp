@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "core/platform.h"
 #include "core/task.h"
 #include "io/obs_jsonl.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "online/online_partitioner.h"
 #include "partition/audit.h"
@@ -192,6 +195,9 @@ TEST(ObsMacros, MacrosDiscardArgumentsWhenDisabled) {
   HETSCHED_TIMED(no_such_handle_anywhere);
   HETSCHED_TIMED_SAMPLED(no_such_handle_anywhere);
   HETSCHED_TRACE_EVENT(no_such_kind, true, 0, 0);
+  HETSCHED_SPAN_RECORD(no_such_id, no_such_id, no_such_id, no_such_stage, 0,
+                       0);
+  HETSCHED_FLIGHT_RECORD(no_such_recorder_anywhere, 0, 0, 0, 0, 0, 0);
   SUCCEED();
 }
 
@@ -266,6 +272,25 @@ TEST(ObsTrace, ConcurrentRecordersKeepGlobalSeqUnique) {
   }
 }
 
+// Regression: events recorded by a thread that has since exited must
+// survive into the next drain.  The per-thread ring is folded into the
+// retired list at thread exit; losing that fold silently truncates every
+// --trace-out written after a worker pool shuts down.
+TEST(ObsTrace, ThreadExitRetainsEvents) {
+  obs::trace_drain();
+  obs::set_trace_enabled(true);
+  std::thread worker([] {
+    obs::trace_record(obs::TraceKind::kAdmit, true, 1, 1001);
+    obs::trace_record(obs::TraceKind::kDepart, true, 1, 1002);
+  });
+  worker.join();  // ring owner is gone before the drain
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::trace_drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].value, 1001u);
+  EXPECT_EQ(events[1].value, 1002u);
+}
+
 TEST(ObsTraceJson, EventFormat) {
   obs::TraceEvent ev;
   ev.seq = 17;
@@ -283,6 +308,214 @@ TEST(ObsTraceJson, EventFormat) {
   EXPECT_EQ(out.str(), trace_event_json(ev) + "\n" + trace_event_json(ev) +
                            "\n");
 }
+
+// ---------------------------------------------------------------------
+// Span ring (obs/span.h).
+// ---------------------------------------------------------------------
+
+TEST(ObsSpan, GateIsOffByDefaultAndToggles) {
+  // Nothing in this binary arms spans before this test, so the default
+  // must still be visible: recording without set_span_enabled is the
+  // common case (every untraced production start) and must stay free.
+  EXPECT_FALSE(obs::span_enabled());
+  obs::set_span_enabled(true);
+  EXPECT_TRUE(obs::span_enabled());
+  obs::set_span_enabled(false);
+  EXPECT_FALSE(obs::span_enabled());
+}
+
+TEST(ObsSpan, RecordDrainRoundTrip) {
+  obs::span_drain();  // clear anything earlier tests left behind
+  const std::uint64_t root = obs::span_next_id();
+  obs::span_record(7, root, 0, obs::SpanStage::kDecode, 100, 150);
+  obs::span_record(7, obs::span_next_id(), root, obs::SpanStage::kWarmAdmit,
+                   150, 190);
+  obs::span_record(9, obs::span_next_id(), 0, obs::SpanStage::kDecode, 120,
+                   130);
+  const std::vector<obs::SpanRecord> spans = obs::span_drain();
+  ASSERT_EQ(spans.size(), 3u);
+  // span_drain orders by t0.
+  EXPECT_EQ(spans[0].trace_id, 7u);
+  EXPECT_EQ(spans[0].stage, obs::SpanStage::kDecode);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].trace_id, 9u);
+  EXPECT_EQ(spans[2].trace_id, 7u);
+  EXPECT_EQ(spans[2].parent_id, root);
+  EXPECT_EQ(spans[2].stage, obs::SpanStage::kWarmAdmit);
+  EXPECT_TRUE(obs::span_drain().empty());  // drain cleared
+}
+
+TEST(ObsSpan, SpanIdsAreUniqueAndNonzero) {
+  const std::uint64_t a = obs::span_next_id();
+  const std::uint64_t b = obs::span_next_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ObsSpan, OverwritesAreCountedAsDropped) {
+  obs::span_drain();
+  const std::uint64_t dropped0 = obs::span_dropped();
+  const std::size_t n = obs::kSpanCapacity + 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::span_record(1, i + 1, 0, obs::SpanStage::kDecode, i, i + 1);
+  }
+  EXPECT_EQ(obs::span_dropped() - dropped0, 50u);
+  EXPECT_EQ(obs::span_drain().size(), obs::kSpanCapacity);
+}
+
+// Regression twin of ObsTrace.ThreadExitRetainsEvents for the span ring:
+// spans recorded on a pipeline thread that exited (loop shutdown) must
+// still appear in the next tracez drain.
+TEST(ObsSpan, ThreadExitRetainsSpans) {
+  obs::span_drain();
+  std::thread worker([] {
+    obs::span_record(11, 1, 0, obs::SpanStage::kDecode, 10, 20);
+    obs::span_record(11, 2, 0, obs::SpanStage::kEncode, 20, 30);
+  });
+  worker.join();
+  const std::vector<obs::SpanRecord> spans = obs::span_drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 11u);
+  EXPECT_EQ(spans[1].stage, obs::SpanStage::kEncode);
+}
+
+TEST(ObsSpan, SlowestTracesGroupsRanksAndDiscardsTorn) {
+  std::vector<obs::SpanRecord> spans;
+  auto add = [&](std::uint64_t trace, std::uint64_t t0, std::uint64_t t1) {
+    obs::SpanRecord sp;
+    sp.trace_id = trace;
+    sp.span_id = spans.size() + 1;
+    sp.stage = obs::SpanStage::kDecode;
+    sp.t0_ns = t0;
+    sp.t1_ns = t1;
+    spans.push_back(sp);
+  };
+  add(1, 100, 110);  // trace 1: duration 10
+  add(2, 100, 150);
+  add(2, 150, 400);  // trace 2: duration 300 (slowest)
+  add(3, 100, 200);  // trace 3: duration 100
+  add(4, 500, 400);  // torn (t1 < t0): discarded
+  add(0, 100, 200);  // zero trace id: discarded
+  const std::vector<obs::TraceSummary> top =
+      obs::slowest_traces(std::move(spans), 2);
+  ASSERT_EQ(top.size(), 2u);  // k truncation; traces 4-and-0 never appear
+  EXPECT_EQ(top[0].trace_id, 2u);
+  EXPECT_EQ(top[0].duration_ns(), 300u);
+  ASSERT_EQ(top[0].spans.size(), 2u);
+  EXPECT_LE(top[0].spans[0].t0_ns, top[0].spans[1].t0_ns);
+  EXPECT_EQ(top[1].trace_id, 3u);
+}
+
+TEST(ObsSpanJson, RecordAndTracezFormat) {
+  obs::SpanRecord sp;
+  sp.trace_id = 7;
+  sp.span_id = 3;
+  sp.parent_id = 0;
+  sp.stage = obs::SpanStage::kWarmAdmit;
+  sp.t0_ns = 100;
+  sp.t1_ns = 180;
+  EXPECT_EQ(span_record_json(sp),
+            "{\"trace_id\":7,\"span_id\":3,\"parent_id\":0,"
+            "\"stage\":\"warm-admit\",\"t0_ns\":100,\"t1_ns\":180}");
+  obs::TraceSummary tr;
+  tr.trace_id = 7;
+  tr.t0_ns = 100;
+  tr.t1_ns = 180;
+  tr.spans = {sp};
+  const std::string body = render_tracez_jsonl({tr});
+  EXPECT_EQ(body, "{\"trace_id\":7,\"duration_ns\":80,\"t0_ns\":100,"
+                  "\"spans\":[" +
+                      span_record_json(sp) + "]}\n");
+}
+
+#if HETSCHED_METRICS_ENABLED
+// The macro must gate on BOTH the runtime switch and a nonzero trace id.
+TEST(ObsSpan, MacroGatesOnSwitchAndTraceId) {
+  obs::span_drain();
+  obs::set_span_enabled(false);
+  HETSCHED_SPAN_RECORD(5, 1, 0, obs::SpanStage::kDecode, 1, 2);
+  EXPECT_TRUE(obs::span_drain().empty());  // disabled: nothing
+  obs::set_span_enabled(true);
+  HETSCHED_SPAN_RECORD(0, 1, 0, obs::SpanStage::kDecode, 1, 2);
+  EXPECT_TRUE(obs::span_drain().empty());  // untraced: nothing
+  HETSCHED_SPAN_RECORD(5, 1, 0, obs::SpanStage::kDecode, 1, 2);
+  obs::set_span_enabled(false);
+  EXPECT_EQ(obs::span_drain().size(), 1u);
+}
+#endif  // HETSCHED_METRICS_ENABLED
+
+// ---------------------------------------------------------------------
+// Flight recorder (obs/flight_recorder.h).
+// ---------------------------------------------------------------------
+
+TEST(ObsFlight, RecordCollectRoundTrip) {
+  obs::FlightRecorder rec;
+  rec.set_shard(7);
+  rec.record(/*kind=*/1, /*status=*/0, /*machine=*/2, /*request_id=*/41,
+             /*value=*/99, /*trace_id=*/5);
+  rec.record(2, 1, 0, 42, 0, 0);
+  EXPECT_EQ(rec.recorded(), 2u);
+  obs::FlightEntry out[4];
+  ASSERT_EQ(rec.collect(out, 4), 2u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].shard, 7u);
+  EXPECT_EQ(out[0].kind, 1u);
+  EXPECT_EQ(out[0].status, 0u);
+  EXPECT_EQ(out[0].machine, 2u);
+  EXPECT_EQ(out[0].request_id, 41u);
+  EXPECT_EQ(out[0].value, 99u);
+  EXPECT_EQ(out[0].trace_id, 5u);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(out[1].kind, 2u);
+  EXPECT_LE(out[0].t_ns, out[1].t_ns);
+}
+
+TEST(ObsFlight, WrapKeepsTheNewestEntries) {
+  obs::FlightRecorder rec;
+  const std::size_t n = obs::kFlightCapacity + 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.record(1, 0, 0, /*request_id=*/i, 0, 0);
+  }
+  std::vector<obs::FlightEntry> out(obs::kFlightCapacity + 16);
+  ASSERT_EQ(rec.collect(out.data(), out.size()), obs::kFlightCapacity);
+  EXPECT_EQ(out[0].request_id, 10u);  // the 10 oldest were overwritten
+  EXPECT_EQ(out[obs::kFlightCapacity - 1].request_id, n - 1);
+}
+
+TEST(ObsFlight, DumpWritesParseableJsonl) {
+  obs::FlightRecorder rec;
+  rec.set_shard(3);
+  rec.record(1, 0, 2, 41, 99, 5);
+  const std::string path = testing::TempDir() + "/flight_dump_test.jsonl";
+  ASSERT_TRUE(obs::flight_dump_path(path.c_str()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t ours = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    // Other live recorders (none in this binary, but be order-robust) may
+    // contribute lines; ours is identified by its field values.
+    if (line.find("\"shard\":3") != std::string::npos) {
+      ++ours;
+      EXPECT_NE(line.find("\"kind\":1"), std::string::npos);
+      EXPECT_NE(line.find("\"request_id\":41"), std::string::npos);
+      EXPECT_NE(line.find("\"value\":99"), std::string::npos);
+      EXPECT_NE(line.find("\"trace_id\":5"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ours, 1u);
+}
+
+#if HETSCHED_METRICS_ENABLED
+TEST(ObsFlight, MacroRecordsWhenCompiledIn) {
+  obs::FlightRecorder rec;
+  HETSCHED_FLIGHT_RECORD(rec, 1, 0, 0, 7, 0, 0);
+  EXPECT_EQ(rec.recorded(), 1u);
+}
+#endif  // HETSCHED_METRICS_ENABLED
 
 // ---------------------------------------------------------------------
 // Instrumented paths end to end.

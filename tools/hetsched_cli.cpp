@@ -58,6 +58,23 @@
 //       --wal-sync always|batch|off picks the fsync policy (default
 //       batch), --snapshot-every N bounds replay by snapshotting a shard
 //       after N logged decisions (default 65536, 0 = never mid-run).
+//       Observability: --http HOST:PORT serves GET /metrics and
+//       GET /healthz on a side port (port written to --http-port-file);
+//       --tracing arms span recording so traced frames (protocol minor
+//       2) are sampled into `tracez`; --slo-us N sets the per-shard
+//       latency SLO for the net_slo_ok/net_slo_breach burn counters
+//       (default 1000).  SIGUSR1 dumps the per-shard flight recorder to
+//       --flight-dump PATH (default <wal-dir>/flight.jsonl, or
+//       ./flight.jsonl without a WAL dir) and keeps serving; the same
+//       dump fires from a fatal-signal handler on SIGSEGV/SIGBUS/
+//       SIGABRT before the process dies.
+//   hetsched_cli stats <host:port> [--timeout-ms N]
+//       Fetch and print the live metrics exposition from a running
+//       serve --listen instance over the binary protocol (kGetStats).
+//   hetsched_cli tracez <host:port> [--slowest K] [--timeout-ms N]
+//       Fetch the K slowest reassembled traces (JSONL, one trace per
+//       line) from a running server (kGetTracez; needs --tracing and a
+//       -DHETSCHED_METRICS=ON server build to be non-empty).
 //   hetsched_cli recover --wal-dir DIR [--shards N] [--admission KIND]
 //       [--alpha X] [--engine E] [--machines M] [--ratio R |
 //       --platform FILE]
@@ -67,7 +84,9 @@
 //       the logs (fresh snapshot, truncated WAL), and print a per-shard
 //       summary.  The admission configuration must match what the logs
 //       were written under — serve's corresponding flags, same defaults.
-//       Exits non-zero if any shard's log fails verification.
+//       Exits non-zero if any shard's log fails verification.  When DIR
+//       holds a flight-recorder dump (flight.jsonl — written by SIGUSR1
+//       or the crash handler), its tail is printed with the summary.
 //
 // Metrics snapshot format (README "Observability"): a line
 // "hetsched_metrics_enabled 0|1", then Prometheus-style text — # HELP /
@@ -100,9 +119,13 @@
 #include "io/text_format.h"
 #include "io/trace_format.h"
 #include "io/wal.h"
+#include "net/client.h"
+#include "net/http_introspect.h"
 #include "net/server.h"
 #include "net/shard_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace hetsched {
@@ -111,7 +134,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hetsched_cli <test|certify|augment|simulate|"
-               "sensitivity|generate|generate-trace|replay|serve|recover> "
+               "sensitivity|generate|generate-trace|replay|serve|recover|"
+               "stats|tracez> "
                "[args]\n  see the header of tools/hetsched_cli.cpp\n");
   return 2;
 }
@@ -124,7 +148,8 @@ struct Args {
   std::map<std::string, std::string> flags;
 
   static bool boolean_flag(const std::string& key) {
-    return key == "stats" || key == "quick" || key == "no-reuseport";
+    return key == "stats" || key == "quick" || key == "no-reuseport" ||
+           key == "tracing";
   }
 
   static Args parse(int argc, char** argv, int from) {
@@ -472,6 +497,49 @@ int flush_trace_ring(const std::string& trace_out) {
   return 0;
 }
 
+// Live-introspection clients (protocol minor 2): one synchronous info
+// call against a running `serve --listen` instance, body to stdout.
+int cmd_stats(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const int timeout = static_cast<int>(args.get_long("timeout-ms", 5000));
+  net::Client client;
+  std::string error;
+  if (!client.connect(args.positional[0], timeout, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  net::InfoResponse info;
+  if (!client.call_info(net::Request::get_stats(1), &info, timeout)) {
+    std::fprintf(stderr, "error: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  std::fputs(info.text.c_str(), stdout);
+  return 0;
+}
+
+int cmd_tracez(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto slowest =
+      static_cast<std::uint64_t>(args.get_long("slowest", 10));
+  const int timeout = static_cast<int>(args.get_long("timeout-ms", 5000));
+  net::Client client;
+  std::string error;
+  if (!client.connect(args.positional[0], timeout, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  net::InfoResponse info;
+  if (!client.call_info(net::Request::get_tracez(1, slowest), &info,
+                        timeout)) {
+    std::fprintf(stderr, "error: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  std::printf("# %llu trace(s), slowest first\n",
+              static_cast<unsigned long long>(info.value));
+  std::fputs(info.text.c_str(), stdout);
+  return 0;
+}
+
 // Network serve mode: the sharded TCP admission service of src/net/.
 int cmd_serve_net(const Args& args) {
   const auto kind = admission_from_name(args.get("admission", "edf"));
@@ -511,21 +579,38 @@ int cmd_serve_net(const Args& args) {
   }
   options.snapshot_every =
       static_cast<std::size_t>(args.get_long("snapshot-every", 65536));
+  options.slo_ns =
+      static_cast<std::uint64_t>(args.get_long("slo-us", 1000)) * 1000;
   const auto stats_interval = args.get_long("stats-interval", 0);
   const std::string trace_out = args.get("trace-out", "");
-  if ((stats_interval > 0 || !trace_out.empty()) && !obs::kMetricsCompiled) {
+  if ((stats_interval > 0 || !trace_out.empty() || args.has("tracing")) &&
+      !obs::kMetricsCompiled) {
     std::fprintf(stderr,
                  "warning: this binary was built without "
-                 "-DHETSCHED_METRICS=ON; snapshots and traces are empty\n");
+                 "-DHETSCHED_METRICS=ON; snapshots, traces and spans are "
+                 "empty\n");
   }
   if (!trace_out.empty()) obs::set_trace_enabled(true);
+  if (args.has("tracing")) obs::set_span_enabled(true);
+
+  // Flight recorder: SIGUSR1 dumps here on demand, and the fatal-signal
+  // handler writes the same file on the way down so `recover` finds the
+  // last decisions next to the WALs they were logged in.
+  const std::string flight_dump =
+      args.get("flight-dump", options.wal_dir.empty()
+                                  ? "flight.jsonl"
+                                  : options.wal_dir + "/flight.jsonl");
+  obs::flight_install_crash_handler(flight_dump.c_str());
 
   // Block the stop signals before spawning threads so every server thread
   // inherits the mask and delivery funnels into sigtimedwait below.
+  // SIGUSR1 rides the same set: delivery lands in this loop, which dumps
+  // the flight recorder and keeps serving.
   sigset_t stop_set;
   sigemptyset(&stop_set);
   sigaddset(&stop_set, SIGINT);
   sigaddset(&stop_set, SIGTERM);
+  sigaddset(&stop_set, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
 
   net::Server server(platform, options);
@@ -533,6 +618,27 @@ int cmd_serve_net(const Args& args) {
   if (!server.start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+
+  // Optional HTTP side port for Prometheus scrapes and health probes.
+  // Declared after `server` (it reads stats_text()) and left up through
+  // the drain so /healthz flips to 503 while the server stops.
+  net::HttpIntrospect http(server);
+  const std::string http_addr = args.get("http", "");
+  if (!http_addr.empty()) {
+    if (!http.start(http_addr, &error)) {
+      std::fprintf(stderr, "error: http: %s\n", error.c_str());
+      server.request_stop();
+      server.wait();
+      return 1;
+    }
+    std::printf("introspection on http port %u: /metrics /healthz\n",
+                http.port());
+    const std::string http_port_file = args.get("http-port-file", "");
+    if (!http_port_file.empty()) {
+      std::ofstream pf(http_port_file);
+      pf << http.port() << "\n";
+    }
   }
   std::printf("listening on port %u: %zu shard(s) of %s alpha=%.3f on %zu "
               "machines (%zu loop(s), %s, queue %zu, batch %zu-%zu)\n",
@@ -558,20 +664,33 @@ int cmd_serve_net(const Args& args) {
 
   // Wait for SIGINT/SIGTERM, waking every --stats-interval seconds for a
   // snapshot.  sigtimedwait keeps this loop signal-race-free: delivery
-  // can only happen here, never mid-snapshot.
+  // can only happen here, never mid-snapshot.  SIGUSR1 dumps the flight
+  // recorder and keeps serving.
   while (server.running()) {
+    int sig = 0;
     if (stats_interval > 0) {
       timespec ts{};
       ts.tv_sec = static_cast<time_t>(stats_interval);
-      if (sigtimedwait(&stop_set, nullptr, &ts) > 0) break;
-      if (errno == EAGAIN) {
+      sig = sigtimedwait(&stop_set, nullptr, &ts);
+      if (sig < 0 && errno == EAGAIN) {
         std::printf("--- metrics snapshot ---\n%s",
                     obs::registry().expose().c_str());
         std::fflush(stdout);
+        continue;
       }
     } else {
-      if (sigwaitinfo(&stop_set, nullptr) > 0) break;
+      sig = sigwaitinfo(&stop_set, nullptr);
     }
+    if (sig == SIGUSR1) {
+      if (obs::flight_dump_path(flight_dump.c_str())) {
+        std::printf("[flight recorder dumped to %s]\n", flight_dump.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", flight_dump.c_str());
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (sig > 0) break;
   }
 
   // Graceful drain: stop accepting, answer everything queued, join.
@@ -681,6 +800,27 @@ int cmd_recover(const Args& args) {
         static_cast<unsigned long long>(info.reconciled),
         static_cast<unsigned long long>(info.forwards.size()),
         info.truncated_bytes > 0 ? ", torn tail truncated" : "");
+  }
+
+  // A flight-recorder dump in the WAL directory (SIGUSR1 or the crash
+  // handler wrote it) is part of the post-mortem: surface its tail next
+  // to the recovery summary instead of making the operator go find it.
+  const std::string flight_path = dir + "/flight.jsonl";
+  std::ifstream flight(flight_path);
+  if (flight) {
+    std::vector<std::string> tail;
+    std::string fline;
+    std::size_t entries = 0;
+    while (std::getline(flight, fline)) {
+      if (fline.empty()) continue;
+      ++entries;
+      tail.push_back(fline);
+      if (tail.size() > 4) tail.erase(tail.begin());
+    }
+    std::printf("flight recorder: %zu entr%s in %s%s\n", entries,
+                entries == 1 ? "y" : "ies", flight_path.c_str(),
+                entries > 0 ? ", newest last:" : "");
+    for (const std::string& t : tail) std::printf("  %s\n", t.c_str());
   }
   return 0;
 }
@@ -849,6 +989,8 @@ int run(int argc, char** argv) {
   if (cmd == "replay") return cmd_replay(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "recover") return cmd_recover(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "tracez") return cmd_tracez(args);
   return usage();
 }
 

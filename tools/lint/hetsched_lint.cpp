@@ -26,12 +26,13 @@
 //                     a PartitionScratch member are flagged.  Amortized
 //                     arena growth is suppressed per line with
 //                     `hetsched-lint: allow(noalloc)`.
-//   [metric-handle]   HETSCHED_COUNT/HETSCHED_TIMED/HETSCHED_GAUGE_* uses
-//                     inside a HETSCHED_NOALLOC function must pass a
-//                     pre-registered metric handle: a string literal or a
-//                     registry() call in the macro argument means the hot
-//                     path is registering by name (which locks and
-//                     allocates on first hit).
+//   [metric-handle]   HETSCHED_COUNT/HETSCHED_TIMED/HETSCHED_GAUGE_*/
+//                     HETSCHED_SPAN_RECORD/HETSCHED_FLIGHT_RECORD uses
+//                     inside a HETSCHED_NOALLOC or HETSCHED_OWNER_LOOP
+//                     function must pass pre-registered handles and plain
+//                     values: a string literal or a registry() call in the
+//                     macro argument means the hot path is registering by
+//                     name (which locks and allocates on first hit).
 //   [owner-loop-blocking]
 //                     Functions annotated `// HETSCHED_OWNER_LOOP` run on
 //                     a thread-per-core owner loop (src/net/server.cc) or
@@ -831,8 +832,9 @@ void check_noalloc(const FileText& file, const std::vector<Scope>& scopes,
 bool metric_macro_at(const std::string& line, std::size_t* pos,
                      std::size_t* name_end, std::size_t start) {
   static const std::vector<std::string> kMacros = {
-      "HETSCHED_COUNT_ADD", "HETSCHED_COUNT",      "HETSCHED_TIMED_SAMPLED",
-      "HETSCHED_TIMED",     "HETSCHED_GAUGE_SET",  "HETSCHED_GAUGE_ADD"};
+      "HETSCHED_COUNT_ADD",    "HETSCHED_COUNT",     "HETSCHED_TIMED_SAMPLED",
+      "HETSCHED_TIMED",        "HETSCHED_GAUGE_SET", "HETSCHED_GAUGE_ADD",
+      "HETSCHED_SPAN_RECORD",  "HETSCHED_FLIGHT_RECORD"};
   std::size_t best = std::string::npos;
   std::size_t best_end = 0;
   for (const std::string& macro : kMacros) {
@@ -886,8 +888,9 @@ void check_metric_handle(const FileText& file,
         if (suppressed(sup, "metric-handle", bl + 1)) continue;
         out->push_back(
             {file.path, bl + 1, "metric-handle",
-             "metric macro in a HETSCHED_NOALLOC function must take a "
-             "pre-registered handle, not a by-name registry lookup"});
+             "metric/span/flight macro in a HETSCHED_NOALLOC or "
+             "HETSCHED_OWNER_LOOP function must take a pre-registered "
+             "handle, not a by-name registry lookup"});
       }
     }
   }
@@ -1363,7 +1366,16 @@ std::vector<Violation> scan_batch(const std::vector<FileText>& files) {
     check_assert_abort(f, sup, &violations);
     check_nondeterminism(f, sup, &violations);
     check_noalloc(f, noalloc_scopes, sup, &violations);
-    check_metric_handle(f, noalloc_scopes, sup, &violations);
+    // [metric-handle] covers both hot-path annotations: a function that
+    // carries NOALLOC and OWNER_LOOP contributes its scope once.
+    std::vector<Scope> handle_scopes = noalloc_scopes;
+    for (const Scope& s : owner_scopes) {
+      const bool dup = std::any_of(
+          handle_scopes.begin(), handle_scopes.end(),
+          [&](const Scope& t) { return t.open_line == s.open_line; });
+      if (!dup) handle_scopes.push_back(s);
+    }
+    check_metric_handle(f, handle_scopes, sup, &violations);
     check_owner_loop(f, fns, owner_scopes, sup, &violations);
     check_parser_bounds(f, fns, sup, &violations);
     if (concurrency_path(f.path)) {
