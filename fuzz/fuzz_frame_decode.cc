@@ -5,10 +5,12 @@
 //     exactly `size` bytes);
 //   - kOk implies consumed == the frame the length prefix declared
 //     (kFrameSize for a compact request, kTracedFrameSize for a traced
-//     one — protocol minor 2) and a perfect round trip: encode(decode(x))
+//     one — protocol minor 2 — or kDeadlineFrameSize for a constrained
+//     admit — minor 3) and a perfect round trip: encode(decode(x))
 //     reproduces the input frame byte for byte (decode validates
-//     version/type/status/reserved and rejects a zero trace id in the
-//     extended payload, so no don't-care bits survive to the struct),
+//     version/type/status/reserved, rejects a zero trace id in the
+//     40-byte payload and a zero deadline or non-kAdmit type in the
+//     48-byte one, so no don't-care bits survive to the struct),
 //     and re-decoding the re-encoded bytes yields identical fields;
 //   - kNeedMore is only ever returned for a buffer shorter than the
 //     frame its length prefix declares (or shorter than the header);
@@ -45,11 +47,22 @@ void check_request(const std::uint8_t* data, std::size_t size) {
   switch (net::decode_request(data, size, &req, &consumed)) {
     case net::DecodeResult::kOk: {
       require(consumed == net::kFrameSize ||
-                  consumed == net::kTracedFrameSize,
-              "request consumed is neither frame size");
-      require((req.trace_id != 0) == (consumed == net::kTracedFrameSize),
-              "trace id presence disagrees with the frame length");
-      unsigned char out[net::kTracedFrameSize];
+                  consumed == net::kTracedFrameSize ||
+                  consumed == net::kDeadlineFrameSize,
+              "request consumed is no known frame size");
+      // One wire image per request: the deadline selects the 48-byte
+      // form (where the trace id slot may be zero); otherwise a nonzero
+      // trace id selects the 40-byte form.
+      require((req.deadline != 0) == (consumed == net::kDeadlineFrameSize),
+              "deadline presence disagrees with the frame length");
+      if (req.deadline == 0) {
+        require((req.trace_id != 0) == (consumed == net::kTracedFrameSize),
+                "trace id presence disagrees with the frame length");
+      } else {
+        require(req.type == net::MsgType::kAdmit,
+                "constrained-deadline frame with a non-admit type");
+      }
+      unsigned char out[net::kDeadlineFrameSize];
       require(net::encode_request(req, out) == consumed,
               "encode_request returned wrong size");
       require(std::memcmp(out, data, consumed) == 0,
@@ -61,7 +74,8 @@ void check_request(const std::uint8_t* data, std::size_t size) {
               "re-encoded request failed to decode");
       require(again.type == req.type && again.shard == req.shard &&
                   again.request_id == req.request_id && again.a == req.a &&
-                  again.b == req.b && again.trace_id == req.trace_id,
+                  again.b == req.b && again.trace_id == req.trace_id &&
+                  again.deadline == req.deadline,
               "request fields changed across the round trip");
       break;
     }

@@ -47,10 +47,17 @@ bool write_input(const std::string& path, const std::uint8_t* data,
 }
 
 bool records_equal(const io::WalRecord& a, const io::WalRecord& b) {
-  return a.type == b.type && a.flags == b.flags && a.epoch == b.epoch &&
-         a.seq == b.seq && a.checksum == b.checksum && a.exec == b.exec &&
-         a.period == b.period && a.task_id == b.task_id && a.peer == b.peer &&
-         a.moved.size() == b.moved.size();
+  if (!(a.type == b.type && a.flags == b.flags && a.epoch == b.epoch &&
+        a.seq == b.seq && a.checksum == b.checksum && a.exec == b.exec &&
+        a.period == b.period && a.deadline == b.deadline &&
+        a.task_id == b.task_id && a.peer == b.peer &&
+        a.moved.size() == b.moved.size())) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.moved.size(); ++i) {
+    if (a.moved[i].deadline != b.moved[i].deadline) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -82,18 +89,32 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
   ::unlink(path.c_str());
 
-  // Replay through the real controller, mirroring shard recovery's guards.
+  // Replay through the real controllers, mirroring shard recovery's
+  // guards.  Implicit admits run the legacy path; deadline-bearing
+  // records (the loader guarantees a nonzero deadline on the long admit
+  // body) go through the tiered subsystem, whose controller is the only
+  // one allowed to see constrained tasks.
   hetsched::Platform platform =
       hetsched::Platform::from_speeds({1.0, 1.0, 2.0});
   hetsched::OnlinePartitioner controller(platform,
                                          hetsched::AdmissionKind::kEdf, 1.0);
+  hetsched::admit::AdmitConfig tiered_cfg;
+  tiered_cfg.test = hetsched::admit::TestKind::kQpa;
+  hetsched::OnlinePartitioner tiered(platform, hetsched::AdmissionKind::kEdf,
+                                     1.0, hetsched::PartitionEngine::kAuto,
+                                     tiered_cfg);
   std::size_t replayed = 0;
   for (const io::WalRecord& r : records) {
     if (++replayed > 256) break;  // smoke budget: bound per-input work
     switch (r.type) {
       case io::WalRecordType::kAdmit:
         if (r.exec > 0 && r.period > 0) {
-          (void)controller.admit(hetsched::Task{r.exec, r.period});
+          if (r.deadline == 0) {
+            (void)controller.admit(hetsched::Task{r.exec, r.period});
+          } else if (r.deadline > 0 && r.deadline <= r.period) {
+            (void)tiered.admit(
+                hetsched::Task{r.exec, r.period, r.deadline});
+          }
         }
         break;
       case io::WalRecordType::kDepart:

@@ -3,11 +3,14 @@
 // harnesses round-trip against:
 //
 //   corpus/frame/     valid request/response frames (every MsgType,
-//                     compact and traced minor-2 images, an info reply),
-//                     a pipelined mixed-length unit, and truncated
-//                     prefixes for both frame sizes
+//                     compact, traced minor-2, and constrained-deadline
+//                     minor-3 images, an info reply), a pipelined
+//                     mixed-length unit, and truncated prefixes for
+//                     every frame size
 //   corpus/wal/       a multi-record WAL (admit/depart/rebalance), a
-//                     resize WAL (MoveOut with the deactivate flag), and
+//                     resize WAL (MoveOut with the deactivate flag), a
+//                     constrained WAL (deadline-bearing admits with
+//                     nonzero tiers and a constrained move record), and
 //                     a torn-tail copy recovery must truncate
 //   corpus/snapshot/  published snapshot files (with and without a
 //                     forwarding table) whose payload is a real
@@ -25,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "admit/admission_test.h"
 #include "core/platform.h"
 #include "core/task.h"
 #include "io/snapshot_format.h"
@@ -54,7 +58,7 @@ void write_file(const fs::path& path, const void* data, std::size_t size) {
 }
 
 void write_frames(const fs::path& dir) {
-  unsigned char buf[net::kTracedFrameSize * 2];
+  unsigned char buf[net::kDeadlineFrameSize * 3];
   const auto one = [&](const char* name, const net::Request& r) {
     const std::size_t n = net::encode_request(r, buf);
     write_file(dir / name, buf, n);
@@ -72,6 +76,13 @@ void write_frames(const fs::path& dir) {
   one("admit_traced.bin", traced);
   one("get_stats.bin", net::Request::get_stats(11));
   one("get_tracez.bin", net::Request::get_tracez(12, 5));
+
+  // Protocol minor 3: the constrained-deadline 52-byte admit image — once
+  // bare (trace id slot legitimately zero) and once traced, so the fuzzer
+  // starts from both canonical long-form variants.
+  one("admit_deadline.bin", net::Request::admit(0, 14, 4, 15, 9));
+  one("admit_deadline_traced.bin",
+      net::Request::admit(1, 15, 5, 20, 12).traced(0xFEEDULL));
 
   net::Response resp;
   resp.type = net::MsgType::kAdmit;
@@ -110,6 +121,15 @@ void write_frames(const fs::path& dir) {
       net::encode_request(net::Request::depart(0, 9, 1), buf + n1);
   write_file(dir / "pipelined.bin", buf, n1 + n2);
 
+  // All three request lengths in one unit: deadline, compact, traced.
+  const std::size_t d1 =
+      net::encode_request(net::Request::admit(0, 16, 2, 9, 6), buf);
+  const std::size_t d2 =
+      net::encode_request(net::Request::admit(0, 17, 2, 9), buf + d1);
+  const std::size_t d3 = net::encode_request(
+      net::Request::admit(0, 18, 2, 9).traced(0xAB), buf + d1 + d2);
+  write_file(dir / "pipelined_deadline.bin", buf, d1 + d2 + d3);
+
   // A header plus a payload prefix: the kNeedMore path.
   net::encode_request(net::Request::admit(0, 10, 5, 25), buf);
   write_file(dir / "truncated.bin", buf, net::kHeaderSize + 11);
@@ -120,6 +140,11 @@ void write_frames(const fs::path& dir) {
   cut.trace_id = 0xCAFE;
   net::encode_request(cut, buf);
   write_file(dir / "truncated_traced.bin", buf, net::kFrameSize);
+
+  // A traced frame's worth of bytes whose prefix promises the deadline
+  // payload: kNeedMore even though kTracedFrameSize bytes are buffered.
+  net::encode_request(net::Request::admit(0, 19, 7, 35, 21), buf);
+  write_file(dir / "truncated_deadline.bin", buf, net::kTracedFrameSize);
 }
 
 void write_wals(const fs::path& dir) {
@@ -127,6 +152,7 @@ void write_wals(const fs::path& dir) {
   // previous seeds first or an in-place regeneration doubles the files.
   fs::remove(dir / "basic.bin");
   fs::remove(dir / "resize.bin");
+  fs::remove(dir / "constrained.bin");
   const std::string basic = (dir / "basic.bin").string();
   {
     io::WalWriter w;
@@ -157,6 +183,28 @@ void write_wals(const fs::path& dir) {
     w.commit(true);
     w.close();
     std::printf("  %-40s (WalWriter)\n", resize.c_str());
+  }
+  {
+    // Constrained records (admission subsystem): deadline-bearing admits
+    // with nonzero decision tiers in the flags, a legacy admit in the
+    // same log (length-discriminated bodies), and a constrained move.
+    const std::string constrained = (dir / "constrained.bin").string();
+    io::WalWriter w;
+    if (!w.open(constrained, 3, io::WalSync::kOff)) {
+      std::fprintf(stderr, "make_corpus: cannot open %s\n",
+                   constrained.c_str());
+      ++g_failures;
+      return;
+    }
+    w.append_admit(5, 10, 1, 0x6666, /*deadline=*/5, hetsched::admit::kTierBound);
+    w.append_admit(4, 10, 2, 0x7777, /*deadline=*/9, hetsched::admit::kTierExact);
+    w.append_admit(2, 10, 3, 0x8888);  // implicit: 16-byte legacy body
+    const io::WalMovedTask cmoved[] = {{1, 101, 5, 10, 5}, {2, 102, 4, 10, 9}};
+    w.append_move(io::WalRecordType::kMoveOut, 1, io::kWalFlagDeactivate,
+                  cmoved, 4, 0x9999);
+    w.commit(true);
+    w.close();
+    std::printf("  %-40s (WalWriter)\n", constrained.c_str());
   }
   // Torn tail: the basic WAL minus its last 3 bytes; recovery keeps the
   // whole-record prefix and truncates the rest.
@@ -233,6 +281,13 @@ void write_traces(const fs::path& dir) {
       "depart 2 1\n"
       "arrive 2 2 1 2\n");
   one("empty_events.trace", "platform 1\n");
+  one("constrained.trace",
+      "# optional sixth token: constrained deadline (0 < d <= period)\n"
+      "platform 1 1\n"
+      "arrive 0 0 5 10 5\n"
+      "arrive 0.5 1 4 10 9\n"
+      "arrive 1 2 2 10\n"
+      "depart 2 0\n");
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Tiered per-machine admission tests for constrained-deadline tasks.
+//
+// The paper's controller admits with implicit-deadline utilization bounds
+// (partition/admission.h).  This module generalizes the per-machine query —
+// "can machine j at speed alpha * s_j accept its resident set plus one
+// candidate?" — to the constrained model (d_i <= p_i) by composing the
+// deciders the repo already owns into a *tiered selector*:
+//
+//   tier 0 (bound)   density slack: sum c_i/d_i <= capacity, evaluated with
+//                    the same exact-FP fold the legacy controller uses, so
+//                    warm admits stay allocation-free and the segment-tree
+//                    engine keeps its O(log m) machine lookup.  Sufficient:
+//                    a density accept is always safe, and implies both
+//                    escalation tiers accept (dbf_i(t) <= (c_i/d_i) t for
+//                    t >= d_i), so tier 0 never needs double-checking.
+//   tier 1 (approx)  linear approximate DBF (dbf/demand_bound.h), O(n) per
+//                    query.  Sufficient, bounded pessimism.
+//   tier 2 (exact)   QPA for EDF modes; deadline-monotonic response-time
+//                    analysis for the fixed-priority mode.  Exact, but a
+//                    per-query cost that depends on the period spread.
+//
+// Escalation only ever runs when tier 0 *rejects*; which tiers run is the
+// TestKind, and kAuto additionally gates the exact tier behind a relative
+// density-overshoot band so far-from-boundary rejects stay cheap.
+//
+// The overhead model inflates c_i with per-release/preemption costs before
+// any test sees the task, so every tier prices the same (pessimistic) WCET.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/constrained_task.h"
+#include "core/task.h"
+#include "partition/admission.h"
+#include "util/rational.h"
+
+namespace hetsched::admit {
+
+enum class TestKind : std::uint8_t {
+  // The controller's legacy AdmissionKind bound; deadlines are rejected on
+  // the wire.  This is the default and keeps every pre-existing byte stream
+  // (WAL, snapshot, checksum) bit-identical.
+  kLegacy = 0,
+  kBound = 1,      // tier 0 only: density sufficient bound
+  kDbfApprox = 2,  // tiers 0-1: density filter, then linear approximate DBF
+  kQpa = 3,        // tiers 0-2: density, approx accept-filter, then QPA
+  kRta = 4,        // tiers 0,2: density-LL filter, then DM response times
+  kAuto = 5,       // tiers 0-2 with the exact tier gated by `band`
+};
+
+// Tier ids as persisted in WAL record flags and AdmitDecision::tier.
+inline constexpr std::uint8_t kTierBound = 0;
+inline constexpr std::uint8_t kTierApprox = 1;
+inline constexpr std::uint8_t kTierExact = 2;
+
+struct AdmitConfig {
+  TestKind test = TestKind::kLegacy;
+  // kAuto: escalate to the exact tier only while the relative density
+  // overshoot (density_sum_with_candidate - capacity) / capacity is within
+  // this band; beyond it the approximate verdict stands.
+  double band = 0.5;
+  // Overhead model: each job pays one release and up to two context
+  // switches (preempt + resume), inflating c_i before any test runs.
+  std::int64_t release_overhead = 0;
+  std::int64_t preempt_overhead = 0;
+
+  bool tiered() const { return test != TestKind::kLegacy; }
+  bool fixed_priority() const { return test == TestKind::kRta; }
+
+  friend bool operator==(const AdmitConfig&, const AdmitConfig&) = default;
+};
+
+// "auto" | "bound" | "dbf-approx" | "qpa" | "rta" (and "legacy").
+std::string to_string(TestKind k);
+std::optional<TestKind> test_from_name(std::string_view name);
+
+// Overhead inflation: c' = c + release + 2 * preempt (checked; aborts on
+// overflow).  The deadline/period are untouched — overhead is work, not
+// urgency.  Implicit Task deadlines embed as d == p.
+ConstrainedTask inflate(const AdmitConfig& cfg, const Task& t);
+
+// The AdmissionKind whose exact-FP slack fold tier 0 runs over *densities*:
+// kEdf for the EDF family (density bound), kRmsLiuLayland for kRta (LL over
+// densities is sufficient for DM: shrinking periods to deadlines only adds
+// demand and turns DM order into RM order).  Aborts for kLegacy.
+AdmissionKind tier0_fold_kind(TestKind k);
+
+struct TierVerdict {
+  bool accept = false;
+  std::uint8_t tier = kTierBound;  // the tier that produced the verdict
+};
+
+// Incremental per-machine demand state: the machine's resident tasks,
+// inflated, index-aligned with the controller's per-machine resident list
+// (same push / swap-remove discipline).  Keeping it resident is what makes
+// a warm escalation allocation-free — the deciders scan this span in place
+// instead of rebuilding it from slots.
+class MachineDemand {
+ public:
+  void reserve(std::size_t n) { tasks_.reserve(n); }
+  // HETSCHED_NOALLOC (warm path: capacity is reserved up front)
+  void push(const ConstrainedTask& t) {
+    // hetsched-lint: allow(noalloc) amortized growth, reserved when warm
+    tasks_.push_back(t);
+  }
+  // HETSCHED_NOALLOC
+  void pop() { tasks_.pop_back(); }
+  // Ordered erase, NOT swap-remove: the deciders sum demand in element
+  // order, and bit-identical recovery requires a recovered mirror (rebuilt
+  // in resident-list order) to evaluate the same floating-point sums.
+  // HETSCHED_NOALLOC
+  void remove_at(std::size_t i) {
+    tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  void clear() { tasks_.clear(); }
+  std::size_t size() const { return tasks_.size(); }
+  std::span<const ConstrainedTask> tasks() const { return tasks_; }
+
+ private:
+  std::vector<ConstrainedTask> tasks_;
+};
+
+// Escalation: decide `candidate` on a machine whose tier-0 density test
+// REJECTED it.  `demand` is pushed/tested/popped transiently and is
+// unchanged on return; `speed` is the machine's exact augmented speed;
+// `density_margin` is the relative overshoot kAuto's band gates on.
+// Allocation-free when `demand` has spare capacity (warm).
+TierVerdict escalate(const AdmitConfig& cfg, MachineDemand& demand,
+                     const ConstrainedTask& candidate, const Rational& speed,
+                     double density_margin);
+
+// Batch oracle for tests and benchmarks: replays the tier-0 fold over
+// `residents` (in admission order) and decides `candidate` exactly as the
+// online controller would on a machine of double capacity `capacity` and
+// exact speed `speed`.  Allocates; not for the hot path.
+TierVerdict machine_admits(const AdmitConfig& cfg,
+                           std::span<const ConstrainedTask> residents,
+                           const ConstrainedTask& candidate, double capacity,
+                           const Rational& speed);
+
+}  // namespace hetsched::admit

@@ -1,0 +1,70 @@
+#include "admit/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/taskset_gen.h"
+#include "util/rng.h"
+
+namespace hetsched::admit {
+
+Platform e14_platform() { return Platform::from_speeds({1.0, 1.0}); }
+
+namespace {
+
+E14Point make_point(double target_density, std::uint64_t seed,
+                    std::size_t n) {
+  E14Point pt;
+  pt.target_density = target_density;
+  pt.seed = seed;
+  Rng rng(seed);
+  const std::vector<double> densities = uunifast(rng, n, target_density);
+  const PeriodSpec periods = PeriodSpec::sim_friendly();
+  pt.tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.period = periods.draw(rng);
+    // ~1 in 4 implicit; otherwise deadline ratio uniform in [0.4, 1).
+    const bool implicit = rng.next_u64() % 4 == 0;
+    const std::int64_t d =
+        implicit ? t.period
+                 : std::clamp<std::int64_t>(
+                       std::llround((0.4 + 0.6 * rng.next_double()) *
+                                    static_cast<double>(t.period)),
+                       1, t.period);
+    // c = round(density * d), kept inside (0, d] so each task is feasible
+    // alone at unit speed.
+    t.exec = std::clamp<std::int64_t>(
+        std::llround(densities[i] * static_cast<double>(d)), 1, d);
+    t.deadline = implicit ? 0 : d;
+    pt.tasks.push_back(t);
+  }
+  return pt;
+}
+
+}  // namespace
+
+std::vector<E14Point> e14_points(bool quick) {
+  // Sum-density targets straddle the 2-machine capacity (2.0): below it
+  // every tier should accept nearly everything, above it the tiers
+  // separate — that boundary band is where escalation earns its cost.
+  const std::size_t streams = quick ? 2 : 8;
+  const std::size_t n = quick ? 24 : 48;
+  std::vector<double> targets;
+  if (quick) {
+    targets = {1.8, 2.6};
+  } else {
+    targets = {1.2, 1.6, 2.0, 2.2, 2.4, 2.8, 3.2};
+  }
+  std::vector<E14Point> points;
+  points.reserve(targets.size() * streams);
+  std::uint64_t seed = 0xE14;
+  for (const double target : targets) {
+    for (std::size_t s = 0; s < streams; ++s) {
+      points.push_back(make_point(target, seed++, n));
+    }
+  }
+  return points;
+}
+
+}  // namespace hetsched::admit

@@ -1,0 +1,36 @@
+// The E14 sweep: deterministic constrained-deadline arrival streams shared
+// by bench_e14_admit (acceptance ratio / admission latency per tier) and
+// the sim differential test (every admitted machine set must simulate
+// miss-free at its admitted speed).  Keeping the generator here — not in
+// the bench — is what lets `ctest -L sim` replay exactly the tasksets the
+// committed BENCH_admit.json numbers came from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/task.h"
+
+namespace hetsched::admit {
+
+struct E14Point {
+  double target_density = 0.0;  // drawn sum of densities for the stream
+  std::uint64_t seed = 0;       // RNG seed that produced it
+  // Wire-facing tasks in arrival order; constrained ones carry a nonzero
+  // deadline, ~1 in 4 stays implicit (deadline == 0) so every stream mixes
+  // both forms.  Periods are sim-friendly (divisors of 2520), keeping the
+  // differential test's exact hyperperiod simulation cheap.
+  std::vector<Task> tasks;
+};
+
+// The platform every E14 stream is admitted onto: two unit-speed machines,
+// alpha 1 — the per-machine test is the object under study, so speeds stay
+// trivial and exactly representable.
+Platform e14_platform();
+
+// `quick` trims the sweep for the CI smoke lane (fewer density points and
+// shorter streams); the full sweep backs the committed BENCH_admit.json.
+std::vector<E14Point> e14_points(bool quick);
+
+}  // namespace hetsched::admit

@@ -35,9 +35,10 @@ struct ConstrainedTask {
     return static_cast<double>(exec) / static_cast<double>(deadline);
   }
 
-  // Implicit-deadline embedding.
+  // Embedding from the wire-facing type: a zero Task::deadline means
+  // implicit (d == p), a nonzero one carries over unchanged.
   static ConstrainedTask from_task(const Task& t) {
-    return ConstrainedTask{t.exec, t.period, t.period};
+    return ConstrainedTask{t.exec, t.effective_deadline(), t.period};
   }
 
   friend bool operator==(const ConstrainedTask&,

@@ -62,4 +62,48 @@ bool rta_schedulable(std::span<const Task> tasks, const Rational& speed) {
   return true;
 }
 
+std::optional<Rational> dm_response_time(std::span<const ConstrainedTask> tasks,
+                                         std::size_t target,
+                                         const Rational& speed) {
+  HETSCHED_CHECK(target < tasks.size());
+  HETSCHED_CHECK(speed > Rational(0));
+  const ConstrainedTask& ti = tasks[target];
+
+  // Higher-priority set under DM: strictly shorter relative deadline, or an
+  // equal deadline with lower index (the same documented tie-break as RM).
+  std::vector<std::size_t> hp;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (j == target) continue;
+    if (tasks[j].deadline < ti.deadline ||
+        (tasks[j].deadline == ti.deadline && j < target)) {
+      hp.push_back(j);
+    }
+  }
+
+  const Rational deadline(ti.deadline);
+  Rational r = Rational(ti.exec) / speed;
+  if (r > deadline) return std::nullopt;
+
+  for (;;) {
+    Rational demand(ti.exec);
+    for (const std::size_t j : hp) {
+      const Rational releases((r / Rational(tasks[j].period)).ceil());
+      demand += releases * Rational(tasks[j].exec);
+    }
+    const Rational next = demand / speed;
+    if (next == r) return r;
+    if (next > deadline) return std::nullopt;
+    HETSCHED_DCHECK(next > r);
+    r = next;
+  }
+}
+
+bool dm_rta_schedulable(std::span<const ConstrainedTask> tasks,
+                        const Rational& speed) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!dm_response_time(tasks, i, speed)) return false;
+  }
+  return true;
+}
+
 }  // namespace hetsched

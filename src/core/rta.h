@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/constrained_task.h"
 #include "core/task.h"
 #include "util/rational.h"
 
@@ -42,5 +43,16 @@ std::optional<Rational> rm_response_time(std::span<const Task> tasks,
 
 // True iff every task meets its deadline under RM on a speed-`speed` machine.
 bool rta_schedulable(std::span<const Task> tasks, const Rational& speed);
+
+// Deadline-monotonic variants for the constrained model (d_i <= p_i).
+// DM (shorter relative deadline = higher priority) is optimal among fixed
+// priorities for constrained deadlines, and reduces to RM when d == p, so
+// these strictly generalize the implicit-deadline functions above.  The
+// recurrence is identical except the fixed point must satisfy R <= d_i.
+std::optional<Rational> dm_response_time(std::span<const ConstrainedTask> tasks,
+                                         std::size_t target,
+                                         const Rational& speed);
+bool dm_rta_schedulable(std::span<const ConstrainedTask> tasks,
+                        const Rational& speed);
 
 }  // namespace hetsched

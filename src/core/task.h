@@ -19,7 +19,12 @@ namespace hetsched {
 
 struct Task {
   std::int64_t exec = 1;    // c_i: worst-case execution on a unit-speed machine
-  std::int64_t period = 1;  // p_i: minimum inter-arrival time == relative deadline
+  std::int64_t period = 1;  // p_i: minimum inter-arrival time
+  // d_i: relative deadline.  0 means "implicit" (deadline == period), which
+  // keeps every existing Task{exec, period} aggregate-init site — and every
+  // persisted byte that predates the field — meaning exactly what it always
+  // did.  A nonzero value must satisfy 0 < d_i <= p_i (constrained model).
+  std::int64_t deadline = 0;
 
   // w_i = c_i / p_i on a unit-speed machine.
   double utilization() const {
@@ -27,7 +32,23 @@ struct Task {
   }
   Rational utilization_exact() const { return Rational(exec, period); }
 
-  bool valid() const { return exec > 0 && period > 0; }
+  // The deadline the schedulability tests see: period when implicit.
+  std::int64_t effective_deadline() const {
+    return deadline == 0 ? period : deadline;
+  }
+  bool implicit_deadline() const {
+    return deadline == 0 || deadline == period;
+  }
+
+  // Density c_i / d_i — equals utilization for implicit deadlines.
+  double density() const {
+    return static_cast<double>(exec) / static_cast<double>(effective_deadline());
+  }
+  Rational density_exact() const { return Rational(exec, effective_deadline()); }
+
+  bool valid() const {
+    return exec > 0 && period > 0 && deadline >= 0 && deadline <= period;
+  }
 
   friend bool operator==(const Task&, const Task&) = default;
 };

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "admit/admission_test.h"
+#include "dbf/demand_bound.h"
 #include "obs/metrics.h"
 #include "online/online_partitioner.h"
 #include "partition/first_fit.h"
@@ -47,8 +49,9 @@ ChurnResult run_churn(const Platform& platform, const ChurnTrace& trace,
   HETSCHED_CHECK(options.alpha >= 1.0);
 
   OnlinePartitioner controller(platform, options.kind, options.alpha,
-                               options.engine);
+                               options.engine, options.admit);
   controller.reserve(trace.arrivals);
+  const bool tiered = options.admit.tiered();
 
   // Online side: trace task number -> live controller id.
   std::unordered_map<std::uint64_t, OnlineTaskId> online_ids;
@@ -73,9 +76,24 @@ ChurnResult run_churn(const Platform& platform, const ChurnTrace& trace,
       }
 
       clair_tasks.push_back(ev.params);
-      const bool clair_ok =
-          first_fit_accepts(TaskSet(clair_tasks), platform, options.kind,
-                            options.alpha, scratch, options.engine);
+      bool clair_ok;
+      if (tiered) {
+        // Constrained model: score the baseline with the exact (QPA)
+        // batch partitioner over the inflated tasks, so the clairvoyant
+        // is the strongest admitter the tiers converge to.
+        std::vector<ConstrainedTask> cts;
+        cts.reserve(clair_tasks.size());
+        for (const Task& ct : clair_tasks) {
+          cts.push_back(admit::inflate(options.admit, ct));
+        }
+        clair_ok = first_fit_partition_constrained(
+                       cts, platform, DbfAdmission::kExactQpa, options.alpha)
+                       .feasible;
+      } else {
+        clair_ok =
+            first_fit_accepts(TaskSet(clair_tasks), platform, options.kind,
+                              options.alpha, scratch, options.engine);
+      }
       if (clair_ok) {
         ++result.clairvoyant_admitted;
         clair_index.emplace(ev.task, clair_tasks.size() - 1);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "admit/admission_test.h"
 #include "core/platform.h"
 #include "gen/churn_gen.h"
 #include "partition/admission.h"
@@ -35,6 +36,10 @@ struct ChurnOptions {
   PartitionEngine engine = PartitionEngine::kAuto;
   // Call rebalance() after every this many arrivals; 0 disables.
   std::size_t rebalance_every = 0;
+  // Tiered admission test (src/admit).  kLegacy keeps the implicit-
+  // deadline harness; a tiered kind admits constrained-deadline arrivals
+  // and scores the clairvoyant with the exact constrained partitioner.
+  admit::AdmitConfig admit;
 };
 
 struct ChurnResult {

@@ -77,6 +77,19 @@ ChurnTrace generate_churn_trace(Rng& rng, const ChurnSpec& spec) {
     task.period = p;
     task.exec = std::clamp<std::int64_t>(
         std::llround(u * static_cast<double>(p)), 1, p * 4);
+    // The guard (not just the fraction) keeps the draw count — and thus
+    // every later draw in the stream — identical for legacy specs.
+    if (spec.constrained_fraction > 0.0 &&
+        rng.next_double() < spec.constrained_fraction) {
+      const double r = spec.deadline_ratio_lo +
+                       (spec.deadline_ratio_hi - spec.deadline_ratio_lo) *
+                           rng.next_double();
+      task.deadline = std::clamp<std::int64_t>(
+          std::llround(r * static_cast<double>(p)), 1, p);
+      // A constrained deadline must cover the realized WCET; tasks whose
+      // exec overshoots p (fast-machine headroom) stay implicit.
+      if (task.deadline < task.exec) task.deadline = 0;
+    }
     ChurnEvent arrive;
     arrive.kind = ChurnEvent::Kind::kArrival;
     arrive.time = t;

@@ -61,6 +61,14 @@ struct ChurnSpec {
   double util_lo = 0.05;         // log-uniform utilization draw
   double util_hi = 0.5;
   PeriodSpec periods = PeriodSpec::log_uniform(10, 1000);
+  // Constrained-deadline knobs.  A fraction `constrained_fraction` of the
+  // arrivals draw d = clamp(round(r * p), 1, p) with r uniform in
+  // [deadline_ratio_lo, deadline_ratio_hi); the rest stay implicit
+  // (deadline 0).  The default 0 consumes no RNG draws, so every legacy
+  // trace regenerates bit-identically from its seed.
+  double constrained_fraction = 0.0;
+  double deadline_ratio_lo = 0.4;
+  double deadline_ratio_hi = 1.0;
 
   double mean_lifetime() const;
   double mean_utilization() const;

@@ -21,6 +21,7 @@
 //   }
 #pragma once
 
+#include "admit/admission_test.h"        // IWYU pragma: export
 #include "baselines/andersson_tovar.h"   // IWYU pragma: export
 #include "baselines/heuristics.h"        // IWYU pragma: export
 #include "baselines/local_search.h"      // IWYU pragma: export

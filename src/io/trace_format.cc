@@ -58,8 +58,8 @@ ParseResult<ChurnInstance> parse_trace(std::istream& in) {
       }
       platform = Platform::from_speeds_exact(speeds);
     } else if (tokens[0] == "arrive") {
-      if (tokens.size() != 5) {
-        return fail("arrive needs <time> <task> <exec> <period>");
+      if (tokens.size() != 5 && tokens.size() != 6) {
+        return fail("arrive needs <time> <task> <exec> <period> [<deadline>]");
       }
       const auto time = parse_double_token(tokens[1]);
       const auto task = parse_int_token(tokens[2]);
@@ -68,8 +68,18 @@ ParseResult<ChurnInstance> parse_trace(std::istream& in) {
       if (!time) return fail("bad time '" + tokens[1] + "'");
       if (!task || *task < 0) return fail("bad task number '" + tokens[2] + "'");
       if (!exec || !period) return fail("task parameters must be integers");
+      // Missing column = implicit deadline: the legacy 4-column form.
+      std::int64_t deadline = 0;
+      if (tokens.size() == 6) {
+        const auto d = parse_int_token(tokens[5]);
+        if (!d) return fail("task parameters must be integers");
+        if (*d <= 0 || *d > *period) {
+          return fail("deadline must satisfy 0 < d <= period");
+        }
+        deadline = *d;
+      }
       if (*time < last_time) return fail("event times must be non-decreasing");
-      const Task params{*exec, *period};
+      const Task params{*exec, *period, deadline};
       if (!params.valid()) return fail("task parameters must be positive");
       const auto id = static_cast<std::uint64_t>(*task);
       if (!arrived.insert(id).second) {
@@ -144,7 +154,10 @@ std::string format_trace(const ChurnInstance& instance) {
   for (const ChurnEvent& ev : instance.trace.events) {
     if (ev.kind == ChurnEvent::Kind::kArrival) {
       os << "arrive " << ev.time << ' ' << ev.task << ' ' << ev.params.exec
-         << ' ' << ev.params.period << '\n';
+         << ' ' << ev.params.period;
+      // Emitted only when explicit so legacy traces round-trip byte-exactly.
+      if (ev.params.deadline != 0) os << ' ' << ev.params.deadline;
+      os << '\n';
     } else {
       os << "depart " << ev.time << ' ' << ev.task << '\n';
     }

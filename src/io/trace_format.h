@@ -5,8 +5,13 @@
 // starts a comment):
 //
 //   platform  <speed> [<speed> ...]        # decimals or rationals "3/2"
-//   arrive    <time> <task> <exec> <period>
+//   arrive    <time> <task> <exec> <period> [<deadline>]
 //   depart    <time> <task>
+//
+// The optional deadline column (constrained model, 0 < d <= p) is strict
+// back-compat: a 4-column arrive means an implicit deadline (d == p), and
+// format_trace emits the column only for explicit deadlines, so every
+// legacy trace parses and re-serializes byte-identically.
 //
 // Example:
 //   platform 1 1 2.5

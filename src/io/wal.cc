@@ -43,6 +43,8 @@ constexpr std::uint64_t kBatchSyncNs = 5'000'000;  // 5 ms
 
 constexpr std::size_t kWalHeaderBytes = 24;  // type..checksum
 constexpr std::size_t kWalMovedTaskBytes = 32;
+// Constrained move entries (kWalFlagConstrainedMoves) append a deadline.
+constexpr std::size_t kWalMovedTaskConstrainedBytes = 40;
 
 void put_u16_at(std::uint8_t* p, std::uint16_t v) {
   p[0] = static_cast<std::uint8_t>(v & 0xFF);
@@ -205,14 +207,19 @@ void WalWriter::put_header(std::size_t payload_len, WalRecordType type,
 
 // HETSCHED_NOALLOC
 void WalWriter::append_admit(std::int64_t exec, std::int64_t period,
-                             std::uint64_t seq, std::uint64_t checksum) {
+                             std::uint64_t seq, std::uint64_t checksum,
+                             std::int64_t deadline, std::uint8_t tier) {
   if (fd_ < 0) return;
-  const std::size_t payload = kWalHeaderBytes + 16;
+  const bool constrained = deadline != 0;
+  const std::size_t payload = kWalHeaderBytes + (constrained ? 24 : 16);
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (tier & kWalAdmitTierMask) << kWalAdmitTierShift);
   reserve_for(payload + 8);
-  put_header(payload, WalRecordType::kAdmit, 0, seq, checksum);
+  put_header(payload, WalRecordType::kAdmit, flags, seq, checksum);
   std::uint8_t* p = buf_.data() + used_;
   put_u64_at(p + 32, static_cast<std::uint64_t>(exec));
   put_u64_at(p + 40, static_cast<std::uint64_t>(period));
+  if (constrained) put_u64_at(p + 48, static_cast<std::uint64_t>(deadline));
   put_u32_at(p + 4, crc32(p + 8, payload));
   used_ += payload + 8;
   ++records_;
@@ -254,8 +261,15 @@ void WalWriter::append_move(WalRecordType type, std::uint16_t peer,
   if (fd_ < 0) return;
   HETSCHED_CHECK(type == WalRecordType::kMoveOut ||
                  type == WalRecordType::kMoveIn);
-  const std::size_t payload =
-      kWalHeaderBytes + 8 + moved.size() * kWalMovedTaskBytes;
+  // The constrained entry shape is chosen per record, not per entry, so
+  // the loader can size-check the whole body off one flag bit; records
+  // with only implicit deadlines keep the legacy 32-byte entries.
+  bool constrained = false;
+  for (const WalMovedTask& mt : moved) constrained |= mt.deadline != 0;
+  const std::size_t entry_bytes =
+      constrained ? kWalMovedTaskConstrainedBytes : kWalMovedTaskBytes;
+  if (constrained) flags |= kWalFlagConstrainedMoves;
+  const std::size_t payload = kWalHeaderBytes + 8 + moved.size() * entry_bytes;
   HETSCHED_CHECK(payload <= kMaxWalRecordBytes);
   if (payload + 8 > buf_.size()) buf_.resize(payload + 8);  // cold path
   reserve_for(payload + 8);
@@ -270,7 +284,10 @@ void WalWriter::append_move(WalRecordType type, std::uint16_t peer,
     put_u64_at(p + off + 8, mt.new_id);
     put_u64_at(p + off + 16, static_cast<std::uint64_t>(mt.exec));
     put_u64_at(p + off + 24, static_cast<std::uint64_t>(mt.period));
-    off += kWalMovedTaskBytes;
+    if (constrained) {
+      put_u64_at(p + off + 32, static_cast<std::uint64_t>(mt.deadline));
+    }
+    off += entry_bytes;
   }
   put_u32_at(p + 4, crc32(p + 8, payload));
   used_ += payload + 8;
@@ -368,10 +385,18 @@ bool wal_load(const std::string& path, std::vector<WalRecord>* out,
     bool shape_ok = true;
     switch (rec.type) {
       case WalRecordType::kAdmit:
-        shape_ok = len == kWalHeaderBytes + 16;
+        // 16-byte body: implicit deadline; 24-byte: constrained (the
+        // trailing deadline must be nonzero — a zero one would alias the
+        // legacy image and break one-record-one-encoding).
+        shape_ok =
+            len == kWalHeaderBytes + 16 || len == kWalHeaderBytes + 24;
         if (shape_ok) {
           rec.exec = static_cast<std::int64_t>(get_u64(p + 24));
           rec.period = static_cast<std::int64_t>(get_u64(p + 32));
+          if (len == kWalHeaderBytes + 24) {
+            rec.deadline = static_cast<std::int64_t>(get_u64(p + 40));
+            shape_ok = rec.deadline != 0;
+          }
         }
         break;
       case WalRecordType::kDepart:
@@ -387,9 +412,12 @@ bool wal_load(const std::string& path, std::vector<WalRecord>* out,
         if (!shape_ok) break;
         rec.peer = get_u16(p + 24);
         const std::uint32_t count = get_u32(p + 28);
+        const std::size_t entry_bytes =
+            (rec.flags & kWalFlagConstrainedMoves) != 0
+                ? kWalMovedTaskConstrainedBytes
+                : kWalMovedTaskBytes;
         shape_ok = len == kWalHeaderBytes + 8 +
-                              static_cast<std::size_t>(count) *
-                                  kWalMovedTaskBytes;
+                              static_cast<std::size_t>(count) * entry_bytes;
         if (!shape_ok) break;
         rec.moved.resize(count);
         std::size_t moff = kWalHeaderBytes + 8;
@@ -398,7 +426,10 @@ bool wal_load(const std::string& path, std::vector<WalRecord>* out,
           mt.new_id = get_u64(p + moff + 8);
           mt.exec = static_cast<std::int64_t>(get_u64(p + moff + 16));
           mt.period = static_cast<std::int64_t>(get_u64(p + moff + 24));
-          moff += kWalMovedTaskBytes;
+          if (entry_bytes == kWalMovedTaskConstrainedBytes) {
+            mt.deadline = static_cast<std::int64_t>(get_u64(p + moff + 32));
+          }
+          moff += entry_bytes;
         }
         break;
       }

@@ -15,17 +15,27 @@
 //   u32 crc      CRC-32 (IEEE) over the payload
 //   payload:
 //     u8  type       WalRecordType
-//     u8  flags      kWalFlagDeactivate on the MoveOut of a merge
+//     u8  flags      kWalFlagDeactivate on the MoveOut of a merge;
+//                    admit records carry the admission-test tier that
+//                    decided them in bits 1-2 (kWalAdmitTierShift), so
+//                    recovery can assert the replayed tier matches;
+//                    kWalFlagConstrainedMoves on a move record selects
+//                    the 40-byte (deadline-bearing) task entries
 //     u16 reserved   0
 //     u32 epoch      recovery generation (bumped per recovered start)
 //     u64 seq        controller decision_seq after applying
 //     u64 checksum   controller decision_checksum after applying
 //     type-specific:
-//       kAdmit      i64 exec, i64 period
+//       kAdmit      i64 exec, i64 period [, i64 deadline — only when the
+//                     task's deadline is explicit (nonzero); the length
+//                     discriminates, so every legacy record is
+//                     bit-identical]
 //       kDepart     u64 task_id
 //       kRebalance  (nothing)
 //       kMoveOut /  u16 peer shard, u16 reserved, u32 count,
-//       kMoveIn       count x { u64 old_id, u64 new_id, i64 exec, i64 period }
+//       kMoveIn       count x { u64 old_id, u64 new_id, i64 exec,
+//                     i64 period [, i64 deadline when the record has
+//                     kWalFlagConstrainedMoves] }
 //
 // A torn or corrupt tail (partial write, CRC mismatch, nonsense length) is
 // truncated on recovery: records before the tear are kept, everything from
@@ -73,12 +83,22 @@ enum class WalRecordType : std::uint8_t {
 
 // MoveOut of a merge: the source shard leaves service after the move.
 inline constexpr std::uint8_t kWalFlagDeactivate = 0x1;
+// Move record whose task entries carry a deadline field (40 bytes each).
+// Written only when at least one moved task has an explicit deadline, so
+// implicit-deadline resize records stay bit-identical to legacy logs.
+inline constexpr std::uint8_t kWalFlagConstrainedMoves = 0x2;
+// Admit records persist the tier (admit::kTierBound..kTierExact) that
+// produced the decision in flags bits 1-2; legacy (tier-0) admits keep
+// flags == 0, preserving every pre-existing byte stream.
+inline constexpr unsigned kWalAdmitTierShift = 1;
+inline constexpr std::uint8_t kWalAdmitTierMask = 0x3;
 
 struct WalMovedTask {
   std::uint64_t old_id = 0;  // id on the source shard
   std::uint64_t new_id = 0;  // id assigned by the target shard
   std::int64_t exec = 0;
   std::int64_t period = 0;
+  std::int64_t deadline = 0;  // 0 = implicit (d == p)
 };
 
 struct WalRecord {
@@ -90,11 +110,18 @@ struct WalRecord {
   // kAdmit
   std::int64_t exec = 0;
   std::int64_t period = 0;
+  std::int64_t deadline = 0;  // 0 = implicit (legacy 16-byte body)
   // kDepart
   std::uint64_t task_id = 0;
   // kMoveOut / kMoveIn
   std::uint16_t peer = 0;
   std::vector<WalMovedTask> moved;
+
+  // Admission-test tier persisted with an admit decision (flags bits 1-2).
+  std::uint8_t tier() const {
+    return static_cast<std::uint8_t>((flags >> kWalAdmitTierShift) &
+                                     kWalAdmitTierMask);
+  }
 };
 
 // Append-only writer.  The append/commit paths are not thread-safe: each
@@ -119,8 +146,12 @@ class WalWriter {
 
   // Allocation-free append paths: encode into the preallocated arena,
   // flushing early (write(2), no fsync) only if the arena fills mid-batch.
+  // A nonzero `deadline` writes the 24-byte constrained admit body and
+  // `tier` is stamped into the record flags; the legacy call shape
+  // (deadline 0, tier 0) is bit-identical to every prior log.
   void append_admit(std::int64_t exec, std::int64_t period, std::uint64_t seq,
-                    std::uint64_t checksum);
+                    std::uint64_t checksum, std::int64_t deadline = 0,
+                    std::uint8_t tier = 0);
   void append_depart(std::uint64_t task_id, std::uint64_t seq,
                      std::uint64_t checksum);
   void append_rebalance(std::uint64_t seq, std::uint64_t checksum);

@@ -106,10 +106,14 @@ bool Client::connect(const std::string& addr, int timeout_ms,
 }
 
 void Client::queue_request(const Request& r) {
-  // A traced request (nonzero trace id, protocol minor 2) encodes to the
-  // larger kTracedFrameSize frame; size for the actual image.
+  // Size for the actual image: a constrained-deadline admit (minor 3)
+  // encodes to the largest frame, a traced request (minor 2) to the
+  // middle one, everything else to the compact frame.
   const std::size_t off = sendbuf_.size();
-  sendbuf_.resize(off + (r.trace_id != 0 ? kTracedFrameSize : kFrameSize));
+  const std::size_t frame = r.deadline != 0  ? kDeadlineFrameSize
+                            : r.trace_id != 0 ? kTracedFrameSize
+                                              : kFrameSize;
+  sendbuf_.resize(off + frame);
   encode_request(r, sendbuf_.data() + off);
 }
 

@@ -126,6 +126,14 @@ Request Request::admit(std::uint16_t shard, std::uint64_t request_id,
   return r;
 }
 
+Request Request::admit(std::uint16_t shard, std::uint64_t request_id,
+                       std::int64_t exec, std::int64_t period,
+                       std::int64_t deadline) {
+  Request r = admit(shard, request_id, exec, period);
+  r.deadline = static_cast<std::uint64_t>(deadline);
+  return r;
+}
+
 Request Request::depart(std::uint16_t shard, std::uint64_t request_id,
                         std::uint64_t task_id) {
   Request r;
@@ -181,9 +189,15 @@ double Response::utilization() const { return std::bit_cast<double>(value); }
 
 // HETSCHED_NOALLOC (per-frame encode on the shard hot path)
 std::size_t encode_request(const Request& r, unsigned char* buf) {
+  // One wire image per request: a nonzero deadline selects the 48-byte
+  // minor-3 form (trace id included even if zero), otherwise a nonzero
+  // trace id selects the 40-byte form, otherwise the compact frame.
+  const bool with_deadline = r.deadline != 0;
   const bool traced = r.trace_id != 0;
-  put_u32(buf, static_cast<std::uint32_t>(traced ? kTracedPayloadSize
-                                                 : kPayloadSize));
+  const std::size_t payload = with_deadline ? kDeadlinePayloadSize
+                              : traced      ? kTracedPayloadSize
+                                            : kPayloadSize;
+  put_u32(buf, static_cast<std::uint32_t>(payload));
   unsigned char* p = buf + kHeaderSize;
   p[0] = kProtocolVersion;
   p[1] = static_cast<unsigned char>(r.type);
@@ -192,9 +206,9 @@ std::size_t encode_request(const Request& r, unsigned char* buf) {
   put_u64(p + 8, r.request_id);
   put_u64(p + 16, r.a);
   put_u64(p + 24, r.b);
-  if (!traced) return kFrameSize;
-  put_u64(p + 32, r.trace_id);
-  return kTracedFrameSize;
+  if (payload > kPayloadSize) put_u64(p + 32, r.trace_id);
+  if (with_deadline) put_u64(p + 40, r.deadline);
+  return kHeaderSize + payload;
 }
 
 // HETSCHED_NOALLOC (per-frame encode on the shard hot path)
@@ -218,7 +232,8 @@ DecodeResult decode_request(const unsigned char* buf, std::size_t len,
                             Request* out, std::size_t* consumed) {
   if (len < kHeaderSize) return DecodeResult::kNeedMore;
   const std::uint32_t payload = get_u32(buf);
-  if (payload != kPayloadSize && payload != kTracedPayloadSize) {
+  if (payload != kPayloadSize && payload != kTracedPayloadSize &&
+      payload != kDeadlinePayloadSize) {
     return DecodeResult::kBad;
   }
   const std::size_t frame = kHeaderSize + payload;
@@ -233,12 +248,20 @@ DecodeResult decode_request(const unsigned char* buf, std::size_t len,
   out->a = get_u64(p + 16);
   out->b = get_u64(p + 24);
   out->trace_id = 0;
+  out->deadline = 0;
   if (payload == kTracedPayloadSize) {
     out->trace_id = get_u64(p + 32);
     // A zero trace id in the extended payload is non-canonical (the
     // compact frame is the untraced image), so reject it — this keeps
     // encode(decode(x)) byte-exact for every accepted frame.
     if (out->trace_id == 0) return DecodeResult::kBad;
+  } else if (payload == kDeadlinePayloadSize) {
+    // Minor-3 form: kAdmit only, deadline must be nonzero (the shorter
+    // frames are the implicit-deadline images), trace id may be zero.
+    if (out->type != MsgType::kAdmit) return DecodeResult::kBad;
+    out->trace_id = get_u64(p + 32);
+    out->deadline = get_u64(p + 40);
+    if (out->deadline == 0) return DecodeResult::kBad;
   }
   *consumed = frame;
   return DecodeResult::kOk;

@@ -27,6 +27,13 @@
 //   32   u64 trace_id    (traced frames only; must be nonzero — an
 //                         untraced request uses the 32-byte payload, so
 //                         each Request has exactly one wire image)
+//   40   u64 deadline    (deadline frames only — protocol minor 3; kAdmit
+//                         with a constrained deadline.  Must be nonzero;
+//                         trace_id at off 32 may be zero in this form,
+//                         since the payload length already distinguishes
+//                         the frame.  An implicit-deadline admit keeps the
+//                         32/40-byte forms, so each Request still has
+//                         exactly one wire image)
 //
 // Response payload (kPayloadSize = 32 bytes):
 //   off  field
@@ -78,7 +85,16 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 // unknown type ("server too old"); (b) the kGetStats / kGetTracez
 // introspection frames, answered with a variable-length kInfo response
 // (encode_info_response below) instead of the fixed 32-byte payload.
-inline constexpr std::uint8_t kProtocolMinor = 2;
+//
+// Minor 3 adds the constrained-deadline admit payload: a kAdmit request
+// whose task has an explicit deadline d < p appends the 8-byte deadline
+// after the trace id, growing the payload to kDeadlinePayloadSize.  The
+// deadline must be nonzero (an implicit-deadline admit keeps the shorter
+// forms, preserving one-wire-image per request), and only kAdmit may use
+// the long form.  Old clients never emit it; old servers reject the
+// 48-byte payload kBad ("server too old").  Every pre-minor-3 frame is
+// bit-identical under a minor-3 peer.
+inline constexpr std::uint8_t kProtocolMinor = 3;
 inline constexpr std::size_t kHeaderSize = 4;
 inline constexpr std::size_t kPayloadSize = 32;
 inline constexpr std::size_t kFrameSize = kHeaderSize + kPayloadSize;
@@ -86,6 +102,12 @@ inline constexpr std::size_t kFrameSize = kHeaderSize + kPayloadSize;
 inline constexpr std::size_t kTracedPayloadSize = kPayloadSize + 8;
 inline constexpr std::size_t kTracedFrameSize =
     kHeaderSize + kTracedPayloadSize;
+// Constrained-deadline admit frame (minor 3): the traced payload plus the
+// deadline.  kAdmit only; the deadline must be nonzero, the trace id slot
+// may be zero (the length prefix disambiguates).
+inline constexpr std::size_t kDeadlinePayloadSize = kTracedPayloadSize + 8;
+inline constexpr std::size_t kDeadlineFrameSize =
+    kHeaderSize + kDeadlinePayloadSize;
 // Info responses (kGetStats/kGetTracez) carry a text body after a fixed
 // 32-byte prefix; bodies are capped so a client never buffers unbounded.
 inline constexpr std::size_t kInfoPrefixSize = 32;
@@ -144,13 +166,22 @@ struct Request {
   // Nonzero marks the request traced (minor 2): the encoder emits the
   // 40-byte payload and the server records a span per pipeline stage.
   std::uint64_t trace_id = 0;
+  // Nonzero marks a constrained-deadline admit (minor 3): the encoder
+  // emits the 48-byte payload.  kAdmit only; zero means implicit (d = p).
+  std::uint64_t deadline = 0;
 
   std::int64_t exec() const { return static_cast<std::int64_t>(a); }
   std::int64_t period() const { return static_cast<std::int64_t>(b); }
+  std::int64_t deadline_val() const {
+    return static_cast<std::int64_t>(deadline);
+  }
   std::uint64_t task_id() const { return a; }
 
   static Request admit(std::uint16_t shard, std::uint64_t request_id,
                        std::int64_t exec, std::int64_t period);
+  static Request admit(std::uint16_t shard, std::uint64_t request_id,
+                       std::int64_t exec, std::int64_t period,
+                       std::int64_t deadline);
   static Request depart(std::uint16_t shard, std::uint64_t request_id,
                         std::uint64_t task_id);
   static Request rebalance(std::uint16_t shard, std::uint64_t request_id);
@@ -184,10 +215,10 @@ struct Response {
   double utilization() const;
 };
 
-// Serializes into `buf` (at least kTracedFrameSize bytes for requests —
-// a traced request is the larger frame — and kFrameSize for responses);
-// returns the frame size written.  Allocation-free: the shard hot path
-// encodes into preallocated buffers.
+// Serializes into `buf` (at least kDeadlineFrameSize bytes for requests —
+// a constrained-deadline admit is the largest frame — and kFrameSize for
+// responses); returns the frame size written.  Allocation-free: the shard
+// hot path encodes into preallocated buffers.
 std::size_t encode_request(const Request& r, unsigned char* buf);
 std::size_t encode_response(const Response& r, unsigned char* buf);
 
@@ -198,7 +229,8 @@ enum class DecodeResult : std::uint8_t {
 };
 
 // Decodes one frame from [buf, buf+len).  On kOk sets *out and *consumed
-// (kFrameSize, or kTracedFrameSize for a traced request).  Both are
+// (kFrameSize, kTracedFrameSize for a traced request, or
+// kDeadlineFrameSize for a constrained-deadline admit).  Both are
 // allocation-free and never read past `len`.
 DecodeResult decode_request(const unsigned char* buf, std::size_t len,
                             Request* out, std::size_t* consumed);

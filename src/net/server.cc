@@ -377,7 +377,8 @@ struct Server::Shard {
   };
 
   Shard(const Platform& platform, const ServerOptions& o)
-      : controller(platform, o.kind, o.alpha, o.engine), queue(o.queue_depth) {
+      : controller(platform, o.kind, o.alpha, o.engine, o.admit),
+        queue(o.queue_depth) {
     // Warm the controller arena so steady-state admits take the
     // allocation-free path from the first request.
     controller.reserve(o.queue_depth);
@@ -1044,7 +1045,13 @@ Response Server::process_request(Shard& shard, const Request& req,
   bool logged = false;
   switch (req.type) {
     case MsgType::kAdmit: {
-      if (req.exec() <= 0 || req.period() <= 0) {
+      // Deadline validity (minor 3): a constrained deadline must lie in
+      // (0, period], and only a tiered controller knows how to test it —
+      // a legacy shard answers kBadRequest, which a deadline-aware client
+      // reads as "server not configured for constrained deadlines".
+      if (req.exec() <= 0 || req.period() <= 0 || req.deadline_val() < 0 ||
+          req.deadline_val() > req.period() ||
+          (req.deadline != 0 && !shard.controller.tiered())) {
         resp.status = Status::kBadRequest;
         break;
       }
@@ -1053,7 +1060,7 @@ Response Server::process_request(Shard& shard, const Request& req,
         resp.status = Status::kBadShard;
         break;
       }
-      const Task t{req.exec(), req.period()};
+      const Task t{req.exec(), req.period(), req.deadline_val()};
       const AdmitDecision d = shard.controller.admit(t);
       resp.value = std::bit_cast<std::uint64_t>(d.utilization);
       if (d.admitted) {
@@ -1069,7 +1076,8 @@ Response Server::process_request(Shard& shard, const Request& req,
 #endif
         shard.wal.append_admit(req.exec(), req.period(),
                                shard.controller.decision_seq(),
-                               shard.controller.decision_checksum());
+                               shard.controller.decision_checksum(),
+                               req.deadline_val(), d.tier);
 #if HETSCHED_METRICS_ENABLED
         if (sp_id != 0) {
           obs::span_record(req.trace_id, obs::span_next_id(), sp_id,
@@ -1586,7 +1594,7 @@ Response Server::do_split(Loop& lp, Shard& src) {
     const AdmitDecision d = ns.controller.admit_migrated(order[i].second);
     if (!d.admitted) return resp;  // fresh shard discarded, src untouched
     moved.push_back({order[i].first, d.id, order[i].second.exec,
-                     order[i].second.period});
+                     order[i].second.period, order[i].second.deadline});
   }
 
   if (!options_.wal_dir.empty()) {
@@ -1682,7 +1690,7 @@ Response Server::do_merge(Loop& lp, Shard& src, Shard& dst) {
       HETSCHED_CHECK(dst.controller.restore(undo));
       return resp;
     }
-    moved.push_back({old_id, d.id, task.exec, task.period});
+    moved.push_back({old_id, d.id, task.exec, task.period, task.deadline});
   }
   if (dst.wal.is_open() && !moved.empty()) {
     dst.wal.append_move(io::WalRecordType::kMoveIn,

@@ -124,6 +124,11 @@ struct ServerOptions {
   AdmissionKind kind = AdmissionKind::kEdf;
   double alpha = 1.0;
   PartitionEngine engine = PartitionEngine::kAuto;
+  // Tiered admission-test subsystem (src/admit).  kLegacy keeps the
+  // implicit-deadline utilization bound and answers deadline-bearing
+  // frames kBadRequest; any tiered TestKind accepts constrained-deadline
+  // admits (protocol minor 3) and persists the deciding tier in the WAL.
+  admit::AdmitConfig admit;
   std::size_t queue_depth = 1024;  // bounded per-shard request queue
   std::size_t batch = 64;          // adaptive batch upper bound (frames)
   std::size_t batch_min = 1;       // adaptive batch lower bound (frames)

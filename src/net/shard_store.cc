@@ -54,7 +54,20 @@ ShardSetRecovery recover_shard_set(const std::string& dir,
       std::string snap_err;
       if (!io::read_snapshot_file(path, &meta, &payload, &snap_err)) continue;
       if (meta.shard != shard32) continue;
-      if (!c.restore_bytes(payload.data(), payload.size())) continue;
+      if (!c.restore_bytes(payload.data(), payload.size())) {
+        // The file-level CRC already passed, so a payload whose identity
+        // header names a *different* configuration is config drift, not
+        // disk rot: refuse loudly.  Skipping it like a torn file would
+        // silently restart empty once rotation has truncated the WAL the
+        // state came from.
+        if (c.snapshot_config_mismatch(payload.data(), payload.size())) {
+          out.error = shard_error(
+              s, path + ": snapshot was written by a differently configured "
+                        "controller (admission test / platform drift)");
+          return out;
+        }
+        continue;
+      }
       if (c.decision_seq() != meta.decision_seq ||
           c.decision_checksum() != meta.decision_checksum) {
         out.error = shard_error(s, path + ": payload decision stream "
@@ -92,9 +105,20 @@ ShardSetRecovery recover_shard_set(const std::string& dir,
         return out;
       }
       switch (rec.type) {
-        case io::WalRecordType::kAdmit:
-          (void)c.admit(Task{rec.exec, rec.period});
+        case io::WalRecordType::kAdmit: {
+          const AdmitDecision d =
+              c.admit(Task{rec.exec, rec.period, rec.deadline});
+          // The checksum parity below proves the verdict matched; the
+          // persisted tier additionally pins *which* test decided it, so
+          // a config drift that happens to agree on the verdict via a
+          // different tier still fails loudly.
+          if (d.tier != rec.tier()) {
+            out.error = shard_error(
+                s, "replayed admission tier disagrees with the WAL record");
+            return out;
+          }
           break;
+        }
         case io::WalRecordType::kDepart:
           (void)c.depart(rec.task_id);  // stale outcome is checksum-folded
           break;
@@ -103,7 +127,8 @@ ShardSetRecovery recover_shard_set(const std::string& dir,
           break;
         case io::WalRecordType::kMoveIn:
           for (const io::WalMovedTask& mt : rec.moved) {
-            const AdmitDecision d = c.admit_migrated(Task{mt.exec, mt.period});
+            const AdmitDecision d =
+                c.admit_migrated(Task{mt.exec, mt.period, mt.deadline});
             if (!d.admitted || d.id != mt.new_id) {
               out.error =
                   shard_error(s, "move-in replay diverged from the record");

@@ -36,8 +36,9 @@ std::size_t task_slot_count(const ChurnTrace& trace) {
 std::uint64_t offline_decision_checksum(const Platform& platform,
                                         const ChurnTrace& trace,
                                         AdmissionKind kind, double alpha,
-                                        PartitionEngine engine) {
-  OnlinePartitioner ctl(platform, kind, alpha, engine);
+                                        PartitionEngine engine,
+                                        const admit::AdmitConfig& admit_cfg) {
+  OnlinePartitioner ctl(platform, kind, alpha, engine, admit_cfg);
   ctl.reserve(trace.arrivals);
   std::uint64_t h = kFnv1aSeed;
   struct Slot {
@@ -133,8 +134,10 @@ PipelinedReplay::State PipelinedReplay::step(Client& client) {
            submitted < kSubmitQuantum) {
       const ChurnEvent& ev = trace_.events[next_event_];
       if (ev.kind == ChurnEvent::Kind::kArrival) {
+        // A zero (implicit) deadline keeps the legacy frame image.
         client.queue_request(Request::admit(shard_, next_request_id_++,
-                                            ev.params.exec, ev.params.period));
+                                            ev.params.exec, ev.params.period,
+                                            ev.params.deadline));
         pending_.push_back(Pending{true, ev.task,
                                    collect_latency_ ? steady_ns() : 0});
       } else {

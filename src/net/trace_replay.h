@@ -24,6 +24,7 @@
 #include <deque>
 #include <vector>
 
+#include "admit/admission_test.h"
 #include "core/platform.h"
 #include "gen/churn_gen.h"
 #include "net/client.h"
@@ -44,9 +45,12 @@ inline constexpr std::uint64_t kFnv1aSeed = kFnv1aOffsetBasis;
 
 // Replays the trace through a local OnlinePartitioner and returns the
 // decision checksum — the reference value a served replay must reproduce.
+// `admit_cfg` selects the tiered admission test (src/admit); the default
+// kLegacy matches a server started without --admission-test.
 std::uint64_t offline_decision_checksum(
     const Platform& platform, const ChurnTrace& trace, AdmissionKind kind,
-    double alpha, PartitionEngine engine = PartitionEngine::kAuto);
+    double alpha, PartitionEngine engine = PartitionEngine::kAuto,
+    const admit::AdmitConfig& admit_cfg = {});
 
 struct ReplaySummary {
   bool ok = false;  // transport-level success (every request answered)

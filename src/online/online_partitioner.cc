@@ -59,10 +59,16 @@ const OnlineMetrics g_metrics;
 
 OnlinePartitioner::OnlinePartitioner(const Platform& platform,
                                      AdmissionKind kind, double alpha,
-                                     PartitionEngine engine)
-    : platform_(platform), kind_(kind), alpha_(alpha) {
+                                     PartitionEngine engine,
+                                     const admit::AdmitConfig& admit_cfg)
+    : platform_(platform), kind_(kind), alpha_(alpha), admit_cfg_(admit_cfg) {
   HETSCHED_CHECK(platform_.size() >= 1);
   HETSCHED_CHECK(alpha_ >= 1.0);
+  tiered_ = admit_cfg_.tiered();
+  // Tiered mode: the tier-0 fold kind replaces the legacy admission kind —
+  // the whole slack machinery (fold arrays, segment tree, rebalance
+  // scratch) then runs over densities unchanged.
+  if (tiered_) kind_ = admit::tier0_fold_kind(admit_cfg_.test);
   slack_form_ = admission_has_slack_form(kind_);
   use_tree_ =
       resolve_engine(engine, kind_) == PartitionEngine::kSegmentTree;
@@ -77,6 +83,15 @@ OnlinePartitioner::OnlinePartitioner(const Platform& platform,
   } else {
     st_.loads.reserve(m);
   }
+  if (tiered_) {
+    demand_.resize(m);
+    speed_exact_.reserve(m);
+    // The same alpha quantization the constrained batch partitioner uses.
+    const Rational ar = rational_from_double(alpha_, 1'000'000);
+    for (std::size_t j = 0; j < m; ++j) {
+      speed_exact_.push_back(platform_.speed_exact(j) * ar);
+    }
+  }
   for (std::size_t j = 0; j < m; ++j) {
     capacity_[j] = platform_.speed(j) * alpha_;
     if (slack_form_) {
@@ -86,6 +101,23 @@ OnlinePartitioner::OnlinePartitioner(const Platform& platform,
     }
   }
   if (use_tree_) tree_.build(st_.slack);
+}
+
+double OnlinePartitioner::slot_weight(const Task& t) const {
+  return tiered_ ? admit::inflate(admit_cfg_, t).density() : t.utilization();
+}
+
+void OnlinePartitioner::rebuild_demand() {
+  if (!tiered_) return;
+  const std::size_t m = platform_.size();
+  demand_.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    demand_[j].clear();
+    demand_[j].reserve(st_.residents[j].size() + 1);
+    for (const std::uint32_t idx : st_.residents[j]) {
+      demand_[j].push(admit::inflate(admit_cfg_, st_.slots[idx].task));
+    }
+  }
 }
 
 // HETSCHED_NOALLOC (slack-form kinds; the RTA fallback allocates)
@@ -105,6 +137,53 @@ std::size_t OnlinePartitioner::find_machine(const Task& t, double w) const {
   for (std::size_t j = 0; j < m; ++j) {
     if (w <= st_.slack[j]) return j;
   }
+  return kNoMachine;
+}
+
+// HETSCHED_OWNER_LOOP (tiered warm admit: pure compute over the resident
+// demand mirrors, no syscalls)
+// HETSCHED_NOALLOC (warm: escalation pushes into reserved mirror capacity)
+std::size_t OnlinePartitioner::find_machine_tiered(const ConstrainedTask& ct,
+                                                   double w,
+                                                   std::uint8_t& tier) const {
+  // j0 = leftmost tier-0 (density) accept.  Density accept implies every
+  // escalation tier accepts (dbf_i(t) <= (c_i/d_i) t for t >= d_i), so j0
+  // is an upper bound on the first-fit answer and machines right of it
+  // never need to be consulted.
+  const std::size_t m = platform_.size();
+  std::size_t j0;
+  if (use_tree_) {
+    j0 = tree_.find_first_at_least(w);
+    if (j0 == SlackTree::npos) j0 = kNoMachine;
+  } else {
+    j0 = kNoMachine;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (w <= st_.slack[j]) {
+        j0 = j;
+        break;
+      }
+    }
+  }
+  // Machines left of j0 rejected the density bound; offer them to the
+  // escalation tiers in index order (first fit over the *selected* test).
+  const std::size_t limit = j0 == kNoMachine ? m : j0;
+  std::uint8_t deepest = admit::kTierBound;
+  for (std::size_t j = 0; j < limit; ++j) {
+    const double margin =
+        (st_.util_sum[j] + w - capacity_[j]) / capacity_[j];
+    const admit::TierVerdict v =
+        admit::escalate(admit_cfg_, demand_[j], ct, speed_exact_[j], margin);
+    if (v.accept) {
+      tier = v.tier;
+      return j;
+    }
+    deepest = std::max(deepest, v.tier);
+  }
+  if (j0 != kNoMachine) {
+    tier = admit::kTierBound;
+    return j0;
+  }
+  tier = deepest;
   return kNoMachine;
 }
 
@@ -138,25 +217,44 @@ AdmitDecision OnlinePartitioner::admit_impl(const Task& t,
   HETSCHED_CHECK(t.valid());
   AdmitDecision d;
   d.utilization = t.utilization();
-  const std::size_t j = find_machine(t, d.utilization);
-  if (j == kNoMachine) {
+  // Legacy mode predates the deadline field and must keep its byte streams
+  // bit-identical; deadlines are the tiered subsystem's to decide.
+  HETSCHED_CHECK(tiered_ || t.implicit_deadline());
+  ConstrainedTask ct;  // tiered only: overhead-inflated constrained view
+  double w = d.utilization;
+  if (tiered_) {
+    ct = admit::inflate(admit_cfg_, t);
+    w = ct.density();
+  }
+  const std::size_t j =
+      tiered_ ? find_machine_tiered(ct, w, d.tier) : find_machine(t, w);
+  // The checksum folds the deadline only when one rides the request, so
+  // every pre-deadline decision stream replays byte-identically.
+  const auto fold_admit = [&](bool admitted, std::size_t machine) {
     ++st_.decision_seq;
-    if (fold_checksum) {
-      std::uint64_t h = st_.decision_checksum;
-      h = fnv1a_u64(h, 1);  // op tag: admit
-      h = fnv1a_u64(h, static_cast<std::uint64_t>(t.exec));
-      h = fnv1a_u64(h, static_cast<std::uint64_t>(t.period));
-      h = fnv1a_u64(h, 0);  // rejected
-      h = fnv1a_u64(h, ~std::uint64_t{0});
-      st_.decision_checksum = h;
+    if (!fold_checksum) return;
+    std::uint64_t h = st_.decision_checksum;
+    h = fnv1a_u64(h, 1);  // op tag: admit
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.exec));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.period));
+    if (t.deadline != 0) {
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(t.deadline));
     }
+    h = fnv1a_u64(h, admitted ? 1 : 0);
+    h = fnv1a_u64(h, admitted ? static_cast<std::uint64_t>(machine)
+                              : ~std::uint64_t{0});
+    st_.decision_checksum = h;
+  };
+  if (j == kNoMachine) {
+    fold_admit(false, kNoMachine);
     HETSCHED_COUNT(g_metrics.admits_rejected);
     HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, false, 0, 0);
-    HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, kNoMachine));
+    HETSCHED_AUDIT_HOOK(audit_verify_decision(t, w, kNoMachine, d.tier));
     return d;
   }
 
-  apply_admit(j, d.utilization, t);
+  apply_admit(j, w, t);
+  if (tiered_) demand_[j].push(ct);
   std::uint32_t slot;
   if (!st_.free_slots.empty()) {
     slot = st_.free_slots.back();
@@ -169,7 +267,7 @@ AdmitDecision OnlinePartitioner::admit_impl(const Task& t,
   }
   Slot& s = st_.slots[slot];
   s.task = t;
-  s.util = d.utilization;
+  s.util = w;
   s.seq = st_.next_seq++;
   s.machine = static_cast<std::uint32_t>(j);
   s.live = true;
@@ -180,18 +278,9 @@ AdmitDecision OnlinePartitioner::admit_impl(const Task& t,
   d.admitted = true;
   d.id = make_id(slot, s.gen);
   d.machine = j;
-  ++st_.decision_seq;
-  if (fold_checksum) {
-    std::uint64_t h = st_.decision_checksum;
-    h = fnv1a_u64(h, 1);  // op tag: admit
-    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.exec));
-    h = fnv1a_u64(h, static_cast<std::uint64_t>(t.period));
-    h = fnv1a_u64(h, 1);  // admitted
-    h = fnv1a_u64(h, static_cast<std::uint64_t>(j));
-    st_.decision_checksum = h;
-  }
+  fold_admit(true, j);
   HETSCHED_TRACE_EVENT(obs::TraceKind::kAdmit, true, j, slot);
-  HETSCHED_AUDIT_HOOK(audit_verify_decision(t, d.utilization, j);
+  HETSCHED_AUDIT_HOOK(audit_verify_decision(t, w, j, d.tier);
                       audit_verify_machine(j));
   return d;
 }
@@ -260,7 +349,11 @@ bool OnlinePartitioner::depart_impl(OnlineTaskId id, bool fold_checksum) {
 
   const std::size_t j = s.machine;
   auto& res = st_.residents[j];
-  res.erase(std::find(res.begin(), res.end(), slot));
+  const auto it = std::find(res.begin(), res.end(), slot);
+  if (tiered_) {
+    demand_[j].remove_at(static_cast<std::size_t>(it - res.begin()));
+  }
+  res.erase(it);
   s.live = false;
   ++s.gen;  // invalidate the departed id forever
   // hetsched-lint: allow(noalloc) arena free list, amortized after warm-up
@@ -316,14 +409,36 @@ MigrationPlan OnlinePartitioner::migration_plan() {
       trial_loads.emplace_back(kind_, platform_.speed_exact(j), alpha_);
     }
   }
+  if (tiered_) {
+    rb_demand_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) rb_demand_[j].clear();
+  }
   plan.moves.reserve(rb_order_.size());
   for (std::size_t pos = 0; pos < rb_order_.size(); ++pos) {
     const std::uint32_t idx = rb_order_[pos];
     const Slot& s = st_.slots[idx];
+    // Tiered: the trial replays the full tiered test (density slack, then
+    // escalation over the trial demand mirrors) so a re-pack stays feasible
+    // for sets that only the escalation tiers admitted.
+    const ConstrainedTask ct =
+        tiered_ ? admit::inflate(admit_cfg_, s.task) : ConstrainedTask{};
     std::size_t placed = kNoMachine;
     for (std::size_t j = 0; j < m; ++j) {
-      const bool fits = slack_form_ ? s.util <= rb_slack_[j]
-                                    : trial_loads[j].can_admit(s.task);
+      bool fits;
+      if (tiered_) {
+        if (s.util <= rb_slack_[j]) {
+          fits = true;
+        } else {
+          const double margin =
+              (rb_util_sum_[j] + s.util - capacity_[j]) / capacity_[j];
+          fits = admit::escalate(admit_cfg_, rb_demand_[j], ct,
+                                 speed_exact_[j], margin)
+                     .accept;
+        }
+      } else {
+        fits = slack_form_ ? s.util <= rb_slack_[j]
+                           : trial_loads[j].can_admit(s.task);
+      }
       if (fits) {
         placed = j;
         break;
@@ -340,6 +455,7 @@ MigrationPlan OnlinePartitioner::migration_plan() {
     } else {
       trial_loads[placed].admit(s.task);
     }
+    if (tiered_) rb_demand_[placed].push(ct);
     MigrationPlan::Move mv;
     mv.id = make_id(idx, s.gen);
     mv.task = s.task;
@@ -416,8 +532,13 @@ RebalanceReport OnlinePartitioner::apply_plan(const MigrationPlan& plan) {
   } else {
     st_.loads = std::move(trial_loads);
   }
+  rebuild_demand();
   rep.applied = true;
-  HETSCHED_AUDIT_HOOK(audit_verify_full(); audit_verify_canonical());
+  // The canonical-oracle audit replays the implicit-deadline batch first
+  // fit, which has no notion of escalation — tiered mode keeps the
+  // whole-state audit only.
+  HETSCHED_AUDIT_HOOK(audit_verify_full();
+                      if (!tiered_) audit_verify_canonical());
   return rep;
 }
 
@@ -452,6 +573,7 @@ bool OnlinePartitioner::restore(const Snapshot& snap) {
   if (snap.state.residents.size() != platform_.size()) return false;
   st_ = snap.state;
   if (slack_form_ && use_tree_) tree_.build(st_.slack);
+  rebuild_demand();
   HETSCHED_AUDIT_HOOK(audit_verify_full());
   return true;
 }
@@ -503,7 +625,12 @@ struct ByteCursor {
 };
 
 constexpr std::uint32_t kSnapshotPayloadMagic = 0x53504F48;  // "HOPS"
+// Version 1: implicit-deadline slots (exec, period), no admission config.
+// Version 2 (tiered controllers only): an admission-config block follows
+// alpha — test id, band bits, overheads — and every slot record carries a
+// deadline.  Legacy controllers keep writing version 1 byte-identically.
 constexpr std::uint32_t kSnapshotPayloadVersion = 1;
+constexpr std::uint32_t kSnapshotPayloadVersionTiered = 2;
 
 }  // namespace
 
@@ -512,10 +639,19 @@ std::vector<std::uint8_t> OnlinePartitioner::serialize_snapshot() const {
   out.reserve(64 + st_.slots.size() * 29 + st_.free_slots.size() * 4 +
               (st_.resident + platform_.size()) * 4);
   put_u32(out, kSnapshotPayloadMagic);
-  put_u32(out, kSnapshotPayloadVersion);
+  put_u32(out, tiered_ ? kSnapshotPayloadVersionTiered : kSnapshotPayloadVersion);
   put_u32(out, static_cast<std::uint32_t>(kind_));
   put_u32(out, static_cast<std::uint32_t>(platform_.size()));
   put_u64(out, std::bit_cast<std::uint64_t>(alpha_));
+  if (tiered_) {
+    // Selected-test id + knobs: recovery refuses a snapshot whose test
+    // disagrees with the serving config instead of silently replaying a
+    // different decision function.
+    put_u32(out, static_cast<std::uint32_t>(admit_cfg_.test));
+    put_u64(out, std::bit_cast<std::uint64_t>(admit_cfg_.band));
+    put_u64(out, static_cast<std::uint64_t>(admit_cfg_.release_overhead));
+    put_u64(out, static_cast<std::uint64_t>(admit_cfg_.preempt_overhead));
+  }
   put_u64(out, st_.next_seq);
   put_u64(out, st_.decision_seq);
   put_u64(out, st_.decision_checksum);
@@ -528,6 +664,7 @@ std::vector<std::uint8_t> OnlinePartitioner::serialize_snapshot() const {
     put_u64(out, s.seq);
     put_u64(out, static_cast<std::uint64_t>(s.task.exec));
     put_u64(out, static_cast<std::uint64_t>(s.task.period));
+    if (tiered_) put_u64(out, static_cast<std::uint64_t>(s.task.deadline));
   }
   put_u32(out, static_cast<std::uint32_t>(st_.free_slots.size()));
   for (const std::uint32_t idx : st_.free_slots) put_u32(out, idx);
@@ -542,10 +679,22 @@ bool OnlinePartitioner::restore_bytes(const std::uint8_t* data,
                                       std::size_t size) {
   ByteCursor c{data, size};
   if (c.u32() != kSnapshotPayloadMagic) return false;
-  if (c.u32() != kSnapshotPayloadVersion) return false;
+  const std::uint32_t want_version =
+      tiered_ ? kSnapshotPayloadVersionTiered : kSnapshotPayloadVersion;
+  if (c.u32() != want_version) return false;
   if (c.u32() != static_cast<std::uint32_t>(kind_)) return false;
   if (c.u32() != static_cast<std::uint32_t>(platform_.size())) return false;
   if (c.u64() != std::bit_cast<std::uint64_t>(alpha_)) return false;
+  if (tiered_) {
+    if (c.u32() != static_cast<std::uint32_t>(admit_cfg_.test)) return false;
+    if (c.u64() != std::bit_cast<std::uint64_t>(admit_cfg_.band)) return false;
+    if (c.u64() != static_cast<std::uint64_t>(admit_cfg_.release_overhead)) {
+      return false;
+    }
+    if (c.u64() != static_cast<std::uint64_t>(admit_cfg_.preempt_overhead)) {
+      return false;
+    }
+  }
   const std::size_t m = platform_.size();
   State ns;
   ns.next_seq = c.u64();
@@ -563,6 +712,7 @@ bool OnlinePartitioner::restore_bytes(const std::uint8_t* data,
     s.seq = c.u64();
     s.task.exec = static_cast<std::int64_t>(c.u64());
     s.task.period = static_cast<std::int64_t>(c.u64());
+    if (tiered_) s.task.deadline = static_cast<std::int64_t>(c.u64());
     if (!c.ok) return false;
     if (s.live) {
       if (!s.task.valid() || s.machine >= m || s.seq >= ns.next_seq) {
@@ -570,7 +720,7 @@ bool OnlinePartitioner::restore_bytes(const std::uint8_t* data,
       }
       // Same computation admit() performed, so the cached value is
       // bit-identical to the live controller's.
-      s.util = s.task.utilization();
+      s.util = slot_weight(s.task);
       ++live;
     }
   }
@@ -622,8 +772,35 @@ bool OnlinePartitioner::restore_bytes(const std::uint8_t* data,
   }
   st_ = std::move(ns);
   for (std::size_t j = 0; j < m; ++j) recompute_machine(j);
+  rebuild_demand();
   HETSCHED_AUDIT_HOOK(audit_verify_full());
   return true;
+}
+
+bool OnlinePartitioner::snapshot_config_mismatch(const std::uint8_t* data,
+                                                 std::size_t size) const {
+  ByteCursor c{data, size};
+  if (c.u32() != kSnapshotPayloadMagic || !c.ok) return false;
+  const std::uint32_t version = c.u32();
+  if (version != kSnapshotPayloadVersion &&
+      version != kSnapshotPayloadVersionTiered) {
+    return false;  // unknown layout: corruption, not a config we can name
+  }
+  const std::uint32_t want_version =
+      tiered_ ? kSnapshotPayloadVersionTiered : kSnapshotPayloadVersion;
+  bool differs = version != want_version;
+  differs |= c.u32() != static_cast<std::uint32_t>(kind_);
+  differs |= c.u32() != static_cast<std::uint32_t>(platform_.size());
+  differs |= c.u64() != std::bit_cast<std::uint64_t>(alpha_);
+  if (version == kSnapshotPayloadVersionTiered && tiered_) {
+    differs |= c.u32() != static_cast<std::uint32_t>(admit_cfg_.test);
+    differs |= c.u64() != std::bit_cast<std::uint64_t>(admit_cfg_.band);
+    differs |=
+        c.u64() != static_cast<std::uint64_t>(admit_cfg_.release_overhead);
+    differs |=
+        c.u64() != static_cast<std::uint64_t>(admit_cfg_.preempt_overhead);
+  }
+  return c.ok && differs;
 }
 
 void OnlinePartitioner::reserve(std::size_t tasks) {
@@ -721,8 +898,8 @@ void OnlinePartitioner::audit_verify_machine(std::size_t j) const {
     HETSCHED_CHECK_MSG(s.live && s.machine == j,
                        "audit: resident list names a dead or foreign slot");
     // hetsched-lint: allow(float-compare)
-    HETSCHED_CHECK_MSG(s.util == s.task.utilization(),
-                       "audit: cached slot utilization is stale");
+    HETSCHED_CHECK_MSG(s.util == slot_weight(s.task),
+                       "audit: cached slot weight is stale");
     util_sum += s.util;
     hyper *= s.util / capacity_[j] + 1.0;
   }
@@ -748,13 +925,20 @@ void OnlinePartitioner::audit_verify_machine(std::size_t j) const {
 }
 
 void OnlinePartitioner::audit_verify_decision(const Task& t, double w,
-                                              std::size_t chosen) const {
+                                              std::size_t chosen,
+                                              std::uint8_t tier) const {
   // Replay the first-fit decision with the reference scan.  On the admit
   // path the per-machine state has already been folded forward for the
   // chosen machine, so reconstruct its pre-admit admissibility from the
   // decision itself: machines left of `chosen` must reject, and `chosen`
   // (when a machine was picked) must have admitted — which for slack-form
   // kinds we can still check because only machine `chosen` mutated.
+  //
+  // Tiered mode: the slack array answers only the tier-0 density query, so
+  // "machines left of chosen reject tier 0" still holds (a tier-0 accept is
+  // a full accept), but a tier-escalated admit legitimately lands on a
+  // machine whose density slack rejected it — the positive check below is
+  // therefore gated on tier 0.
   const std::size_t m = platform_.size();
   const std::size_t stop = chosen == kNoMachine ? m : chosen;
   for (std::size_t j = 0; j < stop; ++j) {
@@ -763,7 +947,7 @@ void OnlinePartitioner::audit_verify_decision(const Task& t, double w,
     HETSCHED_CHECK_MSG(!admits,
                        "audit: first fit skipped an admitting machine");
   }
-  if (chosen != kNoMachine && slack_form_) {
+  if (chosen != kNoMachine && slack_form_ && tier == admit::kTierBound) {
     // Undo the fold on the chosen machine: recompute its pre-admit state
     // from the residents minus the newest arrival (the last list entry).
     double util_sum = 0.0;

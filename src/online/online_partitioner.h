@@ -47,11 +47,14 @@
 #include <utility>
 #include <vector>
 
+#include "admit/admission_test.h"
+#include "core/constrained_task.h"
 #include "core/platform.h"
 #include "core/task.h"
 #include "partition/admission.h"
 #include "partition/engine.h"
 #include "util/fnv.h"
+#include "util/rational.h"
 
 namespace hetsched {
 
@@ -68,6 +71,11 @@ struct AdmitDecision {
   OnlineTaskId id = kInvalidOnlineTaskId;
   std::size_t machine = static_cast<std::size_t>(-1);  // sorted platform index
   double utilization = 0.0;
+  // Tiered mode: the admission-test tier that produced the verdict
+  // (admit::kTierBound/kTierApprox/kTierExact); always 0 in legacy mode.
+  // Persisted in the WAL record flags so recovery can assert the replayed
+  // decision came from the same tier.
+  std::uint8_t tier = 0;
 };
 
 // Outcome of one rebalance() call.  When the canonical re-pack fails to
@@ -106,8 +114,17 @@ class OnlinePartitioner {
   // The platform is copied and fixed for the controller's lifetime.
   // alpha >= 1; engine as in first_fit_partition (kAuto picks the segment
   // tree whenever the kind has a slack form).
+  //
+  // A tiered `admit_cfg` (test != kLegacy) switches the controller to the
+  // constrained-deadline admission subsystem (src/admit): the per-machine
+  // fold runs over task *densities* under tier0_fold_kind(cfg.test) — which
+  // replaces `kind` — and a tier-0 density reject escalates through the
+  // configured DBF/RTA tiers before the first-fit verdict.  For implicit
+  // tasks density == utilization, so the tier-0 path makes bit-identical
+  // decisions to the legacy kEdf controller.
   OnlinePartitioner(const Platform& platform, AdmissionKind kind, double alpha,
-                    PartitionEngine engine = PartitionEngine::kAuto);
+                    PartitionEngine engine = PartitionEngine::kAuto,
+                    const admit::AdmitConfig& admit_cfg = {});
 
   // First-fit admission: leftmost machine whose test still passes.
   // O(log m) (tree engine) or O(m) (naive engine) for slack-form kinds;
@@ -160,8 +177,18 @@ class OnlinePartitioner {
   // floating-point accumulator state to disk.
   std::vector<std::uint8_t> serialize_snapshot() const;
   // Validates structure (magic, version, kind, machine count, alpha, slot
-  // cross-references) and returns false without mutating on any mismatch.
+  // cross-references, and — tiered — the admission config) and returns
+  // false without mutating on any mismatch.
   bool restore_bytes(const std::uint8_t* data, std::size_t size);
+  // True when `data` carries an intact snapshot identity header (known
+  // magic + version) that was written by a *differently configured*
+  // controller — version/kind/machine-count/alpha or, for tiered
+  // configs, the admission test and its knobs disagree.  Lets recovery
+  // fail loudly on config drift instead of skipping the file the way it
+  // skips a torn or corrupt one (which would silently restart empty once
+  // the rotated WAL no longer re-derives the state).
+  bool snapshot_config_mismatch(const std::uint8_t* data,
+                                std::size_t size) const;
 
   // Pre-grows the slot arena so the next `tasks` admissions need no arena
   // growth (per-machine resident lists still warm up on first use).
@@ -171,6 +198,8 @@ class OnlinePartitioner {
   const Platform& platform() const { return platform_; }
   AdmissionKind kind() const { return kind_; }
   double alpha() const { return alpha_; }
+  const admit::AdmitConfig& admit_config() const { return admit_cfg_; }
+  bool tiered() const { return tiered_; }
   std::size_t machine_count() const { return platform_.size(); }
   std::size_t resident_count() const { return st_.resident; }
 
@@ -182,7 +211,9 @@ class OnlinePartitioner {
   std::uint64_t decision_seq() const { return st_.decision_seq; }
   std::uint64_t decision_checksum() const { return st_.decision_checksum; }
 
-  // Utilization admitted on machine j (unaugmented task utilizations).
+  // Load admitted on machine j: the sum of unaugmented task utilizations
+  // in legacy mode, of (overhead-inflated) task *densities* in tiered mode
+  // — in both cases the quantity the machine's tier-0 fold accumulates.
   double machine_utilization(std::size_t j) const;
   std::size_t machine_task_count(std::size_t j) const;
 
@@ -235,16 +266,30 @@ class OnlinePartitioner {
   };
 
   std::size_t find_machine(const Task& t, double w) const;
+  // Tiered first fit: leftmost machine whose *selected* test accepts.  The
+  // engine answers the tier-0 density query; machines it rejects are offered
+  // to the escalation tiers in index order.  Sets `tier` to the verdict's
+  // tier (on reject: the deepest tier consulted).
+  std::size_t find_machine_tiered(const ConstrainedTask& ct, double w,
+                                  std::uint8_t& tier) const;
   void apply_admit(std::size_t j, double w, const Task& t);
   void recompute_machine(std::size_t j);
   AdmitDecision admit_impl(const Task& t, bool fold_checksum);
   bool depart_impl(OnlineTaskId id, bool fold_checksum);
+  // The per-machine fold weight of a task: utilization (legacy) or
+  // inflated density (tiered).
+  double slot_weight(const Task& t) const;
+  // Rebuilds the per-machine incremental demand mirrors (tiered mode) from
+  // the resident lists, in list order — the decider sums are evaluated in
+  // that order, so recovery must reproduce it exactly.
+  void rebuild_demand();
 #if HETSCHED_AUDIT_ENABLED
   // Shadow-oracle checks (see partition/audit.h).  Machine-local fold
   // recomputation, first-fit decision replay, whole-state invariants, and
   // bit-identity of the canonical state with the batch oracle.
   void audit_verify_machine(std::size_t j) const;
-  void audit_verify_decision(const Task& t, double w, std::size_t chosen) const;
+  void audit_verify_decision(const Task& t, double w, std::size_t chosen,
+                             std::uint8_t tier = 0) const;
   void audit_verify_full() const;
   void audit_verify_canonical() const;
 #endif
@@ -255,15 +300,25 @@ class OnlinePartitioner {
   Platform platform_;
   AdmissionKind kind_;
   double alpha_ = 1.0;
+  admit::AdmitConfig admit_cfg_;
+  bool tiered_ = false;
   bool slack_form_ = true;
   bool use_tree_ = true;               // resolved engine is the segment tree
   std::vector<double> capacity_;       // per machine: alpha * s_j (fixed)
+  std::vector<Rational> speed_exact_;  // per machine: alpha * s_j, exact
+                                       // (tiered escalation runs on rationals)
   State st_;
   SlackTree tree_;                     // mirrors st_.slack when use_tree_
+  // Tiered mode: per-machine incremental demand mirrors, index-aligned
+  // with st_.residents[j] (same push / ordered-erase discipline).  Mutable
+  // because escalation transiently pushes the candidate during const
+  // machine search; net state is unchanged on return.
+  mutable std::vector<admit::MachineDemand> demand_;
   // Rebalance scratch (reused; rebalance itself may allocate on growth).
   std::vector<std::uint32_t> rb_order_;
   std::vector<double> rb_util_sum_, rb_hyper_, rb_slack_;
   std::vector<std::size_t> rb_count_;
+  std::vector<admit::MachineDemand> rb_demand_;  // tiered trial pass
 };
 
 struct OnlinePartitioner::Snapshot {

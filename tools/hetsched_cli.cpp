@@ -23,13 +23,16 @@
 //       lifetimes) in the trace format.
 //   hetsched_cli replay <tracefile> [--admission KIND] [--alpha X]
 //       [--engine E] [--rebalance-every N] [--stats] [--trace-out FILE]
+//       [--admission-test T] [--admit-band X] [--release-overhead N]
+//       [--preempt-overhead N]
 //       Replay a churn trace through the online admission controller and
 //       report acceptance ratio, regret vs the clairvoyant batch re-pack,
 //       and migration counts.  --stats appends the end-of-trace metrics
 //       snapshot (see below); --trace-out records per-decision events and
 //       writes them as JSONL (requires -DHETSCHED_METRICS=ON).
 //   hetsched_cli serve [--admission KIND] [--alpha X] [--engine E]
-//       [--stats-interval N] [--trace-out FILE]
+//       [--stats-interval N] [--trace-out FILE] [--admission-test T]
+//       [--admit-band X] [--release-overhead N] [--preempt-overhead N]
 //       Stream trace directives from stdin through a live controller and
 //       answer each one ("admit <task> -> machine <j>" / "reject <task>").
 //       With --stats-interval N, a metrics snapshot is printed after every
@@ -40,7 +43,8 @@
 //       [--admission KIND] [--alpha X] [--engine E] [--queue-depth D]
 //       [--batch K] [--batch-min K] [--no-reuseport]
 //       [--machines M] [--ratio R | --platform FILE] [--port-file FILE]
-//       [--stats-interval SECONDS] [--trace-out FILE]
+//       [--stats-interval SECONDS] [--trace-out FILE] [--admission-test T]
+//       [--admit-band X] [--release-overhead N] [--preempt-overhead N]
 //       Network mode: run the sharded TCP admission service (src/net/) on
 //       the given address (port 0 picks an ephemeral port, written to
 //       --port-file for scripts).  Each shard serves an independent copy
@@ -77,7 +81,8 @@
 //       -DHETSCHED_METRICS=ON server build to be non-empty).
 //   hetsched_cli recover --wal-dir DIR [--shards N] [--admission KIND]
 //       [--alpha X] [--engine E] [--machines M] [--ratio R |
-//       --platform FILE]
+//       --platform FILE] [--admission-test T] [--admit-band X]
+//       [--release-overhead N] [--preempt-overhead N]
 //       Offline crash recovery: rebuild every shard controller found in
 //       DIR from its newest valid snapshot plus the WAL tail, verify the
 //       decision stream record by record (seq + FNV-1a checksum), rotate
@@ -97,8 +102,16 @@
 // hetsched_metrics_enabled 0 line and a compiled-out notice.
 //
 // Instance file format: see src/io/text_format.h.
-// Trace file format: see src/io/trace_format.h.
+// Trace file format: see src/io/trace_format.h (arrive lines may carry an
+// optional trailing <deadline> token for constrained-deadline tasks).
 // Admission kinds: edf (default), rms-ll, rms-hb, rms-rta.
+// Admission tests (--admission-test, replay/serve/recover): legacy
+// (default, implicit deadlines only), bound, dbf-approx, qpa, rta, auto —
+// the tiered constrained-deadline selector of src/admit/; auto escalates
+// density-bound rejects through the approximate DBF to exact QPA only
+// inside the --admit-band uncertainty band (default 0.5).
+// --release-overhead / --preempt-overhead inflate every WCET by the
+// admission-time overhead model before any test runs.
 // Engines: auto (default), naive, tree — bit-identical results; "naive" is
 // the paper's O(n m) scan, "tree" the O(n log m) segment tree.
 #include <csignal>
@@ -142,7 +155,8 @@ int usage() {
 
 // Minimal --flag value parser; positional args collected separately.
 // Boolean flags never consume the next token, so "replay --stats t.trace"
-// keeps t.trace positional.
+// keeps t.trace positional.  "--flag=value" and "--flag value" are
+// equivalent.
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
@@ -158,6 +172,11 @@ struct Args {
       const std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         const std::string key = arg.substr(2);
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          a.flags[key.substr(0, eq)] = key.substr(eq + 1);
+          continue;
+        }
         const bool next_is_flag =
             i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
         if (!boolean_flag(key) && i + 1 < argc && !next_is_flag) {
@@ -198,6 +217,28 @@ std::optional<AdmissionKind> admission_from_name(const std::string& name) {
 
 std::optional<PartitionEngine> engine_flag(const Args& args) {
   return engine_from_name(args.get("engine", "auto"));
+}
+
+// --admission-test=auto|bound|dbf-approx|qpa|rta (default: legacy, the
+// implicit-deadline bound), plus the tiered-selector knobs --admit-band,
+// --release-overhead, --preempt-overhead.  False = bad flag value.
+bool admit_config_flag(const Args& args, admit::AdmitConfig* out) {
+  const auto test = admit::test_from_name(args.get("admission-test", "legacy"));
+  if (!test) {
+    std::fprintf(stderr,
+                 "error: --admission-test must be "
+                 "legacy|bound|dbf-approx|qpa|rta|auto\n");
+    return false;
+  }
+  out->test = *test;
+  out->band = args.get_double("admit-band", out->band);
+  out->release_overhead = args.get_long("release-overhead", 0);
+  out->preempt_overhead = args.get_long("preempt-overhead", 0);
+  if (out->band < 0 || out->release_overhead < 0 || out->preempt_overhead < 0) {
+    std::fprintf(stderr, "error: admission-test knobs must be non-negative\n");
+    return false;
+  }
+  return true;
 }
 
 std::optional<Instance> load_or_complain(const std::string& path) {
@@ -440,10 +481,12 @@ int cmd_replay(const Args& args) {
   options.rebalance_every =
       static_cast<std::size_t>(args.get_long("rebalance-every", 0));
   options.engine = *engine;
+  if (!admit_config_flag(args, &options.admit)) return 2;
   const ChurnResult res =
       run_churn(parsed.value->platform, parsed.value->trace, options);
-  std::printf("replay %s alpha=%.3f: %s\n", to_string(*kind).c_str(),
-              options.alpha, res.to_string().c_str());
+  std::printf("replay %s/%s alpha=%.3f: %s\n", to_string(*kind).c_str(),
+              admit::to_string(options.admit.test).c_str(), options.alpha,
+              res.to_string().c_str());
   std::printf("online acceptance %.4f vs clairvoyant %.4f\n",
               res.online_acceptance(), res.clairvoyant_acceptance());
 
@@ -579,6 +622,7 @@ int cmd_serve_net(const Args& args) {
   }
   options.snapshot_every =
       static_cast<std::size_t>(args.get_long("snapshot-every", 65536));
+  if (!admit_config_flag(args, &options.admit)) return 2;
   options.slo_ns =
       static_cast<std::uint64_t>(args.get_long("slo-us", 1000)) * 1000;
   const auto stats_interval = args.get_long("stats-interval", 0);
@@ -640,9 +684,10 @@ int cmd_serve_net(const Args& args) {
       pf << http.port() << "\n";
     }
   }
-  std::printf("listening on port %u: %zu shard(s) of %s alpha=%.3f on %zu "
+  std::printf("listening on port %u: %zu shard(s) of %s/%s alpha=%.3f on %zu "
               "machines (%zu loop(s), %s, queue %zu, batch %zu-%zu)\n",
               server.port(), server.shard_count(), to_string(*kind).c_str(),
+              admit::to_string(options.admit.test).c_str(),
               options.alpha, platform.size(), server.loop_count(),
               server.reuseport_active() ? "reuseport" : "single-acceptor",
               options.queue_depth, options.batch_min, options.batch);
@@ -758,6 +803,8 @@ int cmd_recover(const Args& args) {
     platform = geometric_platform(m, ratio);
   }
   const double alpha = args.get_double("alpha", 1.0);
+  admit::AdmitConfig admit_cfg;
+  if (!admit_config_flag(args, &admit_cfg)) return 2;
 
   std::size_t shard_count =
       static_cast<std::size_t>(args.get_long("shards", 0));
@@ -774,7 +821,7 @@ int cmd_recover(const Args& args) {
   ptrs.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     controllers.push_back(std::make_unique<OnlinePartitioner>(
-        platform, *kind, alpha, *engine));
+        platform, *kind, alpha, *engine, admit_cfg));
     ptrs.push_back(controllers.back().get());
   }
   const net::ShardSetRecovery rec = net::recover_shard_set(
@@ -834,6 +881,8 @@ int cmd_serve(const Args& args) {
   const auto engine = engine_flag(args);
   if (!engine) return usage();
   const double alpha = args.get_double("alpha", 1.0);
+  admit::AdmitConfig admit_cfg;
+  if (!admit_config_flag(args, &admit_cfg)) return 2;
   const auto stats_interval =
       static_cast<std::size_t>(args.get_long("stats-interval", 0));
   const std::string trace_out = args.get("trace-out", "");
@@ -881,16 +930,18 @@ int cmd_serve(const Args& args) {
         continue;
       }
       controller.emplace(Platform::from_speeds_exact(speeds), *kind, alpha,
-                         *engine);
-      std::printf("serving %s alpha=%.3f on %zu machines\n",
-                  to_string(*kind).c_str(), alpha, speeds.size());
+                         *engine, admit_cfg);
+      std::printf("serving %s/%s alpha=%.3f on %zu machines\n",
+                  to_string(*kind).c_str(),
+                  admit::to_string(admit_cfg.test).c_str(), alpha,
+                  speeds.size());
     } else if (tokens[0] == "arrive") {
       if (!controller) {
         complain("arrive before platform");
         continue;
       }
-      if (tokens.size() != 5) {
-        complain("arrive needs <time> <task> <exec> <period>");
+      if (tokens.size() != 5 && tokens.size() != 6) {
+        complain("arrive needs <time> <task> <exec> <period> [<deadline>]");
         continue;
       }
       const auto task_no = parse_int_token(tokens[2]);
@@ -900,7 +951,20 @@ int cmd_serve(const Args& args) {
         complain("bad arrive parameters");
         continue;
       }
-      const Task t{*exec, *period};
+      std::int64_t deadline = 0;
+      if (tokens.size() == 6) {
+        const auto d = parse_int_token(tokens[5]);
+        if (!d || *d <= 0 || *d > *period) {
+          complain("deadline must be in (0, period]");
+          continue;
+        }
+        if (!controller->tiered()) {
+          complain("constrained deadline needs --admission-test != legacy");
+          continue;
+        }
+        deadline = *d;
+      }
+      const Task t{*exec, *period, deadline};
       if (!t.valid()) {
         complain("task parameters must be positive");
         continue;
